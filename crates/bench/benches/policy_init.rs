@@ -1,0 +1,61 @@
+//! Criterion bench: the offline policy-initialization pipeline
+//! (Algorithm 2) end to end against a synthetic landscape, plus the
+//! per-interval online decision (batch retrain + action choice).
+//!
+//! Ablation axis: coarse-sampling granularity (`group_levels`), the
+//! paper's knob for trading training time against initial-policy
+//! quality.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rac::{
+    train_initial_policy, ConfigLattice, OfflineSettings, RacAgent, RacSettings, SlaReward, Tuner,
+};
+use std::hint::black_box;
+use websim::{PerfSample, ServerConfig};
+
+fn landscape(cfg: &ServerConfig) -> f64 {
+    let m = cfg.max_clients() as f64;
+    let k = cfg.keepalive_timeout_secs() as f64;
+    120.0 + 0.002 * (m - 420.0).powi(2) + 5.0 * (k - 7.0).powi(2)
+}
+
+fn bench_offline_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_init_pipeline");
+    group.sample_size(10);
+    for group_levels in [2usize, 3, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(group_levels),
+            &group_levels,
+            |b, &gl| {
+                let lattice = ConfigLattice::new(4);
+                let settings = OfflineSettings { group_levels: gl, ..OfflineSettings::default() };
+                b.iter(|| {
+                    black_box(
+                        train_initial_policy(&lattice, SlaReward::new(1_000.0), settings, |c| {
+                            landscape(c)
+                        })
+                        .unwrap(),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_online_decision(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_decision");
+    group.sample_size(20);
+    for levels in [3usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(levels), &levels, |b, &lv| {
+            let mut agent =
+                RacAgent::new(RacSettings { online_levels: lv, ..RacSettings::default() });
+            let sample = PerfSample::from_parts(vec![700.0; 50], 0, 300.0);
+            b.iter(|| black_box(agent.next_config(&sample)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_offline_pipeline, bench_online_decision);
+criterion_main!(benches);

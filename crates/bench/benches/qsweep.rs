@@ -1,0 +1,50 @@
+//! Criterion bench: batch Q-sweep cost vs lattice resolution.
+//!
+//! Design-decision ablation (DESIGN.md §"Key design decisions" #1/#2):
+//! the RAC agent retrains its whole Q-table each interval, so sweep cost
+//! bounds the online decision latency. This bench measures one full
+//! sweep pass at different per-parameter resolutions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rac::{Action, ConfigLattice, ConfigMdp, SlaReward};
+use rl::{batch_value_sweep, QLearning, QTable};
+use std::hint::black_box;
+
+fn bench_qsweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("qsweep_pass");
+    for levels in [3usize, 4, 5] {
+        let lattice = ConfigLattice::new(levels);
+        let mut mdp = ConfigMdp::new(&lattice, SlaReward::new(1_000.0));
+        // A non-trivial landscape so rewards vary.
+        for s in 0..lattice.num_states() {
+            mdp.set_perf(s, 100.0 + (s % 1_000) as f64);
+        }
+        let learner = QLearning::new(0.1, 0.9);
+        group.throughput(criterion::Throughput::Elements(
+            (lattice.num_states() * Action::COUNT) as u64,
+        ));
+        group.bench_with_input(BenchmarkId::from_parameter(levels), &levels, |b, _| {
+            let mut q = QTable::new(lattice.num_states(), Action::COUNT);
+            b.iter(|| {
+                // theta = 0 forces exactly max_passes (1) full passes.
+                batch_value_sweep(&mdp, &mut q, &learner, 0.0, 1);
+                black_box(q.max_q(0))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_mdp_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mdp_build");
+    for levels in [3usize, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(levels), &levels, |b, &lv| {
+            let lattice = ConfigLattice::new(lv);
+            b.iter(|| black_box(ConfigMdp::new(&lattice, SlaReward::new(1_000.0))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qsweep, bench_mdp_build);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench: polynomial-regression fit and batch prediction.
+//!
+//! Policy initialization fits a quadratic model over the 4 group
+//! features and then predicts every online lattice state; both steps are
+//! on the offline critical path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use numerics::PolynomialModel;
+use rac::grouping::{group_features, sampling_plan};
+use rac::ConfigLattice;
+use std::hint::black_box;
+
+fn training_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+    let plan = sampling_plan(3);
+    let xs: Vec<Vec<f64>> = plan.iter().map(|(coords, _)| coords.clone()).collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|c| 200.0 + 900.0 * (c[0] - 0.6).powi(2) + 300.0 * (c[1] - 0.3).powi(2) + 40.0 * c[2])
+        .collect();
+    (xs, ys)
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let (xs, ys) = training_data();
+    c.bench_function("polynomial_fit_81_samples", |b| {
+        b.iter(|| black_box(PolynomialModel::fit(&xs, &ys).unwrap()));
+    });
+}
+
+fn bench_predict_lattice(c: &mut Criterion) {
+    let (xs, ys) = training_data();
+    let model = PolynomialModel::fit(&xs, &ys).unwrap();
+    let mut group = c.benchmark_group("predict_full_lattice");
+    group.sample_size(20);
+    for levels in [3usize, 4] {
+        let lattice = ConfigLattice::new(levels);
+        group.throughput(criterion::Throughput::Elements(lattice.num_states() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(levels), &levels, |b, _| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                let mut coords = vec![0usize; 8];
+                for s in 0..lattice.num_states() {
+                    lattice.space().decode_into(s, &mut coords);
+                    acc += model.predict(&group_features(&lattice, &coords));
+                }
+                black_box(acc)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit, bench_predict_lattice);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench: discrete-event simulator throughput.
+//!
+//! One RAC measurement iteration is 5 simulated minutes of the
+//! three-tier system; this bench measures the wall cost of simulating
+//! one minute at different client populations, and of the underlying
+//! processor-sharing CPU model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simkernel::{SimDuration, SimTime};
+use std::hint::black_box;
+use websim::cpu::PsCpu;
+use websim::{SystemSpec, ThreeTierSystem};
+
+fn bench_sim_minute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_one_minute");
+    group.sample_size(10);
+    for clients in [100usize, 300, 600] {
+        group.bench_with_input(BenchmarkId::from_parameter(clients), &clients, |b, &n| {
+            // Warm the system once; each iteration advances it further.
+            let mut sys = ThreeTierSystem::new(SystemSpec::default().with_clients(n));
+            let _ = sys.run_interval(SimDuration::from_secs(120));
+            b.iter(|| black_box(sys.run_interval(SimDuration::from_secs(60))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_ps_cpu(c: &mut Criterion) {
+    c.bench_function("ps_cpu_churn_1000_tasks", |b| {
+        b.iter(|| {
+            let mut cpu = PsCpu::new(4.0, 0.001);
+            let mut now = SimTime::ZERO;
+            let mut done = 0usize;
+            for i in 0..1_000usize {
+                cpu.push(now, 1_000.0 + (i % 97) as f64 * 10.0, (i, 0));
+                if i % 3 == 0 {
+                    if let Some(eta) = cpu.next_completion(now) {
+                        now = eta;
+                        done += cpu.pop_ready(now).len();
+                    }
+                }
+            }
+            while let Some(eta) = cpu.next_completion(now) {
+                now = eta;
+                done += cpu.pop_ready(now).len();
+            }
+            black_box(done)
+        });
+    });
+}
+
+criterion_group!(benches, bench_sim_minute, bench_ps_cpu);
+criterion_main!(benches);

@@ -1,0 +1,566 @@
+//! Reproduction harness: regenerates every table and figure of the
+//! paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p rac-bench --bin figures -- all
+//! cargo run --release -p rac-bench --bin figures -- fig5
+//! cargo run --release -p rac-bench --bin figures -- fig2 --quick
+//! ```
+//!
+//! Each subcommand prints the series/rows the paper reports and writes a
+//! CSV under `results/`. Offline-trained policies are cached under
+//! `results/cache/`.
+
+use std::path::{Path, PathBuf};
+
+use rac::{
+    grouping, paper_contexts, Experiment, IterationRecord, RacAgent, RacSettings, StaticDefault,
+    TrialAndError, Tuner,
+};
+use rac_bench::output::{ascii_chart, TextTable};
+use rac_bench::{paper_system_spec, standard_policy_library, standard_settings, ONLINE_LEVELS};
+use simkernel::SimDuration;
+use tpcw::Mix;
+use vmstack::ResourceLevel;
+use websim::{measure_config, Param, ServerConfig, SystemSpec};
+
+/// Global run options.
+#[derive(Debug, Clone)]
+struct Options {
+    /// Shrink intervals/iterations for a fast smoke run.
+    quick: bool,
+    results_dir: PathBuf,
+}
+
+impl Options {
+    fn interval(&self) -> SimDuration {
+        SimDuration::from_secs(if self.quick { 90 } else { 300 })
+    }
+
+    fn warmup(&self) -> SimDuration {
+        SimDuration::from_secs(if self.quick { 120 } else { 600 })
+    }
+
+    fn iters(&self, full: usize) -> usize {
+        if self.quick {
+            (full / 3).max(5)
+        } else {
+            full
+        }
+    }
+
+    fn cache_dir(&self) -> PathBuf {
+        self.results_dir.join("cache")
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let cmds: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let opts = Options { quick, results_dir: PathBuf::from("results") };
+
+    let run = |cmd: &str| match cmd {
+        "table1" => table1(&opts),
+        "table2" => table2(&opts),
+        "fig1" => fig1(&opts),
+        "fig2" => fig2(&opts),
+        "fig3" => fig3(&opts),
+        "fig4" => fig4(&opts),
+        "fig5" => fig5(&opts),
+        "fig6" => fig6(&opts),
+        "fig7" => fig7(&opts),
+        "fig8" => fig8(&opts),
+        "fig9" => fig9(&opts),
+        "fig10" => fig10(&opts),
+        other => {
+            eprintln!("unknown experiment: {other}");
+            eprintln!("available: table1 table2 fig1..fig10 all [--quick]");
+            std::process::exit(2);
+        }
+    };
+
+    if cmds.is_empty() || cmds.contains(&"all") {
+        for cmd in [
+            "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+            "fig9", "fig10",
+        ] {
+            run(cmd);
+        }
+    } else {
+        for cmd in cmds {
+            run(cmd);
+        }
+    }
+}
+
+fn banner(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+// --------------------------------------------------------------------
+// Tables
+// --------------------------------------------------------------------
+
+fn table1(opts: &Options) {
+    banner("Table 1: tunable performance-critical parameters");
+    let mut t = TextTable::new(&["tier", "parameter", "range", "default"]);
+    for p in Param::ALL {
+        let (lo, hi) = p.range();
+        t.row(&[
+            p.tier().to_string(),
+            p.name().to_string(),
+            format!("[{lo}, {hi}]"),
+            p.default_value().to_string(),
+        ]);
+    }
+    print!("{t}");
+    save(&t, opts, "table1.csv");
+}
+
+fn table2(opts: &Options) {
+    banner("Table 2: example system contexts");
+    let mut t = TextTable::new(&["context", "workload mix", "VM resources"]);
+    for (i, c) in paper_contexts().iter().enumerate() {
+        t.row(&[
+            format!("Context-{}", i + 1),
+            c.mix.to_string(),
+            c.level.to_string(),
+        ]);
+    }
+    print!("{t}");
+    save(&t, opts, "table2.csv");
+}
+
+// --------------------------------------------------------------------
+// Motivation figures (Section 2)
+// --------------------------------------------------------------------
+
+/// Finds the best configuration for a context by measuring the coarse
+/// grouped sampling plan (the paper's "best out of our test cases").
+fn best_config_for(spec: &SystemSpec, opts: &Options) -> (ServerConfig, f64) {
+    let plan = grouping::sampling_plan(3);
+    let mut best = (ServerConfig::default(), f64::INFINITY);
+    for (_, config) in plan {
+        let s = measure_config(spec, config, opts.warmup(), opts.interval());
+        if s.mean_response_ms < best.1 {
+            best = (config, s.mean_response_ms);
+        }
+    }
+    best
+}
+
+fn fig1(opts: &Options) {
+    banner("Figure 1: performance under configurations tuned for different workloads");
+    let spec = paper_system_spec();
+    let mixes = [Mix::Ordering, Mix::Shopping, Mix::Browsing];
+    let tuned: Vec<(Mix, ServerConfig)> = mixes
+        .iter()
+        .map(|&mix| {
+            eprintln!("  tuning for {mix}…");
+            let (cfg, _) = best_config_for(&spec.clone().with_mix(mix), opts);
+            (mix, cfg)
+        })
+        .collect();
+
+    let mut t = TextTable::new(&["workload", "ordering-best cfg", "shopping-best cfg", "browsing-best cfg"]);
+    for &run_mix in &mixes {
+        let mut cells = vec![run_mix.to_string()];
+        for (_, cfg) in &tuned {
+            let s = measure_config(
+                &spec.clone().with_mix(run_mix),
+                *cfg,
+                opts.warmup(),
+                opts.interval(),
+            );
+            cells.push(format!("{:.0}", s.mean_response_ms));
+        }
+        t.row(&cells);
+    }
+    print!("{t}");
+    println!("(rows: workload actually run; columns: whose best configuration; cells: mean response time in ms)");
+    save(&t, opts, "fig1.csv");
+}
+
+fn fig2(opts: &Options) {
+    banner("Figure 2: effect of MaxClients under different VM configurations");
+    let sweep: Vec<u32> = vec![5, 50, 100, 150, 200, 250, 300, 350, 400, 450, 500, 550, 600];
+    let mut t = TextTable::new(&["MaxClients", "Level-1", "Level-2", "Level-3"]);
+    let mut series: Vec<(&str, Vec<f64>)> =
+        vec![("Level-1", Vec::new()), ("Level-2", Vec::new()), ("Level-3", Vec::new())];
+    for &mc in &sweep {
+        let cfg = ServerConfig::default().with(Param::MaxClients, mc).expect("in range");
+        let mut cells = vec![mc.to_string()];
+        for (i, level) in ResourceLevel::ALL.iter().enumerate() {
+            let spec = paper_system_spec().with_level(*level);
+            let s = measure_config(&spec, cfg, opts.warmup(), opts.interval());
+            cells.push(format!("{:.0}", s.mean_response_ms));
+            series[i].1.push(s.mean_response_ms);
+        }
+        t.row(&cells);
+    }
+    print!("{t}");
+    print!("{}", ascii_chart(&series, 12));
+    for (name, values) in &series {
+        let (best_idx, best) = values
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .expect("non-empty sweep");
+        println!("  preferred MaxClients on {name}: {} ({best:.0} ms)", sweep[best_idx]);
+    }
+    save(&t, opts, "fig2.csv");
+}
+
+fn fig3(opts: &Options) {
+    banner("Figure 3: performance under configurations tuned for different VM levels");
+    let spec = paper_system_spec();
+    let tuned: Vec<(ResourceLevel, ServerConfig)> = ResourceLevel::ALL
+        .iter()
+        .map(|&level| {
+            eprintln!("  tuning for {level}…");
+            let (cfg, _) = best_config_for(&spec.clone().with_level(level), opts);
+            (level, cfg)
+        })
+        .collect();
+
+    let mut t =
+        TextTable::new(&["platform", "level1-best cfg", "level2-best cfg", "level3-best cfg"]);
+    for &run_level in &ResourceLevel::ALL {
+        let mut cells = vec![run_level.to_string()];
+        for (_, cfg) in &tuned {
+            let s = measure_config(
+                &spec.clone().with_level(run_level),
+                *cfg,
+                opts.warmup(),
+                opts.interval(),
+            );
+            cells.push(format!("{:.0}", s.mean_response_ms));
+        }
+        t.row(&cells);
+    }
+    print!("{t}");
+    save(&t, opts, "fig3.csv");
+}
+
+fn fig4(opts: &Options) {
+    banner("Figure 4: concave upward effect of MaxClients and regression");
+    let sweep: Vec<u32> = (0..=11).map(|i| 50 + i * 50).collect();
+    let spec = paper_system_spec();
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &mc in &sweep {
+        let cfg = ServerConfig::default().with(Param::MaxClients, mc).expect("in range");
+        let s = measure_config(&spec, cfg, opts.warmup(), opts.interval());
+        xs.push(vec![mc as f64]);
+        ys.push(s.mean_response_ms);
+    }
+    // Winsorize exactly like the initialization pipeline: the choked
+    // low-MaxClients corner is orders of magnitude off-scale and would
+    // dominate the least-squares fit.
+    let mut sorted = ys.clone();
+    sorted.sort_by(f64::total_cmp);
+    let cap = sorted[sorted.len() / 2] * 25.0;
+    let fit_ys: Vec<f64> = ys.iter().map(|y| y.min(cap)).collect();
+    let model = numerics::PolynomialModel::fit(&xs, &fit_ys).expect("quadratic fit");
+    let mut t = TextTable::new(&["MaxClients", "measured (ms)", "regression (ms)"]);
+    let mut measured = Vec::new();
+    let mut fitted = Vec::new();
+    for (x, y) in xs.iter().zip(&ys) {
+        let pred = model.predict(x);
+        t.row(&[format!("{}", x[0] as u32), format!("{y:.0}"), format!("{pred:.0}")]);
+        measured.push(*y);
+        fitted.push(pred);
+    }
+    print!("{t}");
+    print!("{}", ascii_chart(&[("measured", measured), ("regression", fitted)], 12));
+    println!("  fit: r² = {:.3}, rmse = {:.1} ms", model.quality().r_squared, model.quality().rmse);
+    save(&t, opts, "fig4.csv");
+}
+
+// --------------------------------------------------------------------
+// Online-learning figures (Section 5)
+// --------------------------------------------------------------------
+
+/// Runs one tuner through an experiment and returns its response-time
+/// series.
+fn run_series(exp: &Experiment, tuner: &mut dyn Tuner) -> Vec<IterationRecord> {
+    exp.run(tuner)
+}
+
+fn response_series(records: &[IterationRecord]) -> Vec<f64> {
+    records.iter().map(|r| r.response_ms).collect()
+}
+
+/// The iteration after which the series stays within 20% of its final
+/// plateau (mean of the last 5 samples) — "driven to a stable state".
+fn convergence_iteration(series: &[f64]) -> Option<usize> {
+    if series.len() < 6 {
+        return None;
+    }
+    let tail: f64 = series[series.len() - 5..].iter().sum::<f64>() / 5.0;
+    if !tail.is_finite() {
+        return None;
+    }
+    let ok = |v: f64| v.is_finite() && (v - tail).abs() <= 0.2 * tail.abs().max(1.0);
+    let mut candidate = None;
+    for (i, &v) in series.iter().enumerate() {
+        if ok(v) {
+            candidate.get_or_insert(i);
+        } else {
+            candidate = None;
+        }
+    }
+    candidate
+}
+
+fn experiment_123(opts: &Options) -> Experiment {
+    let contexts = paper_contexts();
+    let n = opts.iters(30);
+    Experiment::new(paper_system_spec())
+        .with_interval(opts.interval())
+        .with_warmup(opts.warmup())
+        .then(contexts[0], n)
+        .then(contexts[1], n)
+        .then(contexts[2], n)
+}
+
+fn series_table(
+    opts: &Options,
+    file: &str,
+    named: &[(&str, &Vec<IterationRecord>)],
+) {
+    let mut headers = vec!["iteration"];
+    headers.extend(named.iter().map(|(n, _)| *n));
+    let mut t = TextTable::new(&headers);
+    let len = named.iter().map(|(_, s)| s.len()).max().unwrap_or(0);
+    for i in 0..len {
+        let mut cells = vec![i.to_string()];
+        for (_, s) in named {
+            cells.push(
+                s.get(i).map(|r| format!("{:.0}", r.response_ms)).unwrap_or_default(),
+            );
+        }
+        t.row(&cells);
+    }
+    save(&t, opts, file);
+    let chart: Vec<(&str, Vec<f64>)> =
+        named.iter().map(|(n, s)| (*n, response_series(s))).collect();
+    print!("{}", ascii_chart(&chart, 14));
+}
+
+fn mean_of(series: &[IterationRecord]) -> f64 {
+    rac::series_mean(series)
+}
+
+fn fig5(opts: &Options) {
+    banner("Figure 5: performance due to different auto-configuration policies");
+    let library = standard_policy_library(&opts.cache_dir());
+    let exp = experiment_123(opts);
+
+    let mut rac_agent = RacAgent::with_policy_library(standard_settings(), library);
+    let rac_series = run_series(&exp, &mut rac_agent);
+    let mut tae = TrialAndError::new(ONLINE_LEVELS);
+    let tae_series = run_series(&exp, &mut tae);
+    let mut dflt = StaticDefault::new();
+    let dflt_series = run_series(&exp, &mut dflt);
+
+    series_table(
+        opts,
+        "fig5.csv",
+        &[
+            ("RAC", &rac_series),
+            ("trial-and-error", &tae_series),
+            ("static default", &dflt_series),
+        ],
+    );
+
+    let (m_rac, m_tae, m_dflt) =
+        (mean_of(&rac_series), mean_of(&tae_series), mean_of(&dflt_series));
+    println!("  mean response time: RAC {m_rac:.0} ms | trial-and-error {m_tae:.0} ms | default {m_dflt:.0} ms");
+    println!(
+        "  RAC improvement: {:.0}% vs trial-and-error, {:.0}% vs static default",
+        100.0 * (m_tae - m_rac) / m_tae,
+        100.0 * (m_dflt - m_rac) / m_dflt
+    );
+    let n = exp.total_iterations() / 3;
+    for (phase, label) in [(0, "context-1"), (1, "context-2"), (2, "context-3")] {
+        let slice = &response_series(&rac_series)[phase * n..(phase + 1) * n];
+        match convergence_iteration(slice) {
+            Some(it) => println!("  RAC stabilized in {label} after {it} iterations"),
+            None => println!("  RAC did not stabilize in {label}"),
+        }
+    }
+    println!("  RAC policy switches: {}", rac_agent.policy_switches());
+}
+
+fn fig6(opts: &Options) {
+    banner("Figure 6: effect of online training");
+    let library = standard_policy_library(&opts.cache_dir());
+    let context = paper_contexts()[0];
+    let policy = library.for_context(context).expect("context-1 policy").clone();
+    let exp = Experiment::new(paper_system_spec())
+        .with_interval(opts.interval())
+        .with_warmup(opts.warmup())
+        .then(context, opts.iters(40));
+
+    let mut with_ol = RacAgent::with_initial_policy(standard_settings(), &policy);
+    let with_series = run_series(&exp, &mut with_ol);
+    let mut without_ol = RacAgent::with_initial_policy(
+        RacSettings { online_learning: false, ..standard_settings() },
+        &policy,
+    );
+    let without_series = run_series(&exp, &mut without_ol);
+
+    series_table(
+        opts,
+        "fig6.csv",
+        &[("w/ online learning", &with_series), ("w/o online learning", &without_series)],
+    );
+    let tail = with_series.len().saturating_sub(10);
+    println!(
+        "  stable performance: w/ online learning {:.0} ms | w/o {:.0} ms",
+        mean_of(&with_series[tail..]),
+        mean_of(&without_series[tail..])
+    );
+}
+
+fn fig7(opts: &Options) {
+    banner("Figure 7: performance with and without policy initialization");
+    let library = standard_policy_library(&opts.cache_dir());
+    for (sub, ctx_index) in [("a", 1usize), ("b", 3usize)] {
+        let context = paper_contexts()[ctx_index];
+        println!("-- Figure 7({sub}): context-{}", ctx_index + 1);
+        let policy = library.for_context(context).expect("Table-2 context").clone();
+        let exp = Experiment::new(paper_system_spec())
+            .with_interval(opts.interval())
+            .with_warmup(opts.warmup())
+            .then(context, opts.iters(30));
+
+        let mut with_init = RacAgent::with_initial_policy(standard_settings(), &policy);
+        let with_series = run_series(&exp, &mut with_init);
+        let mut without_init = RacAgent::new(standard_settings());
+        let without_series = run_series(&exp, &mut without_init);
+
+        series_table(
+            opts,
+            &format!("fig7{sub}.csv"),
+            &[("w/ init policy", &with_series), ("w/o init policy", &without_series)],
+        );
+        println!(
+            "  mean: w/ init {:.0} ms | w/o init {:.0} ms | stable-after: {:?}",
+            mean_of(&with_series),
+            mean_of(&without_series),
+            convergence_iteration(&response_series(&with_series))
+        );
+    }
+}
+
+fn fig8(opts: &Options) {
+    banner("Figure 8: effect of online exploration rates");
+    let library = standard_policy_library(&opts.cache_dir());
+    let context = paper_contexts()[0];
+    let policy = library.for_context(context).expect("context-1 policy").clone();
+    let exp = Experiment::new(paper_system_spec())
+        .with_interval(opts.interval())
+        .with_warmup(opts.warmup())
+        .then(context, opts.iters(50));
+
+    let mut all = Vec::new();
+    for epsilon in [0.05, 0.1, 0.3] {
+        // The paper's experiment uses plain (unguarded) ε-greedy — the
+        // whole point is to see what raw exploration costs online.
+        let mut agent = RacAgent::with_initial_policy(
+            RacSettings {
+                epsilon,
+                exploration_guard: f64::INFINITY,
+                ..standard_settings()
+            },
+            &policy,
+        );
+        all.push((format!("rate {epsilon}"), run_series(&exp, &mut agent)));
+    }
+    let named: Vec<(&str, &Vec<IterationRecord>)> =
+        all.iter().map(|(n, s)| (n.as_str(), s)).collect();
+    series_table(opts, "fig8.csv", &named);
+    for (name, series) in &all {
+        let rts = response_series(series);
+        let median = {
+            let mut v: Vec<f64> = rts.iter().copied().filter(|x| x.is_finite()).collect();
+            v.sort_by(f64::total_cmp);
+            v[v.len() / 2]
+        };
+        let spikes = rts.iter().filter(|&&rt| rt > 2.0 * median).count();
+        println!("  {name}: mean {:.0} ms, spikes (>2x median): {spikes}", mean_of(series));
+    }
+}
+
+fn fig9(opts: &Options) {
+    banner("Figure 9: performance with static and adaptive policy initialization");
+    let library = standard_policy_library(&opts.cache_dir());
+    let static_policy = library.for_context(paper_contexts()[1]).expect("context-2").clone();
+    for (sub, ctx_index) in [("a", 4usize), ("b", 5usize)] {
+        let context = paper_contexts()[ctx_index];
+        println!("-- Figure 9({sub}): context-{}", ctx_index + 1);
+        let exp = Experiment::new(paper_system_spec())
+            .with_interval(opts.interval())
+            .with_warmup(opts.warmup())
+            .then(context, opts.iters(40));
+
+        let mut adaptive = RacAgent::with_policy_library(standard_settings(), library.clone());
+        let adaptive_series = run_series(&exp, &mut adaptive);
+        let mut static_agent = RacAgent::with_initial_policy(standard_settings(), &static_policy);
+        let static_series = run_series(&exp, &mut static_agent);
+
+        series_table(
+            opts,
+            &format!("fig9{sub}.csv"),
+            &[("adaptive init policy", &adaptive_series), ("static init policy", &static_series)],
+        );
+        println!(
+            "  mean: adaptive {:.0} ms | static {:.0} ms | static stable-after {:?}",
+            mean_of(&adaptive_series),
+            mean_of(&static_series),
+            convergence_iteration(&response_series(&static_series))
+        );
+    }
+}
+
+fn fig10(opts: &Options) {
+    banner("Figure 10: performance due to different RL policies");
+    let library = standard_policy_library(&opts.cache_dir());
+    let static_policy = library.for_context(paper_contexts()[1]).expect("context-2").clone();
+    let exp = experiment_123(opts);
+
+    let mut adaptive = RacAgent::with_policy_library(standard_settings(), library.clone());
+    let adaptive_series = run_series(&exp, &mut adaptive);
+    let mut static_agent = RacAgent::with_initial_policy(standard_settings(), &static_policy);
+    let static_series = run_series(&exp, &mut static_agent);
+    let mut cold = RacAgent::new(standard_settings());
+    let cold_series = run_series(&exp, &mut cold);
+
+    series_table(
+        opts,
+        "fig10.csv",
+        &[
+            ("adaptive init", &adaptive_series),
+            ("static init", &static_series),
+            ("w/o init", &cold_series),
+        ],
+    );
+    let (ma, ms, mc) =
+        (mean_of(&adaptive_series), mean_of(&static_series), mean_of(&cold_series));
+    println!("  mean response time: adaptive {ma:.0} ms | static {ms:.0} ms | w/o init {mc:.0} ms");
+    println!("  static-vs-adaptive loss: {:.0}%", 100.0 * (ms - ma) / ma);
+}
+
+// --------------------------------------------------------------------
+
+fn save(t: &TextTable, opts: &Options, file: &str) {
+    let path: &Path = &opts.results_dir.join(file);
+    match t.write_csv(path) {
+        Ok(()) => println!("  -> {}", path.display()),
+        Err(e) => eprintln!("  could not write {}: {e}", path.display()),
+    }
+}

@@ -1,0 +1,161 @@
+//! On-disk cache for offline-trained initial policies.
+//!
+//! Offline training is the slow step of the pipeline, so the harness
+//! caches each context's [`InitialPolicy`] in a small self-describing
+//! binary file (little-endian, std-only — no serialization dependency).
+
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use numerics::FitQuality;
+use rac::{Action, ConfigLattice, InitialPolicy};
+use rl::QTable;
+
+const MAGIC: &[u8; 8] = b"RACPOL01";
+
+/// Stores a policy at `path`, creating parent directories as needed.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn store_policy(path: &Path, policy: &InitialPolicy) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let states = policy.perf_ms.len();
+    let actions = policy.qtable.actions();
+    let mut buf = Vec::with_capacity(16 + states * 4 * (1 + actions));
+    buf.extend_from_slice(MAGIC);
+    buf.extend_from_slice(&(states as u64).to_le_bytes());
+    buf.extend_from_slice(&(actions as u64).to_le_bytes());
+    buf.extend_from_slice(&policy.fit.r_squared.to_le_bytes());
+    buf.extend_from_slice(&policy.fit.rmse.to_le_bytes());
+    buf.extend_from_slice(&(policy.fit.samples as u64).to_le_bytes());
+    buf.extend_from_slice(&(policy.samples as u64).to_le_bytes());
+    buf.extend_from_slice(&(policy.passes as u64).to_le_bytes());
+    for &p in &policy.perf_ms {
+        buf.extend_from_slice(&p.to_le_bytes());
+    }
+    for s in 0..states {
+        for a in 0..actions {
+            buf.extend_from_slice(&(policy.qtable.get(s, a) as f32).to_le_bytes());
+        }
+    }
+    let tmp = path.with_extension("tmp");
+    fs::File::create(&tmp)?.write_all(&buf)?;
+    fs::rename(&tmp, path)
+}
+
+/// Loads a policy from `path` if it exists and matches the lattice;
+/// returns `None` on a miss or any corruption (the caller retrains).
+pub fn load_policy(path: &Path, lattice: &ConfigLattice) -> Option<InitialPolicy> {
+    let mut file = fs::File::open(path).ok()?;
+    let mut buf = Vec::new();
+    file.read_to_end(&mut buf).ok()?;
+    let mut at = 0usize;
+    let take = |buf: &[u8], at: &mut usize, n: usize| -> Option<Vec<u8>> {
+        if *at + n > buf.len() {
+            return None;
+        }
+        let out = buf[*at..*at + n].to_vec();
+        *at += n;
+        Some(out)
+    };
+    if take(&buf, &mut at, 8)? != MAGIC {
+        return None;
+    }
+    let read_u64 = |buf: &[u8], at: &mut usize| -> Option<u64> {
+        take(buf, at, 8).map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    };
+    let read_f64 = |buf: &[u8], at: &mut usize| -> Option<f64> {
+        take(buf, at, 8).map(|b| f64::from_le_bytes(b.try_into().expect("8 bytes")))
+    };
+    let states = read_u64(&buf, &mut at)? as usize;
+    let actions = read_u64(&buf, &mut at)? as usize;
+    if states != lattice.num_states() || actions != Action::COUNT {
+        return None;
+    }
+    let r_squared = read_f64(&buf, &mut at)?;
+    let rmse = read_f64(&buf, &mut at)?;
+    let fit_samples = read_u64(&buf, &mut at)? as usize;
+    let samples = read_u64(&buf, &mut at)? as usize;
+    let passes = read_u64(&buf, &mut at)? as usize;
+    let mut perf_ms = Vec::with_capacity(states);
+    for _ in 0..states {
+        let b = take(&buf, &mut at, 4)?;
+        perf_ms.push(f32::from_le_bytes(b.try_into().expect("4 bytes")));
+    }
+    let mut qtable = QTable::new(states, actions);
+    for s in 0..states {
+        for a in 0..actions {
+            let b = take(&buf, &mut at, 4)?;
+            qtable.set(s, a, f32::from_le_bytes(b.try_into().expect("4 bytes")) as f64);
+        }
+    }
+    if at != buf.len() {
+        return None;
+    }
+    Some(InitialPolicy {
+        qtable,
+        perf_ms,
+        fit: FitQuality { r_squared, rmse, samples: fit_samples },
+        samples,
+        passes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rac::{train_initial_policy, OfflineSettings, SlaReward};
+
+    fn tiny_policy(lattice: &ConfigLattice) -> InitialPolicy {
+        train_initial_policy(lattice, SlaReward::new(1_000.0), OfflineSettings::default(), |c| {
+            100.0 + c.max_clients() as f64 * 0.3
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip() {
+        let dir = std::env::temp_dir().join(format!("rac-cache-test-{}", std::process::id()));
+        let path = dir.join("p.bin");
+        let lattice = ConfigLattice::new(3);
+        let policy = tiny_policy(&lattice);
+        store_policy(&path, &policy).unwrap();
+        let loaded = load_policy(&path, &lattice).expect("cache hit");
+        assert_eq!(loaded.samples, policy.samples);
+        assert_eq!(loaded.passes, policy.passes);
+        assert_eq!(loaded.perf_ms, policy.perf_ms);
+        for s in [0usize, 17, lattice.num_states() - 1] {
+            for a in 0..Action::COUNT {
+                assert!((loaded.qtable.get(s, a) - policy.qtable.get(s, a)).abs() < 1e-6);
+            }
+        }
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn lattice_mismatch_misses() {
+        let dir = std::env::temp_dir().join(format!("rac-cache-test2-{}", std::process::id()));
+        let path = dir.join("p.bin");
+        let small = ConfigLattice::new(3);
+        store_policy(&path, &tiny_policy(&small)).unwrap();
+        let big = ConfigLattice::new(4);
+        assert!(load_policy(&path, &big).is_none());
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn missing_and_corrupt_files_miss() {
+        let lattice = ConfigLattice::new(3);
+        assert!(load_policy(Path::new("/nonexistent/rac.bin"), &lattice).is_none());
+        let dir = std::env::temp_dir().join(format!("rac-cache-test3-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("junk.bin");
+        fs::write(&path, b"not a policy").unwrap();
+        assert!(load_policy(&path, &lattice).is_none());
+        let _ = fs::remove_dir_all(dir);
+    }
+}

@@ -1,0 +1,164 @@
+//! The reconfiguration action set: per-parameter increase / decrease /
+//! keep.
+
+use websim::Param;
+
+/// A reconfiguration action (Section 3.2): keep everything, or move one
+/// parameter one lattice step up or down.
+///
+/// Actions are densely numbered `0 ..= 16`: action 0 is `Keep`, action
+/// `1 + 2·p` increases parameter `p`, action `2 + 2·p` decreases it.
+///
+/// # Example
+///
+/// ```
+/// use rac::Action;
+/// use websim::Param;
+///
+/// assert_eq!(Action::COUNT, 17);
+/// assert_eq!(Action::from_index(0), Action::Keep);
+/// let inc = Action::increase(Param::MaxClients);
+/// assert_eq!(Action::from_index(inc.index()), inc);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Leave the configuration unchanged.
+    Keep,
+    /// Move one parameter one lattice step up.
+    Increase(Param),
+    /// Move one parameter one lattice step down.
+    Decrease(Param),
+}
+
+impl Action {
+    /// Total number of actions (`2 × 8 + 1`).
+    pub const COUNT: usize = 1 + 2 * 8;
+
+    /// The increase action for `p`.
+    pub fn increase(p: Param) -> Action {
+        Action::Increase(p)
+    }
+
+    /// The decrease action for `p`.
+    pub fn decrease(p: Param) -> Action {
+        Action::Decrease(p)
+    }
+
+    /// Dense index in `0..17`.
+    pub fn index(self) -> usize {
+        match self {
+            Action::Keep => 0,
+            Action::Increase(p) => 1 + 2 * p.index(),
+            Action::Decrease(p) => 2 + 2 * p.index(),
+        }
+    }
+
+    /// The action at a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= Action::COUNT`.
+    pub fn from_index(index: usize) -> Action {
+        assert!(index < Action::COUNT, "action index {index} out of range");
+        if index == 0 {
+            Action::Keep
+        } else {
+            let p = Param::ALL[(index - 1) / 2];
+            if (index - 1).is_multiple_of(2) {
+                Action::Increase(p)
+            } else {
+                Action::Decrease(p)
+            }
+        }
+    }
+
+    /// All actions in index order.
+    pub fn all() -> impl Iterator<Item = Action> {
+        (0..Action::COUNT).map(Action::from_index)
+    }
+
+    /// Applies the action to lattice coordinates, clamping at the
+    /// boundaries (an increase at the top edge keeps the state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coords` does not have 8 entries or `levels` is zero.
+    pub fn apply(self, coords: &mut [usize], levels: usize) {
+        assert_eq!(coords.len(), 8, "expected 8 coordinates");
+        assert!(levels > 0, "levels must be positive");
+        match self {
+            Action::Keep => {}
+            Action::Increase(p) => {
+                let c = &mut coords[p.index()];
+                *c = (*c + 1).min(levels - 1);
+            }
+            Action::Decrease(p) => {
+                let c = &mut coords[p.index()];
+                *c = c.saturating_sub(1);
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Action {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Action::Keep => write!(f, "keep"),
+            Action::Increase(p) => write!(f, "increase {p}"),
+            Action::Decrease(p) => write!(f, "decrease {p}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips_for_all() {
+        for i in 0..Action::COUNT {
+            assert_eq!(Action::from_index(i).index(), i);
+        }
+        assert_eq!(Action::all().count(), 17);
+    }
+
+    #[test]
+    fn apply_moves_one_coordinate() {
+        let mut coords = [2usize; 8];
+        Action::increase(Param::MaxThreads).apply(&mut coords, 5);
+        assert_eq!(coords[Param::MaxThreads.index()], 3);
+        assert!(coords.iter().enumerate().all(|(i, &c)| i == Param::MaxThreads.index() || c == 2));
+        Action::decrease(Param::MaxThreads).apply(&mut coords, 5);
+        assert_eq!(coords[Param::MaxThreads.index()], 2);
+    }
+
+    #[test]
+    fn apply_clamps_at_boundaries() {
+        let mut top = [4usize; 8];
+        Action::increase(Param::MaxClients).apply(&mut top, 5);
+        assert_eq!(top[Param::MaxClients.index()], 4);
+        let mut bottom = [0usize; 8];
+        Action::decrease(Param::MaxClients).apply(&mut bottom, 5);
+        assert_eq!(bottom[Param::MaxClients.index()], 0);
+    }
+
+    #[test]
+    fn keep_is_identity() {
+        let mut coords = [1, 2, 3, 4, 0, 1, 2, 3];
+        let before = coords;
+        Action::Keep.apply(&mut coords, 5);
+        assert_eq!(coords, before);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Action::Keep.to_string(), "keep");
+        assert_eq!(Action::increase(Param::MaxClients).to_string(), "increase MaxClients");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_index_panics() {
+        Action::from_index(17);
+    }
+}

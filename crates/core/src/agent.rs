@@ -1,0 +1,524 @@
+//! The RAC agent (Sections 3–4, Algorithm 3) and the `Tuner` interface.
+
+use std::collections::{HashMap, VecDeque};
+
+use rl::{batch_value_sweep, Environment, ExperienceLog, QLearning, QTable, Transition};
+use simkernel::Pcg64;
+use websim::{PerfSample, ServerConfig};
+
+use crate::action::Action;
+use crate::context::{PolicyLibrary, ViolationDetector};
+use crate::init::InitialPolicy;
+use crate::mdp::ConfigMdp;
+use crate::param::ConfigLattice;
+use crate::reward::SlaReward;
+
+/// Anything that can drive the configuration of a running web system:
+/// the RAC agent and the baselines it is compared against.
+///
+/// The experiment runner calls [`next_config`](Tuner::next_config) once
+/// per measurement interval with the performance observed under the
+/// previously returned configuration (the first call observes the
+/// system's starting configuration, [`ServerConfig::default`]).
+pub trait Tuner {
+    /// Short name used in figure legends.
+    fn name(&self) -> &str;
+    /// Decides the configuration for the next interval.
+    fn next_config(&mut self, observed: &PerfSample) -> ServerConfig;
+}
+
+/// Hyper-parameters of the online RAC agent.
+///
+/// Defaults follow the paper: α = 0.1, γ = 0.9, online ε = 0.05,
+/// SLA-referenced reward, detector n = 10 / v_thr = 0.3 / s_thr = 5.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RacSettings {
+    /// Grid points per parameter in the online lattice.
+    pub online_levels: usize,
+    /// SLA reference response time (ms).
+    pub sla_ms: f64,
+    /// TD learning rate α.
+    pub alpha: f64,
+    /// Discount rate γ.
+    pub gamma: f64,
+    /// Online exploration rate ε.
+    pub epsilon: f64,
+    /// Guard band (in reward units) for exploration: a random action is
+    /// only taken among actions whose Q-value is within this margin of
+    /// the best one, so a single exploratory step cannot walk into a
+    /// configuration the value function already knows to be
+    /// catastrophic. The paper's finer online granularity made random
+    /// steps inherently small; on a coarse lattice the guard plays that
+    /// role. `f64::INFINITY` disables guarding (classic ε-greedy).
+    pub exploration_guard: f64,
+    /// Convergence threshold θ for each interval's batch retraining.
+    pub batch_theta: f64,
+    /// Cap on batch-retraining sweep passes per interval.
+    pub batch_passes: usize,
+    /// Whether online learning (measurement feedback + retraining) is
+    /// enabled; disabling reproduces the "w/o online learning" agent of
+    /// Figure 6, which follows its initial policy greedily.
+    pub online_learning: bool,
+    /// RNG seed for exploration.
+    pub seed: u64,
+}
+
+impl Default for RacSettings {
+    fn default() -> Self {
+        RacSettings {
+            online_levels: 4,
+            sla_ms: 1_000.0,
+            alpha: 0.1,
+            gamma: 0.9,
+            epsilon: 0.05,
+            exploration_guard: 1.5,
+            batch_theta: 1e-3,
+            batch_passes: 6,
+            online_learning: true,
+            seed: 7,
+        }
+    }
+}
+
+/// The RAC auto-configuration agent: performance monitor input, RL-based
+/// decision maker, configuration controller output.
+///
+/// # Example
+///
+/// ```
+/// use rac::{RacAgent, RacSettings, Tuner};
+/// use websim::PerfSample;
+///
+/// let mut agent = RacAgent::new(RacSettings::default());
+/// let observed = PerfSample::from_parts(vec![800.0; 10], 0, 300.0);
+/// let next = agent.next_config(&observed);
+/// println!("reconfigure to: {next}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct RacAgent {
+    settings: RacSettings,
+    lattice: ConfigLattice,
+    mdp: ConfigMdp,
+    qtable: QTable,
+    learner: QLearning,
+    rng: Pcg64,
+    current_state: usize,
+    last_action: usize,
+    detector: ViolationDetector,
+    library: Option<PolicyLibrary>,
+    experience: ExperienceLog,
+    iterations: u64,
+    switches: u64,
+    /// Base predictions of the active initial policy (ms per state).
+    predicted: Vec<f32>,
+    /// States measured in the current context, overriding predictions.
+    measured: HashMap<usize, f64>,
+    /// EWMA multiplicative correction of `predicted` toward observed
+    /// reality: offline training cannot anticipate the absolute level of
+    /// every live context (e.g. session-store steady state), so the
+    /// whole predicted map is rescaled as evidence accumulates — the
+    /// paper's "interactions ... calibrate the mapping from
+    /// configuration to performance".
+    calibration: f64,
+    /// Recent `(state, response_ms)` samples; after a policy switch the
+    /// violation streak is replayed as measurements of the new context.
+    recent: VecDeque<(usize, f64)>,
+}
+
+impl RacAgent {
+    /// Creates an agent with **no** initial policy (the "w/o policy
+    /// initialization" configuration of Figure 7): Q-table and
+    /// performance map start empty and everything must be learned
+    /// online.
+    pub fn new(settings: RacSettings) -> Self {
+        let lattice = ConfigLattice::new(settings.online_levels);
+        let reward = SlaReward::new(settings.sla_ms);
+        let mdp = ConfigMdp::new(&lattice, reward);
+        let qtable = QTable::new(lattice.num_states(), Action::COUNT);
+        Self::assemble(settings, lattice, mdp, qtable, None)
+    }
+
+    /// Creates an agent bootstrapped from a single offline-trained
+    /// policy (the "static initial policy" agent of Figure 9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the policy's lattice size does not match
+    /// `settings.online_levels`.
+    pub fn with_initial_policy(settings: RacSettings, policy: &InitialPolicy) -> Self {
+        let lattice = ConfigLattice::new(settings.online_levels);
+        let reward = SlaReward::new(settings.sla_ms);
+        let mut mdp = ConfigMdp::new(&lattice, reward);
+        assert_eq!(
+            policy.perf_ms.len(),
+            lattice.num_states(),
+            "initial policy trained on a different lattice"
+        );
+        mdp.set_perf_map(policy.perf_ms.clone());
+        let mut qtable = QTable::new(lattice.num_states(), Action::COUNT);
+        qtable.copy_from(&policy.qtable);
+        Self::assemble(settings, lattice, mdp, qtable, None)
+    }
+
+    /// Creates an agent with a library of per-context policies and
+    /// adaptive switching (the full RAC agent of Figures 5 and 10).
+    ///
+    /// The agent starts from the first library entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the library is empty or its policies do not match the
+    /// lattice.
+    pub fn with_policy_library(settings: RacSettings, library: PolicyLibrary) -> Self {
+        assert!(!library.is_empty(), "policy library must not be empty");
+        let first = library.iter().next().expect("non-empty").1.clone();
+        let mut agent = Self::with_initial_policy(settings, &first);
+        agent.library = Some(library);
+        agent
+    }
+
+    fn assemble(
+        settings: RacSettings,
+        lattice: ConfigLattice,
+        mdp: ConfigMdp,
+        qtable: QTable,
+        library: Option<PolicyLibrary>,
+    ) -> Self {
+        let learner = QLearning::new(settings.alpha, settings.gamma);
+        let rng = Pcg64::seed_from_u64(settings.seed);
+        let current_state = lattice.state_of(&ServerConfig::default());
+        let predicted = mdp.perf_map().to_vec();
+        RacAgent {
+            settings,
+            lattice,
+            mdp,
+            qtable,
+            learner,
+            rng,
+            current_state,
+            last_action: Action::Keep.index(),
+            detector: ViolationDetector::paper_defaults(),
+            library,
+            experience: ExperienceLog::new(1024),
+            iterations: 0,
+            switches: 0,
+            predicted,
+            measured: HashMap::new(),
+            calibration: 1.0,
+            recent: VecDeque::with_capacity(8),
+        }
+    }
+
+    /// The configuration the agent believes the system is running.
+    pub fn current_config(&self) -> ServerConfig {
+        self.lattice.config_at(self.current_state)
+    }
+
+    /// Number of decision iterations so far.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Number of policy switches performed (adaptive agents only).
+    pub fn policy_switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// The observed transitions so far (oldest first, bounded).
+    pub fn experience(&self) -> &ExperienceLog {
+        &self.experience
+    }
+
+    fn maybe_switch_policy(&mut self, measured_ms: f64) {
+        let Some(library) = &self.library else {
+            return;
+        };
+        if let Some(best) = library.best_match(self.current_state, measured_ms) {
+            self.qtable.copy_from(&best.qtable);
+            self.predicted = best.perf_ms.clone();
+            self.calibration = 1.0;
+            // Measurements from before the change no longer describe the
+            // system; the violation streak that triggered the switch does.
+            self.measured.clear();
+            for &(state, rt) in &self.recent {
+                self.measured.insert(state, rt);
+            }
+            self.switches += 1;
+        }
+    }
+
+    /// Rebuilds the MDP's performance map: measured values where
+    /// available, calibrated predictions elsewhere.
+    fn refresh_perf_map(&mut self) {
+        let calib = self.calibration;
+        let mut perf: Vec<f32> =
+            self.predicted.iter().map(|&p| (p as f64 * calib) as f32).collect();
+        for (&s, &rt) in &self.measured {
+            perf[s] = rt as f32;
+        }
+        self.mdp.set_perf_map(perf);
+    }
+
+    /// Current multiplicative calibration of the predicted landscape
+    /// (diagnostics; 1.0 means predictions are taken at face value).
+    pub fn calibration(&self) -> f64 {
+        self.calibration
+    }
+
+    /// ε-greedy with a guard band: exploration draws uniformly among
+    /// actions whose Q-value is within `exploration_guard` of the best,
+    /// so random steps never enter regions the table already values as
+    /// disastrous.
+    fn choose_action(&mut self, s: usize) -> usize {
+        let epsilon = if self.settings.online_learning { self.settings.epsilon } else { 0.0 };
+        let best = self.qtable.best_action(s);
+        if epsilon <= 0.0 || !self.rng.chance(epsilon) {
+            return best;
+        }
+        let floor = self.qtable.get(s, best) - self.settings.exploration_guard;
+        let candidates: Vec<usize> =
+            (0..self.qtable.actions()).filter(|&a| self.qtable.get(s, a) >= floor).collect();
+        if candidates.is_empty() {
+            best
+        } else {
+            candidates[self.rng.below(candidates.len() as u64) as usize]
+        }
+    }
+}
+
+impl Tuner for RacAgent {
+    fn name(&self) -> &str {
+        match (&self.library, self.settings.online_learning) {
+            (Some(_), _) => "RAC (adaptive init)",
+            (None, true) => "RAC",
+            (None, false) => "RAC (w/o online learning)",
+        }
+    }
+
+    /// One iteration of Algorithm 3: record the measurement for the
+    /// current configuration, detect context changes (switching initial
+    /// policies if a library is available), retrain the Q-table in batch,
+    /// and pick the next action ε-greedily.
+    fn next_config(&mut self, observed: &PerfSample) -> ServerConfig {
+        self.iterations += 1;
+        let measured = observed.mean_response_ms;
+
+        if self.settings.online_learning {
+            if measured.is_finite() && measured > 0.0 {
+                // Recalibrate the predicted level when this state's value
+                // was still a prediction (first visit in this context)
+                // AND the error indicates a level mismatch rather than
+                // local noise — small errors are handled precisely by
+                // the measured-value layer, and folding them into the
+                // global factor would churn the whole landscape.
+                let base = self.predicted[self.current_state] as f64;
+                if !self.measured.contains_key(&self.current_state) && base > 0.0 {
+                    let target = measured / (base * self.calibration);
+                    if !(0.5..=2.0).contains(&target) {
+                        let corrected = self.calibration * target;
+                        self.calibration =
+                            (0.7 * self.calibration + 0.3 * corrected).clamp(0.1, 20.0);
+                    }
+                }
+                // Update the performance knowledge for the current state,
+                // keeping older information about every other state.
+                self.measured.insert(self.current_state, measured);
+                self.recent.push_back((self.current_state, measured));
+                if self.recent.len() > self.detector.s_thr() {
+                    self.recent.pop_front();
+                }
+            }
+
+            // Context-change detection and adaptive policy switching.
+            // The replacement policy is chosen against the violation
+            // streak's mean, not one (possibly transient) sample.
+            if self.detector.observe(measured) {
+                let estimate = self.detector.last_streak_mean();
+                let estimate = if estimate.is_finite() { estimate } else { measured };
+                self.maybe_switch_policy(estimate);
+            }
+
+            // Batch retraining over measured + calibrated-predicted
+            // performance.
+            self.refresh_perf_map();
+            batch_value_sweep(
+                &self.mdp,
+                &mut self.qtable,
+                &self.learner,
+                self.settings.batch_theta,
+                self.settings.batch_passes,
+            );
+        }
+
+        // Guarded ε-greedy action selection from the (re)trained table.
+        let action = self.choose_action(self.current_state);
+        let next_state = self.mdp.transition(self.current_state, action);
+        self.experience.record(Transition {
+            state: self.current_state,
+            action,
+            reward: self.mdp.sla_reward().of_response_ms(measured),
+            next_state,
+        });
+        self.last_action = action;
+        self.current_state = next_state;
+        self.lattice.config_at(next_state)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::SystemContext;
+    use crate::init::{train_initial_policy, OfflineSettings};
+    use tpcw::Mix;
+    use vmstack::ResourceLevel;
+
+    fn sample(rt_ms: f64) -> PerfSample {
+        PerfSample::from_parts(vec![rt_ms; 20], 0, 300.0)
+    }
+
+    fn settings() -> RacSettings {
+        RacSettings { online_levels: 3, seed: 11, ..RacSettings::default() }
+    }
+
+    /// A synthetic configuration→response-time landscape: a bowl over
+    /// MaxClients and KeepAlive.
+    fn landscape(cfg: &ServerConfig) -> f64 {
+        let m = cfg.max_clients() as f64;
+        let k = cfg.keepalive_timeout_secs() as f64;
+        150.0 + 0.003 * (m - 600.0).powi(2) + 6.0 * (k - 11.0).powi(2)
+    }
+
+    fn drive(agent: &mut RacAgent, iterations: usize) -> Vec<f64> {
+        let mut rts = Vec::new();
+        let mut cfg = ServerConfig::default();
+        for _ in 0..iterations {
+            let rt = landscape(&cfg);
+            rts.push(rt);
+            cfg = agent.next_config(&sample(rt));
+        }
+        rts
+    }
+
+    #[test]
+    fn uninitialized_agent_starts_at_default() {
+        let agent = RacAgent::new(settings());
+        let cfg = agent.current_config();
+        // Nearest lattice point to the Table-1 default.
+        assert_eq!(agent.lattice.state_of(&ServerConfig::default()), agent.current_state);
+        assert!(cfg.max_clients() <= 600);
+    }
+
+    #[test]
+    fn agent_improves_on_synthetic_landscape() {
+        let mut agent = RacAgent::new(settings());
+        let rts = drive(&mut agent, 120);
+        let early: f64 = rts[..10].iter().sum::<f64>() / 10.0;
+        let late: f64 = rts[rts.len() - 10..].iter().sum::<f64>() / 10.0;
+        assert!(late < early, "no improvement: early {early:.0} late {late:.0}");
+        assert_eq!(agent.iterations(), 120);
+    }
+
+    #[test]
+    fn initialized_agent_converges_fast() {
+        let lattice = ConfigLattice::new(3);
+        let policy = train_initial_policy(
+            &lattice,
+            SlaReward::new(1_000.0),
+            OfflineSettings::default(),
+            landscape,
+        )
+        .unwrap();
+        let mut agent = RacAgent::with_initial_policy(settings(), &policy);
+        let rts = drive(&mut agent, 25);
+        // With a good initial policy the agent reaches the bowl floor in
+        // well under 25 iterations (paper's headline claim).
+        let best = rts.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(
+            rts[rts.len() - 1] < rts[0] || best < rts[0] * 0.6,
+            "initialized agent failed to improve quickly: {rts:?}"
+        );
+    }
+
+    #[test]
+    fn without_online_learning_is_greedy_and_static_knowledge() {
+        let lattice = ConfigLattice::new(3);
+        let policy = train_initial_policy(
+            &lattice,
+            SlaReward::new(1_000.0),
+            OfflineSettings::default(),
+            landscape,
+        )
+        .unwrap();
+        let s = RacSettings { online_learning: false, ..settings() };
+        let mut a = RacAgent::with_initial_policy(s.clone(), &policy);
+        let mut b = RacAgent::with_initial_policy(s, &policy);
+        // Identical observations → identical (greedy, deterministic) paths.
+        for i in 0..20 {
+            let rt = 100.0 + i as f64;
+            assert_eq!(a.next_config(&sample(rt)), b.next_config(&sample(rt)));
+        }
+        assert_eq!(a.name(), "RAC (w/o online learning)");
+    }
+
+    #[test]
+    fn library_agent_switches_on_context_change() {
+        let lattice = ConfigLattice::new(3);
+        let reward = SlaReward::new(1_000.0);
+        let fast = train_initial_policy(&lattice, reward, OfflineSettings::default(), |c| {
+            landscape(c)
+        })
+        .unwrap();
+        let slow = train_initial_policy(&lattice, reward, OfflineSettings::default(), |c| {
+            landscape(c) * 8.0
+        })
+        .unwrap();
+        let mut lib = PolicyLibrary::new();
+        lib.insert(SystemContext::new(Mix::Shopping, ResourceLevel::Level1), fast);
+        lib.insert(SystemContext::new(Mix::Ordering, ResourceLevel::Level3), slow);
+
+        let mut agent = RacAgent::with_policy_library(settings(), lib);
+        assert_eq!(agent.name(), "RAC (adaptive init)");
+        // Steady fast context first…
+        for _ in 0..12 {
+            agent.next_config(&sample(150.0));
+        }
+        assert_eq!(agent.policy_switches(), 0);
+        // …then an abrupt 8× degradation sustained long enough.
+        for _ in 0..8 {
+            agent.next_config(&sample(1_600.0));
+        }
+        assert!(agent.policy_switches() >= 1, "no policy switch detected");
+    }
+
+    #[test]
+    fn experience_is_recorded() {
+        let mut agent = RacAgent::new(settings());
+        agent.next_config(&sample(500.0));
+        agent.next_config(&sample(400.0));
+        assert_eq!(agent.experience().len(), 2);
+        let last = agent.experience().last().unwrap();
+        assert!(last.reward > 0.0, "400ms under a 1000ms SLA earns positive reward");
+    }
+
+    #[test]
+    #[should_panic(expected = "different lattice")]
+    fn lattice_mismatch_panics() {
+        let lattice = ConfigLattice::new(4);
+        let policy = train_initial_policy(
+            &lattice,
+            SlaReward::new(1_000.0),
+            OfflineSettings::default(),
+            |_| 100.0,
+        )
+        .unwrap();
+        // settings() uses 3 levels; the policy was trained on 4.
+        RacAgent::with_initial_policy(settings(), &policy);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_library_panics() {
+        RacAgent::with_policy_library(settings(), PolicyLibrary::new());
+    }
+}

@@ -1,0 +1,344 @@
+//! System contexts, context-change detection, and the policy library
+//! (Section 4.3).
+
+use simkernel::stats::SlidingWindow;
+use tpcw::Mix;
+use vmstack::ResourceLevel;
+
+use crate::init::InitialPolicy;
+
+/// A *system context*: the combination of traffic mix and VM resource
+/// setting the web system currently runs under.
+///
+/// # Example
+///
+/// ```
+/// use rac::{paper_contexts, SystemContext};
+/// use tpcw::Mix;
+/// use vmstack::ResourceLevel;
+///
+/// let contexts = paper_contexts();
+/// assert_eq!(contexts.len(), 6);
+/// assert_eq!(contexts[0], SystemContext::new(Mix::Shopping, ResourceLevel::Level1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SystemContext {
+    /// TPC-W traffic mix.
+    pub mix: Mix,
+    /// App/db VM resource level.
+    pub level: ResourceLevel,
+}
+
+impl SystemContext {
+    /// Creates a context.
+    pub fn new(mix: Mix, level: ResourceLevel) -> Self {
+        SystemContext { mix, level }
+    }
+}
+
+impl std::fmt::Display for SystemContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} @ {}", self.mix, self.level)
+    }
+}
+
+/// The six contexts of Table 2.
+pub fn paper_contexts() -> [SystemContext; 6] {
+    [
+        SystemContext::new(Mix::Shopping, ResourceLevel::Level1), // Context-1
+        SystemContext::new(Mix::Ordering, ResourceLevel::Level1), // Context-2
+        SystemContext::new(Mix::Ordering, ResourceLevel::Level3), // Context-3
+        SystemContext::new(Mix::Shopping, ResourceLevel::Level2), // Context-4
+        SystemContext::new(Mix::Ordering, ResourceLevel::Level2), // Context-5
+        SystemContext::new(Mix::Browsing, ResourceLevel::Level1), // Context-6
+    ]
+}
+
+/// Detects context changes from the reward/response-time stream: a
+/// *violation* is a sample deviating from the recent average by more
+/// than `v_thr`; `s_thr` consecutive violations signal a context change
+/// (Section 4.3; the paper uses n = 10, v_thr = 0.3, s_thr = 5).
+///
+/// # Example
+///
+/// ```
+/// use rac::ViolationDetector;
+///
+/// let mut d = ViolationDetector::paper_defaults();
+/// for _ in 0..10 {
+///     assert!(!d.observe(100.0)); // steady state
+/// }
+/// let mut detected = false;
+/// for _ in 0..5 {
+///     detected = d.observe(500.0); // abrupt shift
+/// }
+/// assert!(detected);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViolationDetector {
+    window: SlidingWindow,
+    v_thr: f64,
+    s_thr: usize,
+    consecutive: usize,
+    streak_sum: f64,
+    streak_count: usize,
+    last_streak_mean: f64,
+}
+
+impl ViolationDetector {
+    /// Creates a detector with window size `n`, violation threshold
+    /// `v_thr` and consecutive-violation threshold `s_thr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` or `s_thr` is zero, or `v_thr` is not positive.
+    pub fn new(n: usize, v_thr: f64, s_thr: usize) -> Self {
+        assert!(s_thr > 0, "s_thr must be positive");
+        assert!(v_thr > 0.0, "v_thr must be positive");
+        ViolationDetector {
+            window: SlidingWindow::new(n),
+            v_thr,
+            s_thr,
+            consecutive: 0,
+            streak_sum: 0.0,
+            streak_count: 0,
+            last_streak_mean: f64::NAN,
+        }
+    }
+
+    /// The paper's empirical settings: n = 10, v_thr = 0.3, s_thr = 5.
+    pub fn paper_defaults() -> Self {
+        ViolationDetector::new(10, 0.3, 5)
+    }
+
+    /// The consecutive-violation threshold.
+    pub fn s_thr(&self) -> usize {
+        self.s_thr
+    }
+
+    /// Feeds one response-time observation. Returns `true` when a
+    /// context change is detected (the detector then resets).
+    pub fn observe(&mut self, response_ms: f64) -> bool {
+        let avg = self.window.mean();
+        let violation = match avg {
+            Some(avg) if avg > 0.0 && response_ms.is_finite() => {
+                (response_ms - avg).abs() / avg >= self.v_thr
+            }
+            Some(_) => response_ms.is_finite(),
+            // No history yet: nothing to deviate from.
+            None => false,
+        };
+        if violation {
+            self.consecutive += 1;
+            if response_ms.is_finite() {
+                self.streak_sum += response_ms;
+                self.streak_count += 1;
+            }
+        } else {
+            self.consecutive = 0;
+            self.streak_sum = 0.0;
+            self.streak_count = 0;
+            // Only non-violating samples update the baseline, so a
+            // persistent shift keeps registering until the switch.
+            if response_ms.is_finite() {
+                self.window.push(response_ms);
+            }
+        }
+        if self.consecutive >= self.s_thr {
+            self.last_streak_mean = if self.streak_count > 0 {
+                self.streak_sum / self.streak_count as f64
+            } else {
+                f64::NAN
+            };
+            self.reset();
+            return true;
+        }
+        false
+    }
+
+    /// The mean of the violation streak that triggered the most recent
+    /// detection — a robust estimate of the new context's performance
+    /// level, used to pick the replacement policy (one transient sample
+    /// would be a poor guide).
+    pub fn last_streak_mean(&self) -> f64 {
+        self.last_streak_mean
+    }
+
+    /// Clears history (called after a policy switch).
+    pub fn reset(&mut self) {
+        self.window.clear();
+        self.consecutive = 0;
+        self.streak_sum = 0.0;
+        self.streak_count = 0;
+    }
+}
+
+/// A library of per-context initial policies, produced by offline
+/// training (Section 4.3). On a detected context change, the agent
+/// switches to the "most suitable" policy — the one whose predicted
+/// performance at the current configuration best matches what is being
+/// measured.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyLibrary {
+    entries: Vec<(SystemContext, InitialPolicy)>,
+}
+
+impl PolicyLibrary {
+    /// Creates an empty library.
+    pub fn new() -> Self {
+        PolicyLibrary { entries: Vec::new() }
+    }
+
+    /// Adds a context's policy.
+    pub fn insert(&mut self, context: SystemContext, policy: InitialPolicy) {
+        self.entries.push((context, policy));
+    }
+
+    /// Number of stored policies.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when the library has no policies.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The policy trained for an exact context, if present.
+    pub fn for_context(&self, context: SystemContext) -> Option<&InitialPolicy> {
+        self.entries.iter().find(|(c, _)| *c == context).map(|(_, p)| p)
+    }
+
+    /// The "most suitable" policy given the currently measured response
+    /// time at lattice state `state`: the entry whose prediction at that
+    /// state is closest (relative error) to the measurement.
+    pub fn best_match(&self, state: usize, measured_ms: f64) -> Option<&InitialPolicy> {
+        self.entries
+            .iter()
+            .min_by(|(_, a), (_, b)| {
+                let da = (a.predicted_perf(state) - measured_ms).abs();
+                let db = (b.predicted_perf(state) - measured_ms).abs();
+                da.total_cmp(&db)
+            })
+            .map(|(_, p)| p)
+    }
+
+    /// Iterates over `(context, policy)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&SystemContext, &InitialPolicy)> {
+        self.entries.iter().map(|(c, p)| (c, p))
+    }
+}
+
+impl Default for PolicyLibrary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init::{train_initial_policy, OfflineSettings};
+    use crate::param::ConfigLattice;
+    use crate::reward::SlaReward;
+
+    #[test]
+    fn paper_contexts_match_table_2() {
+        let c = paper_contexts();
+        assert_eq!(c[1], SystemContext::new(Mix::Ordering, ResourceLevel::Level1));
+        assert_eq!(c[2], SystemContext::new(Mix::Ordering, ResourceLevel::Level3));
+        assert_eq!(c[5], SystemContext::new(Mix::Browsing, ResourceLevel::Level1));
+        assert_eq!(c[0].to_string(), "shopping @ Level-1");
+    }
+
+    #[test]
+    fn detector_ignores_steady_state() {
+        let mut d = ViolationDetector::paper_defaults();
+        for i in 0..100 {
+            // ±10% wiggle stays under the 30% threshold.
+            let rt = 100.0 + if i % 2 == 0 { 10.0 } else { -10.0 };
+            assert!(!d.observe(rt), "false positive at sample {i}");
+        }
+    }
+
+    #[test]
+    fn detector_fires_after_s_thr_violations() {
+        let mut d = ViolationDetector::new(10, 0.3, 5);
+        for _ in 0..10 {
+            d.observe(100.0);
+        }
+        for i in 0..4 {
+            assert!(!d.observe(200.0), "fired early at violation {i}");
+        }
+        assert!(d.observe(200.0), "must fire on the 5th consecutive violation");
+    }
+
+    #[test]
+    fn isolated_violations_do_not_fire() {
+        let mut d = ViolationDetector::new(10, 0.3, 5);
+        for _ in 0..10 {
+            d.observe(100.0);
+        }
+        for _ in 0..20 {
+            assert!(!d.observe(200.0), "isolated violation must not fire");
+            d.observe(100.0); // resets the streak
+        }
+    }
+
+    #[test]
+    fn detector_handles_infinite_samples() {
+        let mut d = ViolationDetector::new(10, 0.3, 3);
+        for _ in 0..10 {
+            d.observe(100.0);
+        }
+        assert!(!d.observe(f64::INFINITY));
+        assert!(!d.observe(f64::INFINITY));
+        // Infinite = violation? They are treated as non-violations of the
+        // *window*, but they do not reset the count either way; a real
+        // context change manifests in finite-but-shifted samples.
+        let mut fired = false;
+        for _ in 0..6 {
+            fired = d.observe(1_000.0) || fired;
+        }
+        assert!(fired);
+    }
+
+    fn tiny_policy(scale: f64) -> InitialPolicy {
+        let lattice = ConfigLattice::new(3);
+        train_initial_policy(
+            &lattice,
+            SlaReward::new(1_000.0),
+            OfflineSettings::default(),
+            |c| scale * (50.0 + c.max_clients() as f64 * 0.1),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn library_exact_and_best_match() {
+        let mut lib = PolicyLibrary::new();
+        let slow = tiny_policy(10.0);
+        let fast = tiny_policy(1.0);
+        let ctx_slow = SystemContext::new(Mix::Ordering, ResourceLevel::Level3);
+        let ctx_fast = SystemContext::new(Mix::Shopping, ResourceLevel::Level1);
+        lib.insert(ctx_slow, slow);
+        lib.insert(ctx_fast, fast);
+        assert_eq!(lib.len(), 2);
+
+        assert!(lib.for_context(ctx_slow).is_some());
+        assert!(lib.for_context(SystemContext::new(Mix::Browsing, ResourceLevel::Level2)).is_none());
+
+        // A measurement near the slow landscape matches the slow policy.
+        let state = 0;
+        let slow_pred = lib.for_context(ctx_slow).unwrap().predicted_perf(state);
+        let best = lib.best_match(state, slow_pred).unwrap();
+        assert!((best.predicted_perf(state) - slow_pred).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_library_has_no_match() {
+        let lib = PolicyLibrary::new();
+        assert!(lib.best_match(0, 100.0).is_none());
+        assert!(lib.is_empty());
+    }
+}

@@ -1,0 +1,261 @@
+//! The experiment runner: drives a tuner against the simulated
+//! three-tier system through a schedule of system contexts, recording
+//! the per-iteration series the paper's figures plot.
+
+use simkernel::SimDuration;
+use websim::{PerfSample, ServerConfig, SystemSpec, ThreeTierSystem};
+
+use crate::agent::Tuner;
+use crate::context::SystemContext;
+
+/// One phase of an experiment: a system context held for a number of
+/// measurement iterations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContextPhase {
+    /// The workload mix and VM level during this phase.
+    pub context: SystemContext,
+    /// Number of measurement intervals before the next phase.
+    pub iterations: usize,
+}
+
+impl ContextPhase {
+    /// Creates a phase.
+    pub fn new(context: SystemContext, iterations: usize) -> Self {
+        ContextPhase { context, iterations }
+    }
+}
+
+/// What happened during one measurement iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationRecord {
+    /// Zero-based iteration number across the whole experiment.
+    pub iteration: usize,
+    /// Index of the active phase.
+    pub phase: usize,
+    /// Mean response time observed during the interval (ms).
+    pub response_ms: f64,
+    /// 95th-percentile response time (ms).
+    pub p95_ms: f64,
+    /// Completed requests per second.
+    pub throughput_rps: f64,
+    /// The configuration the system ran during this interval.
+    pub config: ServerConfig,
+}
+
+/// An experiment: a base system specification, a measurement interval,
+/// and a schedule of context phases.
+///
+/// # Example
+///
+/// ```
+/// use rac::{paper_contexts, ContextPhase, Experiment, StaticDefault};
+/// use simkernel::SimDuration;
+/// use websim::SystemSpec;
+///
+/// let contexts = paper_contexts();
+/// let exp = Experiment::new(SystemSpec::default().with_clients(60))
+///     .with_interval(SimDuration::from_secs(60))
+///     .with_warmup(SimDuration::from_secs(30))
+///     .with_phase(ContextPhase::new(contexts[0], 3));
+/// let series = exp.run(&mut StaticDefault::new());
+/// assert_eq!(series.len(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    spec: SystemSpec,
+    interval: SimDuration,
+    warmup: SimDuration,
+    phases: Vec<ContextPhase>,
+}
+
+impl Experiment {
+    /// Creates an experiment with the paper's 5-minute measurement
+    /// interval, a 10-minute warm-up, and an empty schedule.
+    pub fn new(spec: SystemSpec) -> Self {
+        Experiment {
+            spec,
+            interval: SimDuration::from_secs(300),
+            warmup: SimDuration::from_secs(600),
+            phases: Vec::new(),
+        }
+    }
+
+    /// Sets the measurement interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn with_interval(mut self, interval: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "interval must be positive");
+        self.interval = interval;
+        self
+    }
+
+    /// Sets the warm-up run before the first iteration (under the
+    /// default configuration; discarded from the series).
+    pub fn with_warmup(mut self, warmup: SimDuration) -> Self {
+        self.warmup = warmup;
+        self
+    }
+
+    /// Appends a phase to the schedule.
+    pub fn with_phase(mut self, phase: ContextPhase) -> Self {
+        self.phases.push(phase);
+        self
+    }
+
+    /// Appends `iterations` of `context`.
+    pub fn then(self, context: SystemContext, iterations: usize) -> Self {
+        self.with_phase(ContextPhase::new(context, iterations))
+    }
+
+    /// The measurement interval.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// Total scheduled iterations.
+    pub fn total_iterations(&self) -> usize {
+        self.phases.iter().map(|p| p.iterations).sum()
+    }
+
+    /// Runs the tuner through the schedule and returns the series.
+    ///
+    /// The system starts at [`ServerConfig::default`]; at each iteration
+    /// the observed sample is handed to the tuner and its decision is
+    /// applied before the next interval. Context changes take effect at
+    /// phase boundaries, exactly like the paper's workload/VM switches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the schedule is empty.
+    pub fn run(&self, tuner: &mut dyn Tuner) -> Vec<IterationRecord> {
+        assert!(!self.phases.is_empty(), "experiment needs at least one phase");
+        let first = self.phases[0].context;
+        let spec = self.spec.clone().with_mix(first.mix).with_level(first.level);
+        let mut system = ThreeTierSystem::new(spec);
+        let mut config = ServerConfig::default();
+        system.set_config(config);
+        if !self.warmup.is_zero() {
+            let _ = system.run_interval(self.warmup);
+        }
+
+        let mut series = Vec::with_capacity(self.total_iterations());
+        let mut iteration = 0;
+        for (phase_idx, phase) in self.phases.iter().enumerate() {
+            system.set_workload(system.clients(), phase.context.mix);
+            system.set_resource_level(phase.context.level);
+            for _ in 0..phase.iterations {
+                let sample: PerfSample = system.run_interval(self.interval);
+                series.push(IterationRecord {
+                    iteration,
+                    phase: phase_idx,
+                    response_ms: sample.mean_response_ms,
+                    p95_ms: sample.p95_response_ms,
+                    throughput_rps: sample.throughput_rps,
+                    config,
+                });
+                let next = tuner.next_config(&sample);
+                if next != config {
+                    system.set_config(next);
+                    config = next;
+                }
+                iteration += 1;
+            }
+        }
+        series
+    }
+}
+
+/// Summary statistics over (part of) a series.
+///
+/// # Example
+///
+/// ```
+/// use rac::series_mean;
+///
+/// // (used with `IterationRecord` slices in practice)
+/// assert_eq!(series_mean(&[]), f64::INFINITY);
+/// ```
+pub fn series_mean(records: &[IterationRecord]) -> f64 {
+    let finite: Vec<f64> =
+        records.iter().map(|r| r.response_ms).filter(|rt| rt.is_finite()).collect();
+    if finite.is_empty() {
+        return f64::INFINITY;
+    }
+    finite.iter().sum::<f64>() / finite.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::StaticDefault;
+    use crate::context::paper_contexts;
+    use tpcw::Mix;
+    use vmstack::ResourceLevel;
+
+    fn quick_experiment() -> Experiment {
+        Experiment::new(SystemSpec::default().with_clients(60).with_seed(3))
+            .with_interval(SimDuration::from_secs(60))
+            .with_warmup(SimDuration::from_secs(60))
+    }
+
+    #[test]
+    fn runs_the_scheduled_iterations() {
+        let contexts = paper_contexts();
+        let exp = quick_experiment().then(contexts[0], 4).then(contexts[1], 3);
+        let series = exp.run(&mut StaticDefault::new());
+        assert_eq!(series.len(), 7);
+        assert_eq!(exp.total_iterations(), 7);
+        assert_eq!(series[3].phase, 0);
+        assert_eq!(series[4].phase, 1);
+        assert!(series.iter().all(|r| r.response_ms.is_finite()));
+        assert!((0..7).all(|i| series[i].iteration == i));
+    }
+
+    #[test]
+    fn static_default_config_never_changes() {
+        let contexts = paper_contexts();
+        let exp = quick_experiment().then(contexts[0], 3);
+        let series = exp.run(&mut StaticDefault::new());
+        assert!(series.iter().all(|r| r.config == ServerConfig::default()));
+    }
+
+    #[test]
+    fn context_change_shifts_performance() {
+        // Strong VM vs weak VM with a heavier client load.
+        let strong = SystemContext::new(Mix::Shopping, ResourceLevel::Level1);
+        let weak = SystemContext::new(Mix::Shopping, ResourceLevel::Level3);
+        let exp = Experiment::new(SystemSpec::default().with_clients(400).with_seed(5))
+            .with_interval(SimDuration::from_secs(120))
+            .with_warmup(SimDuration::from_secs(600))
+            .then(strong, 3)
+            .then(weak, 3);
+        let series = exp.run(&mut StaticDefault::new());
+        let strong_mean = series_mean(&series[..3]);
+        let weak_mean = series_mean(&series[3..]);
+        assert!(
+            weak_mean > strong_mean,
+            "Level-3 should be slower: {strong_mean:.0} vs {weak_mean:.0}"
+        );
+    }
+
+    #[test]
+    fn series_mean_skips_infinite() {
+        let r = |rt: f64| IterationRecord {
+            iteration: 0,
+            phase: 0,
+            response_ms: rt,
+            p95_ms: rt,
+            throughput_rps: 0.0,
+            config: ServerConfig::default(),
+        };
+        assert_eq!(series_mean(&[r(100.0), r(f64::INFINITY), r(300.0)]), 200.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_schedule_panics() {
+        quick_experiment().run(&mut StaticDefault::new());
+    }
+}

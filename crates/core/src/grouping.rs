@@ -1,0 +1,215 @@
+//! Parameter grouping for offline training-data collection
+//! (Section 4.1).
+//!
+//! The paper groups parameters with similar characteristics so the
+//! sampling grid is 4-dimensional instead of 8-dimensional:
+//! `{MaxClients, MaxThreads}` are both bounded by system capacity,
+//! `{KeepAlive timeout, session timeout}` by connection/session
+//! lifetimes, and the spare-pool bounds pair up naturally. Parameters in
+//! a group always take the same *relative* position in their ranges.
+
+use websim::{Param, ServerConfig};
+
+use crate::param::ConfigLattice;
+
+/// The paper's four parameter groups.
+pub const GROUPS: [[Param; 2]; 4] = [
+    [Param::MaxClients, Param::MaxThreads],
+    [Param::KeepaliveTimeout, Param::SessionTimeout],
+    [Param::MinSpareServers, Param::MinSpareThreads],
+    [Param::MaxSpareServers, Param::MaxSpareThreads],
+];
+
+/// Number of groups.
+pub const GROUP_COUNT: usize = GROUPS.len();
+
+/// The group index of a parameter.
+///
+/// # Example
+///
+/// ```
+/// use rac::grouping::{group_of, GROUPS};
+/// use websim::Param;
+///
+/// assert_eq!(group_of(Param::MaxThreads), 0);
+/// assert_eq!(GROUPS[group_of(Param::SessionTimeout)][0], Param::KeepaliveTimeout);
+/// ```
+pub fn group_of(p: Param) -> usize {
+    GROUPS
+        .iter()
+        .position(|g| g.contains(&p))
+        .expect("every parameter belongs to a group")
+}
+
+/// A coarse sampling plan: every combination of `group_levels` relative
+/// positions across the four groups, each mapped to a concrete
+/// [`ServerConfig`].
+///
+/// Returns `(normalized_group_coords, config)` pairs;
+/// `group_levels^4` entries in total.
+///
+/// # Panics
+///
+/// Panics if `group_levels < 2`.
+///
+/// # Example
+///
+/// ```
+/// use rac::grouping::sampling_plan;
+///
+/// let plan = sampling_plan(3);
+/// assert_eq!(plan.len(), 81);
+/// // First sample: everything at its range minimum.
+/// assert_eq!(plan[0].0, vec![0.0; 4]);
+/// ```
+pub fn sampling_plan(group_levels: usize) -> Vec<(Vec<f64>, ServerConfig)> {
+    assert!(group_levels >= 2, "need at least two levels per group");
+    let n = group_levels;
+    let total = n.pow(GROUP_COUNT as u32);
+    let mut plan = Vec::with_capacity(total);
+    for idx in 0..total {
+        let mut rest = idx;
+        let mut coords = [0usize; GROUP_COUNT];
+        for c in coords.iter_mut().rev() {
+            *c = rest % n;
+            rest /= n;
+        }
+        let normalized: Vec<f64> = coords.iter().map(|&c| c as f64 / (n - 1) as f64).collect();
+        let mut values = [0u32; 8];
+        for (g, t) in normalized.iter().enumerate() {
+            for p in GROUPS[g] {
+                let (lo, hi) = p.range();
+                values[p.index()] = (lo as f64 + t * (hi - lo) as f64).round() as u32;
+            }
+        }
+        let config = ServerConfig::from_values(values).expect("interpolated values in range");
+        plan.push((normalized, config));
+    }
+    plan
+}
+
+/// Projects a full lattice state onto the 4-dimensional group feature
+/// space used by the regression predictor.
+///
+/// The training data only contains configurations whose group members
+/// move together, so the *aggregation rule* decides how predictions
+/// extrapolate to mixed states:
+///
+/// * the **capacity group** (`MaxClients`/`MaxThreads`) aggregates by
+///   **minimum** — the two caps gate the same request path in series,
+///   so the binding constraint is the smaller one. (With a mean,
+///   `MaxClients = 5, maxThreads = 600` would be predicted as healthy
+///   as `MaxClients = 203, maxThreads = 402`, and the initial policy
+///   would happily walk the system into a choked corner.)
+/// * the other groups aggregate by **mean** — their members contribute
+///   independently (connection vs session lifetimes; two spare pools).
+///
+/// # Example
+///
+/// ```
+/// use rac::grouping::group_features;
+/// use rac::ConfigLattice;
+///
+/// let lattice = ConfigLattice::new(5);
+/// let f = group_features(&lattice, &[4, 0, 0, 0, 4, 0, 0, 0]);
+/// assert_eq!(f[0], 1.0); // MaxClients and MaxThreads both at max
+/// let g = group_features(&lattice, &[0, 0, 0, 0, 4, 0, 0, 0]);
+/// assert_eq!(g[0], 0.0); // the choked MaxClients binds, not the mean
+/// ```
+pub fn group_features(lattice: &ConfigLattice, coords: &[usize]) -> Vec<f64> {
+    let norm = lattice.normalized(coords);
+    GROUPS
+        .iter()
+        .enumerate()
+        .map(|(i, g)| {
+            if i == 0 {
+                g.iter().map(|p| norm[p.index()]).fold(f64::INFINITY, f64::min)
+            } else {
+                g.iter().map(|p| norm[p.index()]).sum::<f64>() / g.len() as f64
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_param_in_exactly_one_group() {
+        for p in Param::ALL {
+            let g = group_of(p);
+            let count = GROUPS.iter().filter(|grp| grp.contains(&p)).count();
+            assert_eq!(count, 1, "{p}");
+            assert!(GROUPS[g].contains(&p));
+        }
+    }
+
+    #[test]
+    fn plan_size_and_extremes() {
+        let plan = sampling_plan(3);
+        assert_eq!(plan.len(), 81);
+        let (first_coords, first_cfg) = &plan[0];
+        assert!(first_coords.iter().all(|&c| c == 0.0));
+        assert_eq!(first_cfg.get(Param::MaxClients), 5);
+        assert_eq!(first_cfg.get(Param::MaxThreads), 5);
+        let (last_coords, last_cfg) = &plan[80];
+        assert!(last_coords.iter().all(|&c| c == 1.0));
+        assert_eq!(last_cfg.get(Param::MaxClients), 600);
+        assert_eq!(last_cfg.get(Param::SessionTimeout), 35);
+    }
+
+    #[test]
+    fn grouped_params_share_relative_position() {
+        for (coords, cfg) in sampling_plan(4) {
+            for (g, grp) in GROUPS.iter().enumerate() {
+                for p in grp {
+                    let (lo, hi) = p.range();
+                    let t = (cfg.get(*p) - lo) as f64 / (hi - lo) as f64;
+                    assert!(
+                        (t - coords[g]).abs() < 0.02,
+                        "{p} at {} not at group position {}",
+                        cfg.get(*p),
+                        coords[g]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_configs_are_distinct() {
+        let plan = sampling_plan(3);
+        let set: std::collections::HashSet<_> = plan.iter().map(|(_, c)| *c).collect();
+        assert_eq!(set.len(), plan.len());
+    }
+
+    #[test]
+    fn capacity_group_aggregates_by_minimum() {
+        let lattice = ConfigLattice::new(3);
+        // MaxClients at max (1.0), MaxThreads at min (0.0): the choked
+        // thread pool binds, so the capacity feature is 0.
+        let mut coords = [0usize; 8];
+        coords[Param::MaxClients.index()] = 2;
+        let f = group_features(&lattice, &coords);
+        assert_eq!(f.len(), 4);
+        assert_eq!(f[0], 0.0);
+        assert_eq!(f[1], 0.0);
+    }
+
+    #[test]
+    fn timeout_group_aggregates_by_mean() {
+        let lattice = ConfigLattice::new(3);
+        // KeepAlive at max, SessionTimeout at min → group 1 = 0.5.
+        let mut coords = [0usize; 8];
+        coords[Param::KeepaliveTimeout.index()] = 2;
+        let f = group_features(&lattice, &coords);
+        assert!((f[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "two levels")]
+    fn tiny_plan_panics() {
+        sampling_plan(1);
+    }
+}

@@ -1,0 +1,209 @@
+//! Discretization of the eight-parameter configuration space.
+
+use rl::IndexSpace;
+use websim::{Param, ServerConfig};
+
+/// A discretized lattice over the eight Table-1 parameters.
+///
+/// Each parameter's range is split into `levels` evenly spaced points
+/// (endpoints included). A *state* of the RAC Markov decision process is
+/// a coordinate vector on this lattice; actions move one coordinate one
+/// step (Section 3.2). The paper uses fine granularity online and coarse
+/// granularity during offline training-data collection.
+///
+/// # Example
+///
+/// ```
+/// use rac::ConfigLattice;
+/// use websim::{Param, ServerConfig};
+///
+/// let lattice = ConfigLattice::new(5);
+/// assert_eq!(lattice.num_states(), 5usize.pow(8));
+///
+/// // The Table-1 default maps to a state and back to real values.
+/// let s = lattice.state_of(&ServerConfig::default());
+/// let cfg = lattice.config_at(s);
+/// assert!(cfg.get(Param::MaxClients) >= 5);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigLattice {
+    /// Grid values per parameter, in [`Param::ALL`] order.
+    grids: Vec<Vec<u32>>,
+    space: IndexSpace,
+}
+
+impl ConfigLattice {
+    /// Creates a lattice with `levels` points per parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels < 2`.
+    pub fn new(levels: usize) -> Self {
+        assert!(levels >= 2, "need at least two levels per parameter");
+        let grids: Vec<Vec<u32>> = Param::ALL
+            .iter()
+            .map(|p| {
+                let (lo, hi) = p.range();
+                (0..levels)
+                    .map(|i| {
+                        let t = i as f64 / (levels - 1) as f64;
+                        (lo as f64 + t * (hi - lo) as f64).round() as u32
+                    })
+                    .collect()
+            })
+            .collect();
+        let space = IndexSpace::new(vec![levels; Param::ALL.len()]);
+        ConfigLattice { grids, space }
+    }
+
+    /// Number of grid points per parameter.
+    pub fn levels(&self) -> usize {
+        self.grids[0].len()
+    }
+
+    /// Number of lattice states (`levels^8`).
+    pub fn num_states(&self) -> usize {
+        self.space.len()
+    }
+
+    /// The underlying index space.
+    pub fn space(&self) -> &IndexSpace {
+        &self.space
+    }
+
+    /// The real value of parameter `p` at grid position `coord`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coord` is out of range.
+    pub fn value_at(&self, p: Param, coord: usize) -> u32 {
+        self.grids[p.index()][coord]
+    }
+
+    /// The grid position of parameter `p` closest to `value`.
+    pub fn coord_of(&self, p: Param, value: u32) -> usize {
+        let grid = &self.grids[p.index()];
+        grid.iter()
+            .enumerate()
+            .min_by_key(|(_, &g)| (g as i64 - value as i64).abs())
+            .map(|(i, _)| i)
+            .expect("grids are non-empty")
+    }
+
+    /// Maps a configuration to the nearest lattice state.
+    pub fn state_of(&self, config: &ServerConfig) -> usize {
+        let coords: Vec<usize> =
+            Param::ALL.iter().map(|&p| self.coord_of(p, config.get(p))).collect();
+        self.space.encode(&coords)
+    }
+
+    /// The configuration at a lattice state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` is out of range.
+    pub fn config_at(&self, state: usize) -> ServerConfig {
+        let coords = self.space.decode(state);
+        self.config_at_coords(&coords)
+    }
+
+    /// The configuration at explicit coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are malformed.
+    pub fn config_at_coords(&self, coords: &[usize]) -> ServerConfig {
+        let mut values = [0u32; 8];
+        for (param, &c) in Param::ALL.iter().zip(coords) {
+            values[param.index()] = self.value_at(*param, c);
+        }
+        ServerConfig::from_values(values).expect("grid values are in range")
+    }
+
+    /// Normalized position (0..1) of each coordinate — the feature vector
+    /// used by the regression predictor.
+    pub fn normalized(&self, coords: &[usize]) -> Vec<f64> {
+        let n = (self.levels() - 1) as f64;
+        coords.iter().map(|&c| c as f64 / n).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn grid_spans_table_1_ranges() {
+        let l = ConfigLattice::new(5);
+        for p in Param::ALL {
+            let (lo, hi) = p.range();
+            assert_eq!(l.value_at(p, 0), lo, "{p} low endpoint");
+            assert_eq!(l.value_at(p, 4), hi, "{p} high endpoint");
+        }
+    }
+
+    #[test]
+    fn grid_is_monotone() {
+        let l = ConfigLattice::new(7);
+        for p in Param::ALL {
+            for i in 1..7 {
+                assert!(l.value_at(p, i) > l.value_at(p, i - 1), "{p} grid not increasing");
+            }
+        }
+    }
+
+    #[test]
+    fn coord_of_picks_nearest() {
+        let l = ConfigLattice::new(5);
+        // MaxClients grid: 5, 154, 302(3?), 451, 600 — 150 is closest to 154.
+        assert_eq!(l.coord_of(Param::MaxClients, 150), 1);
+        assert_eq!(l.coord_of(Param::MaxClients, 5), 0);
+        assert_eq!(l.coord_of(Param::MaxClients, 600), 4);
+    }
+
+    #[test]
+    fn state_config_round_trip() {
+        let l = ConfigLattice::new(5);
+        for state in [0usize, 1, 100, l.num_states() - 1] {
+            let cfg = l.config_at(state);
+            assert_eq!(l.state_of(&cfg), state);
+        }
+    }
+
+    #[test]
+    fn normalized_unit_range() {
+        let l = ConfigLattice::new(5);
+        let norm = l.normalized(&[0, 1, 2, 3, 4, 0, 2, 4]);
+        assert_eq!(norm[0], 0.0);
+        assert_eq!(norm[4], 1.0);
+        assert_eq!(norm[2], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "two levels")]
+    fn one_level_panics() {
+        ConfigLattice::new(1);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(levels in 2usize..6, seed: u64) {
+            let l = ConfigLattice::new(levels);
+            let state = (seed as usize) % l.num_states();
+            prop_assert_eq!(l.state_of(&l.config_at(state)), state);
+        }
+
+        #[test]
+        fn prop_configs_valid(levels in 2usize..6, seed: u64) {
+            let l = ConfigLattice::new(levels);
+            let state = (seed as usize) % l.num_states();
+            let cfg = l.config_at(state);
+            for p in Param::ALL {
+                let (lo, hi) = p.range();
+                let v = cfg.get(p);
+                prop_assert!(v >= lo && v <= hi);
+            }
+        }
+    }
+}

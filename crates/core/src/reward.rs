@@ -1,0 +1,100 @@
+//! The SLA-referenced reward function (Section 3.2).
+
+/// Maps measured response time to an immediate reward against an SLA
+/// reference: positive below the SLA, a (bounded) penalty above it.
+///
+/// The paper defines the reward from the SLA reference time and the
+/// measured response time so that "a lower response time returns a
+/// positive reward to the agent; otherwise the agent will receive a
+/// negative penalty". We normalize by the SLA so rewards are
+/// scale-free: `r = (SLA − rt) / SLA`, clamped to `[-penalty_cap, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use rac::SlaReward;
+///
+/// let reward = SlaReward::new(1_000.0);
+/// assert_eq!(reward.of_response_ms(500.0), 0.5);   // half the SLA
+/// assert_eq!(reward.of_response_ms(1_000.0), 0.0); // exactly on SLA
+/// assert!(reward.of_response_ms(4_000.0) < 0.0);   // violation
+/// assert_eq!(reward.of_response_ms(f64::INFINITY), -SlaReward::PENALTY_CAP);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlaReward {
+    sla_ms: f64,
+}
+
+impl SlaReward {
+    /// Largest magnitude of the violation penalty. Bounding it keeps
+    /// Q-values finite when an interval completes no requests at all.
+    pub const PENALTY_CAP: f64 = 5.0;
+
+    /// Creates a reward function with the given SLA reference response
+    /// time in milliseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sla_ms` is not positive and finite.
+    pub fn new(sla_ms: f64) -> Self {
+        assert!(sla_ms.is_finite() && sla_ms > 0.0, "SLA must be positive");
+        SlaReward { sla_ms }
+    }
+
+    /// The SLA reference (ms).
+    pub fn sla_ms(&self) -> f64 {
+        self.sla_ms
+    }
+
+    /// Reward for a measured mean response time (ms). Non-finite inputs
+    /// (no completed requests) earn the full penalty.
+    pub fn of_response_ms(&self, response_ms: f64) -> f64 {
+        if !response_ms.is_finite() {
+            return -Self::PENALTY_CAP;
+        }
+        ((self.sla_ms - response_ms) / self.sla_ms).clamp(-Self::PENALTY_CAP, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn reward_signs_follow_sla() {
+        let r = SlaReward::new(2_000.0);
+        assert!(r.of_response_ms(100.0) > 0.0);
+        assert_eq!(r.of_response_ms(2_000.0), 0.0);
+        assert!(r.of_response_ms(3_000.0) < 0.0);
+    }
+
+    #[test]
+    fn reward_bounded() {
+        let r = SlaReward::new(100.0);
+        assert_eq!(r.of_response_ms(0.0), 1.0);
+        assert_eq!(r.of_response_ms(1e12), -SlaReward::PENALTY_CAP);
+        assert_eq!(r.of_response_ms(f64::NAN), -SlaReward::PENALTY_CAP);
+    }
+
+    #[test]
+    #[should_panic(expected = "SLA must be positive")]
+    fn zero_sla_panics() {
+        SlaReward::new(0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_monotone_decreasing(sla in 1.0f64..1e5, a in 0.0f64..1e7, b in 0.0f64..1e7) {
+            let r = SlaReward::new(sla);
+            let (fast, slow) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(r.of_response_ms(fast) >= r.of_response_ms(slow));
+        }
+
+        #[test]
+        fn prop_in_bounds(sla in 1.0f64..1e5, rt in 0.0f64..1e9) {
+            let r = SlaReward::new(sla).of_response_ms(rt);
+            prop_assert!((-SlaReward::PENALTY_CAP..=1.0).contains(&r));
+        }
+    }
+}

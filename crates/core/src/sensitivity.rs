@@ -1,0 +1,174 @@
+//! Automatic parameter selection by sensitivity analysis.
+//!
+//! The paper selects its eight tunables by hand and names automatic
+//! selection as future work ("configurable parameters need to be
+//! selected automatically in a more efficient way"). This module
+//! implements the natural baseline: a one-at-a-time sensitivity sweep —
+//! vary each parameter across its range with everything else at the
+//! defaults, and rank parameters by how much the response time moves.
+
+use websim::{Param, ServerConfig};
+
+use crate::param::ConfigLattice;
+
+/// Sensitivity of one parameter: how strongly it moves performance when
+/// swept alone.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParamSensitivity {
+    /// The parameter.
+    pub param: Param,
+    /// Worst/best response-time ratio across the sweep (≥ 1; 1 means the
+    /// parameter is performance-irrelevant in this context).
+    pub span_ratio: f64,
+    /// The best value observed in the sweep.
+    pub best_value: u32,
+    /// Response time at the best value (ms).
+    pub best_response_ms: f64,
+    /// Response time at the worst value (ms).
+    pub worst_response_ms: f64,
+}
+
+/// Sweeps every parameter one at a time (others at Table-1 defaults)
+/// and returns sensitivities sorted most-sensitive first.
+///
+/// `measure` is called once per probed configuration (`8 × levels`
+/// calls) and returns the observed mean response time in milliseconds;
+/// non-finite measurements are skipped.
+///
+/// # Panics
+///
+/// Panics if `levels < 2`.
+///
+/// # Example
+///
+/// ```
+/// use rac::{analyze_sensitivity, ConfigLattice};
+/// use websim::Param;
+///
+/// // Synthetic system where only MaxClients matters.
+/// let ranked = analyze_sensitivity(&ConfigLattice::new(4), |cfg| {
+///     2_000.0 - 2.0 * cfg.max_clients() as f64
+/// });
+/// assert_eq!(ranked[0].param, Param::MaxClients);
+/// assert!(ranked[0].span_ratio > ranked[7].span_ratio);
+/// ```
+pub fn analyze_sensitivity(
+    lattice: &ConfigLattice,
+    mut measure: impl FnMut(&ServerConfig) -> f64,
+) -> Vec<ParamSensitivity> {
+    let base = ServerConfig::default();
+    let mut out: Vec<ParamSensitivity> = Param::ALL
+        .iter()
+        .map(|&param| {
+            let mut best = (base.get(param), f64::INFINITY);
+            let mut worst = f64::NEG_INFINITY;
+            for level in 0..lattice.levels() {
+                let value = lattice.value_at(param, level);
+                let cfg = base.with(param, value).expect("lattice values in range");
+                let rt = measure(&cfg);
+                if !rt.is_finite() {
+                    continue;
+                }
+                if rt < best.1 {
+                    best = (value, rt);
+                }
+                worst = worst.max(rt);
+            }
+            let span_ratio = if best.1.is_finite() && best.1 > 0.0 && worst.is_finite() {
+                (worst / best.1).max(1.0)
+            } else {
+                1.0
+            };
+            ParamSensitivity {
+                param,
+                span_ratio,
+                best_value: best.0,
+                best_response_ms: best.1,
+                worst_response_ms: worst,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| b.span_ratio.total_cmp(&a.span_ratio));
+    out
+}
+
+/// Returns the `k` most performance-critical parameters for a context,
+/// per [`analyze_sensitivity`].
+///
+/// # Panics
+///
+/// Panics if `k` is zero or exceeds the parameter count.
+pub fn select_parameters(
+    lattice: &ConfigLattice,
+    k: usize,
+    measure: impl FnMut(&ServerConfig) -> f64,
+) -> Vec<Param> {
+    assert!(k > 0 && k <= Param::ALL.len(), "k must be in 1..=8");
+    analyze_sensitivity(lattice, measure).into_iter().take(k).map(|s| s.param).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two parameters matter, six do not.
+    fn two_knob_landscape(cfg: &ServerConfig) -> f64 {
+        let m = cfg.max_clients() as f64;
+        let k = cfg.keepalive_timeout_secs() as f64;
+        300.0 + 0.01 * (m - 400.0).powi(2) + 20.0 * (k - 9.0).powi(2)
+    }
+
+    #[test]
+    fn ranks_relevant_parameters_first() {
+        let lattice = ConfigLattice::new(4);
+        let ranked = analyze_sensitivity(&lattice, two_knob_landscape);
+        assert_eq!(ranked.len(), 8);
+        let top2: Vec<Param> = ranked[..2].iter().map(|s| s.param).collect();
+        assert!(top2.contains(&Param::MaxClients), "{top2:?}");
+        assert!(top2.contains(&Param::KeepaliveTimeout), "{top2:?}");
+        // Irrelevant parameters have unit span.
+        for s in &ranked[2..] {
+            assert!((s.span_ratio - 1.0).abs() < 1e-9, "{:?}", s.param);
+        }
+    }
+
+    #[test]
+    fn best_value_is_the_sweep_minimum() {
+        let lattice = ConfigLattice::new(4);
+        let ranked = analyze_sensitivity(&lattice, two_knob_landscape);
+        let mc = ranked.iter().find(|s| s.param == Param::MaxClients).expect("present");
+        // Grid 5, 203, 402, 600 — the bowl minimum (400) is nearest 402.
+        assert_eq!(mc.best_value, 402);
+        assert!(mc.best_response_ms < mc.worst_response_ms);
+    }
+
+    #[test]
+    fn select_parameters_takes_top_k() {
+        let lattice = ConfigLattice::new(3);
+        let top = select_parameters(&lattice, 2, two_knob_landscape);
+        assert_eq!(top.len(), 2);
+        assert!(top.contains(&Param::MaxClients));
+    }
+
+    #[test]
+    fn non_finite_measurements_are_skipped() {
+        let lattice = ConfigLattice::new(3);
+        let mut calls = 0;
+        let ranked = analyze_sensitivity(&lattice, |cfg| {
+            calls += 1;
+            if calls % 3 == 0 {
+                f64::NAN
+            } else {
+                two_knob_landscape(cfg)
+            }
+        });
+        assert_eq!(ranked.len(), 8);
+        assert!(ranked.iter().all(|s| s.span_ratio >= 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in")]
+    fn zero_k_panics() {
+        select_parameters(&ConfigLattice::new(3), 0, |_| 1.0);
+    }
+}

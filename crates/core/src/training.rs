@@ -1,0 +1,136 @@
+//! Offline training against the simulated testbed.
+//!
+//! Glue between [`train_initial_policy`] (which is measurement-source
+//! agnostic) and the [`websim`] simulator: collects the coarse sample
+//! measurements for a given system context and builds per-context
+//! policies / the full policy library. This is the step the paper
+//! reports taking "more than ten hours" on the physical testbed — here
+//! it is simulated time.
+
+use simkernel::SimDuration;
+use websim::{measure_config, SystemSpec};
+
+use crate::context::{PolicyLibrary, SystemContext};
+use crate::init::{train_initial_policy, InitialPolicy, OfflineSettings};
+use crate::param::ConfigLattice;
+use crate::reward::SlaReward;
+
+/// Options for offline training-data collection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainingOptions {
+    /// Warm-up simulated time per sampled configuration (discarded).
+    pub warmup: SimDuration,
+    /// Measured simulated time per sampled configuration.
+    pub measure: SimDuration,
+    /// Offline RL settings (grouping granularity, α, γ, θ).
+    pub settings: OfflineSettings,
+}
+
+impl Default for TrainingOptions {
+    fn default() -> Self {
+        TrainingOptions {
+            warmup: SimDuration::from_secs(600),
+            measure: SimDuration::from_secs(240),
+            settings: OfflineSettings::default(),
+        }
+    }
+}
+
+/// Trains the initial policy for one system context by sampling the
+/// simulator (Algorithm 2 end to end).
+///
+/// # Panics
+///
+/// Panics if the regression cannot be fit, which indicates the sampled
+/// landscape is degenerate — with the provided simulator this does not
+/// happen for the paper's contexts.
+///
+/// # Example
+///
+/// ```no_run
+/// use rac::{train_policy_for_context, ConfigLattice, SlaReward, SystemContext, TrainingOptions};
+/// use tpcw::Mix;
+/// use vmstack::ResourceLevel;
+/// use websim::SystemSpec;
+///
+/// let lattice = ConfigLattice::new(4);
+/// let ctx = SystemContext::new(Mix::Shopping, ResourceLevel::Level1);
+/// let policy = train_policy_for_context(
+///     &SystemSpec::default(), ctx, &lattice,
+///     SlaReward::new(1_000.0), TrainingOptions::default());
+/// println!("fit r² = {:.3}", policy.fit.r_squared);
+/// ```
+pub fn train_policy_for_context(
+    spec_base: &SystemSpec,
+    context: SystemContext,
+    lattice: &ConfigLattice,
+    reward: SlaReward,
+    options: TrainingOptions,
+) -> InitialPolicy {
+    let spec = spec_base.clone().with_mix(context.mix).with_level(context.level);
+    train_initial_policy(lattice, reward, options.settings, |config| {
+        measure_config(&spec, *config, options.warmup, options.measure).mean_response_ms
+    })
+    .expect("offline sampling landscape must be fittable")
+}
+
+/// Builds a [`PolicyLibrary`] covering the given contexts.
+pub fn build_policy_library(
+    spec_base: &SystemSpec,
+    contexts: &[SystemContext],
+    lattice: &ConfigLattice,
+    reward: SlaReward,
+    options: TrainingOptions,
+) -> PolicyLibrary {
+    let mut library = PolicyLibrary::new();
+    for &context in contexts {
+        let policy = train_policy_for_context(spec_base, context, lattice, reward, options);
+        library.insert(context, policy);
+    }
+    library
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpcw::Mix;
+    use vmstack::ResourceLevel;
+
+    /// End-to-end against a *small* simulated system: slow-ish but real.
+    #[test]
+    fn trains_against_live_simulator() {
+        let spec = SystemSpec::default().with_clients(50).with_seed(2);
+        let lattice = ConfigLattice::new(3);
+        let options = TrainingOptions {
+            warmup: SimDuration::from_secs(30),
+            measure: SimDuration::from_secs(60),
+            settings: OfflineSettings { group_levels: 2, ..OfflineSettings::default() },
+        };
+        let ctx = SystemContext::new(Mix::Shopping, ResourceLevel::Level1);
+        let policy =
+            train_policy_for_context(&spec, ctx, &lattice, SlaReward::new(1_000.0), options);
+        assert_eq!(policy.samples, 16);
+        assert!(policy.perf_ms.iter().all(|p| p.is_finite()));
+    }
+
+    #[test]
+    fn library_covers_requested_contexts() {
+        let spec = SystemSpec::default().with_clients(40).with_seed(3);
+        let lattice = ConfigLattice::new(3);
+        let options = TrainingOptions {
+            warmup: SimDuration::from_secs(20),
+            measure: SimDuration::from_secs(40),
+            settings: OfflineSettings { group_levels: 2, ..OfflineSettings::default() },
+        };
+        let contexts = [
+            SystemContext::new(Mix::Shopping, ResourceLevel::Level1),
+            SystemContext::new(Mix::Ordering, ResourceLevel::Level3),
+        ];
+        let lib =
+            build_policy_library(&spec, &contexts, &lattice, SlaReward::new(1_000.0), options);
+        assert_eq!(lib.len(), 2);
+        for ctx in contexts {
+            assert!(lib.for_context(ctx).is_some());
+        }
+    }
+}

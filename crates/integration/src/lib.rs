@@ -1,0 +1,1 @@
+//! Host crate for the workspace-level integration tests in `/tests`.

@@ -1,0 +1,43 @@
+//! Small numerical kit used by the RAC policy-initialization pipeline.
+//!
+//! The paper's policy initialization samples a coarse grid of
+//! configurations, fits a polynomial-regression model of performance as a
+//! function of the (grouped) configuration parameters, and uses the model
+//! to predict the performance of configurations that were never measured
+//! (Section 4.1, Figure 4). This crate provides exactly the numerics that
+//! pipeline needs, from scratch:
+//!
+//! * [`Matrix`] — a dense row-major matrix with the handful of operations
+//!   regression requires.
+//! * [`solve`] — Gaussian elimination with partial pivoting.
+//! * [`least_squares`] — ordinary least squares via the normal equations
+//!   (with a small ridge fallback when the system is singular).
+//! * [`PolynomialModel`] — quadratic-with-cross-terms feature expansion,
+//!   fit + predict, and goodness-of-fit metrics ([`FitQuality`]).
+//!
+//! # Example
+//!
+//! Fit the concave response-time curve of Figure 4:
+//!
+//! ```
+//! use numerics::PolynomialModel;
+//!
+//! // (MaxClients, response time): a noisy parabola with a minimum.
+//! let xs: Vec<Vec<f64>> = (1..=20).map(|i| vec![i as f64 * 30.0]).collect();
+//! let ys: Vec<f64> = xs.iter().map(|x| {
+//!     let m = x[0];
+//!     0.002 * (m - 300.0).powi(2) + 120.0
+//! }).collect();
+//!
+//! let model = PolynomialModel::fit(&xs, &ys).unwrap();
+//! let at_minimum = model.predict(&[300.0]);
+//! let off_minimum = model.predict(&[60.0]);
+//! assert!(at_minimum < off_minimum);
+//! assert!(model.quality().r_squared > 0.999);
+//! ```
+
+mod matrix;
+mod regression;
+
+pub use matrix::{solve, LinAlgError, Matrix};
+pub use regression::{least_squares, FitQuality, PolynomialModel, RegressionError};

@@ -1,0 +1,361 @@
+//! Dense row-major matrices and linear solves.
+
+use std::error::Error;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Error raised by linear-algebra routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinAlgError {
+    /// Operand shapes are incompatible (expected vs. got, as `(rows, cols)`).
+    ShapeMismatch {
+        /// Shape required by the operation.
+        expected: (usize, usize),
+        /// Shape actually supplied.
+        got: (usize, usize),
+    },
+    /// The system is singular (no pivot larger than the tolerance).
+    Singular,
+}
+
+impl fmt::Display for LinAlgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinAlgError::ShapeMismatch { expected, got } => {
+                write!(f, "shape mismatch: expected {}x{}, got {}x{}", expected.0, expected.1, got.0, got.1)
+            }
+            LinAlgError::Singular => write!(f, "matrix is singular to working precision"),
+        }
+    }
+}
+
+impl Error for LinAlgError {}
+
+/// A dense row-major matrix of `f64`.
+///
+/// # Example
+///
+/// ```
+/// use numerics::Matrix;
+///
+/// let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+/// assert_eq!(m[(1, 0)], 3.0);
+/// assert_eq!(m.transpose()[(0, 1)], 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a zero-filled matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Creates a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or the rows have unequal lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "need at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "need at least one column");
+        assert!(rows.iter().all(|r| r.len() == cols), "ragged rows");
+        Matrix { rows: rows.len(), cols, data: rows.concat() }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinAlgError::ShapeMismatch`] when the inner dimensions
+    /// differ.
+    pub fn mul(&self, rhs: &Matrix) -> Result<Matrix, LinAlgError> {
+        if self.cols != rhs.rows {
+            return Err(LinAlgError::ShapeMismatch {
+                expected: (self.cols, rhs.cols),
+                got: (rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinAlgError::ShapeMismatch`] when `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[f64]) -> Result<Vec<f64>, LinAlgError> {
+        if v.len() != self.cols {
+            return Err(LinAlgError::ShapeMismatch { expected: (self.cols, 1), got: (v.len(), 1) });
+        }
+        Ok((0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self[(i, j)] * v[j]).sum())
+            .collect())
+    }
+
+    /// Adds `lambda` to every diagonal element (ridge regularization).
+    pub fn add_diagonal(&mut self, lambda: f64) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            self[(i, i)] += lambda;
+        }
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+/// Solves the square linear system `a * x = b` by Gaussian elimination
+/// with partial pivoting.
+///
+/// # Errors
+///
+/// Returns [`LinAlgError::ShapeMismatch`] when `a` is not square or `b` has
+/// the wrong length, and [`LinAlgError::Singular`] when no usable pivot is
+/// found.
+///
+/// # Example
+///
+/// ```
+/// use numerics::{solve, Matrix};
+///
+/// let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+/// let x = solve(&a, &[3.0, 5.0]).unwrap();
+/// assert!((x[0] - 0.8).abs() < 1e-12);
+/// assert!((x[1] - 1.4).abs() < 1e-12);
+/// ```
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinAlgError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(LinAlgError::ShapeMismatch { expected: (n, n), got: (a.rows(), a.cols()) });
+    }
+    if b.len() != n {
+        return Err(LinAlgError::ShapeMismatch { expected: (n, 1), got: (b.len(), 1) });
+    }
+
+    // Augmented working copy.
+    let mut m = a.clone();
+    let mut rhs = b.to_vec();
+
+    for col in 0..n {
+        // Partial pivot: the largest magnitude entry in this column.
+        let pivot_row = (col..n)
+            .max_by(|&r1, &r2| m[(r1, col)].abs().partial_cmp(&m[(r2, col)].abs()).unwrap())
+            .unwrap();
+        let pivot = m[(pivot_row, col)];
+        if pivot.abs() < 1e-12 {
+            return Err(LinAlgError::Singular);
+        }
+        if pivot_row != col {
+            for j in 0..n {
+                let tmp = m[(col, j)];
+                m[(col, j)] = m[(pivot_row, j)];
+                m[(pivot_row, j)] = tmp;
+            }
+            rhs.swap(col, pivot_row);
+        }
+        for row in (col + 1)..n {
+            let factor = m[(row, col)] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                let v = m[(col, j)];
+                m[(row, j)] -= factor * v;
+            }
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = rhs[row];
+        for j in (row + 1)..n {
+            acc -= m[(row, j)] * x[j];
+        }
+        x[row] = acc / m[(row, row)];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let a = Matrix::identity(4);
+        let b = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(solve(&a, &b).unwrap(), b.to_vec());
+    }
+
+    #[test]
+    fn solve_known_system() {
+        let a = Matrix::from_rows(&[
+            vec![3.0, 2.0, -1.0],
+            vec![2.0, -2.0, 4.0],
+            vec![-1.0, 0.5, -1.0],
+        ]);
+        let x = solve(&a, &[1.0, -2.0, 0.0]).unwrap();
+        for (got, want) in x.iter().zip([1.0, -2.0, -2.0]) {
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero in the leading position forces a row swap.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn solve_singular_errors() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(solve(&a, &[1.0, 2.0]), Err(LinAlgError::Singular));
+    }
+
+    #[test]
+    fn solve_shape_mismatch_errors() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(solve(&a, &[1.0, 2.0]), Err(LinAlgError::ShapeMismatch { .. })));
+        let sq = Matrix::identity(2);
+        assert!(matches!(solve(&sq, &[1.0]), Err(LinAlgError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn mul_and_transpose() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let ab = a.mul(&b).unwrap();
+        assert_eq!(ab, Matrix::from_rows(&[vec![2.0, 1.0], vec![4.0, 3.0]]));
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn mul_shape_mismatch() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(a.mul(&b).is_err());
+        assert!(a.mul_vec(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn mul_vec_works() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(a.mul_vec(&[1.0, 1.0, 1.0]).unwrap(), vec![6.0, 15.0]);
+    }
+
+    #[test]
+    fn add_diagonal_ridge() {
+        let mut a = Matrix::zeros(2, 2);
+        a.add_diagonal(0.5);
+        assert_eq!(a[(0, 0)], 0.5);
+        assert_eq!(a[(1, 1)], 0.5);
+        assert_eq!(a[(0, 1)], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let a = Matrix::zeros(2, 2);
+        let _ = a[(2, 0)];
+    }
+
+    #[test]
+    fn display_of_errors() {
+        assert!(LinAlgError::Singular.to_string().contains("singular"));
+        let e = LinAlgError::ShapeMismatch { expected: (2, 2), got: (3, 1) };
+        assert!(e.to_string().contains("2x2"));
+    }
+
+    proptest! {
+        /// For a diagonally dominant (thus nonsingular) matrix, solve then
+        /// multiply back recovers the RHS.
+        #[test]
+        fn prop_solve_round_trips(
+            vals in proptest::collection::vec(-10.0f64..10.0, 9),
+            b in proptest::collection::vec(-10.0f64..10.0, 3),
+        ) {
+            let mut a = Matrix::zeros(3, 3);
+            for i in 0..3 {
+                for j in 0..3 {
+                    a[(i, j)] = vals[i * 3 + j];
+                }
+                a[(i, i)] += 40.0; // force diagonal dominance
+            }
+            let x = solve(&a, &b).unwrap();
+            let back = a.mul_vec(&x).unwrap();
+            for (got, want) in back.iter().zip(&b) {
+                prop_assert!((got - want).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,402 @@
+//! Ordinary least squares and polynomial regression.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::matrix::{solve, LinAlgError, Matrix};
+
+/// Error raised when a regression cannot be fit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegressionError {
+    /// No samples were supplied.
+    Empty,
+    /// Sample feature vectors have inconsistent lengths, or `xs`/`ys`
+    /// lengths differ.
+    Ragged,
+    /// Fewer samples than model coefficients (under-determined even after
+    /// ridge regularization failed).
+    Underdetermined {
+        /// Number of samples supplied.
+        samples: usize,
+        /// Number of coefficients the model needs.
+        coefficients: usize,
+    },
+    /// The normal equations were singular and the ridge fallback also
+    /// failed.
+    Singular,
+}
+
+impl fmt::Display for RegressionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegressionError::Empty => write!(f, "no samples supplied"),
+            RegressionError::Ragged => write!(f, "inconsistent sample dimensions"),
+            RegressionError::Underdetermined { samples, coefficients } => {
+                write!(f, "under-determined fit: {samples} samples for {coefficients} coefficients")
+            }
+            RegressionError::Singular => write!(f, "normal equations singular even with ridge fallback"),
+        }
+    }
+}
+
+impl Error for RegressionError {}
+
+/// Solves the ordinary-least-squares problem `argmin_w ||X w − y||²` via
+/// the normal equations, falling back to a small ridge penalty when the
+/// Gram matrix is singular.
+///
+/// Each row of `design` is one sample's feature vector.
+///
+/// # Errors
+///
+/// Returns [`RegressionError`] when the inputs are empty/ragged or the
+/// system cannot be solved.
+///
+/// # Example
+///
+/// ```
+/// use numerics::least_squares;
+///
+/// // y = 2 x + 1, features [1, x]
+/// let design = vec![vec![1.0, 0.0], vec![1.0, 1.0], vec![1.0, 2.0]];
+/// let w = least_squares(&design, &[1.0, 3.0, 5.0]).unwrap();
+/// assert!((w[0] - 1.0).abs() < 1e-9);
+/// assert!((w[1] - 2.0).abs() < 1e-9);
+/// ```
+pub fn least_squares(design: &[Vec<f64>], y: &[f64]) -> Result<Vec<f64>, RegressionError> {
+    if design.is_empty() || y.is_empty() {
+        return Err(RegressionError::Empty);
+    }
+    let k = design[0].len();
+    if k == 0 || design.len() != y.len() || design.iter().any(|r| r.len() != k) {
+        return Err(RegressionError::Ragged);
+    }
+
+    let x = Matrix::from_rows(design);
+    let xt = x.transpose();
+    let mut gram = xt.mul(&x).expect("shapes agree by construction");
+    let rhs = xt.mul_vec(y).expect("shapes agree by construction");
+
+    match solve(&gram, &rhs) {
+        Ok(w) => Ok(w),
+        Err(LinAlgError::Singular) => {
+            // Ridge fallback: tiny L2 penalty scaled to the Gram diagonal.
+            let scale = (0..k).map(|i| gram[(i, i)].abs()).fold(0.0f64, f64::max).max(1.0);
+            gram.add_diagonal(1e-8 * scale);
+            solve(&gram, &rhs).map_err(|_| RegressionError::Singular)
+        }
+        Err(_) => unreachable!("gram matrix is square"),
+    }
+}
+
+/// Goodness-of-fit metrics for a fitted model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitQuality {
+    /// Coefficient of determination in `(-∞, 1]`; 1 is a perfect fit.
+    pub r_squared: f64,
+    /// Root-mean-square error of the residuals.
+    pub rmse: f64,
+    /// Number of training samples.
+    pub samples: usize,
+}
+
+/// A quadratic polynomial model with cross terms:
+///
+/// `ŷ = w₀ + Σᵢ wᵢ xᵢ + Σᵢ wᵢᵢ xᵢ² + Σᵢ<ⱼ wᵢⱼ xᵢ xⱼ`
+///
+/// This is the model the RAC policy-initialization uses to capture the
+/// paper's "concave upward effect" of configuration parameters on response
+/// time and to predict the performance of configurations never measured.
+///
+/// Inputs are standardized internally (zero mean, unit variance per
+/// feature) for conditioning; predictions transparently undo this.
+///
+/// # Example
+///
+/// ```
+/// use numerics::PolynomialModel;
+///
+/// let xs = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0],
+///               vec![1.0, 1.0], vec![2.0, 1.0], vec![1.0, 2.0], vec![2.0, 2.0]];
+/// let ys: Vec<f64> = xs.iter().map(|v| 1.0 + v[0] + 2.0 * v[1] + v[0] * v[1]).collect();
+/// let m = PolynomialModel::fit(&xs, &ys).unwrap();
+/// assert!((m.predict(&[3.0, 3.0]) - 19.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolynomialModel {
+    dims: usize,
+    weights: Vec<f64>,
+    mean: Vec<f64>,
+    scale: Vec<f64>,
+    quality: FitQuality,
+}
+
+impl PolynomialModel {
+    /// Number of coefficients the quadratic model needs for `dims` inputs.
+    pub fn coefficient_count(dims: usize) -> usize {
+        1 + dims + dims + dims * (dims.saturating_sub(1)) / 2
+    }
+
+    /// Fits the model to samples `(xs[i], ys[i])`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegressionError::Empty`] / [`RegressionError::Ragged`] for
+    /// malformed input and [`RegressionError::Underdetermined`] when there
+    /// are fewer samples than coefficients.
+    pub fn fit(xs: &[Vec<f64>], ys: &[f64]) -> Result<Self, RegressionError> {
+        if xs.is_empty() || ys.is_empty() {
+            return Err(RegressionError::Empty);
+        }
+        let dims = xs[0].len();
+        if dims == 0 || xs.len() != ys.len() || xs.iter().any(|x| x.len() != dims) {
+            return Err(RegressionError::Ragged);
+        }
+        let coefficients = Self::coefficient_count(dims);
+        if xs.len() < coefficients {
+            return Err(RegressionError::Underdetermined { samples: xs.len(), coefficients });
+        }
+
+        // Standardize features for conditioning.
+        let mut mean = vec![0.0; dims];
+        for x in xs {
+            for (m, v) in mean.iter_mut().zip(x) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= xs.len() as f64;
+        }
+        let mut scale = vec![0.0; dims];
+        for x in xs {
+            for (s, (v, m)) in scale.iter_mut().zip(x.iter().zip(&mean)) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in &mut scale {
+            *s = (*s / xs.len() as f64).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0; // constant feature; leave centred at zero
+            }
+        }
+
+        let design: Vec<Vec<f64>> = xs
+            .iter()
+            .map(|x| Self::features(dims, &Self::standardize(x, &mean, &scale)))
+            .collect();
+        let weights = least_squares(&design, ys)?;
+
+        // Goodness of fit on the training data.
+        let y_mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        let mut ss_res = 0.0;
+        let mut ss_tot = 0.0;
+        for (row, &y) in design.iter().zip(ys) {
+            let pred: f64 = row.iter().zip(&weights).map(|(f, w)| f * w).sum();
+            ss_res += (y - pred) * (y - pred);
+            ss_tot += (y - y_mean) * (y - y_mean);
+        }
+        let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+        let quality = FitQuality {
+            r_squared,
+            rmse: (ss_res / ys.len() as f64).sqrt(),
+            samples: ys.len(),
+        };
+
+        Ok(PolynomialModel { dims, weights, mean, scale, quality })
+    }
+
+    fn standardize(x: &[f64], mean: &[f64], scale: &[f64]) -> Vec<f64> {
+        x.iter().zip(mean.iter().zip(scale)).map(|(v, (m, s))| (v - m) / s).collect()
+    }
+
+    fn features(dims: usize, z: &[f64]) -> Vec<f64> {
+        let mut f = Vec::with_capacity(Self::coefficient_count(dims));
+        f.push(1.0);
+        f.extend_from_slice(z);
+        f.extend(z.iter().map(|v| v * v));
+        for i in 0..dims {
+            for j in (i + 1)..dims {
+                f.push(z[i] * z[j]);
+            }
+        }
+        f
+    }
+
+    /// Number of input dimensions.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Predicts ŷ for an input point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from [`PolynomialModel::dims`].
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dims, "prediction input has wrong dimension");
+        let z = Self::standardize(x, &self.mean, &self.scale);
+        Self::features(self.dims, &z)
+            .iter()
+            .zip(&self.weights)
+            .map(|(f, w)| f * w)
+            .sum()
+    }
+
+    /// Goodness-of-fit metrics computed on the training data.
+    pub fn quality(&self) -> FitQuality {
+        self.quality
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn least_squares_recovers_line() {
+        let design: Vec<Vec<f64>> = (0..10).map(|i| vec![1.0, i as f64]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| 3.0 - 0.5 * i as f64).collect();
+        let w = least_squares(&design, &ys).unwrap();
+        assert!((w[0] - 3.0).abs() < 1e-9);
+        assert!((w[1] + 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn least_squares_overdetermined_noisy() {
+        // y = 4 + 2x with asymmetric but mean-zero-ish noise; fit must be close.
+        let design: Vec<Vec<f64>> = (0..100).map(|i| vec![1.0, i as f64 / 10.0]).collect();
+        let ys: Vec<f64> = (0..100)
+            .map(|i| 4.0 + 2.0 * (i as f64 / 10.0) + if i % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
+        let w = least_squares(&design, &ys).unwrap();
+        assert!((w[0] - 4.0).abs() < 0.1);
+        assert!((w[1] - 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn least_squares_errors() {
+        assert_eq!(least_squares(&[], &[]), Err(RegressionError::Empty));
+        assert_eq!(
+            least_squares(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0]),
+            Err(RegressionError::Ragged)
+        );
+        assert_eq!(least_squares(&[vec![1.0]], &[1.0, 2.0]), Err(RegressionError::Ragged));
+    }
+
+    #[test]
+    fn least_squares_collinear_uses_ridge() {
+        // Perfectly collinear features: normal equations singular, ridge
+        // fallback must still return a finite solution.
+        let design: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64, 2.0 * i as f64]).collect();
+        let ys: Vec<f64> = (0..10).map(|i| 5.0 * i as f64).collect();
+        let w = least_squares(&design, &ys).unwrap();
+        assert!(w.iter().all(|v| v.is_finite()));
+        // Predictions should still match the targets.
+        for i in 0..10 {
+            let pred = w[0] * i as f64 + w[1] * 2.0 * i as f64;
+            assert!((pred - 5.0 * i as f64).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn polynomial_fits_exact_quadratic() {
+        let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 + 3.0 * x[0] - 0.25 * x[0] * x[0]).collect();
+        let m = PolynomialModel::fit(&xs, &ys).unwrap();
+        for x in [0.5, 5.5, 19.5, 25.0] {
+            let want = 2.0 + 3.0 * x - 0.25 * x * x;
+            assert!((m.predict(&[x]) - want).abs() < 1e-6, "at {x}");
+        }
+        assert!(m.quality().r_squared > 1.0 - 1e-9);
+        assert!(m.quality().rmse < 1e-6);
+    }
+
+    #[test]
+    fn polynomial_captures_concave_minimum() {
+        // The Figure-4 shape: response time concave upward in MaxClients.
+        let xs: Vec<Vec<f64>> = (1..=30).map(|i| vec![i as f64 * 20.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 0.003 * (x[0] - 280.0).powi(2) + 90.0).collect();
+        let m = PolynomialModel::fit(&xs, &ys).unwrap();
+        // The fitted minimum should be near 280.
+        let best = (1..=60)
+            .map(|i| i as f64 * 10.0)
+            .min_by(|a, b| m.predict(&[*a]).partial_cmp(&m.predict(&[*b])).unwrap())
+            .unwrap();
+        assert!((best - 280.0).abs() <= 10.0, "minimum at {best}");
+    }
+
+    #[test]
+    fn polynomial_multi_dim_cross_terms() {
+        let mut xs = Vec::new();
+        for i in 0..6 {
+            for j in 0..6 {
+                xs.push(vec![i as f64, j as f64]);
+            }
+        }
+        let ys: Vec<f64> = xs.iter().map(|v| 7.0 - v[0] + 0.5 * v[1] * v[1] + 2.0 * v[0] * v[1]).collect();
+        let m = PolynomialModel::fit(&xs, &ys).unwrap();
+        assert!((m.predict(&[10.0, 10.0]) - (7.0 - 10.0 + 50.0 + 200.0)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn polynomial_underdetermined_errors() {
+        let xs = vec![vec![1.0, 2.0], vec![2.0, 3.0]];
+        let ys = vec![1.0, 2.0];
+        assert_eq!(
+            PolynomialModel::fit(&xs, &ys),
+            Err(RegressionError::Underdetermined { samples: 2, coefficients: 6 })
+        );
+    }
+
+    #[test]
+    fn polynomial_constant_feature_ok() {
+        // One feature never varies; standardization must not divide by 0.
+        let xs: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64, 5.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|v| v[0] * 2.0).collect();
+        let m = PolynomialModel::fit(&xs, &ys).unwrap();
+        assert!((m.predict(&[6.0, 5.0]) - 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn coefficient_count_formula() {
+        assert_eq!(PolynomialModel::coefficient_count(1), 3);
+        assert_eq!(PolynomialModel::coefficient_count(2), 6);
+        assert_eq!(PolynomialModel::coefficient_count(4), 15);
+        assert_eq!(PolynomialModel::coefficient_count(8), 45);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong dimension")]
+    fn predict_wrong_dims_panics() {
+        let xs: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+        let ys = vec![0.0; 5];
+        let m = PolynomialModel::fit(&xs, &ys).unwrap();
+        m.predict(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(RegressionError::Empty.to_string().contains("no samples"));
+        let e = RegressionError::Underdetermined { samples: 2, coefficients: 6 };
+        assert!(e.to_string().contains("2 samples"));
+    }
+
+    proptest! {
+        /// A quadratic model must reproduce any quadratic exactly
+        /// (coefficients bounded away from pathological scales).
+        #[test]
+        fn prop_quadratic_exact(
+            a in -5.0f64..5.0, b in -5.0f64..5.0, c in -5.0f64..5.0,
+        ) {
+            let xs: Vec<Vec<f64>> = (0..15).map(|i| vec![i as f64]).collect();
+            let ys: Vec<f64> = xs.iter().map(|x| a + b * x[0] + c * x[0] * x[0]).collect();
+            let m = PolynomialModel::fit(&xs, &ys).unwrap();
+            for x in [1.5, 7.25, 20.0] {
+                let want = a + b * x + c * x * x;
+                let got = m.predict(&[x]);
+                prop_assert!((got - want).abs() < 1e-5 * (1.0 + want.abs()), "{got} vs {want}");
+            }
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Bounded history of observed transitions.
+
+use std::collections::VecDeque;
+
+/// One observed transition `(s, a, r, s')`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transition {
+    /// State the action was taken in.
+    pub state: usize,
+    /// Action taken.
+    pub action: usize,
+    /// Immediate reward received.
+    pub reward: f64,
+    /// Resulting state.
+    pub next_state: usize,
+}
+
+/// A bounded FIFO log of transitions, used by the RAC agent's batch
+/// retraining to replay recent measured experience on top of the
+/// model-predicted rewards.
+///
+/// # Example
+///
+/// ```
+/// use rl::{ExperienceLog, Transition};
+///
+/// let mut log = ExperienceLog::new(2);
+/// for i in 0..3 {
+///     log.record(Transition { state: i, action: 0, reward: 0.0, next_state: i + 1 });
+/// }
+/// assert_eq!(log.len(), 2);
+/// assert_eq!(log.iter().next().unwrap().state, 1); // oldest was evicted
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperienceLog {
+    buf: VecDeque<Transition>,
+    capacity: usize,
+}
+
+impl ExperienceLog {
+    /// Creates a log retaining at most `capacity` transitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        ExperienceLog { buf: VecDeque::with_capacity(capacity), capacity }
+    }
+
+    /// Appends a transition, evicting the oldest when full.
+    pub fn record(&mut self, t: Transition) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(t);
+    }
+
+    /// Number of retained transitions.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns `true` when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Iterates oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &Transition> {
+        self.buf.iter()
+    }
+
+    /// The most recent transition, if any.
+    pub fn last(&self) -> Option<&Transition> {
+        self.buf.back()
+    }
+
+    /// Clears the log.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(state: usize) -> Transition {
+        Transition { state, action: 0, reward: 1.0, next_state: state + 1 }
+    }
+
+    #[test]
+    fn records_in_order() {
+        let mut log = ExperienceLog::new(10);
+        log.record(t(1));
+        log.record(t(2));
+        let states: Vec<usize> = log.iter().map(|x| x.state).collect();
+        assert_eq!(states, vec![1, 2]);
+        assert_eq!(log.last().unwrap().state, 2);
+    }
+
+    #[test]
+    fn evicts_oldest_at_capacity() {
+        let mut log = ExperienceLog::new(3);
+        for i in 0..5 {
+            log.record(t(i));
+        }
+        let states: Vec<usize> = log.iter().map(|x| x.state).collect();
+        assert_eq!(states, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut log = ExperienceLog::new(2);
+        log.record(t(0));
+        log.clear();
+        assert!(log.is_empty());
+        assert_eq!(log.last(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        ExperienceLog::new(0);
+    }
+}

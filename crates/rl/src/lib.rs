@@ -1,0 +1,58 @@
+//! Tabular reinforcement learning for the RAC agent.
+//!
+//! The paper casts online auto-configuration as a finite Markov decision
+//! process whose states are configurations and whose actions adjust one
+//! parameter at a time, solved with temporal-difference Q-learning
+//! (Section 3.2, Algorithm 1). This crate provides the generic machinery,
+//! independent of web systems:
+//!
+//! * [`IndexSpace`] — mixed-radix encoding of multi-dimensional discrete
+//!   state lattices into dense indices.
+//! * [`QTable`] — a dense `#states × #actions` table of action values.
+//! * [`policy`] — ε-greedy / greedy / softmax action selection.
+//! * [`QLearning`] — TD(0) updates (Q-learning and SARSA flavours).
+//! * [`Environment`] + [`batch_value_sweep`] — Algorithm 1: repeated
+//!   full-table sweeps against a (deterministic) model of the
+//!   environment until the largest Q change drops below θ.
+//! * [`ExperienceLog`] — bounded history of `(s, a, r, s')` transitions
+//!   for batch retraining.
+//!
+//! # Example
+//!
+//! Solve a toy chain MDP where the reward peaks at state 7:
+//!
+//! ```
+//! use rl::{batch_value_sweep, Environment, QLearning, QTable};
+//!
+//! struct Chain;
+//! impl Environment for Chain {
+//!     fn num_states(&self) -> usize { 10 }
+//!     fn num_actions(&self) -> usize { 3 } // left, stay, right
+//!     fn transition(&self, s: usize, a: usize) -> usize {
+//!         match a { 0 => s.saturating_sub(1), 1 => s, _ => (s + 1).min(9) }
+//!     }
+//!     fn reward(&self, _s: usize, _a: usize, s2: usize) -> f64 {
+//!         -((s2 as f64) - 7.0).abs()
+//!     }
+//! }
+//!
+//! let mut q = QTable::new(10, 3);
+//! batch_value_sweep(&Chain, &mut q, &QLearning::new(1.0, 0.9), 1e-6, 500);
+//! // From state 0 the learned policy walks right.
+//! assert_eq!(q.best_action(0), 2);
+//! // From state 9 it walks left.
+//! assert_eq!(q.best_action(9), 0);
+//! ```
+
+mod double_q;
+mod experience;
+pub mod policy;
+mod qtable;
+mod space;
+mod sweep;
+
+pub use double_q::DoubleQ;
+pub use experience::{ExperienceLog, Transition};
+pub use qtable::{QLearning, QTable};
+pub use space::IndexSpace;
+pub use sweep::{batch_value_sweep, batch_value_sweep_with, Backup, Environment};

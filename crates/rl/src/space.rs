@@ -1,0 +1,191 @@
+//! Mixed-radix index space for discrete state lattices.
+
+/// A multi-dimensional discrete lattice with dense mixed-radix indexing.
+///
+/// RAC discretizes each configuration parameter to a handful of levels;
+/// a full configuration is then a coordinate vector, and `IndexSpace`
+/// maps it to/from a dense `usize` suitable for indexing a [`crate::QTable`].
+///
+/// # Example
+///
+/// ```
+/// use rl::IndexSpace;
+///
+/// let space = IndexSpace::new(vec![3, 4, 2]);
+/// assert_eq!(space.len(), 24);
+/// let idx = space.encode(&[2, 1, 0]);
+/// assert_eq!(space.decode(idx), vec![2, 1, 0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexSpace {
+    dims: Vec<usize>,
+    len: usize,
+}
+
+impl IndexSpace {
+    /// Creates a space with the given per-dimension cardinalities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty, any dimension is zero, or the total
+    /// size overflows `usize`.
+    pub fn new(dims: Vec<usize>) -> Self {
+        assert!(!dims.is_empty(), "need at least one dimension");
+        assert!(dims.iter().all(|&d| d > 0), "dimensions must be positive");
+        let len = dims
+            .iter()
+            .try_fold(1usize, |acc, &d| acc.checked_mul(d))
+            .expect("index space too large");
+        IndexSpace { dims, len }
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Cardinality of dimension `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is out of range.
+    pub fn dim(&self, d: usize) -> usize {
+        self.dims[d]
+    }
+
+    /// Total number of lattice points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Always `false` (spaces are non-empty by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Encodes coordinates into a dense index (row-major: the last
+    /// dimension varies fastest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coords` has the wrong length or any coordinate is out
+    /// of range.
+    pub fn encode(&self, coords: &[usize]) -> usize {
+        assert_eq!(coords.len(), self.dims.len(), "coordinate arity mismatch");
+        let mut idx = 0;
+        for (c, d) in coords.iter().zip(&self.dims) {
+            assert!(c < d, "coordinate {c} out of range (dim {d})");
+            idx = idx * d + c;
+        }
+        idx
+    }
+
+    /// Decodes a dense index into coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn decode(&self, index: usize) -> Vec<usize> {
+        let mut coords = vec![0; self.dims.len()];
+        self.decode_into(index, &mut coords);
+        coords
+    }
+
+    /// Decodes into a caller-provided buffer (allocation-free hot path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()` or the buffer has the wrong
+    /// length.
+    pub fn decode_into(&self, index: usize, coords: &mut [usize]) {
+        assert!(index < self.len, "index {index} out of range");
+        assert_eq!(coords.len(), self.dims.len(), "buffer arity mismatch");
+        let mut rest = index;
+        for (c, d) in coords.iter_mut().zip(&self.dims).rev() {
+            *c = rest % d;
+            rest /= d;
+        }
+    }
+
+    /// Iterates over all lattice points in index order.
+    pub fn iter(&self) -> impl Iterator<Item = Vec<usize>> + '_ {
+        (0..self.len).map(|i| self.decode(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn encode_decode_round_trip_exhaustive() {
+        let space = IndexSpace::new(vec![2, 3, 5]);
+        for i in 0..space.len() {
+            assert_eq!(space.encode(&space.decode(i)), i);
+        }
+    }
+
+    #[test]
+    fn encoding_is_row_major() {
+        let space = IndexSpace::new(vec![3, 4]);
+        assert_eq!(space.encode(&[0, 0]), 0);
+        assert_eq!(space.encode(&[0, 1]), 1);
+        assert_eq!(space.encode(&[1, 0]), 4);
+        assert_eq!(space.encode(&[2, 3]), 11);
+    }
+
+    #[test]
+    fn iter_covers_everything_once() {
+        let space = IndexSpace::new(vec![2, 2, 2]);
+        let all: Vec<Vec<usize>> = space.iter().collect();
+        assert_eq!(all.len(), 8);
+        let distinct: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(distinct.len(), 8);
+    }
+
+    #[test]
+    fn single_dimension_space() {
+        let space = IndexSpace::new(vec![7]);
+        assert_eq!(space.len(), 7);
+        assert_eq!(space.encode(&[3]), 3);
+        assert_eq!(space.dims(), 1);
+        assert_eq!(space.dim(0), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn encode_out_of_range_panics() {
+        IndexSpace::new(vec![2, 2]).encode(&[0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn encode_wrong_arity_panics() {
+        IndexSpace::new(vec![2, 2]).encode(&[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn overflow_panics() {
+        IndexSpace::new(vec![usize::MAX, 3]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(dims in proptest::collection::vec(1usize..6, 1..6), seed: u64) {
+            let space = IndexSpace::new(dims);
+            let idx = (seed as usize) % space.len();
+            prop_assert_eq!(space.encode(&space.decode(idx)), idx);
+        }
+
+        #[test]
+        fn prop_decode_in_bounds(dims in proptest::collection::vec(1usize..6, 1..6), seed: u64) {
+            let space = IndexSpace::new(dims);
+            let coords = space.decode((seed as usize) % space.len());
+            for (c, d) in coords.iter().zip(0..space.dims()) {
+                prop_assert!(*c < space.dim(d));
+            }
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Algorithm 1: batch value sweeps against an environment model.
+
+use crate::qtable::{QLearning, QTable};
+
+/// A (deterministic) model of the environment: the MDP the RAC agent
+/// plans against.
+///
+/// The configuration MDP is deterministic — applying a reconfiguration
+/// action yields a known next configuration — so the model needs only a
+/// transition function and a reward function. Rewards typically come
+/// from measured samples plus regression-predicted performance for
+/// unvisited configurations.
+pub trait Environment {
+    /// Number of states.
+    fn num_states(&self) -> usize;
+    /// Number of actions available in every state.
+    fn num_actions(&self) -> usize;
+    /// The state reached by taking `a` in `s`.
+    fn transition(&self, s: usize, a: usize) -> usize;
+    /// Immediate reward for the transition `s --a--> s2`.
+    fn reward(&self, s: usize, a: usize, s2: usize) -> f64;
+}
+
+/// How a sweep values the successor state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Backup {
+    /// Off-policy Q-learning: `V(s') = max_a Q(s', a)`.
+    Greedy,
+    /// Expected SARSA under an ε-greedy behaviour policy:
+    /// `V(s') = (1 − ε)·max_a Q(s', a) + ε·mean_a Q(s', a)`.
+    ///
+    /// Valuing successors the way the *online* agent will actually act
+    /// (it explores!) yields slightly more conservative policies; the
+    /// paper uses plain Q-learning, this variant exists for ablation.
+    EpsilonGreedy(f64),
+}
+
+impl Backup {
+    fn state_value(self, q: &QTable, s: usize) -> f64 {
+        match self {
+            Backup::Greedy => q.max_q(s),
+            Backup::EpsilonGreedy(epsilon) => {
+                let n = q.actions();
+                let mean: f64 = (0..n).map(|a| q.get(s, a)).sum::<f64>() / n as f64;
+                (1.0 - epsilon) * q.max_q(s) + epsilon * mean
+            }
+        }
+    }
+}
+
+/// Runs repeated full-table Q-learning sweeps (the paper's Algorithm 1)
+/// until the largest single-entry change in a pass drops below `theta`
+/// or `max_passes` passes have run.
+///
+/// Returns the number of passes performed.
+///
+/// # Panics
+///
+/// Panics if the Q-table shape does not match the environment, `theta`
+/// is negative, or `max_passes` is zero.
+///
+/// # Example
+///
+/// See the [crate-level example](crate).
+pub fn batch_value_sweep(
+    env: &impl Environment,
+    q: &mut QTable,
+    learner: &QLearning,
+    theta: f64,
+    max_passes: usize,
+) -> usize {
+    batch_value_sweep_with(env, q, learner, Backup::Greedy, theta, max_passes)
+}
+
+/// [`batch_value_sweep`] with an explicit successor-state [`Backup`]
+/// rule.
+///
+/// # Panics
+///
+/// Same as [`batch_value_sweep`]; additionally panics if an
+/// [`Backup::EpsilonGreedy`] ε is outside `[0, 1]`.
+pub fn batch_value_sweep_with(
+    env: &impl Environment,
+    q: &mut QTable,
+    learner: &QLearning,
+    backup: Backup,
+    theta: f64,
+    max_passes: usize,
+) -> usize {
+    assert_eq!(q.states(), env.num_states(), "state count mismatch");
+    assert_eq!(q.actions(), env.num_actions(), "action count mismatch");
+    assert!(theta >= 0.0, "theta must be non-negative");
+    assert!(max_passes > 0, "need at least one pass");
+    if let Backup::EpsilonGreedy(e) = backup {
+        assert!((0.0..=1.0).contains(&e), "epsilon must be in [0, 1]");
+    }
+
+    for pass in 1..=max_passes {
+        let mut error: f64 = 0.0;
+        for s in 0..env.num_states() {
+            for a in 0..env.num_actions() {
+                let s2 = env.transition(s, a);
+                let r = env.reward(s, a, s2);
+                let next_value = backup.state_value(q, s2);
+                let delta = learner.update_toward(q, s, a, r, next_value);
+                error = error.max(delta);
+            }
+        }
+        if error < theta {
+            return pass;
+        }
+    }
+    max_passes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A 1-D lattice where moving toward the middle pays.
+    struct Ridge {
+        n: usize,
+        peak: usize,
+    }
+
+    impl Environment for Ridge {
+        fn num_states(&self) -> usize {
+            self.n
+        }
+        fn num_actions(&self) -> usize {
+            3
+        }
+        fn transition(&self, s: usize, a: usize) -> usize {
+            match a {
+                0 => s.saturating_sub(1),
+                1 => s,
+                _ => (s + 1).min(self.n - 1),
+            }
+        }
+        fn reward(&self, _s: usize, _a: usize, s2: usize) -> f64 {
+            -((s2 as f64) - (self.peak as f64)).abs()
+        }
+    }
+
+    #[test]
+    fn converges_to_peak_seeking_policy() {
+        let env = Ridge { n: 21, peak: 13 };
+        let mut q = QTable::new(21, 3);
+        let passes = batch_value_sweep(&env, &mut q, &QLearning::new(1.0, 0.9), 1e-4, 1000);
+        assert!(passes < 1000, "did not converge");
+        for s in 0..21 {
+            let a = q.best_action(s);
+            match s.cmp(&13) {
+                std::cmp::Ordering::Less => assert_eq!(a, 2, "state {s} should move right"),
+                std::cmp::Ordering::Equal => assert_eq!(a, 1, "peak should stay"),
+                std::cmp::Ordering::Greater => assert_eq!(a, 0, "state {s} should move left"),
+            }
+        }
+    }
+
+    #[test]
+    fn respects_max_passes() {
+        let env = Ridge { n: 50, peak: 25 };
+        let mut q = QTable::new(50, 3);
+        let passes = batch_value_sweep(&env, &mut q, &QLearning::new(0.1, 0.9), 0.0, 3);
+        assert_eq!(passes, 3);
+    }
+
+    #[test]
+    fn theta_zero_runs_all_passes() {
+        let env = Ridge { n: 5, peak: 2 };
+        let mut q = QTable::new(5, 3);
+        // theta 0 can never be beaten by a strictly positive error, but a
+        // fully converged table yields exactly 0 deltas under alpha=1.
+        let passes = batch_value_sweep(&env, &mut q, &QLearning::new(1.0, 0.5), 1e-12, 500);
+        assert!(passes < 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "state count mismatch")]
+    fn shape_mismatch_panics() {
+        let env = Ridge { n: 5, peak: 2 };
+        let mut q = QTable::new(4, 3);
+        batch_value_sweep(&env, &mut q, &QLearning::new(0.5, 0.5), 1e-3, 10);
+    }
+
+    #[test]
+    fn expected_sarsa_backup_is_more_conservative() {
+        // With exploration, successor values are averaged down, so the
+        // converged Q-values are bounded above by the greedy ones.
+        let env = Ridge { n: 15, peak: 7 };
+        let learner = QLearning::new(0.5, 0.9);
+        let mut greedy = QTable::new(15, 3);
+        batch_value_sweep_with(&env, &mut greedy, &learner, Backup::Greedy, 1e-4, 5_000);
+        let mut sarsa = QTable::new(15, 3);
+        batch_value_sweep_with(
+            &env,
+            &mut sarsa,
+            &learner,
+            Backup::EpsilonGreedy(0.3),
+            1e-4,
+            5_000,
+        );
+        for s in 0..15 {
+            assert!(
+                sarsa.max_q(s) <= greedy.max_q(s) + 1e-3,
+                "state {s}: sarsa {} > greedy {}",
+                sarsa.max_q(s),
+                greedy.max_q(s)
+            );
+        }
+        // Both still find the same greedy policy at the peak's neighbours.
+        assert_eq!(sarsa.best_action(3), greedy.best_action(3));
+    }
+
+    #[test]
+    fn epsilon_zero_backup_equals_greedy() {
+        let env = Ridge { n: 9, peak: 4 };
+        let learner = QLearning::new(1.0, 0.5);
+        let mut a = QTable::new(9, 3);
+        let mut b = QTable::new(9, 3);
+        batch_value_sweep_with(&env, &mut a, &learner, Backup::Greedy, 1e-6, 200);
+        batch_value_sweep_with(&env, &mut b, &learner, Backup::EpsilonGreedy(0.0), 1e-6, 200);
+        for s in 0..9 {
+            for act in 0..3 {
+                assert!((a.get(s, act) - b.get(s, act)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in [0, 1]")]
+    fn bad_backup_epsilon_panics() {
+        let env = Ridge { n: 5, peak: 2 };
+        let mut q = QTable::new(5, 3);
+        batch_value_sweep_with(
+            &env,
+            &mut q,
+            &QLearning::new(0.5, 0.5),
+            Backup::EpsilonGreedy(1.5),
+            1e-3,
+            10,
+        );
+    }
+
+    #[test]
+    fn warm_start_converges_faster() {
+        let env = Ridge { n: 31, peak: 11 };
+        let learner = QLearning::new(0.5, 0.9);
+        let mut cold = QTable::new(31, 3);
+        let cold_passes = batch_value_sweep(&env, &mut cold, &learner, 1e-4, 10_000);
+        // Re-run from the converged table: should stop almost immediately.
+        let mut warm = QTable::new(31, 3);
+        warm.copy_from(&cold);
+        let warm_passes = batch_value_sweep(&env, &mut warm, &learner, 1e-4, 10_000);
+        assert!(warm_passes < cold_passes, "warm {warm_passes} vs cold {cold_passes}");
+    }
+}

@@ -1,0 +1,234 @@
+//! Timestamped event queue with deterministic tie-breaking.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// A future-event list: the central data structure of a discrete-event
+/// simulation.
+///
+/// Events are popped in non-decreasing timestamp order. Events scheduled
+/// for the *same* instant are popped in the order they were scheduled
+/// (FIFO), which keeps simulations deterministic without requiring the
+/// event payload itself to be ordered.
+///
+/// # Example
+///
+/// ```
+/// use simkernel::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(2), "second");
+/// q.schedule(SimTime::from_secs(1), "first");
+/// q.schedule(SimTime::from_secs(2), "third"); // same time: FIFO after "second"
+///
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(1), "first")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(2), "second")));
+/// assert_eq!(q.pop(), Some((SimTime::from_secs(2), "third")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    seq: u64,
+    now: SimTime,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse to get earliest-first, with the
+        // sequence number breaking ties FIFO.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+    }
+
+    /// The timestamp of the most recently popped event — the current
+    /// simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past is a simulation bug; in debug builds this
+    /// panics, in release builds the event fires at the current time.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `at` is earlier than [`EventQueue::now`].
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        debug_assert!(at >= self.now, "scheduled event in the past: {at} < {}", self.now);
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pops the earliest event and advances the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// Pops the earliest event only if it is strictly before `horizon`.
+    ///
+    /// Events at or after the horizon stay queued, so a simulation can be
+    /// resumed past the horizon later. The clock does not advance when
+    /// `None` is returned.
+    pub fn pop_before(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        if self.peek_time()? < horizon {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Removes every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_micros(30), 3);
+        q.schedule(SimTime::from_micros(10), 1);
+        q.schedule(SimTime::from_micros(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fifo_tie_break_at_same_instant() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(SimTime::from_secs(1), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn pop_before_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(3), "b");
+        assert_eq!(q.pop_before(SimTime::from_secs(2)), Some((SimTime::from_secs(1), "a")));
+        assert_eq!(q.pop_before(SimTime::from_secs(2)), None);
+        assert_eq!(q.len(), 1);
+        // Resume with a later horizon.
+        assert_eq!(q.pop_before(SimTime::from_secs(4)), Some((SimTime::from_secs(3), "b")));
+    }
+
+    #[test]
+    fn pop_before_exact_horizon_is_exclusive() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(2), ());
+        assert_eq!(q.pop_before(SimTime::from_secs(2)), None);
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(1), ());
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    proptest! {
+        /// Popped timestamps are always non-decreasing regardless of the
+        /// scheduling order.
+        #[test]
+        fn prop_pop_order_is_sorted(times in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_micros(*t), i);
+            }
+            let mut last = SimTime::ZERO;
+            while let Some((at, _)) = q.pop() {
+                prop_assert!(at >= last);
+                last = at;
+            }
+        }
+
+        /// Every scheduled event is eventually popped exactly once.
+        #[test]
+        fn prop_no_event_lost(times in proptest::collection::vec(0u64..1_000, 1..100)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.schedule(SimTime::from_micros(*t), i);
+            }
+            let mut seen: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+            seen.sort_unstable();
+            prop_assert_eq!(seen, (0..times.len()).collect::<Vec<_>>());
+        }
+    }
+}

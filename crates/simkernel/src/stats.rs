@@ -1,0 +1,552 @@
+//! Online statistics for simulation measurement.
+//!
+//! The RAC agent is non-intrusive: the only signal it consumes is
+//! application-level performance sampled over an interval. These
+//! accumulators compute those samples without storing raw observations.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Numerically stable running mean / variance (Welford's algorithm).
+///
+/// # Example
+///
+/// ```
+/// use simkernel::stats::Welford;
+///
+/// let mut w = Welford::new();
+/// for x in [2.0, 4.0, 6.0] {
+///     w.push(x);
+/// }
+/// assert_eq!(w.mean(), 4.0);
+/// assert_eq!(w.count(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Welford { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the observations, or `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (n − 1 denominator), or `0.0` with fewer than two
+    /// observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation, or `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation, or `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.m2 += other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.count = total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Histogram of durations with exponentially growing bucket widths,
+/// supporting approximate percentile queries.
+///
+/// Buckets cover `[0, ~4.7 simulated hours)` with ≤ ~4% relative error —
+/// plenty for response-time distributions.
+///
+/// # Example
+///
+/// ```
+/// use simkernel::SimDuration;
+/// use simkernel::stats::DurationHistogram;
+///
+/// let mut h = DurationHistogram::new();
+/// for ms in [10u64, 20, 30, 40, 1000] {
+///     h.record(SimDuration::from_millis(ms));
+/// }
+/// assert_eq!(h.count(), 5);
+/// let p50 = h.percentile(50.0).unwrap();
+/// assert!(p50 >= SimDuration::from_millis(20) && p50 <= SimDuration::from_millis(40));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurationHistogram {
+    /// Sub-bucket resolution: 32 linear sub-buckets per power of two.
+    counts: Vec<u64>,
+    total: u64,
+    sum_micros: u128,
+}
+
+const SUB_BUCKETS: u64 = 32;
+const SUB_BITS: u32 = 5;
+// 64 - 5 = enough exponents to cover u64, but cap the layout for memory.
+const MAX_EXPONENT: u32 = 39; // covers up to 2^(39+5) us ≈ 4.7e8 s
+
+impl DurationHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        DurationHistogram {
+            counts: vec![0; ((MAX_EXPONENT + 1) as usize) * SUB_BUCKETS as usize],
+            total: 0,
+            sum_micros: 0,
+        }
+    }
+
+    fn index_of(us: u64) -> usize {
+        if us < SUB_BUCKETS {
+            return us as usize;
+        }
+        let exp = 63 - us.leading_zeros(); // position of the highest set bit
+        let exp = exp.min(MAX_EXPONENT + SUB_BITS - 1);
+        let bucket_exp = exp - SUB_BITS + 1;
+        let sub = (us >> bucket_exp) & (SUB_BUCKETS - 1);
+        ((bucket_exp as usize) * SUB_BUCKETS as usize + sub as usize)
+            .min(((MAX_EXPONENT + 1) as usize) * SUB_BUCKETS as usize - 1)
+    }
+
+    fn lower_bound_of(index: usize) -> u64 {
+        let bucket_exp = index / SUB_BUCKETS as usize;
+        let sub = (index % SUB_BUCKETS as usize) as u64;
+        if bucket_exp == 0 {
+            sub
+        } else {
+            (SUB_BUCKETS + sub) << (bucket_exp - 1)
+        }
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, d: SimDuration) {
+        let us = d.as_micros();
+        self.counts[Self::index_of(us)] += 1;
+        self.total += 1;
+        self.sum_micros += us as u128;
+    }
+
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Exact mean of all recorded durations, or `None` when empty.
+    pub fn mean(&self) -> Option<SimDuration> {
+        (self.total > 0).then(|| SimDuration::from_micros((self.sum_micros / self.total as u128) as u64))
+    }
+
+    /// Approximate percentile (`p` in `[0, 100]`), or `None` when empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<SimDuration> {
+        assert!((0.0..=100.0).contains(&p), "percentile out of range: {p}");
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((p / 100.0) * self.total as f64).ceil().max(1.0) as u64;
+        let mut acc = 0;
+        for (i, c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= rank {
+                return Some(SimDuration::from_micros(Self::lower_bound_of(i)));
+            }
+        }
+        Some(SimDuration::from_micros(Self::lower_bound_of(self.counts.len() - 1)))
+    }
+
+    /// Resets the histogram to empty without deallocating.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.total = 0;
+        self.sum_micros = 0;
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &DurationHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum_micros += other.sum_micros;
+    }
+}
+
+impl Default for DurationHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal, e.g. "mean number
+/// of busy Apache workers over the interval".
+///
+/// # Example
+///
+/// ```
+/// use simkernel::SimTime;
+/// use simkernel::stats::TimeWeighted;
+///
+/// let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+/// tw.set(SimTime::from_secs(10), 4.0);  // 0.0 held for 10 s
+/// tw.set(SimTime::from_secs(30), 0.0);  // 4.0 held for 20 s
+/// let avg = tw.average(SimTime::from_secs(40)); // 4*20/40
+/// assert!((avg - 2.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeWeighted {
+    last_change: SimTime,
+    value: f64,
+    weighted_sum: f64,
+    start: SimTime,
+}
+
+impl TimeWeighted {
+    /// Starts tracking a signal whose value is `initial` at time `start`.
+    pub fn new(start: SimTime, initial: f64) -> Self {
+        TimeWeighted { last_change: start, value: initial, weighted_sum: 0.0, start }
+    }
+
+    /// Updates the signal value at time `now`.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        let dt = now.saturating_since(self.last_change).as_secs_f64();
+        self.weighted_sum += self.value * dt;
+        self.last_change = now;
+        self.value = value;
+    }
+
+    /// Adds `delta` to the current value at time `now`.
+    pub fn add(&mut self, now: SimTime, delta: f64) {
+        let v = self.value + delta;
+        self.set(now, v);
+    }
+
+    /// Current (instantaneous) value.
+    pub fn current(&self) -> f64 {
+        self.value
+    }
+
+    /// Time-weighted average over `[start, now]`; `0.0` for an empty span.
+    pub fn average(&self, now: SimTime) -> f64 {
+        let span = now.saturating_since(self.start).as_secs_f64();
+        if span <= 0.0 {
+            return self.value;
+        }
+        let pending = self.value * now.saturating_since(self.last_change).as_secs_f64();
+        (self.weighted_sum + pending) / span
+    }
+
+    /// Restarts the averaging window at `now`, keeping the current value.
+    pub fn reset(&mut self, now: SimTime) {
+        self.weighted_sum = 0.0;
+        self.start = now;
+        self.last_change = now;
+    }
+}
+
+/// Fixed-capacity sliding window over the most recent observations.
+///
+/// Used by the RAC agent's context-change detector, which compares the
+/// current reward to the average of the last *n* rewards.
+///
+/// # Example
+///
+/// ```
+/// use simkernel::stats::SlidingWindow;
+///
+/// let mut w = SlidingWindow::new(3);
+/// for x in [1.0, 2.0, 3.0, 4.0] {
+///     w.push(x);
+/// }
+/// assert_eq!(w.len(), 3);
+/// assert_eq!(w.mean(), Some(3.0)); // 2, 3, 4
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlidingWindow {
+    buf: Vec<f64>,
+    head: usize,
+    len: usize,
+}
+
+impl SlidingWindow {
+    /// Creates a window keeping the `capacity` most recent values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        SlidingWindow { buf: vec![0.0; capacity], head: 0, len: 0 }
+    }
+
+    /// Maximum number of retained values.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Number of currently retained values.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no values have been pushed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns `true` once the window has wrapped at least once.
+    pub fn is_full(&self) -> bool {
+        self.len == self.buf.len()
+    }
+
+    /// Pushes a value, evicting the oldest when full.
+    pub fn push(&mut self, x: f64) {
+        self.buf[self.head] = x;
+        self.head = (self.head + 1) % self.buf.len();
+        self.len = (self.len + 1).min(self.buf.len());
+    }
+
+    /// Mean of the retained values, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.len == 0 {
+            return None;
+        }
+        Some(self.iter().sum::<f64>() / self.len as f64)
+    }
+
+    /// Iterates over retained values, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        let cap = self.buf.len();
+        let start = (self.head + cap - self.len) % cap;
+        (0..self.len).map(move |i| self.buf[(start + i) % cap])
+    }
+
+    /// Clears the window.
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.head = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn welford_mean_and_variance() {
+        let mut w = Welford::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            w.push(x);
+        }
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(w.min(), Some(2.0));
+        assert_eq!(w.max(), Some(9.0));
+    }
+
+    #[test]
+    fn welford_empty_is_zero() {
+        let w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert_eq!(w.min(), None);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = Welford::new();
+        for &x in &xs {
+            all.push(x);
+        }
+        let mut left = Welford::new();
+        let mut right = Welford::new();
+        for &x in &xs[..37] {
+            left.push(x);
+        }
+        for &x in &xs[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert!((left.mean() - all.mean()).abs() < 1e-9);
+        assert!((left.variance() - all.variance()).abs() < 1e-9);
+        assert_eq!(left.count(), all.count());
+    }
+
+    #[test]
+    fn histogram_mean_is_exact() {
+        let mut h = DurationHistogram::new();
+        for ms in [100u64, 200, 300] {
+            h.record(SimDuration::from_millis(ms));
+        }
+        assert_eq!(h.mean(), Some(SimDuration::from_millis(200)));
+    }
+
+    #[test]
+    fn histogram_percentiles_ordered() {
+        let mut h = DurationHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(SimDuration::from_millis(i));
+        }
+        let p50 = h.percentile(50.0).unwrap();
+        let p95 = h.percentile(95.0).unwrap();
+        let p99 = h.percentile(99.0).unwrap();
+        assert!(p50 <= p95 && p95 <= p99);
+        // ≤ ~4% relative bucket error
+        let p50_ms = p50.as_millis_f64();
+        assert!((470.0..=510.0).contains(&p50_ms), "p50 {p50_ms}");
+    }
+
+    #[test]
+    fn histogram_empty_percentile_none() {
+        let h = DurationHistogram::new();
+        assert_eq!(h.percentile(50.0), None);
+        assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    fn histogram_clear_and_merge() {
+        let mut a = DurationHistogram::new();
+        let mut b = DurationHistogram::new();
+        a.record(SimDuration::from_millis(10));
+        b.record(SimDuration::from_millis(20));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        a.clear();
+        assert_eq!(a.count(), 0);
+    }
+
+    #[test]
+    fn histogram_handles_extreme_values() {
+        let mut h = DurationHistogram::new();
+        h.record(SimDuration::ZERO);
+        h.record(SimDuration::MAX);
+        assert_eq!(h.count(), 2);
+        assert!(h.percentile(100.0).is_some());
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 2.0);
+        tw.set(SimTime::from_secs(5), 4.0);
+        // 2.0 for 5 s, 4.0 for 5 s → 3.0
+        assert!((tw.average(SimTime::from_secs(10)) - 3.0).abs() < 1e-9);
+        assert_eq!(tw.current(), 4.0);
+    }
+
+    #[test]
+    fn time_weighted_add_and_reset() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 1.0);
+        tw.add(SimTime::from_secs(1), 1.0);
+        assert_eq!(tw.current(), 2.0);
+        tw.reset(SimTime::from_secs(1));
+        assert!((tw.average(SimTime::from_secs(2)) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sliding_window_evicts_oldest() {
+        let mut w = SlidingWindow::new(2);
+        w.push(1.0);
+        w.push(2.0);
+        w.push(3.0);
+        let vals: Vec<f64> = w.iter().collect();
+        assert_eq!(vals, vec![2.0, 3.0]);
+        assert!(w.is_full());
+    }
+
+    #[test]
+    fn sliding_window_mean_empty() {
+        let w = SlidingWindow::new(4);
+        assert_eq!(w.mean(), None);
+        assert!(w.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_welford_matches_naive(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let mut w = Welford::new();
+            for &x in &xs {
+                w.push(x);
+            }
+            let naive_mean = xs.iter().sum::<f64>() / xs.len() as f64;
+            prop_assert!((w.mean() - naive_mean).abs() < 1e-6 * (1.0 + naive_mean.abs()));
+        }
+
+        #[test]
+        fn prop_histogram_percentile_monotone(us in proptest::collection::vec(0u64..10_000_000, 1..100)) {
+            let mut h = DurationHistogram::new();
+            for &u in &us {
+                h.record(SimDuration::from_micros(u));
+            }
+            let mut last = SimDuration::ZERO;
+            for p in [1.0, 25.0, 50.0, 75.0, 99.0, 100.0] {
+                let v = h.percentile(p).unwrap();
+                prop_assert!(v >= last);
+                last = v;
+            }
+        }
+
+        #[test]
+        fn prop_sliding_window_len_bounded(cap in 1usize..32, n in 0usize..100) {
+            let mut w = SlidingWindow::new(cap);
+            for i in 0..n {
+                w.push(i as f64);
+            }
+            prop_assert_eq!(w.len(), n.min(cap));
+            prop_assert_eq!(w.iter().count(), n.min(cap));
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Emulated browsers and fleets of them.
+
+use std::fmt;
+
+use simkernel::rng::Exponential;
+use simkernel::{Pcg64, SimDuration};
+
+use crate::interaction::Interaction;
+use crate::mix::{Mix, MixMatrix};
+
+/// Mean think time between two requests of one browser (TPC-W: 7 s).
+pub const MEAN_THINK_TIME_SECS: f64 = 7.0;
+/// Cap on a single think time (TPC-W: 70 s).
+pub const MAX_THINK_TIME_SECS: f64 = 70.0;
+/// Mean session length in interactions before the customer leaves.
+pub const MEAN_SESSION_LENGTH: f64 = 25.0;
+
+/// Identifier of a browsing session (new sessions get fresh ids).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u64);
+
+impl fmt::Display for SessionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "session-{}", self.0)
+    }
+}
+
+/// A request emitted by an emulated browser.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Request {
+    /// Index of the emitting browser within its [`Fleet`].
+    pub browser: usize,
+    /// Session the request belongs to.
+    pub session: SessionId,
+    /// Which TPC-W interaction is requested.
+    pub interaction: Interaction,
+    /// `true` when this is the first request of a fresh session (a new
+    /// TCP connection: no keep-alive reuse possible).
+    pub new_session: bool,
+}
+
+/// One emulated browser (EB): think → request → think → …, with
+/// geometric-length sessions that always start at [`Interaction::Home`].
+///
+/// # Example
+///
+/// ```
+/// use simkernel::Pcg64;
+/// use tpcw::{Browser, Interaction, Mix};
+///
+/// let mut rng = Pcg64::seed_from_u64(3);
+/// let mut eb = Browser::new(7, Mix::Ordering);
+/// let first = eb.next_request(&mut rng);
+/// assert!(first.new_session);
+/// assert_eq!(first.interaction, Interaction::Home);
+/// let second = eb.next_request(&mut rng);
+/// assert_eq!(second.browser, 7);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Browser {
+    index: usize,
+    matrix: MixMatrix,
+    think: Exponential,
+    current: Option<Interaction>,
+    session: SessionId,
+    session_counter: u64,
+    /// Probability that each interaction ends the session.
+    end_session_p: f64,
+}
+
+impl Browser {
+    /// Creates a browser with the standard TPC-W think-time and
+    /// session-length parameters.
+    pub fn new(index: usize, mix: Mix) -> Self {
+        Browser {
+            index,
+            matrix: mix.matrix(),
+            think: Exponential::with_mean(MEAN_THINK_TIME_SECS),
+            current: None,
+            session: SessionId((index as u64) << 32),
+            session_counter: 0,
+            end_session_p: 1.0 / MEAN_SESSION_LENGTH,
+        }
+    }
+
+    /// Switches the browser to a different traffic mix (used when the
+    /// experiment's system context changes); the current session ends.
+    pub fn set_mix(&mut self, mix: Mix) {
+        self.matrix = mix.matrix();
+        self.current = None;
+    }
+
+    /// Index within the fleet.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Draws the think time preceding the next request (exponential with
+    /// mean 7 s, capped at 70 s).
+    pub fn think_time(&self, rng: &mut Pcg64) -> SimDuration {
+        let secs = self.think.sample(rng).min(MAX_THINK_TIME_SECS);
+        SimDuration::from_secs_f64(secs)
+    }
+
+    /// Produces the browser's next request, advancing its session state.
+    pub fn next_request(&mut self, rng: &mut Pcg64) -> Request {
+        let (interaction, new_session) = match self.current {
+            None => (Interaction::Home, true),
+            Some(from) => {
+                if rng.chance(self.end_session_p) {
+                    self.session_counter += 1;
+                    self.session = SessionId(((self.index as u64) << 32) | self.session_counter);
+                    (Interaction::Home, true)
+                } else {
+                    (self.matrix.sample_next(from, rng), false)
+                }
+            }
+        };
+        self.current = Some(interaction);
+        Request { browser: self.index, session: self.session, interaction, new_session }
+    }
+}
+
+/// A population of emulated browsers sharing one traffic mix.
+///
+/// The web-system simulator owns the event loop; the fleet just hands out
+/// browsers and bulk operations over them.
+///
+/// # Example
+///
+/// ```
+/// use simkernel::Pcg64;
+/// use tpcw::{Fleet, Mix};
+///
+/// let mut rng = Pcg64::seed_from_u64(5);
+/// let mut fleet = Fleet::new(50, Mix::Shopping);
+/// assert_eq!(fleet.len(), 50);
+/// let req = fleet.browser_mut(10).next_request(&mut rng);
+/// assert_eq!(req.browser, 10);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fleet {
+    browsers: Vec<Browser>,
+    mix: Mix,
+}
+
+impl Fleet {
+    /// Creates `n` browsers running `mix`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, mix: Mix) -> Self {
+        assert!(n > 0, "a fleet needs at least one browser");
+        Fleet { browsers: (0..n).map(|i| Browser::new(i, mix)).collect(), mix }
+    }
+
+    /// Number of browsers.
+    pub fn len(&self) -> usize {
+        self.browsers.len()
+    }
+
+    /// Always `false`: fleets are non-empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Current traffic mix.
+    pub fn mix(&self) -> Mix {
+        self.mix
+    }
+
+    /// Mutable access to one browser.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn browser_mut(&mut self, index: usize) -> &mut Browser {
+        &mut self.browsers[index]
+    }
+
+    /// Switches every browser to a new mix (all sessions restart).
+    pub fn set_mix(&mut self, mix: Mix) {
+        self.mix = mix;
+        for b in &mut self.browsers {
+            b.set_mix(mix);
+        }
+    }
+
+    /// Resizes the fleet, keeping existing browsers' session state where
+    /// possible.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn resize(&mut self, n: usize) {
+        assert!(n > 0, "a fleet needs at least one browser");
+        let mix = self.mix;
+        let old = self.browsers.len();
+        if n < old {
+            self.browsers.truncate(n);
+        } else {
+            self.browsers.extend((old..n).map(|i| Browser::new(i, mix)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn first_request_is_home_new_session() {
+        let mut rng = Pcg64::seed_from_u64(1);
+        let mut eb = Browser::new(0, Mix::Browsing);
+        let r = eb.next_request(&mut rng);
+        assert_eq!(r.interaction, Interaction::Home);
+        assert!(r.new_session);
+    }
+
+    #[test]
+    fn sessions_restart_at_home_with_fresh_id() {
+        let mut rng = Pcg64::seed_from_u64(2);
+        let mut eb = Browser::new(0, Mix::Ordering);
+        let first = eb.next_request(&mut rng);
+        let mut restarts = 0;
+        let mut last_session = first.session;
+        for _ in 0..2_000 {
+            let r = eb.next_request(&mut rng);
+            if r.new_session {
+                restarts += 1;
+                assert_eq!(r.interaction, Interaction::Home);
+                assert_ne!(r.session, last_session);
+            }
+            last_session = r.session;
+        }
+        // Mean session length 25 → about 80 restarts over 2000 requests.
+        assert!((40..160).contains(&restarts), "restarts {restarts}");
+    }
+
+    #[test]
+    fn think_times_capped() {
+        let mut rng = Pcg64::seed_from_u64(3);
+        let eb = Browser::new(0, Mix::Shopping);
+        let mut total = 0.0;
+        let n = 20_000;
+        for _ in 0..n {
+            let t = eb.think_time(&mut rng).as_secs_f64();
+            assert!(t <= MAX_THINK_TIME_SECS);
+            total += t;
+        }
+        let mean = total / n as f64;
+        assert!((mean - 7.0).abs() < 0.3, "mean think {mean}");
+    }
+
+    #[test]
+    fn mix_change_restarts_session() {
+        let mut rng = Pcg64::seed_from_u64(4);
+        let mut eb = Browser::new(0, Mix::Browsing);
+        eb.next_request(&mut rng);
+        eb.set_mix(Mix::Ordering);
+        let r = eb.next_request(&mut rng);
+        assert!(r.new_session);
+    }
+
+    #[test]
+    fn ordering_mix_produces_more_order_requests() {
+        let mut rng = Pcg64::seed_from_u64(5);
+        let count_orders = |mix: Mix, rng: &mut Pcg64| {
+            let mut eb = Browser::new(0, mix);
+            (0..5_000).filter(|_| eb.next_request(rng).interaction.is_order()).count()
+        };
+        let browsing = count_orders(Mix::Browsing, &mut rng);
+        let ordering = count_orders(Mix::Ordering, &mut rng);
+        assert!(ordering > 3 * browsing, "browsing {browsing} ordering {ordering}");
+    }
+
+    #[test]
+    fn fleet_operations() {
+        let mut fleet = Fleet::new(10, Mix::Shopping);
+        assert_eq!(fleet.len(), 10);
+        assert!(!fleet.is_empty());
+        assert_eq!(fleet.mix(), Mix::Shopping);
+        fleet.resize(4);
+        assert_eq!(fleet.len(), 4);
+        fleet.resize(8);
+        assert_eq!(fleet.len(), 8);
+        fleet.set_mix(Mix::Browsing);
+        assert_eq!(fleet.mix(), Mix::Browsing);
+        assert_eq!(fleet.browser_mut(7).index(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one browser")]
+    fn empty_fleet_panics() {
+        Fleet::new(0, Mix::Shopping);
+    }
+
+    #[test]
+    fn session_ids_unique_across_browsers() {
+        let mut rng = Pcg64::seed_from_u64(6);
+        let mut fleet = Fleet::new(3, Mix::Shopping);
+        let mut sessions = std::collections::HashSet::new();
+        for b in 0..3 {
+            for _ in 0..50 {
+                sessions.insert(fleet.browser_mut(b).next_request(&mut rng).session);
+            }
+        }
+        // Every browser contributes at least its initial session; ids from
+        // different browsers never collide (upper 32 bits are the index).
+        assert!(sessions.len() >= 3);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_browser_deterministic(seed: u64) {
+            let mut r1 = Pcg64::seed_from_u64(seed);
+            let mut r2 = Pcg64::seed_from_u64(seed);
+            let mut a = Browser::new(0, Mix::Shopping);
+            let mut b = Browser::new(0, Mix::Shopping);
+            for _ in 0..32 {
+                prop_assert_eq!(a.next_request(&mut r1), b.next_request(&mut r2));
+            }
+        }
+    }
+}

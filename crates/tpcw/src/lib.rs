@@ -1,0 +1,46 @@
+//! TPC-W-style workload generation for the RAC reproduction.
+//!
+//! The paper evaluates RAC with the TPC-W online-bookstore benchmark,
+//! whose three standard traffic mixes — **browsing**, **shopping** and
+//! **ordering** — stress a three-tier website in markedly different ways
+//! (browsing is read-heavy on the catalogue; ordering is session- and
+//! transaction-heavy). The RAC evaluation depends only on those relative
+//! pressures, not on the exact bytes of the reference implementation, so
+//! this crate models:
+//!
+//! * the **14 TPC-W web interactions** ([`Interaction`]) with per-tier CPU
+//!   demand profiles ([`DemandProfile`]),
+//! * the **three mixes** ([`Mix`]) as customer-behaviour Markov chains
+//!   ([`MixMatrix`]) whose stationary browse/order ratios follow the
+//!   TPC-W targets (≈95/5, ≈80/20, ≈50/50),
+//! * **emulated browsers** ([`Browser`], [`Fleet`]) with exponential think
+//!   times (mean 7 s, capped at 70 s per the TPC-W spec) and geometric
+//!   session lengths.
+//!
+//! # Example
+//!
+//! Drive one emulated browser through a session:
+//!
+//! ```
+//! use simkernel::Pcg64;
+//! use tpcw::{Browser, Mix};
+//!
+//! let mut rng = Pcg64::seed_from_u64(1);
+//! let mut eb = Browser::new(0, Mix::Shopping);
+//! let think = eb.think_time(&mut rng);
+//! assert!(think.as_secs_f64() <= 70.0);
+//! let req = eb.next_request(&mut rng);
+//! assert_eq!(req.browser, 0);
+//! println!("{}: {:?}", req.session, req.interaction);
+//! ```
+
+mod browser;
+mod interaction;
+mod mix;
+
+pub use browser::{
+    Browser, Fleet, Request, SessionId, MAX_THINK_TIME_SECS, MEAN_SESSION_LENGTH,
+    MEAN_THINK_TIME_SECS,
+};
+pub use interaction::{DemandProfile, Interaction};
+pub use mix::{Mix, MixMatrix};

@@ -1,0 +1,217 @@
+//! Proportional-share CPU scheduling in the style of Xen's credit
+//! scheduler.
+//!
+//! The real credit scheduler hands out CPU "credits" to VMs in proportion
+//! to their weights and caps each VM at its configured ceiling. At the
+//! timescales the RAC agent observes (minutes), that behaviour converges
+//! to a weighted max-min fair allocation of physical cores, which is what
+//! [`CreditScheduler::allocate`] computes directly via water-filling.
+
+/// One VM's scheduling parameters and demand, as seen by the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VmLoad {
+    /// Proportional-share weight (Xen default: 256).
+    pub weight: f64,
+    /// Upper bound on cores this VM may consume (its vCPU count, or a
+    /// lower administrative cap).
+    pub cap: f64,
+    /// Cores' worth of runnable work the VM currently wants.
+    pub demand: f64,
+}
+
+/// Weighted max-min fair allocator of physical cores among VMs.
+///
+/// # Example
+///
+/// ```
+/// use vmstack::CreditScheduler;
+/// use vmstack::credit_loads;
+///
+/// // Two equal-weight VMs both want 3 cores of a 4-core host capped at 4 vCPUs:
+/// let shares = CreditScheduler::new(4.0).allocate(&credit_loads(&[(256.0, 4.0, 3.0), (256.0, 4.0, 3.0)]));
+/// assert!((shares[0] - 2.0).abs() < 1e-9);
+/// assert!((shares[1] - 2.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CreditScheduler {
+    cores: f64,
+}
+
+impl CreditScheduler {
+    /// Creates a scheduler for a host with `cores` physical cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is not positive and finite.
+    pub fn new(cores: f64) -> Self {
+        assert!(cores.is_finite() && cores > 0.0, "host must have positive core count");
+        CreditScheduler { cores }
+    }
+
+    /// Physical cores managed by this scheduler.
+    pub fn cores(&self) -> f64 {
+        self.cores
+    }
+
+    /// Computes each VM's core allocation.
+    ///
+    /// The result is the weighted max-min fair share: no VM gets more than
+    /// `min(cap, demand)`, the total never exceeds the host's cores, and
+    /// spare capacity left by satisfied VMs is redistributed to the rest
+    /// in proportion to their weights.
+    pub fn allocate(&self, vms: &[VmLoad]) -> Vec<f64> {
+        let n = vms.len();
+        let mut shares = vec![0.0; n];
+        if n == 0 {
+            return shares;
+        }
+        let limit: Vec<f64> = vms.iter().map(|v| v.cap.min(v.demand).max(0.0)).collect();
+        let mut remaining = self.cores;
+        let mut active: Vec<usize> = (0..n).filter(|&i| limit[i] > 0.0 && vms[i].weight > 0.0).collect();
+
+        // Water-filling: repeatedly give every unsatisfied VM its weighted
+        // share; VMs whose limit is reached leave the pool and release the
+        // excess. Terminates in ≤ n rounds.
+        while !active.is_empty() && remaining > 1e-12 {
+            let total_weight: f64 = active.iter().map(|&i| vms[i].weight).sum();
+            let mut satisfied = Vec::new();
+            let mut consumed = 0.0;
+            for &i in &active {
+                let fair = remaining * vms[i].weight / total_weight;
+                let want = limit[i] - shares[i];
+                if want <= fair + 1e-12 {
+                    shares[i] = limit[i];
+                    consumed += want;
+                    satisfied.push(i);
+                }
+            }
+            if satisfied.is_empty() {
+                // Nobody is capped below their fair share: hand out the
+                // remainder proportionally and stop.
+                for &i in &active {
+                    shares[i] += remaining * vms[i].weight / total_weight;
+                }
+                remaining = 0.0;
+            } else {
+                remaining -= consumed;
+                active.retain(|i| !satisfied.contains(i));
+            }
+        }
+        shares
+    }
+}
+
+/// Convenience constructor of [`VmLoad`] slices from `(weight, cap,
+/// demand)` tuples, mainly for tests and doc examples.
+pub fn loads(tuples: &[(f64, f64, f64)]) -> Vec<VmLoad> {
+    tuples
+        .iter()
+        .map(|&(weight, cap, demand)| VmLoad { weight, cap, demand })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn total(shares: &[f64]) -> f64 {
+        shares.iter().sum()
+    }
+
+    #[test]
+    fn single_vm_gets_min_of_cap_demand_cores() {
+        let s = CreditScheduler::new(8.0);
+        assert_eq!(s.allocate(&loads(&[(256.0, 4.0, 10.0)]))[0], 4.0);
+        assert_eq!(s.allocate(&loads(&[(256.0, 4.0, 2.0)]))[0], 2.0);
+        assert_eq!(s.allocate(&loads(&[(256.0, 16.0, 16.0)]))[0], 8.0);
+    }
+
+    #[test]
+    fn equal_weights_split_evenly_under_contention() {
+        let s = CreditScheduler::new(4.0);
+        let shares = s.allocate(&loads(&[(256.0, 4.0, 4.0), (256.0, 4.0, 4.0)]));
+        assert!((shares[0] - 2.0).abs() < 1e-9);
+        assert!((shares[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weights_bias_the_split() {
+        let s = CreditScheduler::new(6.0);
+        let shares = s.allocate(&loads(&[(512.0, 6.0, 6.0), (256.0, 6.0, 6.0)]));
+        assert!((shares[0] - 4.0).abs() < 1e-9);
+        assert!((shares[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spare_capacity_redistributes() {
+        // VM 0 only wants 1 core; VM 1 should get the rest up to its cap.
+        let s = CreditScheduler::new(8.0);
+        let shares = s.allocate(&loads(&[(256.0, 8.0, 1.0), (256.0, 8.0, 10.0)]));
+        assert!((shares[0] - 1.0).abs() < 1e-9);
+        assert!((shares[1] - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn caps_are_respected() {
+        let s = CreditScheduler::new(8.0);
+        let shares = s.allocate(&loads(&[(256.0, 2.0, 10.0), (256.0, 3.0, 10.0)]));
+        assert!(shares[0] <= 2.0 + 1e-9);
+        assert!(shares[1] <= 3.0 + 1e-9);
+    }
+
+    #[test]
+    fn zero_demand_gets_zero() {
+        let s = CreditScheduler::new(8.0);
+        let shares = s.allocate(&loads(&[(256.0, 4.0, 0.0), (256.0, 4.0, 4.0)]));
+        assert_eq!(shares[0], 0.0);
+        assert_eq!(shares[1], 4.0);
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        assert!(CreditScheduler::new(4.0).allocate(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive core count")]
+    fn zero_cores_panics() {
+        CreditScheduler::new(0.0);
+    }
+
+    proptest! {
+        /// Conservation and feasibility: allocations are non-negative,
+        /// within each VM's limit, and never exceed host capacity.
+        #[test]
+        fn prop_feasible(
+            cores in 1.0f64..64.0,
+            tuples in proptest::collection::vec((1.0f64..512.0, 0.0f64..16.0, 0.0f64..32.0), 0..8),
+        ) {
+            let s = CreditScheduler::new(cores);
+            let vms = loads(&tuples);
+            let shares = s.allocate(&vms);
+            prop_assert_eq!(shares.len(), vms.len());
+            for (share, vm) in shares.iter().zip(&vms) {
+                prop_assert!(*share >= -1e-9);
+                prop_assert!(*share <= vm.cap.min(vm.demand) + 1e-6);
+            }
+            prop_assert!(total(&shares) <= cores + 1e-6);
+        }
+
+        /// Work conservation: if total demand exceeds capacity, the host
+        /// is fully used (up to caps).
+        #[test]
+        fn prop_work_conserving(
+            cores in 1.0f64..16.0,
+            demands in proptest::collection::vec(0.5f64..8.0, 1..6),
+        ) {
+            let tuples: Vec<(f64, f64, f64)> = demands.iter().map(|&d| (256.0, 8.0, d)).collect();
+            let s = CreditScheduler::new(cores);
+            let shares = s.allocate(&loads(&tuples));
+            let want: f64 = demands.iter().sum::<f64>();
+            let expected = want.min(cores);
+            prop_assert!((total(&shares) - expected).abs() < 1e-6,
+                "allocated {} expected {}", total(&shares), expected);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Virtualization substrate model for the RAC reproduction.
+//!
+//! The paper hosts the three-tier website on Xen 3.1 VMs and evaluates how
+//! the web system must be *re*-configured when the VM resources change
+//! (Levels 1–3: 4/3/2 virtual CPUs and 4/3/2 GB of memory). RAC itself
+//! never looks inside the hypervisor — it only observes application-level
+//! response time — so what this substrate must capture is the *causal
+//! channels* through which VM resources shape that response time:
+//!
+//! 1. **CPU capacity** — a VM's runnable tasks share its virtual CPUs;
+//!    the host's physical cores are shared between VMs by a
+//!    credit-scheduler-style proportional-share policy
+//!    ([`CreditScheduler`]).
+//! 2. **Concurrency overhead** — beyond the number of vCPUs, each extra
+//!    runnable task adds context-switch and cache-pressure cost, which is
+//!    what makes "more MaxClients" eventually *hurt* processing time (the
+//!    paper's Figure 2 counter-intuition).
+//! 3. **Memory pressure** — worker processes, threads and sessions consume
+//!    guest memory; overshooting the VM allocation swaps, degrading
+//!    latency super-linearly ([`MemoryModel`]).
+//!
+//! [`Vm::service_multiplier`] folds all three into a single factor the
+//! web-system simulator multiplies into every CPU demand.
+//!
+//! # Example
+//!
+//! ```
+//! use vmstack::{Host, ResourceLevel, VmSpec};
+//!
+//! let mut host = Host::new(8, 8192);
+//! let web = host.create_vm(VmSpec::new(2, 2048)).unwrap();
+//! let app_db = host.create_vm(ResourceLevel::Level1.vm_spec()).unwrap();
+//!
+//! // A lightly loaded VM runs at full speed…
+//! let fast = host.vm(app_db).service_multiplier(2.0, 1024.0);
+//! // …a heavily loaded one is slower per unit of work.
+//! let slow = host.vm(app_db).service_multiplier(64.0, 1024.0);
+//! assert!(slow > fast);
+//!
+//! // Reconfigure at runtime (e.g. Level-1 -> Level-3), paper Section 2.2.
+//! host.reallocate(app_db, ResourceLevel::Level3.vm_spec()).unwrap();
+//! assert_eq!(host.vm(app_db).spec().vcpus(), 2);
+//! # let _ = web;
+//! ```
+
+mod credit;
+mod host;
+mod memory;
+
+pub use credit::{loads as credit_loads, CreditScheduler, VmLoad};
+pub use host::{Host, HostError, Vm, VmId, VmSpec};
+pub use memory::MemoryModel;
+
+/// The three VM resource-provisioning levels used throughout the paper's
+/// evaluation (Section 2.2): Level-1 is the most powerful.
+///
+/// # Example
+///
+/// ```
+/// use vmstack::ResourceLevel;
+///
+/// let spec = ResourceLevel::Level2.vm_spec();
+/// assert_eq!(spec.vcpus(), 3);
+/// assert_eq!(spec.memory_mb(), 3072);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ResourceLevel {
+    /// 4 virtual CPUs, 4 GB memory.
+    Level1,
+    /// 3 virtual CPUs, 3 GB memory.
+    Level2,
+    /// 2 virtual CPUs, 2 GB memory.
+    Level3,
+}
+
+impl ResourceLevel {
+    /// All levels, strongest first.
+    pub const ALL: [ResourceLevel; 3] =
+        [ResourceLevel::Level1, ResourceLevel::Level2, ResourceLevel::Level3];
+
+    /// The VM specification for this level.
+    pub fn vm_spec(self) -> VmSpec {
+        match self {
+            ResourceLevel::Level1 => VmSpec::new(4, 4096),
+            ResourceLevel::Level2 => VmSpec::new(3, 3072),
+            ResourceLevel::Level3 => VmSpec::new(2, 2048),
+        }
+    }
+
+    /// Short label used in tables and figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            ResourceLevel::Level1 => "Level-1",
+            ResourceLevel::Level2 => "Level-2",
+            ResourceLevel::Level3 => "Level-3",
+        }
+    }
+}
+
+impl std::fmt::Display for ResourceLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_match_paper() {
+        assert_eq!(ResourceLevel::Level1.vm_spec(), VmSpec::new(4, 4096));
+        assert_eq!(ResourceLevel::Level2.vm_spec(), VmSpec::new(3, 3072));
+        assert_eq!(ResourceLevel::Level3.vm_spec(), VmSpec::new(2, 2048));
+    }
+
+    #[test]
+    fn level_ordering_strongest_first() {
+        assert!(ResourceLevel::Level1 < ResourceLevel::Level3);
+        assert_eq!(ResourceLevel::ALL[0], ResourceLevel::Level1);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(ResourceLevel::Level2.to_string(), "Level-2");
+    }
+}

@@ -1,0 +1,155 @@
+//! Guest-memory pressure model.
+//!
+//! Apache worker processes, Tomcat threads and HTTP sessions all consume
+//! guest memory. While the working set fits in the VM allocation the cost
+//! is zero; once it spills, the guest starts swapping and per-request
+//! latency degrades super-linearly. This is the mechanism that makes
+//! over-sized pools (high MaxClients / MaxThreads / long session
+//! timeouts) catastrophic on small VMs in the paper's Level-3 scenarios.
+
+/// Maps a working-set size against a memory allocation to a latency
+/// multiplier (≥ 1).
+///
+/// The model is piecewise: free below `pressure_knee` (fraction of the
+/// allocation), a gentle ramp between the knee and 100% (page-cache
+/// eviction), then a quadratic swap penalty beyond the allocation.
+///
+/// # Example
+///
+/// ```
+/// use vmstack::MemoryModel;
+///
+/// let m = MemoryModel::default();
+/// assert_eq!(m.slowdown(1024.0, 4096.0), 1.0);            // plenty of room
+/// assert!(m.slowdown(4000.0, 4096.0) > 1.0);              // near the limit
+/// assert!(m.slowdown(6144.0, 4096.0) > m.slowdown(4300.0, 4096.0)); // swapping
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MemoryModel {
+    pressure_knee: f64,
+    ramp_slope: f64,
+    swap_penalty: f64,
+}
+
+impl MemoryModel {
+    /// Creates a model.
+    ///
+    /// * `pressure_knee` — fraction of the allocation below which memory is
+    ///   free of cost (e.g. `0.85`).
+    /// * `ramp_slope` — extra slowdown accumulated across the knee→100%
+    ///   band (e.g. `0.5` means 1.5× right at 100% utilization).
+    /// * `swap_penalty` — quadratic coefficient for overshoot beyond the
+    ///   allocation (e.g. `8.0` means a 50% overshoot costs `1 + ramp +
+    ///   8·0.25` ≈ 3.5×).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pressure_knee` is outside `(0, 1]` or either slope is
+    /// negative.
+    pub fn new(pressure_knee: f64, ramp_slope: f64, swap_penalty: f64) -> Self {
+        assert!(pressure_knee > 0.0 && pressure_knee <= 1.0, "knee must be in (0,1]");
+        assert!(ramp_slope >= 0.0 && swap_penalty >= 0.0, "slopes must be non-negative");
+        MemoryModel { pressure_knee, ramp_slope, swap_penalty }
+    }
+
+    /// Latency multiplier for a working set of `used_mb` on an allocation
+    /// of `allocated_mb`.
+    ///
+    /// Returns `1.0` when usage is below the pressure knee; values grow
+    /// continuously and monotonically with `used_mb`.
+    pub fn slowdown(&self, used_mb: f64, allocated_mb: f64) -> f64 {
+        if allocated_mb <= 0.0 {
+            return f64::INFINITY;
+        }
+        let used = used_mb.max(0.0);
+        let utilization = used / allocated_mb;
+        if utilization <= self.pressure_knee {
+            return 1.0;
+        }
+        if utilization <= 1.0 {
+            // Linear ramp from 1.0 at the knee to 1.0 + ramp_slope at 100%.
+            let t = (utilization - self.pressure_knee) / (1.0 - self.pressure_knee);
+            return 1.0 + self.ramp_slope * t;
+        }
+        // Swapping: quadratic in the overshoot fraction.
+        let overshoot = utilization - 1.0;
+        1.0 + self.ramp_slope + self.swap_penalty * overshoot * overshoot
+    }
+}
+
+impl Default for MemoryModel {
+    /// A model calibrated so that moderate overshoot (~25%) roughly
+    /// doubles latency — in line with the qualitative behaviour of a
+    /// swapping guest.
+    fn default() -> Self {
+        MemoryModel::new(0.85, 0.5, 8.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn below_knee_is_free() {
+        let m = MemoryModel::default();
+        assert_eq!(m.slowdown(0.0, 4096.0), 1.0);
+        assert_eq!(m.slowdown(3400.0, 4096.0), 1.0);
+    }
+
+    #[test]
+    fn ramp_reaches_configured_value_at_full() {
+        let m = MemoryModel::new(0.8, 0.5, 4.0);
+        assert!((m.slowdown(4096.0, 4096.0) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn swap_is_quadratic() {
+        let m = MemoryModel::new(0.8, 0.0, 4.0);
+        let s25 = m.slowdown(1.25 * 4096.0, 4096.0);
+        let s50 = m.slowdown(1.5 * 4096.0, 4096.0);
+        assert!((s25 - 1.25).abs() < 1e-9);
+        assert!((s50 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_allocation_is_infinite() {
+        let m = MemoryModel::default();
+        assert!(m.slowdown(1.0, 0.0).is_infinite());
+    }
+
+    #[test]
+    fn negative_usage_clamped() {
+        let m = MemoryModel::default();
+        assert_eq!(m.slowdown(-100.0, 1024.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "knee")]
+    fn bad_knee_panics() {
+        MemoryModel::new(1.5, 0.0, 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_monotone_in_usage(alloc in 128.0f64..8192.0, a in 0.0f64..12000.0, b in 0.0f64..12000.0) {
+            let m = MemoryModel::default();
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(m.slowdown(lo, alloc) <= m.slowdown(hi, alloc) + 1e-12);
+        }
+
+        #[test]
+        fn prop_at_least_one(alloc in 128.0f64..8192.0, used in 0.0f64..16000.0) {
+            let m = MemoryModel::default();
+            prop_assert!(m.slowdown(used, alloc) >= 1.0);
+        }
+
+        #[test]
+        fn prop_more_memory_never_hurts(used in 0.0f64..8000.0, a in 512.0f64..4096.0, b in 512.0f64..4096.0) {
+            let m = MemoryModel::default();
+            let (small, large) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(m.slowdown(used, large) <= m.slowdown(used, small) + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! Calibration probe: sweep MaxClients at each VM level (Figure-2 shape).
+
+use simkernel::SimDuration;
+use tpcw::Mix;
+use vmstack::ResourceLevel;
+use websim::{Param, ServerConfig, SystemSpec};
+
+fn main() {
+    let clients: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
+    println!("clients={clients}");
+    println!("{:>10} {:>12} {:>12} {:>12}", "MaxClients", "Level-1", "Level-2", "Level-3");
+    for mc in [5u32, 25, 50, 100, 150, 200, 250, 300, 350, 400, 450, 500, 550, 600] {
+        let mut row = format!("{mc:>10}");
+        for level in ResourceLevel::ALL {
+            let spec = SystemSpec::default()
+                .with_clients(clients)
+                .with_mix(Mix::Shopping)
+                .with_level(level)
+                .with_seed(11);
+            let cfg = ServerConfig::default().with(Param::MaxClients, mc).unwrap();
+            let mut sys = websim::ThreeTierSystem::new(spec);
+            sys.set_config(cfg);
+            let _ = sys.run_interval(SimDuration::from_secs(180));
+            let s = sys.run_interval(SimDuration::from_secs(300));
+            row.push_str(&format!(
+                " {:>9.1} if={:<4} ss={:<5}",
+                s.mean_response_ms,
+                sys.in_flight(),
+                sys.live_sessions()
+            ));
+        }
+        println!("{row}");
+    }
+}

@@ -1,0 +1,367 @@
+//! Exact processor-sharing CPU model.
+//!
+//! Each VM's CPU is modelled as an egalitarian processor-sharing server:
+//! all runnable tasks progress simultaneously at a rate of
+//! `min(cores / C, 1) / (1 + overhead · C)` where `C` is the number of
+//! runnable tasks. Progress is tracked in *virtual work time*, so task
+//! completions are exact under arbitrary arrival/departure interleavings
+//! — no snapshot approximation, no oscillation artifacts.
+
+use simkernel::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Token identifying a task inside a [`PsCpu`]; the simulator stores the
+/// request id and phase in it.
+pub type TaskToken = (usize, u8);
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct VirtFinish(f64);
+
+impl Eq for VirtFinish {}
+impl PartialOrd for VirtFinish {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for VirtFinish {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// A processor-sharing CPU for one VM.
+///
+/// # Example
+///
+/// ```
+/// use simkernel::SimTime;
+/// use websim::cpu::PsCpu;
+///
+/// let mut cpu = PsCpu::new(2.0, 0.001);
+/// cpu.push(SimTime::ZERO, 10_000.0, (0, 0)); // one task of 10 ms work
+/// let eta = cpu.next_completion(SimTime::ZERO).unwrap();
+/// // Alone on 2 cores: finishes in ~10 ms of real time.
+/// assert!((eta.as_secs_f64() - 0.010).abs() < 1e-3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PsCpu {
+    /// Virtual work completed per task so far (µs at unit speed).
+    virt: f64,
+    last: SimTime,
+    /// Per-task progress in work-µs per real-µs.
+    speed: f64,
+    heap: BinaryHeap<Reverse<(VirtFinish, TaskToken)>>,
+    cores: f64,
+    overhead: f64,
+    extra_load: f64,
+}
+
+impl PsCpu {
+    /// Creates an idle CPU with `cores` effective cores and per-task
+    /// concurrency `overhead`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is not positive or `overhead` is negative.
+    pub fn new(cores: f64, overhead: f64) -> Self {
+        assert!(cores > 0.0, "cores must be positive");
+        assert!(overhead >= 0.0, "overhead must be non-negative");
+        PsCpu {
+            virt: 0.0,
+            last: SimTime::ZERO,
+            speed: 1.0,
+            heap: BinaryHeap::new(),
+            cores,
+            overhead,
+            extra_load: 0.0,
+        }
+    }
+
+    /// Number of runnable tasks.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when no task is runnable.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Effective runnable load including background churn.
+    pub fn load(&self) -> f64 {
+        self.heap.len() as f64 + self.extra_load
+    }
+
+    fn advance(&mut self, now: SimTime) {
+        let dt = now.saturating_since(self.last).as_micros() as f64;
+        if dt > 0.0 {
+            if !self.heap.is_empty() {
+                self.virt += self.speed * dt;
+            }
+            self.last = now;
+        }
+    }
+
+    fn recompute_speed(&mut self) {
+        let c = self.load();
+        if c <= 0.0 {
+            self.speed = 1.0;
+            return;
+        }
+        let share = (self.cores / c).min(1.0);
+        self.speed = share / (1.0 + self.overhead * c);
+    }
+
+    /// Updates the effective core count (host scheduler rebalance or VM
+    /// reallocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is not positive.
+    pub fn set_cores(&mut self, now: SimTime, cores: f64) {
+        assert!(cores > 0.0, "cores must be positive");
+        self.advance(now);
+        self.cores = cores;
+        self.recompute_speed();
+    }
+
+    /// Updates the background churn load (fork/thread-creation CPU
+    /// expressed as equivalent runnable tasks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load` is negative or non-finite.
+    pub fn set_extra_load(&mut self, now: SimTime, load: f64) {
+        assert!(load.is_finite() && load >= 0.0, "extra load must be non-negative");
+        self.advance(now);
+        self.extra_load = load;
+        self.recompute_speed();
+    }
+
+    /// Adds a task needing `work_us` microseconds of unit-speed CPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `work_us` is not positive and finite.
+    pub fn push(&mut self, now: SimTime, work_us: f64, token: TaskToken) {
+        assert!(work_us.is_finite() && work_us > 0.0, "work must be positive");
+        self.advance(now);
+        self.heap.push(Reverse((VirtFinish(self.virt + work_us), token)));
+        self.recompute_speed();
+    }
+
+    /// Real time at which the earliest task completes, or `None` when
+    /// idle.
+    pub fn next_completion(&mut self, now: SimTime) -> Option<SimTime> {
+        self.advance(now);
+        let Reverse((VirtFinish(vf), _)) = *self.heap.peek()?;
+        let remaining = (vf - self.virt).max(0.0);
+        let eta_us = (remaining / self.speed).ceil().max(1.0);
+        Some(now + SimDuration::from_micros(eta_us as u64))
+    }
+
+    /// Removes and returns every task whose work is complete at `now`
+    /// (in completion order).
+    pub fn pop_ready(&mut self, now: SimTime) -> Vec<TaskToken> {
+        self.advance(now);
+        let mut done = Vec::new();
+        while let Some(Reverse((VirtFinish(vf), _))) = self.heap.peek() {
+            // Completion events are scheduled with a ceil'd ETA, so at
+            // the event time the virtual clock may sit a hair past or
+            // (after an intervening speed change) a hair before the
+            // finish point; the 1 µs tolerance absorbs the rounding.
+            if *vf <= self.virt + 1.0 {
+                let Reverse((_, token)) = self.heap.pop().expect("peeked");
+                done.push(token);
+            } else {
+                break;
+            }
+        }
+        if !done.is_empty() {
+            self.recompute_speed();
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const T0: SimTime = SimTime::ZERO;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn single_task_runs_at_full_speed() {
+        let mut cpu = PsCpu::new(4.0, 0.0);
+        cpu.push(T0, 20_000.0, (1, 0));
+        let eta = cpu.next_completion(T0).unwrap();
+        assert_eq!(eta, at(20));
+        assert!(cpu.pop_ready(at(19)).is_empty());
+        assert_eq!(cpu.pop_ready(at(20)), vec![(1, 0)]);
+        assert!(cpu.is_empty());
+    }
+
+    #[test]
+    fn tasks_within_core_count_do_not_slow_down() {
+        let mut cpu = PsCpu::new(4.0, 0.0);
+        for i in 0..4 {
+            cpu.push(T0, 10_000.0, (i, 0));
+        }
+        assert_eq!(cpu.next_completion(T0).unwrap(), at(10));
+        assert_eq!(cpu.pop_ready(at(10)).len(), 4);
+    }
+
+    #[test]
+    fn oversubscription_shares_the_cores() {
+        // 8 equal tasks on 2 cores: each runs at 1/4 speed.
+        let mut cpu = PsCpu::new(2.0, 0.0);
+        for i in 0..8 {
+            cpu.push(T0, 10_000.0, (i, 0));
+        }
+        let eta = cpu.next_completion(T0).unwrap();
+        assert_eq!(eta, at(40));
+        assert_eq!(cpu.pop_ready(at(40)).len(), 8);
+    }
+
+    #[test]
+    fn late_arrival_slows_running_task() {
+        let mut cpu = PsCpu::new(1.0, 0.0);
+        cpu.push(T0, 10_000.0, (1, 0));
+        // Half way through, a second task arrives: remaining 5 ms now
+        // takes 10 ms of real time.
+        cpu.push(at(5), 10_000.0, (2, 0));
+        let eta = cpu.next_completion(at(5)).unwrap();
+        assert_eq!(eta, at(15));
+        assert_eq!(cpu.pop_ready(at(15)), vec![(1, 0)]);
+        // Task 2 has 5 ms left, alone now: finishes at 20 ms.
+        let eta2 = cpu.next_completion(at(15)).unwrap();
+        assert_eq!(eta2, at(20));
+    }
+
+    #[test]
+    fn departure_speeds_up_survivors() {
+        let mut cpu = PsCpu::new(1.0, 0.0);
+        cpu.push(T0, 10_000.0, (1, 0));
+        cpu.push(T0, 20_000.0, (2, 0));
+        // Shared until t=20ms when task 1 (10 ms work at 1/2 speed) ends.
+        assert_eq!(cpu.pop_ready(at(20)), vec![(1, 0)]);
+        // Task 2 did 10 ms of its 20 ms; alone it needs 10 more.
+        assert_eq!(cpu.next_completion(at(20)).unwrap(), at(30));
+    }
+
+    #[test]
+    fn throughput_is_conserved_under_concurrency() {
+        // Total work 400 ms on 2 cores: completes in ~200 ms of real time
+        // regardless of how many tasks carry it (overhead = 0).
+        for n in [2usize, 8, 40] {
+            let mut cpu = PsCpu::new(2.0, 0.0);
+            let per = 400_000.0 / n as f64;
+            for i in 0..n {
+                cpu.push(T0, per, (i, 0));
+            }
+            let mut t = T0;
+            let mut done = 0;
+            while let Some(eta) = cpu.next_completion(t) {
+                t = eta;
+                done += cpu.pop_ready(t).len();
+            }
+            assert_eq!(done, n);
+            let secs = t.as_secs_f64();
+            assert!((secs - 0.2).abs() < 0.01, "n={n}: finished at {secs}s");
+        }
+    }
+
+    #[test]
+    fn overhead_wastes_capacity() {
+        let mut a = PsCpu::new(2.0, 0.0);
+        let mut b = PsCpu::new(2.0, 0.01);
+        for i in 0..10 {
+            a.push(T0, 10_000.0, (i, 0));
+            b.push(T0, 10_000.0, (i, 0));
+        }
+        let ea = a.next_completion(T0).unwrap();
+        let eb = b.next_completion(T0).unwrap();
+        assert!(eb > ea, "overhead must slow completion: {ea} vs {eb}");
+    }
+
+    #[test]
+    fn core_change_mid_flight() {
+        let mut cpu = PsCpu::new(4.0, 0.0);
+        for i in 0..4 {
+            cpu.push(T0, 20_000.0, (i, 0));
+        }
+        // Halve the cores half way: remaining 10 ms takes 20 ms.
+        cpu.set_cores(at(10), 2.0);
+        assert_eq!(cpu.next_completion(at(10)).unwrap(), at(30));
+    }
+
+    #[test]
+    fn extra_load_steals_share() {
+        let mut cpu = PsCpu::new(1.0, 0.0);
+        cpu.push(T0, 10_000.0, (1, 0));
+        cpu.set_extra_load(T0, 1.0); // churn equivalent to one task
+        assert_eq!(cpu.next_completion(T0).unwrap(), at(20));
+        cpu.set_extra_load(at(20), 0.0);
+        assert_eq!(cpu.pop_ready(at(20)), vec![(1, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "work must be positive")]
+    fn zero_work_panics() {
+        PsCpu::new(1.0, 0.0).push(T0, 0.0, (0, 0));
+    }
+
+    proptest! {
+        /// Work conservation: regardless of arrival pattern, total
+        /// completion time of a batch is at least total_work/cores and at
+        /// most total_work (for load ≥ cores and no overhead).
+        #[test]
+        fn prop_work_conservation(works in proptest::collection::vec(1_000.0f64..100_000.0, 1..20)) {
+            let mut cpu = PsCpu::new(2.0, 0.0);
+            for (i, w) in works.iter().enumerate() {
+                cpu.push(T0, *w, (i, 0));
+            }
+            let mut t = T0;
+            let mut done = 0;
+            while let Some(eta) = cpu.next_completion(t) {
+                t = eta;
+                done += cpu.pop_ready(t).len();
+            }
+            prop_assert_eq!(done, works.len());
+            let total: f64 = works.iter().sum();
+            let secs = t.as_secs_f64() * 1e6;
+            prop_assert!(secs + 50.0 >= total / 2.0, "{secs} vs {total}");
+            prop_assert!(secs <= total + works.len() as f64 * 50.0 + 50.0);
+        }
+
+        /// With simultaneous arrivals, processor sharing completes tasks
+        /// shortest-work-first.
+        #[test]
+        fn prop_shortest_first(works in proptest::collection::vec(1_000.0f64..100_000.0, 2..10)) {
+            let mut cpu = PsCpu::new(1.0, 0.0);
+            for (i, w) in works.iter().enumerate() {
+                cpu.push(T0, *w, (i, 0));
+            }
+            let mut order = Vec::new();
+            let mut t = T0;
+            while let Some(eta) = cpu.next_completion(t) {
+                t = eta;
+                order.extend(cpu.pop_ready(t).into_iter().map(|(i, _)| i));
+            }
+            prop_assert_eq!(order.len(), works.len());
+            for pair in order.windows(2) {
+                prop_assert!(
+                    works[pair[0]] <= works[pair[1]] + 2.0,
+                    "completed {} (w={}) before {} (w={})",
+                    pair[0], works[pair[0]], pair[1], works[pair[1]]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Application-level performance samples.
+
+use std::fmt;
+
+use simkernel::stats::DurationHistogram;
+use simkernel::SimDuration;
+
+/// Application-level performance measured over one interval — the only
+/// signal the RAC agent (and its baselines) ever see.
+///
+/// # Example
+///
+/// ```
+/// use websim::PerfSample;
+///
+/// let s = PerfSample::from_parts(vec![100.0, 200.0, 300.0], 0, 60.0);
+/// assert_eq!(s.completed, 3);
+/// assert!((s.mean_response_ms - 200.0).abs() < 1e-9);
+/// assert!((s.throughput_rps - 0.05).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfSample {
+    /// Mean response time in milliseconds (the paper's headline metric).
+    pub mean_response_ms: f64,
+    /// 95th-percentile response time in milliseconds.
+    pub p95_response_ms: f64,
+    /// Completed requests per second.
+    pub throughput_rps: f64,
+    /// Requests completed within the interval.
+    pub completed: u64,
+    /// Connection attempts refused (accept queue overflow).
+    pub refused: u64,
+}
+
+impl PerfSample {
+    /// A sample representing an interval in which nothing completed — the
+    /// response time is reported as infinite, which the reward function
+    /// treats as a hard SLA violation.
+    pub fn empty() -> Self {
+        PerfSample {
+            mean_response_ms: f64::INFINITY,
+            p95_response_ms: f64::INFINITY,
+            throughput_rps: 0.0,
+            completed: 0,
+            refused: 0,
+        }
+    }
+
+    /// Builds a sample from individual response times (milliseconds),
+    /// the number of refusals, and the interval length in seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_secs` is not positive.
+    pub fn from_parts(response_ms: Vec<f64>, refused: u64, interval_secs: f64) -> Self {
+        assert!(interval_secs > 0.0, "interval must be positive");
+        if response_ms.is_empty() {
+            let mut s = PerfSample::empty();
+            s.refused = refused;
+            return s;
+        }
+        let mut hist = DurationHistogram::new();
+        for &ms in &response_ms {
+            hist.record(SimDuration::from_millis_f64(ms));
+        }
+        let completed = response_ms.len() as u64;
+        PerfSample {
+            mean_response_ms: response_ms.iter().sum::<f64>() / completed as f64,
+            p95_response_ms: hist.percentile(95.0).expect("non-empty").as_millis_f64(),
+            throughput_rps: completed as f64 / interval_secs,
+            completed,
+            refused,
+        }
+    }
+
+    /// `true` when at least one request completed.
+    pub fn is_measurable(&self) -> bool {
+        self.completed > 0
+    }
+}
+
+impl fmt::Display for PerfSample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rt={:.1}ms p95={:.1}ms xput={:.1}rps n={} refused={}",
+            self.mean_response_ms, self.p95_response_ms, self.throughput_rps, self.completed, self.refused
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sample_is_infinite() {
+        let s = PerfSample::empty();
+        assert!(!s.is_measurable());
+        assert!(s.mean_response_ms.is_infinite());
+        assert_eq!(s.throughput_rps, 0.0);
+    }
+
+    #[test]
+    fn from_parts_computes_stats() {
+        let s = PerfSample::from_parts(vec![10.0; 100], 5, 10.0);
+        assert_eq!(s.completed, 100);
+        assert_eq!(s.refused, 5);
+        assert!((s.mean_response_ms - 10.0).abs() < 1e-9);
+        assert!((s.throughput_rps - 10.0).abs() < 1e-9);
+        assert!(s.is_measurable());
+    }
+
+    #[test]
+    fn p95_reflects_tail() {
+        let mut rts = vec![10.0; 95];
+        rts.extend(vec![1000.0; 5]);
+        let s = PerfSample::from_parts(rts, 0, 60.0);
+        assert!(s.p95_response_ms >= 10.0);
+        assert!(s.mean_response_ms > 10.0 && s.mean_response_ms < 1000.0);
+    }
+
+    #[test]
+    fn from_parts_empty_keeps_refused() {
+        let s = PerfSample::from_parts(Vec::new(), 7, 60.0);
+        assert_eq!(s.refused, 7);
+        assert!(!s.is_measurable());
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn zero_interval_panics() {
+        PerfSample::from_parts(vec![1.0], 0, 0.0);
+    }
+
+    #[test]
+    fn display_format() {
+        let s = PerfSample::from_parts(vec![100.0], 0, 1.0);
+        let txt = s.to_string();
+        assert!(txt.contains("rt=100.0ms"), "{txt}");
+    }
+}

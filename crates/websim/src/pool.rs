@@ -1,0 +1,364 @@
+//! Worker/thread pool mechanics shared by the Apache and Tomcat tiers.
+
+/// Outcome of one maintenance tick of a [`WorkerPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Maintenance {
+    /// Workers spawned this tick.
+    pub spawned: u32,
+    /// Workers killed this tick.
+    pub killed: u32,
+}
+
+/// An Apache-prefork-style pool of workers.
+///
+/// Workers are in one of three states: **busy** (serving a request),
+/// **held** (kept alive by an idle keep-alive connection — Apache only)
+/// or **idle** (spare). The pool grows and shrinks once per maintenance
+/// tick toward the `[min_spare, max_spare]` idle band, doubling its spawn
+/// batch while starved exactly like Apache's prefork MPM, and never
+/// exceeds its hard cap (`MaxClients` / `maxThreads`).
+///
+/// # Example
+///
+/// ```
+/// use websim::pool::WorkerPool;
+///
+/// let mut pool = WorkerPool::new(150, 5, 15, 10);
+/// assert!(pool.try_acquire());           // an initial worker serves
+/// assert_eq!(pool.busy(), 1);
+/// pool.release();
+/// let m = pool.maintain(0);              // idle band is respected
+/// assert_eq!(m.killed, 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerPool {
+    size: u32,
+    busy: u32,
+    held: u32,
+    cap: u32,
+    min_spare: u32,
+    max_spare: u32,
+    spawn_batch: u32,
+}
+
+/// Largest number of workers Apache will fork in one maintenance tick.
+pub const MAX_SPAWN_BATCH: u32 = 32;
+
+impl WorkerPool {
+    /// Creates a pool with `initial` workers (clamped to `cap`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn new(cap: u32, min_spare: u32, max_spare: u32, initial: u32) -> Self {
+        assert!(cap > 0, "pool cap must be positive");
+        WorkerPool {
+            size: initial.min(cap),
+            busy: 0,
+            held: 0,
+            cap,
+            min_spare,
+            max_spare: max_spare.max(min_spare + 1),
+            spawn_batch: 1,
+        }
+    }
+
+    /// Total existing workers.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// Workers currently serving requests.
+    pub fn busy(&self) -> u32 {
+        self.busy
+    }
+
+    /// Workers parked on keep-alive connections.
+    pub fn held(&self) -> u32 {
+        self.held
+    }
+
+    /// Spare workers available for new requests.
+    pub fn idle(&self) -> u32 {
+        self.size - self.busy - self.held
+    }
+
+    /// Hard cap on pool size.
+    pub fn cap(&self) -> u32 {
+        self.cap
+    }
+
+    /// Acquires an idle worker for a request. Returns `false` when none
+    /// is available (the caller queues or refuses the request).
+    pub fn try_acquire(&mut self) -> bool {
+        if self.idle() > 0 {
+            self.busy += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Releases a busy worker back to the idle set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no worker is busy.
+    pub fn release(&mut self) {
+        assert!(self.busy > 0, "release without busy worker");
+        self.busy -= 1;
+    }
+
+    /// Moves a busy worker into the keep-alive held state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no worker is busy.
+    pub fn hold(&mut self) {
+        assert!(self.busy > 0, "hold without busy worker");
+        self.busy -= 1;
+        self.held += 1;
+    }
+
+    /// A held worker's connection was reused: back to busy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no worker is held.
+    pub fn unhold_to_busy(&mut self) {
+        assert!(self.held > 0, "unhold without held worker");
+        self.held -= 1;
+        self.busy += 1;
+    }
+
+    /// A held worker's keep-alive expired: back to idle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no worker is held.
+    pub fn unhold_to_idle(&mut self) {
+        assert!(self.held > 0, "unhold without held worker");
+        self.held -= 1;
+    }
+
+    /// Applies new limits (a runtime reconfiguration). Excess idle
+    /// workers are killed immediately; busy/held workers finish
+    /// naturally and the cap is enforced on future growth.
+    ///
+    /// Returns the number of workers killed.
+    pub fn set_limits(&mut self, cap: u32, min_spare: u32, max_spare: u32) -> u32 {
+        assert!(cap > 0, "pool cap must be positive");
+        self.cap = cap;
+        self.min_spare = min_spare;
+        self.max_spare = max_spare.max(min_spare + 1);
+        let mut killed = 0;
+        while self.size > self.cap && self.idle() > 0 {
+            self.size -= 1;
+            killed += 1;
+        }
+        killed
+    }
+
+    /// A graceful restart (reconfiguration): the new worker generation
+    /// starts at `start_servers` and ramps back up via maintenance.
+    /// Busy and held workers survive (they finish their requests under
+    /// the old generation).
+    pub fn restart(&mut self, start_servers: u32) {
+        let floor = self.busy + self.held;
+        self.size = self.size.min(start_servers.max(floor));
+        self.spawn_batch = 1;
+    }
+
+    /// One maintenance tick (Apache runs this once per second).
+    ///
+    /// `backlog` is the number of requests waiting for a worker; starved
+    /// pools spawn `min(deficit, spawn_batch)` workers with the batch
+    /// doubling each consecutive starved tick, and over-provisioned pools
+    /// kill one excess idle worker per tick (Apache's gentle shrink).
+    pub fn maintain(&mut self, backlog: u32) -> Maintenance {
+        let mut result = Maintenance::default();
+        // A reconfiguration may have lowered the cap below the current
+        // size while workers were busy; drain the excess as they idle.
+        if self.size > self.cap && self.idle() > 0 {
+            let excess = (self.size - self.cap).min(self.idle());
+            self.size -= excess;
+            result.killed += excess;
+        }
+        let idle = self.idle();
+        let deficit = (self.min_spare.saturating_sub(idle)).saturating_add(backlog);
+        if deficit > 0 && self.size < self.cap {
+            let spawn = deficit.min(self.spawn_batch).min(self.cap - self.size);
+            self.size += spawn;
+            result.spawned = spawn;
+            self.spawn_batch = (self.spawn_batch * 2).min(MAX_SPAWN_BATCH);
+        } else {
+            self.spawn_batch = 1;
+            if idle > self.max_spare {
+                self.size -= 1;
+                result.killed = 1;
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn acquire_release_cycle() {
+        let mut p = WorkerPool::new(10, 2, 5, 3);
+        assert_eq!(p.idle(), 3);
+        assert!(p.try_acquire());
+        assert!(p.try_acquire());
+        assert!(p.try_acquire());
+        assert!(!p.try_acquire());
+        assert_eq!(p.busy(), 3);
+        p.release();
+        assert_eq!(p.idle(), 1);
+    }
+
+    #[test]
+    fn hold_blocks_capacity() {
+        let mut p = WorkerPool::new(10, 2, 5, 2);
+        assert!(p.try_acquire());
+        p.hold();
+        assert_eq!(p.held(), 1);
+        assert_eq!(p.idle(), 1);
+        assert!(p.try_acquire());
+        assert!(!p.try_acquire(), "held worker must not serve new clients");
+        p.unhold_to_busy();
+        assert_eq!(p.busy(), 2);
+        assert_eq!(p.held(), 0);
+    }
+
+    #[test]
+    fn unhold_to_idle_frees_slot() {
+        let mut p = WorkerPool::new(10, 2, 5, 1);
+        assert!(p.try_acquire());
+        p.hold();
+        assert_eq!(p.idle(), 0);
+        p.unhold_to_idle();
+        assert_eq!(p.idle(), 1);
+    }
+
+    #[test]
+    fn maintain_spawns_with_doubling() {
+        let mut p = WorkerPool::new(100, 5, 10, 0);
+        assert_eq!(p.maintain(50).spawned, 1);
+        assert_eq!(p.maintain(50).spawned, 2);
+        assert_eq!(p.maintain(50).spawned, 4);
+        assert_eq!(p.maintain(50).spawned, 8);
+        assert_eq!(p.maintain(50).spawned, 16);
+        assert_eq!(p.maintain(50).spawned, 32, "batch saturates at MAX_SPAWN_BATCH");
+    }
+
+    #[test]
+    fn maintain_respects_cap() {
+        let mut p = WorkerPool::new(8, 5, 10, 0);
+        let mut total = 0;
+        for _ in 0..10 {
+            total += p.maintain(100).spawned;
+        }
+        assert_eq!(total, 8);
+        assert_eq!(p.size(), 8);
+    }
+
+    #[test]
+    fn maintain_kills_excess_gently() {
+        let mut p = WorkerPool::new(100, 2, 5, 20);
+        let m = p.maintain(0);
+        assert_eq!(m.killed, 1);
+        assert_eq!(p.size(), 19);
+        // Still over the spare band: another gentle kill.
+        assert_eq!(p.maintain(0).killed, 1);
+        assert_eq!(p.size(), 18);
+    }
+
+    #[test]
+    fn maintain_batch_resets_when_satisfied() {
+        let mut p = WorkerPool::new(1000, 5, 900, 0);
+        p.maintain(500);
+        p.maintain(500);
+        p.maintain(500); // batch now 8
+        // Satisfy the pool: stop all demand.
+        while p.idle() < 5 {
+            p.maintain(0);
+        }
+        p.maintain(0);
+        // Starve again: batch restarts at 1.
+        let m = p.maintain(500);
+        assert_eq!(m.spawned, 1);
+    }
+
+    #[test]
+    fn set_limits_kills_idle_excess() {
+        let mut p = WorkerPool::new(100, 2, 5, 50);
+        for _ in 0..10 {
+            assert!(p.try_acquire());
+        }
+        let killed = p.set_limits(20, 2, 5, );
+        assert_eq!(killed, 30);
+        assert_eq!(p.size(), 20);
+        assert_eq!(p.busy(), 10);
+    }
+
+    #[test]
+    fn set_limits_never_kills_busy() {
+        let mut p = WorkerPool::new(100, 2, 5, 50);
+        for _ in 0..50 {
+            assert!(p.try_acquire());
+        }
+        let killed = p.set_limits(10, 2, 5);
+        assert_eq!(killed, 0);
+        assert_eq!(p.size(), 50, "busy workers drain naturally");
+        // Future maintenance shrinks as workers release.
+        for _ in 0..50 {
+            p.release();
+        }
+        let mut guard = 0;
+        while p.size() > 10 && guard < 200 {
+            let m = p.maintain(0);
+            // While over cap, every idle excess above max_spare dies 1/tick…
+            assert!(m.spawned == 0);
+            guard += 1;
+        }
+        assert!(p.size() <= 10 + 5 + 1 || guard == 200);
+    }
+
+    #[test]
+    fn max_spare_forced_above_min() {
+        let p = WorkerPool::new(10, 5, 3, 0);
+        assert_eq!(p.max_spare, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "release without busy")]
+    fn release_empty_panics() {
+        WorkerPool::new(10, 1, 2, 0).release();
+    }
+
+    proptest! {
+        /// Pool accounting never goes inconsistent under random operation
+        /// sequences.
+        #[test]
+        fn prop_invariants_hold(ops in proptest::collection::vec(0u8..6, 0..300)) {
+            let mut p = WorkerPool::new(20, 3, 8, 5);
+            for op in ops {
+                match op {
+                    0 => { let _ = p.try_acquire(); }
+                    1 => if p.busy() > 0 { p.release(); }
+                    2 => if p.busy() > 0 { p.hold(); }
+                    3 => if p.held() > 0 { p.unhold_to_busy(); }
+                    4 => if p.held() > 0 { p.unhold_to_idle(); }
+                    _ => { p.maintain(op as u32); }
+                }
+                prop_assert!(p.busy() + p.held() <= p.size());
+                prop_assert_eq!(p.idle(), p.size() - p.busy() - p.held());
+                prop_assert!(p.size() <= p.cap().max(p.busy() + p.held()));
+            }
+        }
+    }
+}

@@ -1,0 +1,938 @@
+//! The three-tier web system simulator.
+
+use std::collections::{HashMap, VecDeque};
+
+use simkernel::rng::Exponential;
+use simkernel::{EventQueue, Pcg64, SimDuration, SimTime};
+use tpcw::{DemandProfile, Fleet, Mix, SessionId};
+use vmstack::{Host, ResourceLevel, VmId, VmSpec};
+
+use crate::config::ServerConfig;
+use crate::cpu::PsCpu;
+use crate::disk::Disk;
+use crate::metrics::PerfSample;
+use crate::model::ModelParams;
+use crate::pool::WorkerPool;
+
+/// Static description of the simulated testbed: hardware, VM placement,
+/// workload and model calibration.
+///
+/// Mirrors the paper's setup: one physical machine (two quad-core Xeons,
+/// 8 GB) running Xen, with Apache on one VM and Tomcat + MySQL on a
+/// second VM whose resources are varied between Levels 1–3.
+///
+/// # Example
+///
+/// ```
+/// use websim::SystemSpec;
+/// use vmstack::ResourceLevel;
+/// use tpcw::Mix;
+///
+/// let spec = SystemSpec::default()
+///     .with_clients(300)
+///     .with_mix(Mix::Ordering)
+///     .with_level(ResourceLevel::Level2);
+/// assert_eq!(spec.clients, 300);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemSpec {
+    /// Physical cores on the host.
+    pub host_cores: u32,
+    /// Physical memory on the host (MiB).
+    pub host_memory_mb: u64,
+    /// The web-tier VM (fixed; the paper varies only the app/db VM).
+    pub web_vm: VmSpec,
+    /// Resource level of the app/db VM.
+    pub appdb_level: ResourceLevel,
+    /// Number of emulated browsers.
+    pub clients: usize,
+    /// TPC-W traffic mix.
+    pub mix: Mix,
+    /// Performance-model calibration.
+    pub model: ModelParams,
+    /// RNG seed; equal seeds reproduce runs bit-for-bit.
+    pub seed: u64,
+}
+
+impl Default for SystemSpec {
+    fn default() -> Self {
+        SystemSpec {
+            host_cores: 8,
+            host_memory_mb: 8_192,
+            web_vm: VmSpec::new(2, 1_536),
+            appdb_level: ResourceLevel::Level1,
+            clients: 600,
+            mix: Mix::Shopping,
+            model: ModelParams::default(),
+            seed: 42,
+        }
+    }
+}
+
+impl SystemSpec {
+    /// Sets the number of emulated browsers.
+    pub fn with_clients(mut self, clients: usize) -> Self {
+        self.clients = clients;
+        self
+    }
+
+    /// Sets the traffic mix.
+    pub fn with_mix(mut self, mix: Mix) -> Self {
+        self.mix = mix;
+        self
+    }
+
+    /// Sets the app/db VM resource level.
+    pub fn with_level(mut self, level: ResourceLevel) -> Self {
+        self.appdb_level = level;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+type ReqId = usize;
+
+const WEB: usize = 0;
+const APPDB: usize = 1;
+
+const PHASE_WEB: u8 = 0;
+const PHASE_APP_FIRST: u8 = 1;
+const PHASE_DB: u8 = 2;
+const PHASE_APP_SECOND: u8 = 3;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    /// Browser `b` issues its next request.
+    Issue(usize),
+    /// A previously refused request retries admission.
+    Retry(ReqId),
+    /// Web-tier page-in wait (memory pressure) finished.
+    WebSwap(ReqId),
+    /// App-tier page-in wait finished.
+    AppSwap(ReqId),
+    /// The database disk completed the in-service aggregated I/O.
+    DiskDone(ReqId),
+    /// A processor-sharing CPU may have completed tasks (generation-
+    /// checked; stale ticks are ignored).
+    CpuTick(usize, u64),
+    /// A keep-alive hold for browser `b` (generation `g`) timed out.
+    KeepaliveExpire(usize, u64),
+    /// Once-per-second pool maintenance (spawn/kill, scheduler rebalance).
+    Maintain,
+    /// Periodic expired-session sweep.
+    SessionSweep,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ReqState {
+    browser: usize,
+    issued_at: SimTime,
+    demand: DemandProfile,
+    session: SessionId,
+    new_session: bool,
+    reused_connection: bool,
+}
+
+/// The simulated three-tier web system.
+///
+/// Drive it in *measurement intervals*: configure, then call
+/// [`run_interval`](ThreeTierSystem::run_interval) repeatedly; each call
+/// advances simulated time and returns the application-level
+/// [`PerfSample`] for that interval. System state (pools, sessions,
+/// in-flight requests) persists across intervals and reconfigurations,
+/// exactly like the live system the RAC agent tunes.
+///
+/// # Example
+///
+/// ```
+/// use simkernel::SimDuration;
+/// use websim::{ServerConfig, SystemSpec, ThreeTierSystem};
+///
+/// let mut sys = ThreeTierSystem::new(SystemSpec::default().with_clients(60));
+/// sys.set_config(ServerConfig::default());
+/// let sample = sys.run_interval(SimDuration::from_secs(120));
+/// assert!(sample.is_measurable());
+/// assert!(sample.mean_response_ms > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ThreeTierSystem {
+    model: ModelParams,
+    host: Host,
+    web_vm: VmId,
+    appdb_vm: VmId,
+    appdb_level: ResourceLevel,
+    config: ServerConfig,
+    fleet: Fleet,
+    rng: Pcg64,
+    queue: EventQueue<Ev>,
+    apache: WorkerPool,
+    tomcat: WorkerPool,
+    cpus: [PsCpu; 2],
+    tick_gen: [u64; 2],
+    scheduled_tick: [Option<SimTime>; 2],
+    db_busy: u32,
+    db_queue: VecDeque<ReqId>,
+    disk: Disk,
+    accept_queue: VecDeque<ReqId>,
+    app_queue: VecDeque<ReqId>,
+    requests: Vec<Option<ReqState>>,
+    free_ids: Vec<ReqId>,
+    holds: HashMap<usize, u64>,
+    hold_gen: u64,
+    sessions: HashMap<SessionId, SimTime>,
+    response_ms: Vec<f64>,
+    refused: u64,
+    started: bool,
+}
+
+impl ThreeTierSystem {
+    /// Builds the system (VMs placed, pools at their configured spare
+    /// levels, browsers idle). Nothing runs until the first
+    /// [`run_interval`](ThreeTierSystem::run_interval).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the VMs do not fit on the host (the default spec always
+    /// fits).
+    pub fn new(spec: SystemSpec) -> Self {
+        let mut host = Host::new(spec.host_cores, spec.host_memory_mb);
+        let web_vm = host.create_vm(spec.web_vm).expect("web VM fits host");
+        let appdb_vm = host.create_vm(spec.appdb_level.vm_spec()).expect("app/db VM fits host");
+        let config = ServerConfig::default();
+        let apache = WorkerPool::new(
+            config.max_clients(),
+            config.min_spare_servers(),
+            config.max_spare_servers(),
+            config.min_spare_servers(),
+        );
+        let tomcat = WorkerPool::new(
+            config.max_threads(),
+            config.min_spare_threads(),
+            config.max_spare_threads(),
+            config.min_spare_threads(),
+        );
+        let overhead = Host::DEFAULT_CONCURRENCY_OVERHEAD;
+        let cpus = [
+            PsCpu::new(host.vm(web_vm).effective_cores(), overhead),
+            PsCpu::new(host.vm(appdb_vm).effective_cores(), overhead),
+        ];
+        ThreeTierSystem {
+            model: spec.model,
+            host,
+            web_vm,
+            appdb_vm,
+            appdb_level: spec.appdb_level,
+            config,
+            fleet: Fleet::new(spec.clients, spec.mix),
+            rng: Pcg64::seed_from_u64(spec.seed),
+            queue: EventQueue::new(),
+            apache,
+            tomcat,
+            cpus,
+            tick_gen: [0, 0],
+            scheduled_tick: [None, None],
+            db_busy: 0,
+            db_queue: VecDeque::new(),
+            disk: Disk::new(spec.model.disk_elevator_gain, spec.model.disk_max_depth),
+            accept_queue: VecDeque::new(),
+            app_queue: VecDeque::new(),
+            requests: Vec::new(),
+            free_ids: Vec::new(),
+            holds: HashMap::new(),
+            hold_gen: 0,
+            sessions: HashMap::new(),
+            response_ms: Vec::new(),
+            refused: 0,
+            started: false,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> ServerConfig {
+        self.config
+    }
+
+    /// Current traffic mix.
+    pub fn mix(&self) -> Mix {
+        self.fleet.mix()
+    }
+
+    /// Current number of emulated browsers.
+    pub fn clients(&self) -> usize {
+        self.fleet.len()
+    }
+
+    /// Current app/db VM resource level.
+    pub fn resource_level(&self) -> ResourceLevel {
+        self.appdb_level
+    }
+
+    /// Applies a new configuration at runtime (the paper's graceful
+    /// restart): pool limits are re-clamped, keep-alive connections are
+    /// dropped, sessions survive.
+    pub fn set_config(&mut self, config: ServerConfig) {
+        self.config = config;
+        self.apache.set_limits(
+            config.max_clients(),
+            config.min_spare_servers(),
+            config.max_spare_servers(),
+        );
+        self.tomcat.set_limits(
+            config.max_threads(),
+            config.min_spare_threads(),
+            config.max_spare_threads(),
+        );
+        // Graceful restart drops idle keep-alive connections; their
+        // expiry events become stale no-ops.
+        for _ in 0..self.holds.len() {
+            self.apache.unhold_to_idle();
+        }
+        self.holds.clear();
+        // New worker generations start small and ramp back up.
+        self.apache.restart(self.model.start_servers);
+        self.tomcat.restart(self.model.start_servers);
+        self.serve_accept_queue();
+        self.resync_cpu_ticks();
+    }
+
+    /// Changes the client population and/or mix (a workload change in the
+    /// paper's system contexts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` is zero.
+    pub fn set_workload(&mut self, clients: usize, mix: Mix) {
+        assert!(clients > 0, "workload needs at least one client");
+        if mix != self.fleet.mix() {
+            self.fleet.set_mix(mix);
+        }
+        let old = self.fleet.len();
+        self.fleet.resize(clients);
+        if self.started && clients > old {
+            let now = self.queue.now();
+            let think = Exponential::with_mean(tpcw::MEAN_THINK_TIME_SECS);
+            for b in old..clients {
+                let offset = SimDuration::from_secs_f64(think.sample(&mut self.rng));
+                self.queue.schedule(now + offset, Ev::Issue(b));
+            }
+        }
+    }
+
+    /// Changes the app/db VM's resource allocation at runtime (the
+    /// paper's VM reconfiguration events).
+    pub fn set_resource_level(&mut self, level: ResourceLevel) {
+        self.host
+            .reallocate(self.appdb_vm, level.vm_spec())
+            .expect("paper levels always fit the host");
+        self.appdb_level = level;
+        let now = self.queue.now();
+        self.cpus[APPDB].set_cores(now, self.host.vm(self.appdb_vm).effective_cores());
+        self.resync_cpu_ticks();
+    }
+
+    /// Runs the simulation for `interval` of simulated time and returns
+    /// the application-level performance observed during it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn run_interval(&mut self, interval: SimDuration) -> PerfSample {
+        assert!(!interval.is_zero(), "interval must be positive");
+        if !self.started {
+            self.bootstrap();
+        }
+        let horizon = self.queue.now() + interval;
+        while let Some((now, ev)) = self.queue.pop_before(horizon) {
+            self.dispatch(now, ev);
+            self.resync_cpu_ticks();
+        }
+        PerfSample::from_parts(
+            std::mem::take(&mut self.response_ms),
+            std::mem::take(&mut self.refused),
+            interval.as_secs_f64(),
+        )
+    }
+
+    fn bootstrap(&mut self) {
+        self.started = true;
+        let think = Exponential::with_mean(tpcw::MEAN_THINK_TIME_SECS);
+        for b in 0..self.fleet.len() {
+            let offset = SimDuration::from_secs_f64(think.sample(&mut self.rng));
+            self.queue.schedule(SimTime::ZERO + offset, Ev::Issue(b));
+        }
+        self.queue.schedule(SimTime::from_secs(1), Ev::Maintain);
+        self.queue.schedule(SimTime::from_secs(10), Ev::SessionSweep);
+    }
+
+    fn dispatch(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::Issue(b) => self.on_issue(now, b),
+            Ev::Retry(id) => self.admit(now, id),
+            Ev::WebSwap(id) => self.push_web_work(now, id),
+            Ev::AppSwap(id) => self.push_app_first_work(now, id),
+            Ev::DiskDone(id) => self.on_disk_done(now, id),
+            Ev::CpuTick(vm, gen) => self.on_cpu_tick(now, vm, gen),
+            Ev::KeepaliveExpire(b, gen) => self.on_keepalive_expire(b, gen),
+            Ev::Maintain => self.on_maintain(now),
+            Ev::SessionSweep => self.on_session_sweep(now),
+        }
+    }
+
+    // ----- processor-sharing plumbing ---------------------------------
+
+    fn resync_cpu_ticks(&mut self) {
+        let now = self.queue.now();
+        for vm in [WEB, APPDB] {
+            let eta = self.cpus[vm].next_completion(now);
+            match (eta, self.scheduled_tick[vm]) {
+                (None, _) => self.scheduled_tick[vm] = None,
+                (Some(e), Some(t)) if t == e => {}
+                (Some(e), _) => {
+                    self.tick_gen[vm] += 1;
+                    self.scheduled_tick[vm] = Some(e);
+                    self.queue.schedule(e, Ev::CpuTick(vm, self.tick_gen[vm]));
+                }
+            }
+        }
+    }
+
+    fn on_cpu_tick(&mut self, now: SimTime, vm: usize, gen: u64) {
+        if gen != self.tick_gen[vm] {
+            return; // superseded by a later arrival/departure
+        }
+        self.scheduled_tick[vm] = None;
+        for (id, phase) in self.cpus[vm].pop_ready(now) {
+            match phase {
+                PHASE_WEB => self.on_web_done(now, id),
+                PHASE_APP_FIRST => self.on_app_first_done(now, id),
+                PHASE_DB => self.on_db_cpu_done(now, id),
+                PHASE_APP_SECOND => self.on_app_second_done(now, id),
+                other => unreachable!("unknown phase {other}"),
+            }
+        }
+    }
+
+    // ----- request lifecycle ------------------------------------------
+
+    fn on_issue(&mut self, now: SimTime, browser: usize) {
+        if browser >= self.fleet.len() {
+            return; // browser removed by a workload change
+        }
+        let request = self.fleet.browser_mut(browser).next_request(&mut self.rng);
+        let id = self.alloc_request(ReqState {
+            browser,
+            issued_at: now,
+            demand: request.interaction.demand(),
+            session: request.session,
+            new_session: request.new_session,
+            reused_connection: false,
+        });
+        self.admit(now, id);
+    }
+
+    fn admit(&mut self, now: SimTime, id: ReqId) {
+        let (browser, new_session) = {
+            let req = self.req(id);
+            (req.browser, req.new_session)
+        };
+        if new_session {
+            // A fresh session opens a new TCP connection; any stale hold
+            // for this browser's old connection is closed.
+            if self.holds.remove(&browser).is_some() {
+                self.apache.unhold_to_idle();
+            }
+        } else if self.holds.remove(&browser).is_some() {
+            self.apache.unhold_to_busy();
+            self.req_mut(id).reused_connection = true;
+            self.start_web(now, id);
+            return;
+        }
+        if self.apache.try_acquire() {
+            self.start_web(now, id);
+        } else if self.accept_queue.len() < self.model.accept_backlog as usize {
+            self.accept_queue.push_back(id);
+        } else {
+            self.refused += 1;
+            let backoff = SimDuration::from_secs_f64(self.model.retry_backoff_secs);
+            self.queue.schedule(now + backoff, Ev::Retry(id));
+        }
+    }
+
+    fn start_web(&mut self, now: SimTime, id: ReqId) {
+        let swap_ms = self.web_swap_ms();
+        if swap_ms >= 0.5 {
+            let wait = SimDuration::from_millis_f64(swap_ms);
+            self.queue.schedule(now + wait, Ev::WebSwap(id));
+        } else {
+            self.push_web_work(now, id);
+        }
+    }
+
+    fn push_web_work(&mut self, now: SimTime, id: ReqId) {
+        let (demand, reused) = {
+            let req = self.req(id);
+            (req.demand, req.reused_connection)
+        };
+        let mut cpu_us = demand.web_cpu_us as f64 * self.model.demand_scale;
+        if !reused {
+            cpu_us += self.model.connection_setup_us as f64;
+        }
+        self.cpus[WEB].push(now, cpu_us, (id, PHASE_WEB));
+    }
+
+    fn on_web_done(&mut self, now: SimTime, id: ReqId) {
+        if self.req(id).demand.app_cpu_us == 0 {
+            self.respond(now, id);
+        } else if self.tomcat.try_acquire() {
+            self.start_app_first(now, id);
+        } else {
+            self.app_queue.push_back(id);
+        }
+    }
+
+    fn start_app_first(&mut self, now: SimTime, id: ReqId) {
+        // The page-in cost of a pressured working set is charged once per
+        // request, on entry to the app tier.
+        let swap_ms = self.appdb_swap_ms();
+        if swap_ms >= 0.5 {
+            let wait = SimDuration::from_millis_f64(swap_ms);
+            self.queue.schedule(now + wait, Ev::AppSwap(id));
+        } else {
+            self.push_app_first_work(now, id);
+        }
+    }
+
+    fn push_app_first_work(&mut self, now: SimTime, id: ReqId) {
+        let (demand, session) = {
+            let req = self.req(id);
+            (req.demand, req.session)
+        };
+        let mut cpu_us = demand.app_cpu_us as f64 / 2.0 * self.model.demand_scale;
+        if demand.uses_session {
+            if !self.sessions.contains_key(&session) {
+                cpu_us += self.model.session_create_cpu_us as f64;
+            }
+            self.sessions.insert(session, now);
+        }
+        self.cpus[APPDB].push(now, cpu_us.max(1.0), (id, PHASE_APP_FIRST));
+    }
+
+    fn on_app_first_done(&mut self, now: SimTime, id: ReqId) {
+        if self.req(id).demand.db_cpu_us == 0 {
+            self.start_app_second(now, id);
+        } else if self.db_busy < self.model.db_connections {
+            self.db_busy += 1;
+            self.start_db(now, id);
+        } else {
+            self.db_queue.push_back(id);
+        }
+    }
+
+    fn start_db(&mut self, now: SimTime, id: ReqId) {
+        let cpu_us = self.req(id).demand.db_cpu_us as f64 * self.model.demand_scale;
+        self.cpus[APPDB].push(now, cpu_us.max(1.0), (id, PHASE_DB));
+    }
+
+    /// Database CPU finished: pay for buffer-pool misses with disk I/O.
+    fn on_db_cpu_done(&mut self, now: SimTime, id: ReqId) {
+        let queries = self.req(id).demand.db_queries as f64;
+        let disk_ms =
+            queries * self.model.accesses_per_query * self.db_miss_rate() * self.model.disk_access_ms;
+        if disk_ms < 0.05 {
+            self.finish_db(now, id);
+        } else if let Some(eta) = self.disk.submit(now, disk_ms, id) {
+            self.queue.schedule(eta, Ev::DiskDone(id));
+        }
+    }
+
+    fn on_disk_done(&mut self, now: SimTime, id: ReqId) {
+        let (done, next) = self.disk.finish(now);
+        debug_assert_eq!(done, id, "disk completions are FIFO");
+        if let Some((token, eta)) = next {
+            self.queue.schedule(eta, Ev::DiskDone(token));
+        }
+        self.finish_db(now, id);
+    }
+
+    /// Releases the DB connection and moves the request to the second
+    /// app-tier phase.
+    fn finish_db(&mut self, now: SimTime, id: ReqId) {
+        self.db_busy -= 1;
+        if let Some(next) = self.db_queue.pop_front() {
+            self.db_busy += 1;
+            self.start_db(now, next);
+        }
+        self.start_app_second(now, id);
+    }
+
+    fn start_app_second(&mut self, now: SimTime, id: ReqId) {
+        let demand = self.req(id).demand;
+        let cpu_us = (demand.app_cpu_us as f64 / 2.0 * self.model.demand_scale).max(1.0);
+        self.cpus[APPDB].push(now, cpu_us, (id, PHASE_APP_SECOND));
+    }
+
+    fn on_app_second_done(&mut self, now: SimTime, id: ReqId) {
+        self.tomcat.release();
+        if let Some(next) = self.app_queue.pop_front() {
+            let acquired = self.tomcat.try_acquire();
+            debug_assert!(acquired, "a thread was just released");
+            self.start_app_first(now, next);
+        }
+        self.respond(now, id);
+    }
+
+    fn respond(&mut self, now: SimTime, id: ReqId) {
+        let req = self.requests[id].take().expect("responding to live request");
+        self.free_ids.push(id);
+        self.response_ms.push(now.saturating_since(req.issued_at).as_millis_f64());
+
+        let browser_alive = req.browser < self.fleet.len();
+        let keepalive = self.config.keepalive_timeout_secs();
+        let persists = self.rng.chance(self.model.keepalive_persist_p);
+        if browser_alive && keepalive > 0 && persists {
+            self.apache.hold();
+            self.hold_gen += 1;
+            self.holds.insert(req.browser, self.hold_gen);
+            self.queue.schedule(
+                now + SimDuration::from_secs(keepalive as u64),
+                Ev::KeepaliveExpire(req.browser, self.hold_gen),
+            );
+        } else {
+            self.apache.release();
+            self.serve_accept_queue();
+        }
+        if browser_alive {
+            let think = self.fleet.browser_mut(req.browser).think_time(&mut self.rng);
+            self.queue.schedule(now + think, Ev::Issue(req.browser));
+        }
+    }
+
+    fn on_keepalive_expire(&mut self, browser: usize, gen: u64) {
+        if self.holds.get(&browser) == Some(&gen) {
+            self.holds.remove(&browser);
+            self.apache.unhold_to_idle();
+            self.serve_accept_queue();
+        }
+    }
+
+    fn serve_accept_queue(&mut self) {
+        let now = self.queue.now();
+        while !self.accept_queue.is_empty() && self.apache.try_acquire() {
+            let id = self.accept_queue.pop_front().expect("non-empty");
+            self.req_mut(id).reused_connection = false;
+            self.start_web(now, id);
+        }
+    }
+
+    // ----- periodic housekeeping --------------------------------------
+
+    fn on_maintain(&mut self, now: SimTime) {
+        let am = self.apache.maintain(self.accept_queue.len() as u32);
+        let web_churn = am.spawned as f64 * self.model.fork_cpu_us as f64 / 1e6;
+        self.cpus[WEB].set_extra_load(now, web_churn);
+        let tm = self.tomcat.maintain(self.app_queue.len() as u32);
+        let appdb_churn = tm.spawned as f64 * self.model.thread_create_cpu_us as f64 / 1e6;
+        self.cpus[APPDB].set_extra_load(now, appdb_churn);
+
+        self.serve_accept_queue();
+        while !self.app_queue.is_empty() && self.tomcat.try_acquire() {
+            let id = self.app_queue.pop_front().expect("non-empty");
+            self.start_app_first(now, id);
+        }
+
+        let demands = [self.cpus[WEB].load(), self.cpus[APPDB].load()];
+        self.host.rebalance(&demands);
+        self.cpus[WEB].set_cores(now, self.host.vm(self.web_vm).effective_cores());
+        self.cpus[APPDB].set_cores(now, self.host.vm(self.appdb_vm).effective_cores());
+
+        self.queue.schedule(now + SimDuration::from_secs(1), Ev::Maintain);
+    }
+
+    fn on_session_sweep(&mut self, now: SimTime) {
+        let timeout = SimDuration::from_secs(self.config.session_timeout_mins() as u64 * 60);
+        self.sessions.retain(|_, last| now.saturating_since(*last) <= timeout);
+        self.queue.schedule(now + SimDuration::from_secs(10), Ev::SessionSweep);
+    }
+
+    // ----- performance model ------------------------------------------
+
+    /// Additive page-in latency on the web VM (ms), from worker memory.
+    fn web_swap_ms(&self) -> f64 {
+        let mem = self.model.apache_base_mb + self.apache.size() as f64 * self.model.per_worker_mb;
+        (self.host.vm(self.web_vm).memory_slowdown(mem) - 1.0) * self.model.swap_unit_ms
+    }
+
+    /// Guest memory consumed on the app/db VM (MiB), excluding the page
+    /// cache.
+    fn appdb_used_mb(&self) -> f64 {
+        self.model.appdb_base_mb
+            + self.tomcat.size() as f64 * self.model.per_thread_mb
+            + self.sessions.len() as f64 * self.model.per_session_mb
+            + self.db_busy as f64 * self.model.per_db_conn_mb
+    }
+
+    /// Additive page-in latency on the app/db VM (ms), from threads,
+    /// sessions and DB connections.
+    fn appdb_swap_ms(&self) -> f64 {
+        let mem = self.appdb_used_mb();
+        (self.host.vm(self.appdb_vm).memory_slowdown(mem) - 1.0) * self.model.swap_unit_ms
+    }
+
+    /// Fraction of database page accesses that miss the page cache.
+    ///
+    /// Whatever guest memory threads/sessions/connections do not consume
+    /// serves as page cache for the database's working set — the channel
+    /// through which the VM's memory level (and the session-timeout and
+    /// pool-size parameters) shapes database latency.
+    fn db_miss_rate(&self) -> f64 {
+        let alloc = self.host.vm(self.appdb_vm).spec().memory_mb() as f64;
+        let cache = (alloc - self.appdb_used_mb()).max(self.model.min_cache_mb);
+        (1.0 - cache / self.model.db_working_set_mb).clamp(self.model.min_miss_rate, 1.0)
+    }
+
+    // ----- slab helpers ------------------------------------------------
+
+    fn alloc_request(&mut self, state: ReqState) -> ReqId {
+        if let Some(id) = self.free_ids.pop() {
+            self.requests[id] = Some(state);
+            id
+        } else {
+            self.requests.push(Some(state));
+            self.requests.len() - 1
+        }
+    }
+
+    fn req(&self, id: ReqId) -> &ReqState {
+        self.requests[id].as_ref().expect("live request")
+    }
+
+    fn req_mut(&mut self, id: ReqId) -> &mut ReqState {
+        self.requests[id].as_mut().expect("live request")
+    }
+
+    /// Number of requests currently in flight (diagnostics).
+    pub fn in_flight(&self) -> usize {
+        self.requests.iter().filter(|r| r.is_some()).count()
+    }
+
+    /// Number of live HTTP sessions (diagnostics).
+    pub fn live_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+}
+
+/// Convenience: measure a configuration on a fresh system after a warm-up
+/// interval. Used by offline training-data collection, the trial-and-error
+/// baseline's probes, and the figure harness.
+///
+/// Runs `warmup` (discarded) then `measure` and returns the second
+/// sample.
+///
+/// # Example
+///
+/// ```
+/// use simkernel::SimDuration;
+/// use websim::{measure_config, ServerConfig, SystemSpec};
+///
+/// let spec = SystemSpec::default().with_clients(50);
+/// let s = measure_config(&spec, ServerConfig::default(),
+///                        SimDuration::from_secs(60), SimDuration::from_secs(120));
+/// assert!(s.is_measurable());
+/// ```
+pub fn measure_config(
+    spec: &SystemSpec,
+    config: ServerConfig,
+    warmup: SimDuration,
+    measure: SimDuration,
+) -> PerfSample {
+    let mut sys = ThreeTierSystem::new(spec.clone());
+    sys.set_config(config);
+    if !warmup.is_zero() {
+        let _ = sys.run_interval(warmup);
+    }
+    sys.run_interval(measure)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Param;
+
+    fn small_spec() -> SystemSpec {
+        SystemSpec::default().with_clients(80).with_seed(7)
+    }
+
+    fn run_secs(sys: &mut ThreeTierSystem, secs: u64) -> PerfSample {
+        sys.run_interval(SimDuration::from_secs(secs))
+    }
+
+    #[test]
+    fn system_completes_requests() {
+        let mut sys = ThreeTierSystem::new(small_spec());
+        let s = run_secs(&mut sys, 120);
+        assert!(s.is_measurable(), "no requests completed: {s}");
+        assert!(s.mean_response_ms > 0.0);
+        assert!(s.throughput_rps > 1.0, "throughput {s}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = ThreeTierSystem::new(small_spec());
+        let mut b = ThreeTierSystem::new(small_spec());
+        let sa = run_secs(&mut a, 60);
+        let sb = run_secs(&mut b, 60);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ThreeTierSystem::new(small_spec().with_seed(1));
+        let mut b = ThreeTierSystem::new(small_spec().with_seed(2));
+        assert_ne!(run_secs(&mut a, 60), run_secs(&mut b, 60));
+    }
+
+    #[test]
+    fn state_persists_across_intervals() {
+        let mut sys = ThreeTierSystem::new(small_spec());
+        let s1 = run_secs(&mut sys, 60);
+        let s2 = run_secs(&mut sys, 60);
+        assert!(s1.is_measurable() && s2.is_measurable());
+        // Pools warmed up; sessions accumulated.
+        assert!(sys.live_sessions() > 0);
+    }
+
+    #[test]
+    fn closed_loop_bounds_in_flight() {
+        let mut sys = ThreeTierSystem::new(small_spec());
+        run_secs(&mut sys, 120);
+        assert!(sys.in_flight() <= sys.clients());
+    }
+
+    #[test]
+    fn throughput_tracks_client_population() {
+        let mut small = ThreeTierSystem::new(SystemSpec::default().with_clients(40).with_seed(3));
+        let mut large = ThreeTierSystem::new(SystemSpec::default().with_clients(160).with_seed(3));
+        let ss = run_secs(&mut small, 180);
+        let sl = run_secs(&mut large, 180);
+        assert!(
+            sl.throughput_rps > 2.0 * ss.throughput_rps,
+            "small {ss} large {sl}"
+        );
+    }
+
+    #[test]
+    fn weaker_vm_is_slower() {
+        let spec = SystemSpec::default().with_seed(5);
+        let strong = measure_config(
+            &spec.clone().with_level(ResourceLevel::Level1),
+            ServerConfig::default(),
+            SimDuration::from_secs(600),
+            SimDuration::from_secs(300),
+        );
+        let weak = measure_config(
+            &spec.with_level(ResourceLevel::Level3),
+            ServerConfig::default(),
+            SimDuration::from_secs(600),
+            SimDuration::from_secs(300),
+        );
+        assert!(
+            weak.mean_response_ms > strong.mean_response_ms,
+            "strong {strong} weak {weak}"
+        );
+    }
+
+    #[test]
+    fn tiny_max_clients_hurts() {
+        let spec = SystemSpec::default().with_clients(200).with_seed(9);
+        let choked = measure_config(
+            &spec,
+            ServerConfig::default().with(Param::MaxClients, 5).unwrap(),
+            SimDuration::from_secs(120),
+            SimDuration::from_secs(180),
+        );
+        let sane = measure_config(
+            &spec,
+            ServerConfig::default().with(Param::MaxClients, 300).unwrap(),
+            SimDuration::from_secs(120),
+            SimDuration::from_secs(180),
+        );
+        assert!(
+            choked.mean_response_ms > 2.0 * sane.mean_response_ms,
+            "choked {choked} sane {sane}"
+        );
+    }
+
+    #[test]
+    fn reconfiguration_applies_at_runtime() {
+        let mut sys = ThreeTierSystem::new(small_spec());
+        run_secs(&mut sys, 60);
+        let new_cfg = ServerConfig::default().with(Param::MaxClients, 300).unwrap();
+        sys.set_config(new_cfg);
+        assert_eq!(sys.config().max_clients(), 300);
+        let s = run_secs(&mut sys, 60);
+        assert!(s.is_measurable());
+    }
+
+    #[test]
+    fn workload_change_applies() {
+        let mut sys = ThreeTierSystem::new(small_spec());
+        run_secs(&mut sys, 60);
+        sys.set_workload(160, Mix::Ordering);
+        assert_eq!(sys.clients(), 160);
+        assert_eq!(sys.mix(), Mix::Ordering);
+        let s = run_secs(&mut sys, 120);
+        assert!(s.is_measurable());
+        // Shrink, too.
+        sys.set_workload(20, Mix::Ordering);
+        let s2 = run_secs(&mut sys, 120);
+        assert!(s2.is_measurable());
+        assert!(s2.throughput_rps < s.throughput_rps);
+    }
+
+    #[test]
+    fn resource_level_change_applies() {
+        let mut sys = ThreeTierSystem::new(small_spec());
+        run_secs(&mut sys, 30);
+        sys.set_resource_level(ResourceLevel::Level3);
+        assert_eq!(sys.resource_level(), ResourceLevel::Level3);
+        assert!(run_secs(&mut sys, 60).is_measurable());
+    }
+
+    #[test]
+    fn sessions_expire_with_short_timeout() {
+        let mut sys = ThreeTierSystem::new(small_spec());
+        sys.set_config(ServerConfig::default().with(Param::SessionTimeout, 1).unwrap());
+        run_secs(&mut sys, 300);
+        let short = sys.live_sessions();
+        let mut sys2 = ThreeTierSystem::new(small_spec());
+        sys2.set_config(ServerConfig::default().with(Param::SessionTimeout, 35).unwrap());
+        run_secs(&mut sys2, 300);
+        let long = sys2.live_sessions();
+        assert!(long > short, "short timeout {short} vs long timeout {long}");
+    }
+
+    #[test]
+    fn zero_interval_panics() {
+        let mut sys = ThreeTierSystem::new(small_spec());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sys.run_interval(SimDuration::ZERO)
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn measure_config_helper_runs() {
+        let s = measure_config(
+            &SystemSpec::default().with_clients(30),
+            ServerConfig::default(),
+            SimDuration::from_secs(30),
+            SimDuration::from_secs(60),
+        );
+        assert!(s.is_measurable());
+    }
+}

@@ -1,0 +1,75 @@
+//! Adaptive tuning across workload and VM changes — the paper's
+//! headline scenario.
+//!
+//! ```text
+//! cargo run --release -p rac --example adaptive_tuning
+//! ```
+//!
+//! Trains a small policy library offline (one initial policy per system
+//! context), then drives the system through three contexts — a workload
+//! mix change at iteration 20 and a VM downgrade at iteration 40 — and
+//! shows the agent detecting each change and switching policies.
+
+use rac::{
+    build_policy_library, ConfigLattice, Experiment, RacAgent, RacSettings, SlaReward,
+    SystemContext, TrainingOptions,
+};
+use simkernel::SimDuration;
+use tpcw::Mix;
+use vmstack::ResourceLevel;
+use websim::SystemSpec;
+
+fn main() {
+    let spec = SystemSpec::default().with_clients(600).with_seed(2);
+    let contexts = [
+        SystemContext::new(Mix::Shopping, ResourceLevel::Level1),
+        SystemContext::new(Mix::Ordering, ResourceLevel::Level1), // workload change
+        SystemContext::new(Mix::Ordering, ResourceLevel::Level3), // VM reallocation
+    ];
+
+    // Offline phase: per-context initial policies (Algorithm 2).
+    let settings = RacSettings::default();
+    let lattice = ConfigLattice::new(settings.online_levels);
+    let reward = SlaReward::new(settings.sla_ms);
+    println!("training {} initial policies offline…", contexts.len());
+    let options = TrainingOptions {
+        warmup: SimDuration::from_secs(300),
+        measure: SimDuration::from_secs(180),
+        ..TrainingOptions::default()
+    };
+    let library = build_policy_library(&spec, &contexts, &lattice, reward, options);
+    for (ctx, policy) in library.iter() {
+        println!(
+            "  {ctx}: {} samples, regression r² = {:.3}, offline RL converged in {} passes",
+            policy.samples, policy.fit.r_squared, policy.passes
+        );
+    }
+
+    // Online phase: 20 iterations per context.
+    let experiment = Experiment::new(spec)
+        .with_interval(SimDuration::from_secs(300))
+        .with_warmup(SimDuration::from_secs(600))
+        .then(contexts[0], 20)
+        .then(contexts[1], 20)
+        .then(contexts[2], 20);
+
+    let mut agent = RacAgent::with_policy_library(settings, library);
+    println!("\n{:>5} {:>10} {:>9}  notes", "iter", "resp (ms)", "switches");
+    let mut last_switches = 0;
+    for r in experiment.run(&mut agent) {
+        let switches = agent.policy_switches();
+        let mut notes = String::new();
+        if r.iteration == 20 {
+            notes.push_str("<- workload changed to ordering");
+        }
+        if r.iteration == 40 {
+            notes.push_str("<- VM downgraded to Level-3");
+        }
+        if switches > last_switches {
+            notes.push_str(" [policy switch]");
+            last_switches = switches;
+        }
+        println!("{:>5} {:>10.0} {:>9}  {notes}", r.iteration, r.response_ms, switches);
+    }
+    println!("\ntotal policy switches: {}", agent.policy_switches());
+}

@@ -1,0 +1,48 @@
+//! Quickstart: let the RAC agent tune a simulated three-tier website.
+//!
+//! ```text
+//! cargo run --release -p rac --example quickstart
+//! ```
+//!
+//! Builds the simulated TPC-W testbed, attaches an (uninitialized) RAC
+//! agent, and watches response time improve over 30 tuning iterations.
+
+use rac::{Experiment, RacAgent, RacSettings, SystemContext};
+use simkernel::SimDuration;
+use tpcw::Mix;
+use vmstack::ResourceLevel;
+use websim::SystemSpec;
+
+fn main() {
+    // The system under tuning: 600 emulated browsers running the TPC-W
+    // shopping mix against Apache/Tomcat/MySQL on two Xen-style VMs.
+    let spec = SystemSpec::default().with_clients(600).with_seed(1);
+    let context = SystemContext::new(Mix::Shopping, ResourceLevel::Level1);
+
+    // One measurement iteration = 5 simulated minutes, as in the paper.
+    let experiment = Experiment::new(spec)
+        .with_interval(SimDuration::from_secs(300))
+        .with_warmup(SimDuration::from_secs(600))
+        .then(context, 30);
+
+    // An agent learning purely online (no offline initialization —
+    // see examples/policy_initialization.rs for the bootstrapped agent).
+    let mut agent = RacAgent::new(RacSettings::default());
+
+    println!("tuning {context} for 30 iterations…\n");
+    println!("{:>5} {:>12} {:>10}  configuration", "iter", "resp (ms)", "xput (rps)");
+    let series = experiment.run(&mut agent);
+    for r in &series {
+        println!(
+            "{:>5} {:>12.0} {:>10.1}  {}",
+            r.iteration, r.response_ms, r.throughput_rps, r.config
+        );
+    }
+
+    let first5 = rac::series_mean(&series[..5]);
+    let last5 = rac::series_mean(&series[series.len() - 5..]);
+    println!(
+        "\nmean response time: first 5 iterations {first5:.0} ms -> last 5 iterations {last5:.0} ms"
+    );
+    println!("({} decision iterations)", agent.iterations());
+}

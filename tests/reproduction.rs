@@ -1,0 +1,150 @@
+//! Tests pinning the qualitative claims of the paper that the
+//! simulated substrate must reproduce (Section 2 motivation and the
+//! Section 5 evaluation shapes).
+
+use simkernel::SimDuration;
+use tpcw::Mix;
+use vmstack::ResourceLevel;
+use websim::{measure_config, Param, ServerConfig, SystemSpec};
+
+fn spec(mix: Mix, level: ResourceLevel) -> SystemSpec {
+    SystemSpec::default().with_clients(600).with_mix(mix).with_level(level).with_seed(7)
+}
+
+fn rt(spec: &SystemSpec, cfg: ServerConfig) -> f64 {
+    measure_config(spec, cfg, SimDuration::from_secs(600), SimDuration::from_secs(240))
+        .mean_response_ms
+}
+
+fn with_mc(mc: u32) -> ServerConfig {
+    ServerConfig::default().with(Param::MaxClients, mc).expect("in range")
+}
+
+/// Section 2.2 / Figure 2: each platform has its own preferred
+/// MaxClients; a stronger VM does not need more workers.
+#[test]
+fn preferred_max_clients_does_not_grow_with_capacity() {
+    let sweep = [100u32, 200, 300, 400, 500, 600];
+    let best = |level: ResourceLevel| -> u32 {
+        let s = spec(Mix::Shopping, level);
+        sweep
+            .iter()
+            .copied()
+            .min_by(|&a, &b| rt(&s, with_mc(a)).total_cmp(&rt(&s, with_mc(b))))
+            .expect("non-empty")
+    };
+    let l1 = best(ResourceLevel::Level1);
+    let l3 = best(ResourceLevel::Level3);
+    assert!(
+        l1 <= l3,
+        "optimal MaxClients should not grow with capacity: Level-1 {l1} vs Level-3 {l3}"
+    );
+}
+
+/// Section 2.2 / Figure 2: the MaxClients curve is concave upward —
+/// both extremes lose to the middle.
+#[test]
+fn max_clients_curve_is_concave() {
+    let s = spec(Mix::Shopping, ResourceLevel::Level1);
+    let low = rt(&s, with_mc(5));
+    let mid = rt(&s, with_mc(300));
+    let high = rt(&s, with_mc(600));
+    assert!(mid < low, "middle ({mid:.0}) must beat choked ({low:.0})");
+    // The high end may be flat rather than rising in a closed-loop
+    // system; it must never beat the knee by much.
+    assert!(high < low, "high end should at least beat the choked end");
+}
+
+/// Figure 3: the weaker platform is slower under the same load and the
+/// same configuration.
+#[test]
+fn levels_order_response_times() {
+    let cfg = with_mc(400);
+    let l1 = rt(&spec(Mix::Shopping, ResourceLevel::Level1), cfg);
+    let l2 = rt(&spec(Mix::Shopping, ResourceLevel::Level2), cfg);
+    let l3 = rt(&spec(Mix::Shopping, ResourceLevel::Level3), cfg);
+    assert!(l1 < l3, "Level-1 ({l1:.0}) must beat Level-3 ({l3:.0})");
+    assert!(l2 <= l3 * 1.05, "Level-2 ({l2:.0}) must not lose to Level-3 ({l3:.0})");
+}
+
+/// Figure 1: traffic mixes stress the system differently — response
+/// times under the default configuration differ noticeably across
+/// mixes.
+#[test]
+fn mixes_have_different_performance_profiles() {
+    let cfg = ServerConfig::default();
+    let rts: Vec<f64> = Mix::ALL
+        .iter()
+        .map(|&m| rt(&spec(m, ResourceLevel::Level1), cfg))
+        .collect();
+    let min = rts.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = rts.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        max > min * 1.15,
+        "mixes should differ by more than 15%: {rts:?}"
+    );
+}
+
+/// Section 4.2 / the "KeepAlive > 20 is a bad decision" observation:
+/// with TPC-W think times, very long keep-alive holds cannot beat a
+/// moderate setting.
+#[test]
+fn very_long_keepalive_is_not_optimal() {
+    let s = spec(Mix::Shopping, ResourceLevel::Level1);
+    let base = ServerConfig::default().with(Param::MaxClients, 300).expect("in range");
+    let moderate = rt(&s, base.with(Param::KeepaliveTimeout, 5).expect("in range"));
+    let very_long = rt(&s, base.with(Param::KeepaliveTimeout, 21).expect("in range"));
+    assert!(
+        moderate <= very_long * 1.10,
+        "keep-alive 5s ({moderate:.0}) should be competitive with 21s ({very_long:.0})"
+    );
+}
+
+/// Session timeout matters most when memory is scarce (Level-3), where
+/// long timeouts bloat the session store and evict the database cache.
+#[test]
+fn long_session_timeout_hurts_on_small_vm() {
+    let s = spec(Mix::Ordering, ResourceLevel::Level3);
+    let base = ServerConfig::default().with(Param::MaxClients, 400).expect("in range");
+    let short = rt(&s, base.with(Param::SessionTimeout, 1).expect("in range"));
+    let long = rt(&s, base.with(Param::SessionTimeout, 35).expect("in range"));
+    assert!(
+        long > short,
+        "35-minute sessions ({long:.0}) should be worse than 1-minute ({short:.0}) on Level-3"
+    );
+}
+
+/// A tiny MaxThreads chokes the application tier where service times
+/// are long (the memory-starved Level-3 platform); on Level-1 five fast
+/// threads can still keep up.
+#[test]
+fn tiny_max_threads_chokes_app_tier() {
+    let s = spec(Mix::Shopping, ResourceLevel::Level3);
+    let base = ServerConfig::default().with(Param::MaxClients, 300).expect("in range");
+    let choked = rt(&s, base.with(Param::MaxThreads, 5).expect("in range"));
+    let sane = rt(&s, base.with(Param::MaxThreads, 200).expect("in range"));
+    assert!(
+        choked > 1.5 * sane,
+        "maxThreads=5 ({choked:.0}) should be much worse than 200 ({sane:.0})"
+    );
+}
+
+/// The default configuration is mediocre under heavy load — the premise
+/// of the whole paper (Figure 5's static-default curve).
+#[test]
+fn default_configuration_leaves_performance_on_the_table() {
+    let s = spec(Mix::Shopping, ResourceLevel::Level1);
+    let dflt = rt(&s, ServerConfig::default());
+    let tuned = rt(
+        &s,
+        ServerConfig::default()
+            .with(Param::MaxClients, 450)
+            .expect("in range")
+            .with(Param::KeepaliveTimeout, 5)
+            .expect("in range"),
+    );
+    assert!(
+        tuned < dflt * 0.7,
+        "a tuned config ({tuned:.0}) should beat the default ({dflt:.0}) by >30%"
+    );
+}
