@@ -7,11 +7,14 @@
 //! quality.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rac::runner::Runner;
 use rac::{
-    train_initial_policy, ConfigLattice, OfflineSettings, RacAgent, RacSettings, SlaReward, Tuner,
+    train_initial_policy, ConfigLattice, OfflineSettings, RacAgent, RacSettings, SimMeasurer,
+    SlaReward, Tuner,
 };
+use simkernel::SimDuration;
 use std::hint::black_box;
-use websim::{PerfSample, ServerConfig};
+use websim::{PerfSample, ServerConfig, SystemSpec};
 
 fn landscape(cfg: &ServerConfig) -> f64 {
     let m = cfg.max_clients() as f64;
@@ -28,12 +31,18 @@ fn bench_offline_pipeline(c: &mut Criterion) {
             &group_levels,
             |b, &gl| {
                 let lattice = ConfigLattice::new(4);
-                let settings = OfflineSettings { group_levels: gl, ..OfflineSettings::default() };
+                let settings = OfflineSettings {
+                    group_levels: gl,
+                    ..OfflineSettings::default()
+                };
                 b.iter(|| {
                     black_box(
-                        train_initial_policy(&lattice, SlaReward::new(1_000.0), settings, |c| {
-                            landscape(c)
-                        })
+                        train_initial_policy(
+                            &lattice,
+                            SlaReward::new(1_000.0),
+                            settings,
+                            landscape,
+                        )
                         .unwrap(),
                     )
                 });
@@ -43,13 +52,62 @@ fn bench_offline_pipeline(c: &mut Criterion) {
     group.finish();
 }
 
+/// The real sampling path: Algorithm 2 measuring the live simulator
+/// through the parallel runner, at 1 vs 4 worker threads with a cold
+/// cache each iteration. On a multi-core host the 4-thread median
+/// should come in well under the 1-thread one (the 81-point sampling
+/// plan is embarrassingly parallel); the explicit speedup line makes
+/// the ratio visible in CI logs.
+fn bench_offline_sampling_via_runner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_init_runner_sampling");
+    group.sample_size(10);
+    let spec = SystemSpec::default().with_clients(120).with_seed(9);
+    let warmup = SimDuration::from_secs(30);
+    let measure = SimDuration::from_secs(60);
+    let lattice = ConfigLattice::new(3);
+    let settings = OfflineSettings::default();
+
+    let mut medians = Vec::new();
+    for threads in [1usize, 4] {
+        let runner: &'static Runner = Box::leak(Box::new(Runner::new(threads)));
+        // Time the sampling stage directly (cold cache per pass) so the
+        // speedup line below reflects wall-clock, not criterion's stats.
+        let mut elapsed = Vec::new();
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| {
+                runner.clear_cache();
+                let t0 = std::time::Instant::now();
+                let measurer = SimMeasurer::on_runner(runner, spec.clone(), warmup, measure);
+                let policy =
+                    train_initial_policy(&lattice, SlaReward::new(1_000.0), settings, measurer)
+                        .unwrap();
+                elapsed.push(t0.elapsed().as_secs_f64());
+                black_box(policy)
+            });
+        });
+        elapsed.sort_by(f64::total_cmp);
+        medians.push(elapsed[elapsed.len() / 2]);
+    }
+    group.finish();
+    println!(
+        "policy_init sampling wall-clock: 1 thread {:.3}s, 4 threads {:.3}s — speedup {:.2}x \
+         (host has {} cores)",
+        medians[0],
+        medians[1],
+        medians[0] / medians[1],
+        std::thread::available_parallelism().map_or(1, |n| n.get()),
+    );
+}
+
 fn bench_online_decision(c: &mut Criterion) {
     let mut group = c.benchmark_group("online_decision");
     group.sample_size(20);
     for levels in [3usize, 4] {
         group.bench_with_input(BenchmarkId::from_parameter(levels), &levels, |b, &lv| {
-            let mut agent =
-                RacAgent::new(RacSettings { online_levels: lv, ..RacSettings::default() });
+            let mut agent = RacAgent::new(RacSettings {
+                online_levels: lv,
+                ..RacSettings::default()
+            });
             let sample = PerfSample::from_parts(vec![700.0; 50], 0, 300.0);
             b.iter(|| black_box(agent.next_config(&sample)));
         });
@@ -57,5 +115,10 @@ fn bench_online_decision(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_offline_pipeline, bench_online_decision);
+criterion_group!(
+    benches,
+    bench_offline_pipeline,
+    bench_offline_sampling_via_runner,
+    bench_online_decision
+);
 criterion_main!(benches);

@@ -5,24 +5,36 @@
 //! cargo run --release -p rac-bench --bin figures -- all
 //! cargo run --release -p rac-bench --bin figures -- fig5
 //! cargo run --release -p rac-bench --bin figures -- fig2 --quick
+//! RAC_THREADS=8 cargo run --release -p rac-bench --bin figures -- all
 //! ```
 //!
 //! Each subcommand prints the series/rows the paper reports and writes a
 //! CSV under `results/`. Offline-trained policies are cached under
 //! `results/cache/`.
+//!
+//! Independent figure jobs run **concurrently** on the global parallel
+//! runner (`RAC_THREADS` workers; see `rac::runner`), each buffering its
+//! report so output appears in submission order with per-job wall-clock
+//! timing — byte-identical to a serial run at any thread count. The
+//! shared policy library is built once up front; measurement-level
+//! fan-out inside each figure goes through the same runner, so points
+//! shared between figures (e.g. the default configuration) simulate
+//! only once per process.
 
+use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use rac::{
-    grouping, paper_contexts, Experiment, IterationRecord, RacAgent, RacSettings, StaticDefault,
-    TrialAndError, Tuner,
+    grouping, maxclients_sweep, paper_contexts, Experiment, IterationRecord, MeasureJob,
+    PolicyLibrary, RacAgent, RacSettings, Runner, SimMeasurer, StaticDefault, TrialAndError, Tuner,
 };
 use rac_bench::output::{ascii_chart, TextTable};
 use rac_bench::{paper_system_spec, standard_policy_library, standard_settings, ONLINE_LEVELS};
 use simkernel::SimDuration;
 use tpcw::Mix;
 use vmstack::ResourceLevel;
-use websim::{measure_config, Param, ServerConfig, SystemSpec};
+use websim::{Param, ServerConfig, SystemSpec};
 
 /// Global run options.
 #[derive(Debug, Clone)]
@@ -54,57 +66,108 @@ impl Options {
     }
 }
 
+const ALL_CMDS: [&str; 12] = [
+    "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+    "fig10",
+];
+
+fn needs_library(cmd: &str) -> bool {
+    matches!(cmd, "fig5" | "fig6" | "fig7" | "fig8" | "fig9" | "fig10")
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let cmds: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
-    let opts = Options { quick, results_dir: PathBuf::from("results") };
+    let cmds: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let opts = Options {
+        quick,
+        results_dir: PathBuf::from("results"),
+    };
 
-    let run = |cmd: &str| match cmd {
-        "table1" => table1(&opts),
-        "table2" => table2(&opts),
-        "fig1" => fig1(&opts),
-        "fig2" => fig2(&opts),
-        "fig3" => fig3(&opts),
-        "fig4" => fig4(&opts),
-        "fig5" => fig5(&opts),
-        "fig6" => fig6(&opts),
-        "fig7" => fig7(&opts),
-        "fig8" => fig8(&opts),
-        "fig9" => fig9(&opts),
-        "fig10" => fig10(&opts),
-        other => {
-            eprintln!("unknown experiment: {other}");
+    let selected: Vec<&str> = if cmds.is_empty() || cmds.contains(&"all") {
+        ALL_CMDS.to_vec()
+    } else {
+        cmds
+    };
+    for cmd in &selected {
+        if !ALL_CMDS.contains(cmd) {
+            eprintln!("unknown experiment: {cmd}");
             eprintln!("available: table1 table2 fig1..fig10 all [--quick]");
             std::process::exit(2);
         }
+    }
+
+    // The policy library feeds six figures; build it once before the
+    // fan-out so concurrent jobs share it (and the disk cache sees a
+    // single writer).
+    let library = if selected.iter().any(|c| needs_library(c)) {
+        Some(standard_policy_library(&opts.cache_dir()))
+    } else {
+        None
     };
 
-    if cmds.is_empty() || cmds.contains(&"all") {
-        for cmd in [
-            "table1", "table2", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-            "fig9", "fig10",
-        ] {
-            run(cmd);
-        }
-    } else {
-        for cmd in cmds {
-            run(cmd);
-        }
+    let runner = Runner::global();
+    eprintln!(
+        "figures: {} job(s) across {} worker thread(s) [RAC_THREADS]",
+        selected.len(),
+        runner.threads()
+    );
+    let started = Instant::now();
+    let reports = runner.run_tasks(selected.len(), |i| {
+        let cmd = selected[i];
+        let mut out = String::new();
+        let t0 = Instant::now();
+        run_figure(cmd, &opts, library.as_ref(), &mut out);
+        (out, t0.elapsed().as_secs_f64())
+    });
+    for (cmd, (out, secs)) in selected.iter().zip(&reports) {
+        print!("{out}");
+        println!("  [{cmd}: {secs:.1}s wall-clock]");
+    }
+    let stats = runner.cache_stats();
+    println!(
+        "\ntotal: {:.1}s wall-clock, {:.1}s summed over jobs ({} simulations, {} cache hits)",
+        started.elapsed().as_secs_f64(),
+        reports.iter().map(|(_, s)| s).sum::<f64>(),
+        stats.misses,
+        stats.hits
+    );
+}
+
+fn run_figure(cmd: &str, opts: &Options, library: Option<&PolicyLibrary>, out: &mut String) {
+    let library = || library.expect("library prebuilt for fig5..fig10");
+    match cmd {
+        "table1" => table1(opts, out),
+        "table2" => table2(opts, out),
+        "fig1" => fig1(opts, out),
+        "fig2" => fig2(opts, out),
+        "fig3" => fig3(opts, out),
+        "fig4" => fig4(opts, out),
+        "fig5" => fig5(opts, library(), out),
+        "fig6" => fig6(opts, library(), out),
+        "fig7" => fig7(opts, library(), out),
+        "fig8" => fig8(opts, library(), out),
+        "fig9" => fig9(opts, library(), out),
+        "fig10" => fig10(opts, library(), out),
+        other => unreachable!("validated in main: {other}"),
     }
 }
 
-fn banner(title: &str) {
-    println!();
-    println!("=== {title} ===");
+fn banner(out: &mut String, title: &str) {
+    let _ = writeln!(out);
+    let _ = writeln!(out, "=== {title} ===");
 }
 
 // --------------------------------------------------------------------
 // Tables
 // --------------------------------------------------------------------
 
-fn table1(opts: &Options) {
-    banner("Table 1: tunable performance-critical parameters");
+fn table1(opts: &Options, out: &mut String) {
+    banner(out, "Table 1: tunable performance-critical parameters");
     let mut t = TextTable::new(&["tier", "parameter", "range", "default"]);
     for p in Param::ALL {
         let (lo, hi) = p.range();
@@ -115,12 +178,12 @@ fn table1(opts: &Options) {
             p.default_value().to_string(),
         ]);
     }
-    print!("{t}");
-    save(&t, opts, "table1.csv");
+    let _ = write!(out, "{t}");
+    save(&t, opts, "table1.csv", out);
 }
 
-fn table2(opts: &Options) {
-    banner("Table 2: example system contexts");
+fn table2(opts: &Options, out: &mut String) {
+    banner(out, "Table 2: example system contexts");
     let mut t = TextTable::new(&["context", "workload mix", "VM resources"]);
     for (i, c) in paper_contexts().iter().enumerate() {
         t.row(&[
@@ -129,8 +192,8 @@ fn table2(opts: &Options) {
             c.level.to_string(),
         ]);
     }
-    print!("{t}");
-    save(&t, opts, "table2.csv");
+    let _ = write!(out, "{t}");
+    save(&t, opts, "table2.csv", out);
 }
 
 // --------------------------------------------------------------------
@@ -138,124 +201,184 @@ fn table2(opts: &Options) {
 // --------------------------------------------------------------------
 
 /// Finds the best configuration for a context by measuring the coarse
-/// grouped sampling plan (the paper's "best out of our test cases").
+/// grouped sampling plan (the paper's "best out of our test cases") —
+/// one parallel, cached batch through the global runner.
 fn best_config_for(spec: &SystemSpec, opts: &Options) -> (ServerConfig, f64) {
     let plan = grouping::sampling_plan(3);
-    let mut best = (ServerConfig::default(), f64::INFINITY);
-    for (_, config) in plan {
-        let s = measure_config(spec, config, opts.warmup(), opts.interval());
-        if s.mean_response_ms < best.1 {
-            best = (config, s.mean_response_ms);
-        }
-    }
-    best
+    let configs: Vec<ServerConfig> = plan.iter().map(|(_, config)| *config).collect();
+    let measurer = SimMeasurer::new(spec.clone(), opts.warmup(), opts.interval());
+    let samples = measurer.sample_batch(&configs);
+    configs
+        .into_iter()
+        .zip(samples)
+        .map(|(config, s)| (config, s.mean_response_ms))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .expect("non-empty sampling plan")
 }
 
-fn fig1(opts: &Options) {
-    banner("Figure 1: performance under configurations tuned for different workloads");
+fn fig1(opts: &Options, out: &mut String) {
+    banner(
+        out,
+        "Figure 1: performance under configurations tuned for different workloads",
+    );
     let spec = paper_system_spec();
     let mixes = [Mix::Ordering, Mix::Shopping, Mix::Browsing];
     let tuned: Vec<(Mix, ServerConfig)> = mixes
         .iter()
         .map(|&mix| {
-            eprintln!("  tuning for {mix}…");
             let (cfg, _) = best_config_for(&spec.clone().with_mix(mix), opts);
             (mix, cfg)
         })
         .collect();
 
-    let mut t = TextTable::new(&["workload", "ordering-best cfg", "shopping-best cfg", "browsing-best cfg"]);
-    for &run_mix in &mixes {
-        let mut cells = vec![run_mix.to_string()];
-        for (_, cfg) in &tuned {
-            let s = measure_config(
-                &spec.clone().with_mix(run_mix),
-                *cfg,
+    // The full run-mix x tuned-config cross, as one parallel batch.
+    let jobs: Vec<MeasureJob> = mixes
+        .iter()
+        .flat_map(|&run_mix| tuned.iter().map(move |&(_, cfg)| (run_mix, cfg)))
+        .map(|(run_mix, cfg)| {
+            MeasureJob::new(
+                spec.clone().with_mix(run_mix),
+                cfg,
                 opts.warmup(),
                 opts.interval(),
-            );
-            cells.push(format!("{:.0}", s.mean_response_ms));
+            )
+        })
+        .collect();
+    let samples = Runner::global().run(&jobs);
+
+    let mut t = TextTable::new(&[
+        "workload",
+        "ordering-best cfg",
+        "shopping-best cfg",
+        "browsing-best cfg",
+    ]);
+    for (r, &run_mix) in mixes.iter().enumerate() {
+        let mut cells = vec![run_mix.to_string()];
+        for c in 0..tuned.len() {
+            cells.push(format!(
+                "{:.0}",
+                samples[r * tuned.len() + c].mean_response_ms
+            ));
         }
         t.row(&cells);
     }
-    print!("{t}");
-    println!("(rows: workload actually run; columns: whose best configuration; cells: mean response time in ms)");
-    save(&t, opts, "fig1.csv");
+    let _ = write!(out, "{t}");
+    let _ = writeln!(out, "(rows: workload actually run; columns: whose best configuration; cells: mean response time in ms)");
+    save(&t, opts, "fig1.csv", out);
 }
 
-fn fig2(opts: &Options) {
-    banner("Figure 2: effect of MaxClients under different VM configurations");
+fn fig2(opts: &Options, out: &mut String) {
+    banner(
+        out,
+        "Figure 2: effect of MaxClients under different VM configurations",
+    );
     let sweep: Vec<u32> = vec![5, 50, 100, 150, 200, 250, 300, 350, 400, 450, 500, 550, 600];
+    let rows = maxclients_sweep(
+        &paper_system_spec(),
+        &ResourceLevel::ALL,
+        &sweep,
+        opts.warmup(),
+        opts.interval(),
+    );
     let mut t = TextTable::new(&["MaxClients", "Level-1", "Level-2", "Level-3"]);
-    let mut series: Vec<(&str, Vec<f64>)> =
-        vec![("Level-1", Vec::new()), ("Level-2", Vec::new()), ("Level-3", Vec::new())];
-    for &mc in &sweep {
-        let cfg = ServerConfig::default().with(Param::MaxClients, mc).expect("in range");
+    let mut series: Vec<(&str, Vec<f64>)> = vec![
+        ("Level-1", Vec::new()),
+        ("Level-2", Vec::new()),
+        ("Level-3", Vec::new()),
+    ];
+    for (m, &mc) in sweep.iter().enumerate() {
         let mut cells = vec![mc.to_string()];
-        for (i, level) in ResourceLevel::ALL.iter().enumerate() {
-            let spec = paper_system_spec().with_level(*level);
-            let s = measure_config(&spec, cfg, opts.warmup(), opts.interval());
+        for (i, _) in ResourceLevel::ALL.iter().enumerate() {
+            let (_, _, s) = rows[i * sweep.len() + m];
             cells.push(format!("{:.0}", s.mean_response_ms));
             series[i].1.push(s.mean_response_ms);
         }
         t.row(&cells);
     }
-    print!("{t}");
-    print!("{}", ascii_chart(&series, 12));
+    let _ = write!(out, "{t}");
+    let _ = write!(out, "{}", ascii_chart(&series, 12));
     for (name, values) in &series {
         let (best_idx, best) = values
             .iter()
             .enumerate()
             .min_by(|a, b| a.1.total_cmp(b.1))
             .expect("non-empty sweep");
-        println!("  preferred MaxClients on {name}: {} ({best:.0} ms)", sweep[best_idx]);
+        let _ = writeln!(
+            out,
+            "  preferred MaxClients on {name}: {} ({best:.0} ms)",
+            sweep[best_idx]
+        );
     }
-    save(&t, opts, "fig2.csv");
+    save(&t, opts, "fig2.csv", out);
 }
 
-fn fig3(opts: &Options) {
-    banner("Figure 3: performance under configurations tuned for different VM levels");
+fn fig3(opts: &Options, out: &mut String) {
+    banner(
+        out,
+        "Figure 3: performance under configurations tuned for different VM levels",
+    );
     let spec = paper_system_spec();
     let tuned: Vec<(ResourceLevel, ServerConfig)> = ResourceLevel::ALL
         .iter()
         .map(|&level| {
-            eprintln!("  tuning for {level}…");
             let (cfg, _) = best_config_for(&spec.clone().with_level(level), opts);
             (level, cfg)
         })
         .collect();
 
-    let mut t =
-        TextTable::new(&["platform", "level1-best cfg", "level2-best cfg", "level3-best cfg"]);
-    for &run_level in &ResourceLevel::ALL {
-        let mut cells = vec![run_level.to_string()];
-        for (_, cfg) in &tuned {
-            let s = measure_config(
-                &spec.clone().with_level(run_level),
-                *cfg,
+    let jobs: Vec<MeasureJob> = ResourceLevel::ALL
+        .iter()
+        .flat_map(|&run_level| tuned.iter().map(move |&(_, cfg)| (run_level, cfg)))
+        .map(|(run_level, cfg)| {
+            MeasureJob::new(
+                spec.clone().with_level(run_level),
+                cfg,
                 opts.warmup(),
                 opts.interval(),
-            );
-            cells.push(format!("{:.0}", s.mean_response_ms));
+            )
+        })
+        .collect();
+    let samples = Runner::global().run(&jobs);
+
+    let mut t = TextTable::new(&[
+        "platform",
+        "level1-best cfg",
+        "level2-best cfg",
+        "level3-best cfg",
+    ]);
+    for (r, &run_level) in ResourceLevel::ALL.iter().enumerate() {
+        let mut cells = vec![run_level.to_string()];
+        for c in 0..tuned.len() {
+            cells.push(format!(
+                "{:.0}",
+                samples[r * tuned.len() + c].mean_response_ms
+            ));
         }
         t.row(&cells);
     }
-    print!("{t}");
-    save(&t, opts, "fig3.csv");
+    let _ = write!(out, "{t}");
+    save(&t, opts, "fig3.csv", out);
 }
 
-fn fig4(opts: &Options) {
-    banner("Figure 4: concave upward effect of MaxClients and regression");
+fn fig4(opts: &Options, out: &mut String) {
+    banner(
+        out,
+        "Figure 4: concave upward effect of MaxClients and regression",
+    );
     let sweep: Vec<u32> = (0..=11).map(|i| 50 + i * 50).collect();
     let spec = paper_system_spec();
-    let mut xs = Vec::new();
-    let mut ys = Vec::new();
-    for &mc in &sweep {
-        let cfg = ServerConfig::default().with(Param::MaxClients, mc).expect("in range");
-        let s = measure_config(&spec, cfg, opts.warmup(), opts.interval());
-        xs.push(vec![mc as f64]);
-        ys.push(s.mean_response_ms);
-    }
+    let configs: Vec<ServerConfig> = sweep
+        .iter()
+        .map(|&mc| {
+            ServerConfig::default()
+                .with(Param::MaxClients, mc)
+                .expect("in range")
+        })
+        .collect();
+    let measurer = SimMeasurer::new(spec, opts.warmup(), opts.interval());
+    let samples = measurer.sample_batch(&configs);
+    let xs: Vec<Vec<f64>> = sweep.iter().map(|&mc| vec![mc as f64]).collect();
+    let ys: Vec<f64> = samples.iter().map(|s| s.mean_response_ms).collect();
     // Winsorize exactly like the initialization pipeline: the choked
     // low-MaxClients corner is orders of magnitude off-scale and would
     // dominate the least-squares fit.
@@ -269,14 +392,27 @@ fn fig4(opts: &Options) {
     let mut fitted = Vec::new();
     for (x, y) in xs.iter().zip(&ys) {
         let pred = model.predict(x);
-        t.row(&[format!("{}", x[0] as u32), format!("{y:.0}"), format!("{pred:.0}")]);
+        t.row(&[
+            format!("{}", x[0] as u32),
+            format!("{y:.0}"),
+            format!("{pred:.0}"),
+        ]);
         measured.push(*y);
         fitted.push(pred);
     }
-    print!("{t}");
-    print!("{}", ascii_chart(&[("measured", measured), ("regression", fitted)], 12));
-    println!("  fit: r² = {:.3}, rmse = {:.1} ms", model.quality().r_squared, model.quality().rmse);
-    save(&t, opts, "fig4.csv");
+    let _ = write!(out, "{t}");
+    let _ = write!(
+        out,
+        "{}",
+        ascii_chart(&[("measured", measured), ("regression", fitted)], 12)
+    );
+    let _ = writeln!(
+        out,
+        "  fit: r² = {:.3}, rmse = {:.1} ms",
+        model.quality().r_squared,
+        model.quality().rmse
+    );
+    save(&t, opts, "fig4.csv", out);
 }
 
 // --------------------------------------------------------------------
@@ -330,6 +466,7 @@ fn series_table(
     opts: &Options,
     file: &str,
     named: &[(&str, &Vec<IterationRecord>)],
+    out: &mut String,
 ) {
     let mut headers = vec!["iteration"];
     headers.extend(named.iter().map(|(n, _)| *n));
@@ -339,27 +476,33 @@ fn series_table(
         let mut cells = vec![i.to_string()];
         for (_, s) in named {
             cells.push(
-                s.get(i).map(|r| format!("{:.0}", r.response_ms)).unwrap_or_default(),
+                s.get(i)
+                    .map(|r| format!("{:.0}", r.response_ms))
+                    .unwrap_or_default(),
             );
         }
         t.row(&cells);
     }
-    save(&t, opts, file);
-    let chart: Vec<(&str, Vec<f64>)> =
-        named.iter().map(|(n, s)| (*n, response_series(s))).collect();
-    print!("{}", ascii_chart(&chart, 14));
+    save(&t, opts, file, out);
+    let chart: Vec<(&str, Vec<f64>)> = named
+        .iter()
+        .map(|(n, s)| (*n, response_series(s)))
+        .collect();
+    let _ = write!(out, "{}", ascii_chart(&chart, 14));
 }
 
 fn mean_of(series: &[IterationRecord]) -> f64 {
     rac::series_mean(series)
 }
 
-fn fig5(opts: &Options) {
-    banner("Figure 5: performance due to different auto-configuration policies");
-    let library = standard_policy_library(&opts.cache_dir());
+fn fig5(opts: &Options, library: &PolicyLibrary, out: &mut String) {
+    banner(
+        out,
+        "Figure 5: performance due to different auto-configuration policies",
+    );
     let exp = experiment_123(opts);
 
-    let mut rac_agent = RacAgent::with_policy_library(standard_settings(), library);
+    let mut rac_agent = RacAgent::with_policy_library(standard_settings(), library.clone());
     let rac_series = run_series(&exp, &mut rac_agent);
     let mut tae = TrialAndError::new(ONLINE_LEVELS);
     let tae_series = run_series(&exp, &mut tae);
@@ -374,12 +517,17 @@ fn fig5(opts: &Options) {
             ("trial-and-error", &tae_series),
             ("static default", &dflt_series),
         ],
+        out,
     );
 
-    let (m_rac, m_tae, m_dflt) =
-        (mean_of(&rac_series), mean_of(&tae_series), mean_of(&dflt_series));
-    println!("  mean response time: RAC {m_rac:.0} ms | trial-and-error {m_tae:.0} ms | default {m_dflt:.0} ms");
-    println!(
+    let (m_rac, m_tae, m_dflt) = (
+        mean_of(&rac_series),
+        mean_of(&tae_series),
+        mean_of(&dflt_series),
+    );
+    let _ = writeln!(out, "  mean response time: RAC {m_rac:.0} ms | trial-and-error {m_tae:.0} ms | default {m_dflt:.0} ms");
+    let _ = writeln!(
+        out,
         "  RAC improvement: {:.0}% vs trial-and-error, {:.0}% vs static default",
         100.0 * (m_tae - m_rac) / m_tae,
         100.0 * (m_dflt - m_rac) / m_dflt
@@ -388,18 +536,28 @@ fn fig5(opts: &Options) {
     for (phase, label) in [(0, "context-1"), (1, "context-2"), (2, "context-3")] {
         let slice = &response_series(&rac_series)[phase * n..(phase + 1) * n];
         match convergence_iteration(slice) {
-            Some(it) => println!("  RAC stabilized in {label} after {it} iterations"),
-            None => println!("  RAC did not stabilize in {label}"),
+            Some(it) => {
+                let _ = writeln!(out, "  RAC stabilized in {label} after {it} iterations");
+            }
+            None => {
+                let _ = writeln!(out, "  RAC did not stabilize in {label}");
+            }
         }
     }
-    println!("  RAC policy switches: {}", rac_agent.policy_switches());
+    let _ = writeln!(
+        out,
+        "  RAC policy switches: {}",
+        rac_agent.policy_switches()
+    );
 }
 
-fn fig6(opts: &Options) {
-    banner("Figure 6: effect of online training");
-    let library = standard_policy_library(&opts.cache_dir());
+fn fig6(opts: &Options, library: &PolicyLibrary, out: &mut String) {
+    banner(out, "Figure 6: effect of online training");
     let context = paper_contexts()[0];
-    let policy = library.for_context(context).expect("context-1 policy").clone();
+    let policy = library
+        .for_context(context)
+        .expect("context-1 policy")
+        .clone();
     let exp = Experiment::new(paper_system_spec())
         .with_interval(opts.interval())
         .with_warmup(opts.warmup())
@@ -408,7 +566,10 @@ fn fig6(opts: &Options) {
     let mut with_ol = RacAgent::with_initial_policy(standard_settings(), &policy);
     let with_series = run_series(&exp, &mut with_ol);
     let mut without_ol = RacAgent::with_initial_policy(
-        RacSettings { online_learning: false, ..standard_settings() },
+        RacSettings {
+            online_learning: false,
+            ..standard_settings()
+        },
         &policy,
     );
     let without_series = run_series(&exp, &mut without_ol);
@@ -416,23 +577,33 @@ fn fig6(opts: &Options) {
     series_table(
         opts,
         "fig6.csv",
-        &[("w/ online learning", &with_series), ("w/o online learning", &without_series)],
+        &[
+            ("w/ online learning", &with_series),
+            ("w/o online learning", &without_series),
+        ],
+        out,
     );
     let tail = with_series.len().saturating_sub(10);
-    println!(
+    let _ = writeln!(
+        out,
         "  stable performance: w/ online learning {:.0} ms | w/o {:.0} ms",
         mean_of(&with_series[tail..]),
         mean_of(&without_series[tail..])
     );
 }
 
-fn fig7(opts: &Options) {
-    banner("Figure 7: performance with and without policy initialization");
-    let library = standard_policy_library(&opts.cache_dir());
+fn fig7(opts: &Options, library: &PolicyLibrary, out: &mut String) {
+    banner(
+        out,
+        "Figure 7: performance with and without policy initialization",
+    );
     for (sub, ctx_index) in [("a", 1usize), ("b", 3usize)] {
         let context = paper_contexts()[ctx_index];
-        println!("-- Figure 7({sub}): context-{}", ctx_index + 1);
-        let policy = library.for_context(context).expect("Table-2 context").clone();
+        let _ = writeln!(out, "-- Figure 7({sub}): context-{}", ctx_index + 1);
+        let policy = library
+            .for_context(context)
+            .expect("Table-2 context")
+            .clone();
         let exp = Experiment::new(paper_system_spec())
             .with_interval(opts.interval())
             .with_warmup(opts.warmup())
@@ -446,9 +617,14 @@ fn fig7(opts: &Options) {
         series_table(
             opts,
             &format!("fig7{sub}.csv"),
-            &[("w/ init policy", &with_series), ("w/o init policy", &without_series)],
+            &[
+                ("w/ init policy", &with_series),
+                ("w/o init policy", &without_series),
+            ],
+            out,
         );
-        println!(
+        let _ = writeln!(
+            out,
             "  mean: w/ init {:.0} ms | w/o init {:.0} ms | stable-after: {:?}",
             mean_of(&with_series),
             mean_of(&without_series),
@@ -457,11 +633,13 @@ fn fig7(opts: &Options) {
     }
 }
 
-fn fig8(opts: &Options) {
-    banner("Figure 8: effect of online exploration rates");
-    let library = standard_policy_library(&opts.cache_dir());
+fn fig8(opts: &Options, library: &PolicyLibrary, out: &mut String) {
+    banner(out, "Figure 8: effect of online exploration rates");
     let context = paper_contexts()[0];
-    let policy = library.for_context(context).expect("context-1 policy").clone();
+    let policy = library
+        .for_context(context)
+        .expect("context-1 policy")
+        .clone();
     let exp = Experiment::new(paper_system_spec())
         .with_interval(opts.interval())
         .with_warmup(opts.warmup())
@@ -483,7 +661,7 @@ fn fig8(opts: &Options) {
     }
     let named: Vec<(&str, &Vec<IterationRecord>)> =
         all.iter().map(|(n, s)| (n.as_str(), s)).collect();
-    series_table(opts, "fig8.csv", &named);
+    series_table(opts, "fig8.csv", &named, out);
     for (name, series) in &all {
         let rts = response_series(series);
         let median = {
@@ -492,17 +670,26 @@ fn fig8(opts: &Options) {
             v[v.len() / 2]
         };
         let spikes = rts.iter().filter(|&&rt| rt > 2.0 * median).count();
-        println!("  {name}: mean {:.0} ms, spikes (>2x median): {spikes}", mean_of(series));
+        let _ = writeln!(
+            out,
+            "  {name}: mean {:.0} ms, spikes (>2x median): {spikes}",
+            mean_of(series)
+        );
     }
 }
 
-fn fig9(opts: &Options) {
-    banner("Figure 9: performance with static and adaptive policy initialization");
-    let library = standard_policy_library(&opts.cache_dir());
-    let static_policy = library.for_context(paper_contexts()[1]).expect("context-2").clone();
+fn fig9(opts: &Options, library: &PolicyLibrary, out: &mut String) {
+    banner(
+        out,
+        "Figure 9: performance with static and adaptive policy initialization",
+    );
+    let static_policy = library
+        .for_context(paper_contexts()[1])
+        .expect("context-2")
+        .clone();
     for (sub, ctx_index) in [("a", 4usize), ("b", 5usize)] {
         let context = paper_contexts()[ctx_index];
-        println!("-- Figure 9({sub}): context-{}", ctx_index + 1);
+        let _ = writeln!(out, "-- Figure 9({sub}): context-{}", ctx_index + 1);
         let exp = Experiment::new(paper_system_spec())
             .with_interval(opts.interval())
             .with_warmup(opts.warmup())
@@ -516,9 +703,14 @@ fn fig9(opts: &Options) {
         series_table(
             opts,
             &format!("fig9{sub}.csv"),
-            &[("adaptive init policy", &adaptive_series), ("static init policy", &static_series)],
+            &[
+                ("adaptive init policy", &adaptive_series),
+                ("static init policy", &static_series),
+            ],
+            out,
         );
-        println!(
+        let _ = writeln!(
+            out,
             "  mean: adaptive {:.0} ms | static {:.0} ms | static stable-after {:?}",
             mean_of(&adaptive_series),
             mean_of(&static_series),
@@ -527,10 +719,12 @@ fn fig9(opts: &Options) {
     }
 }
 
-fn fig10(opts: &Options) {
-    banner("Figure 10: performance due to different RL policies");
-    let library = standard_policy_library(&opts.cache_dir());
-    let static_policy = library.for_context(paper_contexts()[1]).expect("context-2").clone();
+fn fig10(opts: &Options, library: &PolicyLibrary, out: &mut String) {
+    banner(out, "Figure 10: performance due to different RL policies");
+    let static_policy = library
+        .for_context(paper_contexts()[1])
+        .expect("context-2")
+        .clone();
     let exp = experiment_123(opts);
 
     let mut adaptive = RacAgent::with_policy_library(standard_settings(), library.clone());
@@ -548,19 +742,32 @@ fn fig10(opts: &Options) {
             ("static init", &static_series),
             ("w/o init", &cold_series),
         ],
+        out,
     );
-    let (ma, ms, mc) =
-        (mean_of(&adaptive_series), mean_of(&static_series), mean_of(&cold_series));
-    println!("  mean response time: adaptive {ma:.0} ms | static {ms:.0} ms | w/o init {mc:.0} ms");
-    println!("  static-vs-adaptive loss: {:.0}%", 100.0 * (ms - ma) / ma);
+    let (ma, ms, mc) = (
+        mean_of(&adaptive_series),
+        mean_of(&static_series),
+        mean_of(&cold_series),
+    );
+    let _ = writeln!(
+        out,
+        "  mean response time: adaptive {ma:.0} ms | static {ms:.0} ms | w/o init {mc:.0} ms"
+    );
+    let _ = writeln!(
+        out,
+        "  static-vs-adaptive loss: {:.0}%",
+        100.0 * (ms - ma) / ma
+    );
 }
 
 // --------------------------------------------------------------------
 
-fn save(t: &TextTable, opts: &Options, file: &str) {
+fn save(t: &TextTable, opts: &Options, file: &str, out: &mut String) {
     let path: &Path = &opts.results_dir.join(file);
     match t.write_csv(path) {
-        Ok(()) => println!("  -> {}", path.display()),
+        Ok(()) => {
+            let _ = writeln!(out, "  -> {}", path.display());
+        }
         Err(e) => eprintln!("  could not write {}: {e}", path.display()),
     }
 }

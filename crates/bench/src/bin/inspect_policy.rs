@@ -10,9 +10,8 @@ use websim::ServerConfig;
 fn main() {
     let lattice = ConfigLattice::new(ONLINE_LEVELS);
     for i in 1..=6 {
-        let path = std::path::PathBuf::from(format!(
-            "results/cache/policy-ctx{i}-L{ONLINE_LEVELS}.bin"
-        ));
+        let path =
+            std::path::PathBuf::from(format!("results/cache/policy-ctx{i}-L{ONLINE_LEVELS}.bin"));
         let Some(policy) = cache::load_policy(&path, &lattice) else {
             println!("ctx{i}: no cache");
             continue;
@@ -35,7 +34,10 @@ fn main() {
             policy.fit.rmse,
             lattice.config_at(argmin)
         );
-        println!("       predicted max {max:.0}ms at {}", lattice.config_at(argmax));
+        println!(
+            "       predicted max {max:.0}ms at {}",
+            lattice.config_at(argmax)
+        );
 
         // Greedy walk from the default configuration.
         let mdp = ConfigMdp::new(&lattice, SlaReward::new(SLA_MS));
@@ -51,6 +53,9 @@ fn main() {
             print!(" ->{}", lattice.config_at(s).max_clients());
         }
         println!("  end: {}", lattice.config_at(s));
-        println!("       predicted perf at end: {:.0}ms", policy.predicted_perf(s));
+        println!(
+            "       predicted perf at end: {:.0}ms",
+            policy.predicted_perf(s)
+        );
     }
 }

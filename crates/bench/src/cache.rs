@@ -90,7 +90,11 @@ pub fn load_policy(path: &Path, lattice: &ConfigLattice) -> Option<InitialPolicy
     for s in 0..states {
         for a in 0..actions {
             let b = take(&buf, &mut at, 4)?;
-            qtable.set(s, a, f32::from_le_bytes(b.try_into().expect("4 bytes")) as f64);
+            qtable.set(
+                s,
+                a,
+                f32::from_le_bytes(b.try_into().expect("4 bytes")) as f64,
+            );
         }
     }
     if at != buf.len() {
@@ -99,7 +103,11 @@ pub fn load_policy(path: &Path, lattice: &ConfigLattice) -> Option<InitialPolicy
     Some(InitialPolicy {
         qtable,
         perf_ms,
-        fit: FitQuality { r_squared, rmse, samples: fit_samples },
+        fit: FitQuality {
+            r_squared,
+            rmse,
+            samples: fit_samples,
+        },
         samples,
         passes,
     })
@@ -111,9 +119,12 @@ mod tests {
     use rac::{train_initial_policy, OfflineSettings, SlaReward};
 
     fn tiny_policy(lattice: &ConfigLattice) -> InitialPolicy {
-        train_initial_policy(lattice, SlaReward::new(1_000.0), OfflineSettings::default(), |c| {
-            100.0 + c.max_clients() as f64 * 0.3
-        })
+        train_initial_policy(
+            lattice,
+            SlaReward::new(1_000.0),
+            OfflineSettings::default(),
+            |c: &websim::ServerConfig| 100.0 + c.max_clients() as f64 * 0.3,
+        )
         .unwrap()
     }
 

@@ -67,8 +67,12 @@ pub fn standard_policy_library(cache_dir: &std::path::Path) -> PolicyLibrary {
         let policy = match cache::load_policy(&path, &lattice) {
             Some(policy) => policy,
             None => {
-                eprintln!("  [offline] training initial policy for context-{} ({context})", i + 1);
-                let policy = rac::train_policy_for_context(&spec, *context, &lattice, reward, options);
+                eprintln!(
+                    "  [offline] training initial policy for context-{} ({context})",
+                    i + 1
+                );
+                let policy =
+                    rac::train_policy_for_context(&spec, *context, &lattice, reward, options);
                 if let Err(e) = cache::store_policy(&path, &policy) {
                     eprintln!("  [offline] warning: could not cache policy: {e}");
                 }
@@ -82,10 +86,7 @@ pub fn standard_policy_library(cache_dir: &std::path::Path) -> PolicyLibrary {
 
 /// Builds the library for a subset of contexts (used by single-figure
 /// runs that do not need all six).
-pub fn policy_library_for(
-    cache_dir: &std::path::Path,
-    wanted: &[SystemContext],
-) -> PolicyLibrary {
+pub fn policy_library_for(cache_dir: &std::path::Path, wanted: &[SystemContext]) -> PolicyLibrary {
     let full = standard_policy_library(cache_dir);
     let mut lib = PolicyLibrary::new();
     for ctx in wanted {

@@ -127,7 +127,10 @@ mod tests {
         let mut coords = [2usize; 8];
         Action::increase(Param::MaxThreads).apply(&mut coords, 5);
         assert_eq!(coords[Param::MaxThreads.index()], 3);
-        assert!(coords.iter().enumerate().all(|(i, &c)| i == Param::MaxThreads.index() || c == 2));
+        assert!(coords
+            .iter()
+            .enumerate()
+            .all(|(i, &c)| i == Param::MaxThreads.index() || c == 2));
         Action::decrease(Param::MaxThreads).apply(&mut coords, 5);
         assert_eq!(coords[Param::MaxThreads.index()], 2);
     }
@@ -153,7 +156,10 @@ mod tests {
     #[test]
     fn display_names() {
         assert_eq!(Action::Keep.to_string(), "keep");
-        assert_eq!(Action::increase(Param::MaxClients).to_string(), "increase MaxClients");
+        assert_eq!(
+            Action::increase(Param::MaxClients).to_string(),
+            "increase MaxClients"
+        );
     }
 
     #[test]

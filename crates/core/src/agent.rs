@@ -251,8 +251,11 @@ impl RacAgent {
     /// available, calibrated predictions elsewhere.
     fn refresh_perf_map(&mut self) {
         let calib = self.calibration;
-        let mut perf: Vec<f32> =
-            self.predicted.iter().map(|&p| (p as f64 * calib) as f32).collect();
+        let mut perf: Vec<f32> = self
+            .predicted
+            .iter()
+            .map(|&p| (p as f64 * calib) as f32)
+            .collect();
         for (&s, &rt) in &self.measured {
             perf[s] = rt as f32;
         }
@@ -270,14 +273,19 @@ impl RacAgent {
     /// so random steps never enter regions the table already values as
     /// disastrous.
     fn choose_action(&mut self, s: usize) -> usize {
-        let epsilon = if self.settings.online_learning { self.settings.epsilon } else { 0.0 };
+        let epsilon = if self.settings.online_learning {
+            self.settings.epsilon
+        } else {
+            0.0
+        };
         let best = self.qtable.best_action(s);
         if epsilon <= 0.0 || !self.rng.chance(epsilon) {
             return best;
         }
         let floor = self.qtable.get(s, best) - self.settings.exploration_guard;
-        let candidates: Vec<usize> =
-            (0..self.qtable.actions()).filter(|&a| self.qtable.get(s, a) >= floor).collect();
+        let candidates: Vec<usize> = (0..self.qtable.actions())
+            .filter(|&a| self.qtable.get(s, a) >= floor)
+            .collect();
         if candidates.is_empty() {
             best
         } else {
@@ -334,7 +342,11 @@ impl Tuner for RacAgent {
             // streak's mean, not one (possibly transient) sample.
             if self.detector.observe(measured) {
                 let estimate = self.detector.last_streak_mean();
-                let estimate = if estimate.is_finite() { estimate } else { measured };
+                let estimate = if estimate.is_finite() {
+                    estimate
+                } else {
+                    measured
+                };
                 self.maybe_switch_policy(estimate);
             }
 
@@ -378,7 +390,11 @@ mod tests {
     }
 
     fn settings() -> RacSettings {
-        RacSettings { online_levels: 3, seed: 11, ..RacSettings::default() }
+        RacSettings {
+            online_levels: 3,
+            seed: 11,
+            ..RacSettings::default()
+        }
     }
 
     /// A synthetic configuration→response-time landscape: a bowl over
@@ -405,7 +421,10 @@ mod tests {
         let agent = RacAgent::new(settings());
         let cfg = agent.current_config();
         // Nearest lattice point to the Table-1 default.
-        assert_eq!(agent.lattice.state_of(&ServerConfig::default()), agent.current_state);
+        assert_eq!(
+            agent.lattice.state_of(&ServerConfig::default()),
+            agent.current_state
+        );
         assert!(cfg.max_clients() <= 600);
     }
 
@@ -415,7 +434,10 @@ mod tests {
         let rts = drive(&mut agent, 120);
         let early: f64 = rts[..10].iter().sum::<f64>() / 10.0;
         let late: f64 = rts[rts.len() - 10..].iter().sum::<f64>() / 10.0;
-        assert!(late < early, "no improvement: early {early:.0} late {late:.0}");
+        assert!(
+            late < early,
+            "no improvement: early {early:.0} late {late:.0}"
+        );
         assert_eq!(agent.iterations(), 120);
     }
 
@@ -450,7 +472,10 @@ mod tests {
             landscape,
         )
         .unwrap();
-        let s = RacSettings { online_learning: false, ..settings() };
+        let s = RacSettings {
+            online_learning: false,
+            ..settings()
+        };
         let mut a = RacAgent::with_initial_policy(s.clone(), &policy);
         let mut b = RacAgent::with_initial_policy(s, &policy);
         // Identical observations → identical (greedy, deterministic) paths.
@@ -465,17 +490,24 @@ mod tests {
     fn library_agent_switches_on_context_change() {
         let lattice = ConfigLattice::new(3);
         let reward = SlaReward::new(1_000.0);
-        let fast = train_initial_policy(&lattice, reward, OfflineSettings::default(), |c| {
-            landscape(c)
-        })
-        .unwrap();
-        let slow = train_initial_policy(&lattice, reward, OfflineSettings::default(), |c| {
-            landscape(c) * 8.0
-        })
+        let fast =
+            train_initial_policy(&lattice, reward, OfflineSettings::default(), landscape).unwrap();
+        let slow = train_initial_policy(
+            &lattice,
+            reward,
+            OfflineSettings::default(),
+            |c: &ServerConfig| landscape(c) * 8.0,
+        )
         .unwrap();
         let mut lib = PolicyLibrary::new();
-        lib.insert(SystemContext::new(Mix::Shopping, ResourceLevel::Level1), fast);
-        lib.insert(SystemContext::new(Mix::Ordering, ResourceLevel::Level3), slow);
+        lib.insert(
+            SystemContext::new(Mix::Shopping, ResourceLevel::Level1),
+            fast,
+        );
+        lib.insert(
+            SystemContext::new(Mix::Ordering, ResourceLevel::Level3),
+            slow,
+        );
 
         let mut agent = RacAgent::with_policy_library(settings(), lib);
         assert_eq!(agent.name(), "RAC (adaptive init)");
@@ -498,7 +530,10 @@ mod tests {
         agent.next_config(&sample(400.0));
         assert_eq!(agent.experience().len(), 2);
         let last = agent.experience().last().unwrap();
-        assert!(last.reward > 0.0, "400ms under a 1000ms SLA earns positive reward");
+        assert!(
+            last.reward > 0.0,
+            "400ms under a 1000ms SLA earns positive reward"
+        );
     }
 
     #[test]
@@ -509,7 +544,7 @@ mod tests {
             &lattice,
             SlaReward::new(1_000.0),
             OfflineSettings::default(),
-            |_| 100.0,
+            |_: &ServerConfig| 100.0,
         )
         .unwrap();
         // settings() uses 3 levels; the policy was trained on 4.

@@ -94,8 +94,11 @@ pub fn summarize_series(series: &[f64]) -> SeriesSummary {
         v[v.len() / 2]
     };
     let tail_start = series.len() - (series.len() / 4).max(1);
-    let tail: Vec<f64> =
-        series[tail_start..].iter().copied().filter(|v| v.is_finite()).collect();
+    let tail: Vec<f64> = series[tail_start..]
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite())
+        .collect();
     let stable_ms = if tail.is_empty() {
         f64::INFINITY
     } else {
@@ -144,8 +147,9 @@ mod tests {
     #[test]
     fn convergence_none_for_unstable_series() {
         // Alternates forever between two far-apart levels.
-        let series: Vec<f64> =
-            (0..30).map(|i| if i % 2 == 0 { 100.0 } else { 10_000.0 }).collect();
+        let series: Vec<f64> = (0..30)
+            .map(|i| if i % 2 == 0 { 100.0 } else { 10_000.0 })
+            .collect();
         assert_eq!(convergence_iteration(&series, 0.2), None);
     }
 

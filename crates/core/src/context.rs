@@ -186,7 +186,9 @@ pub struct PolicyLibrary {
 impl PolicyLibrary {
     /// Creates an empty library.
     pub fn new() -> Self {
-        PolicyLibrary { entries: Vec::new() }
+        PolicyLibrary {
+            entries: Vec::new(),
+        }
     }
 
     /// Adds a context's policy.
@@ -206,7 +208,10 @@ impl PolicyLibrary {
 
     /// The policy trained for an exact context, if present.
     pub fn for_context(&self, context: SystemContext) -> Option<&InitialPolicy> {
-        self.entries.iter().find(|(c, _)| *c == context).map(|(_, p)| p)
+        self.entries
+            .iter()
+            .find(|(c, _)| *c == context)
+            .map(|(_, p)| p)
     }
 
     /// The "most suitable" policy given the currently measured response
@@ -245,9 +250,18 @@ mod tests {
     #[test]
     fn paper_contexts_match_table_2() {
         let c = paper_contexts();
-        assert_eq!(c[1], SystemContext::new(Mix::Ordering, ResourceLevel::Level1));
-        assert_eq!(c[2], SystemContext::new(Mix::Ordering, ResourceLevel::Level3));
-        assert_eq!(c[5], SystemContext::new(Mix::Browsing, ResourceLevel::Level1));
+        assert_eq!(
+            c[1],
+            SystemContext::new(Mix::Ordering, ResourceLevel::Level1)
+        );
+        assert_eq!(
+            c[2],
+            SystemContext::new(Mix::Ordering, ResourceLevel::Level3)
+        );
+        assert_eq!(
+            c[5],
+            SystemContext::new(Mix::Browsing, ResourceLevel::Level1)
+        );
         assert_eq!(c[0].to_string(), "shopping @ Level-1");
     }
 
@@ -270,7 +284,10 @@ mod tests {
         for i in 0..4 {
             assert!(!d.observe(200.0), "fired early at violation {i}");
         }
-        assert!(d.observe(200.0), "must fire on the 5th consecutive violation");
+        assert!(
+            d.observe(200.0),
+            "must fire on the 5th consecutive violation"
+        );
     }
 
     #[test]
@@ -309,7 +326,7 @@ mod tests {
             &lattice,
             SlaReward::new(1_000.0),
             OfflineSettings::default(),
-            |c| scale * (50.0 + c.max_clients() as f64 * 0.1),
+            |c: &websim::ServerConfig| scale * (50.0 + c.max_clients() as f64 * 0.1),
         )
         .unwrap()
     }
@@ -326,7 +343,9 @@ mod tests {
         assert_eq!(lib.len(), 2);
 
         assert!(lib.for_context(ctx_slow).is_some());
-        assert!(lib.for_context(SystemContext::new(Mix::Browsing, ResourceLevel::Level2)).is_none());
+        assert!(lib
+            .for_context(SystemContext::new(Mix::Browsing, ResourceLevel::Level2))
+            .is_none());
 
         // A measurement near the slow landscape matches the slow policy.
         let state = 0;

@@ -1,12 +1,22 @@
 //! The experiment runner: drives a tuner against the simulated
 //! three-tier system through a schedule of system contexts, recording
 //! the per-iteration series the paper's figures plot.
+//!
+//! Tuning sessions ([`Experiment::run`]) are inherently sequential —
+//! each decision depends on the previous interval. The *sweeps* the
+//! paper's static figures need ([`cross_workload`], [`cross_platform`],
+//! [`maxclients_sweep`]) are batches of independent measurements, so
+//! they fan out across the global parallel [`Runner`](crate::Runner)
+//! and return deterministic, submission-ordered results.
 
 use simkernel::SimDuration;
-use websim::{PerfSample, ServerConfig, SystemSpec, ThreeTierSystem};
+use tpcw::Mix;
+use vmstack::ResourceLevel;
+use websim::{Param, PerfSample, ServerConfig, SystemSpec, ThreeTierSystem};
 
 use crate::agent::Tuner;
 use crate::context::SystemContext;
+use crate::runner::{MeasureJob, Runner};
 
 /// One phase of an experiment: a system context held for a number of
 /// measurement iterations.
@@ -21,7 +31,10 @@ pub struct ContextPhase {
 impl ContextPhase {
     /// Creates a phase.
     pub fn new(context: SystemContext, iterations: usize) -> Self {
-        ContextPhase { context, iterations }
+        ContextPhase {
+            context,
+            iterations,
+        }
     }
 }
 
@@ -130,9 +143,16 @@ impl Experiment {
     ///
     /// Panics if the schedule is empty.
     pub fn run(&self, tuner: &mut dyn Tuner) -> Vec<IterationRecord> {
-        assert!(!self.phases.is_empty(), "experiment needs at least one phase");
+        assert!(
+            !self.phases.is_empty(),
+            "experiment needs at least one phase"
+        );
         let first = self.phases[0].context;
-        let spec = self.spec.clone().with_mix(first.mix).with_level(first.level);
+        let spec = self
+            .spec
+            .clone()
+            .with_mix(first.mix)
+            .with_level(first.level);
         let mut system = ThreeTierSystem::new(spec);
         let mut config = ServerConfig::default();
         system.set_config(config);
@@ -178,12 +198,102 @@ impl Experiment {
 /// assert_eq!(series_mean(&[]), f64::INFINITY);
 /// ```
 pub fn series_mean(records: &[IterationRecord]) -> f64 {
-    let finite: Vec<f64> =
-        records.iter().map(|r| r.response_ms).filter(|rt| rt.is_finite()).collect();
+    let finite: Vec<f64> = records
+        .iter()
+        .map(|r| r.response_ms)
+        .filter(|rt| rt.is_finite())
+        .collect();
     if finite.is_empty() {
         return f64::INFINITY;
     }
     finite.iter().sum::<f64>() / finite.len() as f64
+}
+
+/// Measures one configuration under every TPC-W mix (workload
+/// heterogeneity, the axis of the paper's Figure 3), as one parallel
+/// batch through the global runner.
+///
+/// # Example
+///
+/// ```
+/// use rac::cross_workload;
+/// use simkernel::SimDuration;
+/// use websim::{ServerConfig, SystemSpec};
+///
+/// let rows = cross_workload(
+///     &SystemSpec::default().with_clients(30),
+///     ServerConfig::default(),
+///     SimDuration::from_secs(10),
+///     SimDuration::from_secs(30),
+/// );
+/// assert_eq!(rows.len(), 3);
+/// assert!(rows.iter().all(|(_, s)| s.is_measurable()));
+/// ```
+pub fn cross_workload(
+    spec: &SystemSpec,
+    config: ServerConfig,
+    warmup: SimDuration,
+    measure: SimDuration,
+) -> Vec<(Mix, PerfSample)> {
+    let jobs: Vec<MeasureJob> = Mix::ALL
+        .iter()
+        .map(|&mix| MeasureJob::new(spec.clone().with_mix(mix), config, warmup, measure))
+        .collect();
+    let samples = Runner::global().run(&jobs);
+    Mix::ALL.into_iter().zip(samples).collect()
+}
+
+/// Measures one configuration at every app/db VM resource level
+/// (platform heterogeneity, the paper's Figure 4 axis), as one parallel
+/// batch through the global runner.
+pub fn cross_platform(
+    spec: &SystemSpec,
+    config: ServerConfig,
+    warmup: SimDuration,
+    measure: SimDuration,
+) -> Vec<(ResourceLevel, PerfSample)> {
+    let jobs: Vec<MeasureJob> = ResourceLevel::ALL
+        .iter()
+        .map(|&level| MeasureJob::new(spec.clone().with_level(level), config, warmup, measure))
+        .collect();
+    let samples = Runner::global().run(&jobs);
+    ResourceLevel::ALL.into_iter().zip(samples).collect()
+}
+
+/// Sweeps `MaxClients` (the paper's single most sensitive parameter,
+/// Figure 2) across the given values at each of the given resource
+/// levels — the full `levels × values` grid submitted as one parallel
+/// batch. Rows come back grouped by level, values in the given order.
+///
+/// # Panics
+///
+/// Panics if any value is outside the `MaxClients` parameter range.
+pub fn maxclients_sweep(
+    spec: &SystemSpec,
+    levels: &[ResourceLevel],
+    values: &[u32],
+    warmup: SimDuration,
+    measure: SimDuration,
+) -> Vec<(ResourceLevel, u32, PerfSample)> {
+    let points: Vec<(ResourceLevel, u32)> = levels
+        .iter()
+        .flat_map(|&level| values.iter().map(move |&v| (level, v)))
+        .collect();
+    let jobs: Vec<MeasureJob> = points
+        .iter()
+        .map(|&(level, v)| {
+            let config = ServerConfig::default()
+                .with(Param::MaxClients, v)
+                .expect("MaxClients value in range");
+            MeasureJob::new(spec.clone().with_level(level), config, warmup, measure)
+        })
+        .collect();
+    let samples = Runner::global().run(&jobs);
+    points
+        .into_iter()
+        .zip(samples)
+        .map(|((level, v), s)| (level, v, s))
+        .collect()
 }
 
 #[cfg(test)]
@@ -257,5 +367,57 @@ mod tests {
     #[should_panic(expected = "at least one phase")]
     fn empty_schedule_panics() {
         quick_experiment().run(&mut StaticDefault::new());
+    }
+
+    #[test]
+    fn cross_platform_orders_levels_and_degrades() {
+        let spec = SystemSpec::default().with_clients(300).with_seed(11);
+        let rows = cross_platform(
+            &spec,
+            ServerConfig::default(),
+            SimDuration::from_secs(120),
+            SimDuration::from_secs(120),
+        );
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].0, ResourceLevel::Level1);
+        assert_eq!(rows[2].0, ResourceLevel::Level3);
+        assert!(
+            rows[2].1.mean_response_ms > rows[0].1.mean_response_ms,
+            "Level 3 ({:.0}ms) should be slower than Level 1 ({:.0}ms)",
+            rows[2].1.mean_response_ms,
+            rows[0].1.mean_response_ms
+        );
+    }
+
+    #[test]
+    fn maxclients_sweep_covers_the_grid_in_order() {
+        let spec = SystemSpec::default().with_clients(40).with_seed(13);
+        let values = [5, 300, 600];
+        let rows = maxclients_sweep(
+            &spec,
+            &[ResourceLevel::Level1, ResourceLevel::Level2],
+            &values,
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(30),
+        );
+        assert_eq!(rows.len(), 6);
+        for (i, &(level, v, _)) in rows.iter().enumerate() {
+            assert_eq!(level, [ResourceLevel::Level1, ResourceLevel::Level2][i / 3]);
+            assert_eq!(v, values[i % 3]);
+        }
+    }
+
+    #[test]
+    fn cross_workload_covers_all_mixes() {
+        let spec = SystemSpec::default().with_clients(30).with_seed(17);
+        let rows = cross_workload(
+            &spec,
+            ServerConfig::default(),
+            SimDuration::from_secs(10),
+            SimDuration::from_secs(30),
+        );
+        let mixes: Vec<Mix> = rows.iter().map(|&(m, _)| m).collect();
+        assert_eq!(mixes, Mix::ALL.to_vec());
+        assert!(rows.iter().all(|(_, s)| s.is_measurable()));
     }
 }

@@ -123,7 +123,9 @@ pub fn group_features(lattice: &ConfigLattice, coords: &[usize]) -> Vec<f64> {
         .enumerate()
         .map(|(i, g)| {
             if i == 0 {
-                g.iter().map(|p| norm[p.index()]).fold(f64::INFINITY, f64::min)
+                g.iter()
+                    .map(|p| norm[p.index()])
+                    .fold(f64::INFINITY, f64::min)
             } else {
                 g.iter().map(|p| norm[p.index()]).sum::<f64>() / g.len() as f64
             }

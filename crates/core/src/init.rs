@@ -17,6 +17,7 @@ use crate::grouping::{group_features, sampling_plan};
 use crate::mdp::ConfigMdp;
 use crate::param::ConfigLattice;
 use crate::reward::SlaReward;
+use crate::runner::Measure;
 
 /// Hyper-parameters of the offline training process. The paper sets
 /// α = 0.1, γ = 0.9 for offline training; our full-table sweeps subsume
@@ -38,7 +39,13 @@ pub struct OfflineSettings {
 
 impl Default for OfflineSettings {
     fn default() -> Self {
-        OfflineSettings { group_levels: 3, alpha: 0.1, gamma: 0.9, theta: 1e-3, max_passes: 500 }
+        OfflineSettings {
+            group_levels: 3,
+            alpha: 0.1,
+            gamma: 0.9,
+            theta: 1e-3,
+            max_passes: 500,
+        }
     }
 }
 
@@ -68,9 +75,11 @@ impl InitialPolicy {
 /// Runs the full policy-initialization pipeline (Algorithm 2) for one
 /// system context.
 ///
-/// `measure` is called once per coarse sample configuration and must
-/// return the observed mean response time in milliseconds — against the
-/// live simulator for real training, or any synthetic function in tests.
+/// `measure` supplies the observed mean response time in milliseconds
+/// per coarse sample configuration — a [`SimMeasurer`](crate::SimMeasurer)
+/// against the live simulator for real training (the whole sampling
+/// plan is submitted as one batch, so it fans out across the parallel
+/// runner's workers), or any synthetic closure in tests.
 ///
 /// # Errors
 ///
@@ -86,7 +95,7 @@ impl InitialPolicy {
 /// let lattice = ConfigLattice::new(3);
 /// // Synthetic landscape: a bowl in the first group (MaxClients/MaxThreads).
 /// let policy = train_initial_policy(&lattice, SlaReward::new(1_000.0),
-///     OfflineSettings::default(), |cfg| {
+///     OfflineSettings::default(), |cfg: &websim::ServerConfig| {
 ///         let m = cfg.max_clients() as f64;
 ///         200.0 + 0.004 * (m - 350.0).powi(2)
 ///     }).unwrap();
@@ -97,14 +106,16 @@ pub fn train_initial_policy(
     lattice: &ConfigLattice,
     reward: SlaReward,
     settings: OfflineSettings,
-    mut measure: impl FnMut(&ServerConfig) -> f64,
+    mut measure: impl Measure,
 ) -> Result<InitialPolicy, RegressionError> {
-    // 1. Parameter grouping + coarse data collection.
+    // 1. Parameter grouping + coarse data collection, submitted as one
+    //    batch so runner-backed measurers evaluate it in parallel.
     let plan = sampling_plan(settings.group_levels);
+    let configs: Vec<ServerConfig> = plan.iter().map(|(_, config)| *config).collect();
+    let measured = measure.measure_batch(&configs);
     let mut xs = Vec::with_capacity(plan.len());
     let mut ys = Vec::with_capacity(plan.len());
-    for (coords, config) in &plan {
-        let rt = measure(config);
+    for ((coords, _), rt) in plan.iter().zip(measured) {
         if rt.is_finite() && rt > 0.0 {
             xs.push(coords.clone());
             ys.push(rt);
@@ -148,7 +159,13 @@ pub fn train_initial_policy(
     // 4. Offline RL over the predicted landscape.
     let mut qtable = QTable::new(lattice.num_states(), Action::COUNT);
     let learner = QLearning::new(settings.alpha, settings.gamma);
-    let passes = batch_value_sweep(&mdp, &mut qtable, &learner, settings.theta, settings.max_passes);
+    let passes = batch_value_sweep(
+        &mdp,
+        &mut qtable,
+        &learner,
+        settings.theta,
+        settings.max_passes,
+    );
 
     Ok(InitialPolicy {
         qtable,
@@ -191,8 +208,7 @@ mod tests {
         let lattice = ConfigLattice::new(4);
         let reward = SlaReward::new(1_000.0);
         let policy =
-            train_initial_policy(&lattice, reward, OfflineSettings::default(), bowl)
-                .unwrap();
+            train_initial_policy(&lattice, reward, OfflineSettings::default(), bowl).unwrap();
         let mdp = ConfigMdp::new(&lattice, reward);
         let mut s = lattice.state_of(&ServerConfig::default());
         for _ in 0..40 {
@@ -208,8 +224,7 @@ mod tests {
         // whose predicted performance matches the predicted optimum —
         // individual members of a group are interchangeable to the
         // initial policy until online learning separates them.
-        let min_pred =
-            policy.perf_ms.iter().copied().fold(f32::INFINITY, f32::min) as f64;
+        let min_pred = policy.perf_ms.iter().copied().fold(f32::INFINITY, f32::min) as f64;
         let final_pred = policy.predicted_perf(s);
         assert!(
             final_pred <= min_pred * 1.05 + 1.0,
@@ -221,7 +236,10 @@ mod tests {
         // the exact resting point within it is unspecified).
         let coords = lattice.space().decode(s);
         let feature = crate::grouping::group_features(&lattice, &coords)[0];
-        assert!(feature >= 0.3, "walk ended in the choked corner: feature {feature}");
+        assert!(
+            feature >= 0.3,
+            "walk ended in the choked corner: feature {feature}"
+        );
     }
 
     #[test]
@@ -232,7 +250,7 @@ mod tests {
             &lattice,
             SlaReward::new(1_000.0),
             OfflineSettings::default(),
-            |c| {
+            |c: &ServerConfig| {
                 calls += 1;
                 if calls % 5 == 0 {
                     f64::INFINITY
@@ -253,7 +271,7 @@ mod tests {
             &lattice,
             SlaReward::new(1_000.0),
             OfflineSettings::default(),
-            |_| f64::NAN,
+            |_: &ServerConfig| f64::NAN,
         );
         assert!(result.is_err());
     }

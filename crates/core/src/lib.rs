@@ -65,20 +65,25 @@ mod init;
 mod mdp;
 mod param;
 mod reward;
+pub mod runner;
 mod sensitivity;
 mod training;
 
 pub use action::Action;
+pub use agent::{RacAgent, RacSettings, Tuner};
 pub use analysis::{
     convergence_iteration, improvement_percent, response_series, summarize_series, SeriesSummary,
 };
-pub use agent::{RacAgent, RacSettings, Tuner};
 pub use baseline::{StaticDefault, TrialAndError};
 pub use context::{paper_contexts, PolicyLibrary, SystemContext, ViolationDetector};
-pub use experiment::{series_mean, ContextPhase, Experiment, IterationRecord};
+pub use experiment::{
+    cross_platform, cross_workload, maxclients_sweep, series_mean, ContextPhase, Experiment,
+    IterationRecord,
+};
 pub use init::{train_initial_policy, InitialPolicy, OfflineSettings};
 pub use mdp::ConfigMdp;
 pub use param::ConfigLattice;
 pub use reward::SlaReward;
+pub use runner::{Measure, MeasureJob, Runner, SimMeasurer};
 pub use sensitivity::{analyze_sensitivity, select_parameters, ParamSensitivity};
 pub use training::{build_policy_library, train_policy_for_context, TrainingOptions};

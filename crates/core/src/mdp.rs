@@ -200,8 +200,11 @@ mod tests {
         let mut coords = vec![0usize; 8];
         for s in 0..l.num_states() {
             l.space().decode_into(s, &mut coords);
-            let dist: usize =
-                coords.iter().zip(&goal_coords).map(|(a, b)| a.abs_diff(*b)).sum();
+            let dist: usize = coords
+                .iter()
+                .zip(&goal_coords)
+                .map(|(a, b)| a.abs_diff(*b))
+                .sum();
             mdp.set_perf(s, 100.0 + 300.0 * dist as f64);
         }
         let mut q = QTable::new(l.num_states(), Action::COUNT);

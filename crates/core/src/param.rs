@@ -92,8 +92,10 @@ impl ConfigLattice {
 
     /// Maps a configuration to the nearest lattice state.
     pub fn state_of(&self, config: &ServerConfig) -> usize {
-        let coords: Vec<usize> =
-            Param::ALL.iter().map(|&p| self.coord_of(p, config.get(p))).collect();
+        let coords: Vec<usize> = Param::ALL
+            .iter()
+            .map(|&p| self.coord_of(p, config.get(p)))
+            .collect();
         self.space.encode(&coords)
     }
 
@@ -148,7 +150,10 @@ mod tests {
         let l = ConfigLattice::new(7);
         for p in Param::ALL {
             for i in 1..7 {
-                assert!(l.value_at(p, i) > l.value_at(p, i - 1), "{p} grid not increasing");
+                assert!(
+                    l.value_at(p, i) > l.value_at(p, i - 1),
+                    "{p} grid not increasing"
+                );
             }
         }
     }

@@ -10,6 +10,7 @@
 use websim::{Param, ServerConfig};
 
 use crate::param::ConfigLattice;
+use crate::runner::Measure;
 
 /// Sensitivity of one parameter: how strongly it moves performance when
 /// swept alone.
@@ -31,9 +32,11 @@ pub struct ParamSensitivity {
 /// Sweeps every parameter one at a time (others at Table-1 defaults)
 /// and returns sensitivities sorted most-sensitive first.
 ///
-/// `measure` is called once per probed configuration (`8 × levels`
-/// calls) and returns the observed mean response time in milliseconds;
-/// non-finite measurements are skipped.
+/// `measure` supplies the observed mean response time in milliseconds
+/// per probed configuration; all `8 × levels` probes are submitted as a
+/// single batch, so runner-backed measurers
+/// ([`SimMeasurer`](crate::SimMeasurer)) evaluate them in parallel.
+/// Non-finite measurements are skipped.
 ///
 /// # Panics
 ///
@@ -46,7 +49,7 @@ pub struct ParamSensitivity {
 /// use websim::Param;
 ///
 /// // Synthetic system where only MaxClients matters.
-/// let ranked = analyze_sensitivity(&ConfigLattice::new(4), |cfg| {
+/// let ranked = analyze_sensitivity(&ConfigLattice::new(4), |cfg: &websim::ServerConfig| {
 ///     2_000.0 - 2.0 * cfg.max_clients() as f64
 /// });
 /// assert_eq!(ranked[0].param, Param::MaxClients);
@@ -54,18 +57,35 @@ pub struct ParamSensitivity {
 /// ```
 pub fn analyze_sensitivity(
     lattice: &ConfigLattice,
-    mut measure: impl FnMut(&ServerConfig) -> f64,
+    mut measure: impl Measure,
 ) -> Vec<ParamSensitivity> {
     let base = ServerConfig::default();
+    // One flat batch over all probes (params outer, levels inner) so
+    // the whole sweep fans out across the runner's workers at once.
+    let probes: Vec<(u32, ServerConfig)> = Param::ALL
+        .iter()
+        .flat_map(|&param| {
+            (0..lattice.levels()).map(move |level| {
+                let value = lattice.value_at(param, level);
+                (
+                    value,
+                    base.with(param, value).expect("lattice values in range"),
+                )
+            })
+        })
+        .collect();
+    let configs: Vec<ServerConfig> = probes.iter().map(|&(_, cfg)| cfg).collect();
+    let measured = measure.measure_batch(&configs);
+
     let mut out: Vec<ParamSensitivity> = Param::ALL
         .iter()
-        .map(|&param| {
+        .enumerate()
+        .map(|(p, &param)| {
             let mut best = (base.get(param), f64::INFINITY);
             let mut worst = f64::NEG_INFINITY;
             for level in 0..lattice.levels() {
-                let value = lattice.value_at(param, level);
-                let cfg = base.with(param, value).expect("lattice values in range");
-                let rt = measure(&cfg);
+                let i = p * lattice.levels() + level;
+                let (value, rt) = (probes[i].0, measured[i]);
                 if !rt.is_finite() {
                     continue;
                 }
@@ -98,13 +118,13 @@ pub fn analyze_sensitivity(
 /// # Panics
 ///
 /// Panics if `k` is zero or exceeds the parameter count.
-pub fn select_parameters(
-    lattice: &ConfigLattice,
-    k: usize,
-    measure: impl FnMut(&ServerConfig) -> f64,
-) -> Vec<Param> {
+pub fn select_parameters(lattice: &ConfigLattice, k: usize, measure: impl Measure) -> Vec<Param> {
     assert!(k > 0 && k <= Param::ALL.len(), "k must be in 1..=8");
-    analyze_sensitivity(lattice, measure).into_iter().take(k).map(|s| s.param).collect()
+    analyze_sensitivity(lattice, measure)
+        .into_iter()
+        .take(k)
+        .map(|s| s.param)
+        .collect()
 }
 
 #[cfg(test)]
@@ -136,7 +156,10 @@ mod tests {
     fn best_value_is_the_sweep_minimum() {
         let lattice = ConfigLattice::new(4);
         let ranked = analyze_sensitivity(&lattice, two_knob_landscape);
-        let mc = ranked.iter().find(|s| s.param == Param::MaxClients).expect("present");
+        let mc = ranked
+            .iter()
+            .find(|s| s.param == Param::MaxClients)
+            .expect("present");
         // Grid 5, 203, 402, 600 — the bowl minimum (400) is nearest 402.
         assert_eq!(mc.best_value, 402);
         assert!(mc.best_response_ms < mc.worst_response_ms);
@@ -154,7 +177,7 @@ mod tests {
     fn non_finite_measurements_are_skipped() {
         let lattice = ConfigLattice::new(3);
         let mut calls = 0;
-        let ranked = analyze_sensitivity(&lattice, |cfg| {
+        let ranked = analyze_sensitivity(&lattice, |cfg: &ServerConfig| {
             calls += 1;
             if calls % 3 == 0 {
                 f64::NAN
@@ -169,6 +192,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "k must be in")]
     fn zero_k_panics() {
-        select_parameters(&ConfigLattice::new(3), 0, |_| 1.0);
+        select_parameters(&ConfigLattice::new(3), 0, |_: &ServerConfig| 1.0);
     }
 }

@@ -8,12 +8,13 @@
 //! it is simulated time.
 
 use simkernel::SimDuration;
-use websim::{measure_config, SystemSpec};
+use websim::SystemSpec;
 
 use crate::context::{PolicyLibrary, SystemContext};
 use crate::init::{train_initial_policy, InitialPolicy, OfflineSettings};
 use crate::param::ConfigLattice;
 use crate::reward::SlaReward;
+use crate::runner::SimMeasurer;
 
 /// Options for offline training-data collection.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -67,11 +68,16 @@ pub fn train_policy_for_context(
     reward: SlaReward,
     options: TrainingOptions,
 ) -> InitialPolicy {
-    let spec = spec_base.clone().with_mix(context.mix).with_level(context.level);
-    train_initial_policy(lattice, reward, options.settings, |config| {
-        measure_config(&spec, *config, options.warmup, options.measure).mean_response_ms
-    })
-    .expect("offline sampling landscape must be fittable")
+    let spec = spec_base
+        .clone()
+        .with_mix(context.mix)
+        .with_level(context.level);
+    // Sampling runs through the global parallel runner: the whole
+    // coarse plan fans out across RAC_THREADS workers and repeated
+    // points hit the process-wide cache.
+    let measurer = SimMeasurer::new(spec, options.warmup, options.measure);
+    train_initial_policy(lattice, reward, options.settings, measurer)
+        .expect("offline sampling landscape must be fittable")
 }
 
 /// Builds a [`PolicyLibrary`] covering the given contexts.
@@ -104,7 +110,10 @@ mod tests {
         let options = TrainingOptions {
             warmup: SimDuration::from_secs(30),
             measure: SimDuration::from_secs(60),
-            settings: OfflineSettings { group_levels: 2, ..OfflineSettings::default() },
+            settings: OfflineSettings {
+                group_levels: 2,
+                ..OfflineSettings::default()
+            },
         };
         let ctx = SystemContext::new(Mix::Shopping, ResourceLevel::Level1);
         let policy =
@@ -120,7 +129,10 @@ mod tests {
         let options = TrainingOptions {
             warmup: SimDuration::from_secs(20),
             measure: SimDuration::from_secs(40),
-            settings: OfflineSettings { group_levels: 2, ..OfflineSettings::default() },
+            settings: OfflineSettings {
+                group_levels: 2,
+                ..OfflineSettings::default()
+            },
         };
         let contexts = [
             SystemContext::new(Mix::Shopping, ResourceLevel::Level1),

@@ -1,0 +1,274 @@
+//! A minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The workspace must build and test **fully offline**, so the real
+//! crates.io `criterion` (and its large dependency tree) cannot be
+//! resolved. This shim implements the subset of the API the
+//! repository's benches use — [`criterion_group!`], [`criterion_main!`],
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `sample_size` / `throughput` / `bench_with_input` / `finish`,
+//! [`BenchmarkId::from_parameter`], and [`Bencher::iter`] — and times
+//! each benchmark with [`std::time::Instant`].
+//!
+//! It reports median and min/max wall-clock per iteration (plus
+//! element throughput when declared). There is no statistical
+//! bootstrap, plotting, or baseline comparison: the benches exist to
+//! give order-of-magnitude numbers and to keep hot paths compiling and
+//! exercised, not to detect 1% regressions.
+//!
+//! Iteration counts honour the `CRITERION_QUICK` environment variable
+//! (any value → one sample per benchmark), which CI uses to smoke-test
+//! benches cheaply.
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration timing harness handed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one wall-clock sample over
+    /// `iters_per_sample` back-to-back iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters_per_sample {
+            std::hint::black_box(routine());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// Throughput declaration for a benchmark, used to derive rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one parameterised benchmark case.
+///
+/// # Example
+///
+/// ```
+/// use criterion::BenchmarkId;
+///
+/// assert_eq!(BenchmarkId::from_parameter(42).id, "42");
+/// assert_eq!(BenchmarkId::new("fit", 3).id, "fit/3");
+/// ```
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    /// Rendered identifier shown in output.
+    pub id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from the parameter value alone.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// An id rendered as `function/parameter`.
+    pub fn new<P: std::fmt::Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, default_sample_size(), None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: default_sample_size(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sampling settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the per-iteration throughput of subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one parameterised benchmark in the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(
+            &label,
+            effective_sample_size(self.sample_size),
+            self.throughput,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (output separator only in this shim).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+fn default_sample_size() -> usize {
+    effective_sample_size(10)
+}
+
+fn effective_sample_size(configured: usize) -> usize {
+    if std::env::var_os("CRITERION_QUICK").is_some() {
+        1
+    } else {
+        configured.max(1)
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+    };
+    for _ in 0..samples {
+        f(&mut bencher);
+    }
+    if bencher.samples.is_empty() {
+        println!("bench {label:<40} (no samples)");
+        return;
+    }
+    bencher.samples.sort();
+    let median = bencher.samples[bencher.samples.len() / 2];
+    let min = bencher.samples[0];
+    let max = bencher.samples[bencher.samples.len() - 1];
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if median > Duration::ZERO => {
+            format!("  {:>12.0} elem/s", n as f64 / median.as_secs_f64())
+        }
+        Some(Throughput::Bytes(n)) if median > Duration::ZERO => {
+            format!("  {:>12.0} B/s", n as f64 / median.as_secs_f64())
+        }
+        _ => String::new(),
+    };
+    println!("bench {label:<40} median {median:>12?}  (min {min:?}, max {max:?}){rate}");
+}
+
+/// Declares a benchmark group function, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 3,
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(count, 3);
+        assert_eq!(b.samples.len(), 1);
+    }
+
+    #[test]
+    fn benchmark_id_rendering() {
+        assert_eq!(BenchmarkId::from_parameter("abc").id, "abc");
+        assert_eq!(BenchmarkId::new("f", 7).id, "f/7");
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.throughput(Throughput::Elements(10));
+            g.bench_with_input(BenchmarkId::from_parameter(1), &1, |b, &x| {
+                b.iter(|| ran += x);
+            });
+            g.finish();
+        }
+        // 2 samples × 1 iteration each.
+        assert_eq!(ran, 2);
+    }
+
+    #[test]
+    fn bench_function_runs() {
+        let mut c = Criterion::default();
+        let mut hits = 0u32;
+        c.bench_function("direct", |b| b.iter(|| hits += 1));
+        assert!(hits > 0);
+    }
+
+    criterion_group!(example_group, noop_bench);
+
+    fn noop_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn macro_generated_group_is_callable() {
+        example_group();
+    }
+}

@@ -22,7 +22,11 @@ impl fmt::Display for LinAlgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LinAlgError::ShapeMismatch { expected, got } => {
-                write!(f, "shape mismatch: expected {}x{}, got {}x{}", expected.0, expected.1, got.0, got.1)
+                write!(
+                    f,
+                    "shape mismatch: expected {}x{}, got {}x{}",
+                    expected.0, expected.1, got.0, got.1
+                )
             }
             LinAlgError::Singular => write!(f, "matrix is singular to working precision"),
         }
@@ -57,7 +61,11 @@ impl Matrix {
     /// Panics if either dimension is zero.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the identity matrix of size `n`.
@@ -79,7 +87,11 @@ impl Matrix {
         let cols = rows[0].len();
         assert!(cols > 0, "need at least one column");
         assert!(rows.iter().all(|r| r.len() == cols), "ragged rows");
-        Matrix { rows: rows.len(), cols, data: rows.concat() }
+        Matrix {
+            rows: rows.len(),
+            cols,
+            data: rows.concat(),
+        }
     }
 
     /// Number of rows.
@@ -138,7 +150,10 @@ impl Matrix {
     /// Returns [`LinAlgError::ShapeMismatch`] when `v.len() != self.cols()`.
     pub fn mul_vec(&self, v: &[f64]) -> Result<Vec<f64>, LinAlgError> {
         if v.len() != self.cols {
-            return Err(LinAlgError::ShapeMismatch { expected: (self.cols, 1), got: (v.len(), 1) });
+            return Err(LinAlgError::ShapeMismatch {
+                expected: (self.cols, 1),
+                got: (v.len(), 1),
+            });
         }
         Ok((0..self.rows)
             .map(|i| (0..self.cols).map(|j| self[(i, j)] * v[j]).sum())
@@ -157,14 +172,20 @@ impl Matrix {
 impl Index<(usize, usize)> for Matrix {
     type Output = f64;
     fn index(&self, (i, j): (usize, usize)) -> &f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &self.data[i * self.cols + j]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
-        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        assert!(
+            i < self.rows && j < self.cols,
+            "index ({i},{j}) out of bounds"
+        );
         &mut self.data[i * self.cols + j]
     }
 }
@@ -191,10 +212,16 @@ impl IndexMut<(usize, usize)> for Matrix {
 pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LinAlgError> {
     let n = a.rows();
     if a.cols() != n {
-        return Err(LinAlgError::ShapeMismatch { expected: (n, n), got: (a.rows(), a.cols()) });
+        return Err(LinAlgError::ShapeMismatch {
+            expected: (n, n),
+            got: (a.rows(), a.cols()),
+        });
     }
     if b.len() != n {
-        return Err(LinAlgError::ShapeMismatch { expected: (n, 1), got: (b.len(), 1) });
+        return Err(LinAlgError::ShapeMismatch {
+            expected: (n, 1),
+            got: (b.len(), 1),
+        });
     }
 
     // Augmented working copy.
@@ -285,9 +312,15 @@ mod tests {
     #[test]
     fn solve_shape_mismatch_errors() {
         let a = Matrix::zeros(2, 3);
-        assert!(matches!(solve(&a, &[1.0, 2.0]), Err(LinAlgError::ShapeMismatch { .. })));
+        assert!(matches!(
+            solve(&a, &[1.0, 2.0]),
+            Err(LinAlgError::ShapeMismatch { .. })
+        ));
         let sq = Matrix::identity(2);
-        assert!(matches!(solve(&sq, &[1.0]), Err(LinAlgError::ShapeMismatch { .. })));
+        assert!(matches!(
+            solve(&sq, &[1.0]),
+            Err(LinAlgError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]
@@ -332,7 +365,10 @@ mod tests {
     #[test]
     fn display_of_errors() {
         assert!(LinAlgError::Singular.to_string().contains("singular"));
-        let e = LinAlgError::ShapeMismatch { expected: (2, 2), got: (3, 1) };
+        let e = LinAlgError::ShapeMismatch {
+            expected: (2, 2),
+            got: (3, 1),
+        };
         assert!(e.to_string().contains("2x2"));
     }
 

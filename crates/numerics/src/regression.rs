@@ -31,10 +31,18 @@ impl fmt::Display for RegressionError {
         match self {
             RegressionError::Empty => write!(f, "no samples supplied"),
             RegressionError::Ragged => write!(f, "inconsistent sample dimensions"),
-            RegressionError::Underdetermined { samples, coefficients } => {
-                write!(f, "under-determined fit: {samples} samples for {coefficients} coefficients")
+            RegressionError::Underdetermined {
+                samples,
+                coefficients,
+            } => {
+                write!(
+                    f,
+                    "under-determined fit: {samples} samples for {coefficients} coefficients"
+                )
             }
-            RegressionError::Singular => write!(f, "normal equations singular even with ridge fallback"),
+            RegressionError::Singular => {
+                write!(f, "normal equations singular even with ridge fallback")
+            }
         }
     }
 }
@@ -81,7 +89,10 @@ pub fn least_squares(design: &[Vec<f64>], y: &[f64]) -> Result<Vec<f64>, Regress
         Ok(w) => Ok(w),
         Err(LinAlgError::Singular) => {
             // Ridge fallback: tiny L2 penalty scaled to the Gram diagonal.
-            let scale = (0..k).map(|i| gram[(i, i)].abs()).fold(0.0f64, f64::max).max(1.0);
+            let scale = (0..k)
+                .map(|i| gram[(i, i)].abs())
+                .fold(0.0f64, f64::max)
+                .max(1.0);
             gram.add_diagonal(1e-8 * scale);
             solve(&gram, &rhs).map_err(|_| RegressionError::Singular)
         }
@@ -154,7 +165,10 @@ impl PolynomialModel {
         }
         let coefficients = Self::coefficient_count(dims);
         if xs.len() < coefficients {
-            return Err(RegressionError::Underdetermined { samples: xs.len(), coefficients });
+            return Err(RegressionError::Underdetermined {
+                samples: xs.len(),
+                coefficients,
+            });
         }
 
         // Standardize features for conditioning.
@@ -195,18 +209,31 @@ impl PolynomialModel {
             ss_res += (y - pred) * (y - pred);
             ss_tot += (y - y_mean) * (y - y_mean);
         }
-        let r_squared = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+        let r_squared = if ss_tot > 0.0 {
+            1.0 - ss_res / ss_tot
+        } else {
+            1.0
+        };
         let quality = FitQuality {
             r_squared,
             rmse: (ss_res / ys.len() as f64).sqrt(),
             samples: ys.len(),
         };
 
-        Ok(PolynomialModel { dims, weights, mean, scale, quality })
+        Ok(PolynomialModel {
+            dims,
+            weights,
+            mean,
+            scale,
+            quality,
+        })
     }
 
     fn standardize(x: &[f64], mean: &[f64], scale: &[f64]) -> Vec<f64> {
-        x.iter().zip(mean.iter().zip(scale)).map(|(v, (m, s))| (v - m) / s).collect()
+        x.iter()
+            .zip(mean.iter().zip(scale))
+            .map(|(v, (m, s))| (v - m) / s)
+            .collect()
     }
 
     fn features(dims: usize, z: &[f64]) -> Vec<f64> {
@@ -281,7 +308,10 @@ mod tests {
             least_squares(&[vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0]),
             Err(RegressionError::Ragged)
         );
-        assert_eq!(least_squares(&[vec![1.0]], &[1.0, 2.0]), Err(RegressionError::Ragged));
+        assert_eq!(
+            least_squares(&[vec![1.0]], &[1.0, 2.0]),
+            Err(RegressionError::Ragged)
+        );
     }
 
     #[test]
@@ -302,7 +332,10 @@ mod tests {
     #[test]
     fn polynomial_fits_exact_quadratic() {
         let xs: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64]).collect();
-        let ys: Vec<f64> = xs.iter().map(|x| 2.0 + 3.0 * x[0] - 0.25 * x[0] * x[0]).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 2.0 + 3.0 * x[0] - 0.25 * x[0] * x[0])
+            .collect();
         let m = PolynomialModel::fit(&xs, &ys).unwrap();
         for x in [0.5, 5.5, 19.5, 25.0] {
             let want = 2.0 + 3.0 * x - 0.25 * x * x;
@@ -316,7 +349,10 @@ mod tests {
     fn polynomial_captures_concave_minimum() {
         // The Figure-4 shape: response time concave upward in MaxClients.
         let xs: Vec<Vec<f64>> = (1..=30).map(|i| vec![i as f64 * 20.0]).collect();
-        let ys: Vec<f64> = xs.iter().map(|x| 0.003 * (x[0] - 280.0).powi(2) + 90.0).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 0.003 * (x[0] - 280.0).powi(2) + 90.0)
+            .collect();
         let m = PolynomialModel::fit(&xs, &ys).unwrap();
         // The fitted minimum should be near 280.
         let best = (1..=60)
@@ -334,7 +370,10 @@ mod tests {
                 xs.push(vec![i as f64, j as f64]);
             }
         }
-        let ys: Vec<f64> = xs.iter().map(|v| 7.0 - v[0] + 0.5 * v[1] * v[1] + 2.0 * v[0] * v[1]).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|v| 7.0 - v[0] + 0.5 * v[1] * v[1] + 2.0 * v[0] * v[1])
+            .collect();
         let m = PolynomialModel::fit(&xs, &ys).unwrap();
         assert!((m.predict(&[10.0, 10.0]) - (7.0 - 10.0 + 50.0 + 200.0)).abs() < 1e-5);
     }
@@ -345,7 +384,10 @@ mod tests {
         let ys = vec![1.0, 2.0];
         assert_eq!(
             PolynomialModel::fit(&xs, &ys),
-            Err(RegressionError::Underdetermined { samples: 2, coefficients: 6 })
+            Err(RegressionError::Underdetermined {
+                samples: 2,
+                coefficients: 6
+            })
         );
     }
 
@@ -378,7 +420,10 @@ mod tests {
     #[test]
     fn error_display() {
         assert!(RegressionError::Empty.to_string().contains("no samples"));
-        let e = RegressionError::Underdetermined { samples: 2, coefficients: 6 };
+        let e = RegressionError::Underdetermined {
+            samples: 2,
+            coefficients: 6,
+        };
         assert!(e.to_string().contains("2 samples"));
     }
 

@@ -1,0 +1,281 @@
+//! A minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The workspace must build and test **fully offline** (the tier-1
+//! verify runs in air-gapped containers), so the real crates.io
+//! `proptest` cannot be resolved. This shim implements exactly the API
+//! surface the repository's property tests use:
+//!
+//! * the [`proptest!`] macro (multiple `#[test]` functions per block,
+//!   optional `#![proptest_config(...)]` header),
+//! * argument strategies: integer and float [`Range`]s /
+//!   [`RangeInclusive`]s, tuples of strategies, and
+//!   [`collection::vec`],
+//! * `name: Type` arguments via [`Arbitrary`],
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//! * [`ProptestConfig::with_cases`] and the `PROPTEST_CASES`
+//!   environment variable.
+//!
+//! Semantics deliberately differ from upstream in two ways that suit
+//! this repository's determinism-first ethos:
+//!
+//! 1. **Deterministic seeding.** Case inputs derive from a hash of the
+//!    test's module path and name, so every run (and every CI machine)
+//!    explores the same inputs. There is no persistence file.
+//! 2. **No shrinking.** On failure the shim reports the exact inputs of
+//!    the failing case and re-raises the panic; inputs are already
+//!    small because strategies here are bounded ranges.
+//!
+//! [`Range`]: std::ops::Range
+//! [`RangeInclusive`]: std::ops::RangeInclusive
+
+pub mod collection;
+pub mod rng;
+pub mod strategy;
+
+pub use strategy::{Arbitrary, Just, Strategy};
+
+/// Runtime configuration of a `proptest!` block.
+///
+/// # Example
+///
+/// ```
+/// use proptest::ProptestConfig;
+///
+/// assert_eq!(ProptestConfig::with_cases(8).cases, 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Default number of cases when neither the block nor the
+    /// environment overrides it.
+    pub const DEFAULT_CASES: u32 = 64;
+
+    /// Creates a configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// The case count, honouring a `PROPTEST_CASES` environment
+    /// override (ignored when unparsable).
+    pub fn resolved_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: Self::DEFAULT_CASES,
+        }
+    }
+}
+
+/// The glob-importable prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Arbitrary, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests.
+///
+/// # Example
+///
+/// ```ignore
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+///
+/// (The generated functions carry `#[test]`, so they only exist — and
+/// run — under `cargo test`.)
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr) $(#[$meta:meta])* fn $name:ident ( $($args:tt)* ) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let __cases = __config.resolved_cases();
+            let mut __rng = $crate::rng::ShimRng::for_test(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for __case in 0..__cases {
+                $crate::__proptest_case! { __rng, __case, ($($args)*) $body }
+            }
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    ($rng:ident, $case:ident, ($($args:tt)*) $body:block) => {{
+        let mut __inputs = ::std::string::String::new();
+        $crate::__proptest_bind! { $rng, __inputs @ $($args)* }
+        let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+        if let ::std::result::Result::Err(__err) = __outcome {
+            eprintln!(
+                "proptest case {} failed with inputs: {}",
+                $case,
+                __inputs.trim_end_matches(", ")
+            );
+            ::std::panic::resume_unwind(__err);
+        }
+    }};
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, $inputs:ident @ ) => {};
+    ($rng:ident, $inputs:ident @ $x:ident in $s:expr) => {
+        $crate::__proptest_bind! { $rng, $inputs @ $x in $s, }
+    };
+    ($rng:ident, $inputs:ident @ $x:ident in $s:expr, $($rest:tt)*) => {
+        let $x = $crate::strategy::Strategy::generate(&($s), &mut $rng);
+        $inputs.push_str(&format!("{} = {:?}, ", stringify!($x), &$x));
+        $crate::__proptest_bind! { $rng, $inputs @ $($rest)* }
+    };
+    ($rng:ident, $inputs:ident @ $x:ident : $t:ty) => {
+        $crate::__proptest_bind! { $rng, $inputs @ $x : $t, }
+    };
+    ($rng:ident, $inputs:ident @ $x:ident : $t:ty, $($rest:tt)*) => {
+        let $x = <$t as $crate::strategy::Arbitrary>::arbitrary(&mut $rng);
+        $inputs.push_str(&format!("{} = {:?}, ", stringify!($x), &$x));
+        $crate::__proptest_bind! { $rng, $inputs @ $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property, with an optional format
+/// message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond, "property assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+);
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::rng::ShimRng;
+
+    #[test]
+    fn config_default_and_override() {
+        assert_eq!(
+            ProptestConfig::default().cases,
+            ProptestConfig::DEFAULT_CASES
+        );
+        assert_eq!(ProptestConfig::with_cases(3).cases, 3);
+    }
+
+    #[test]
+    fn deterministic_per_test_stream() {
+        let mut a = ShimRng::for_test("mod::t");
+        let mut b = ShimRng::for_test("mod::t");
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ShimRng::for_test("mod::other");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 5u64..10, y in -3i32..4, z in 0.25f64..0.75) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((-3..4).contains(&y));
+            prop_assert!((0.25..0.75).contains(&z));
+        }
+
+        #[test]
+        fn vec_respects_size_and_element_bounds(
+            xs in crate::collection::vec(1u32..7, 2..5),
+        ) {
+            prop_assert!((2..5).contains(&xs.len()));
+            prop_assert!(xs.iter().all(|&x| (1..7).contains(&x)));
+        }
+
+        #[test]
+        fn tuple_strategies_compose(
+            ts in crate::collection::vec((1.0f64..2.0, 0u8..3), 1..4),
+        ) {
+            for (a, b) in ts {
+                prop_assert!((1.0..2.0).contains(&a));
+                prop_assert!(b < 3);
+            }
+        }
+
+        #[test]
+        fn arbitrary_type_args_bind(seed: u64, flag: bool) {
+            // Touch the values; any u64/bool is acceptable.
+            let _ = seed.wrapping_add(flag as u64);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+        #[test]
+        fn config_header_applies(x in 0u8..200) {
+            prop_assert!(x < 200);
+        }
+    }
+
+    #[test]
+    fn generated_tests_actually_run() {
+        // The proptest!-generated functions above are themselves #[test]
+        // items; calling one directly must also work.
+        ranges_stay_in_bounds();
+    }
+}

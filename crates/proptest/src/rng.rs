@@ -1,0 +1,115 @@
+//! Deterministic random source for the proptest shim.
+//!
+//! SplitMix64 seeded from an FNV-1a hash of the test's fully-qualified
+//! name: every test gets its own stream, and the stream is identical on
+//! every run and machine.
+
+/// SplitMix64 generator (Steele, Lea, Flood 2014). Small state, passes
+/// BigCrush, and — crucially for the shim — trivially reproducible.
+#[derive(Debug, Clone)]
+pub struct ShimRng {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl ShimRng {
+    /// Creates a generator from a raw seed.
+    pub fn new(seed: u64) -> Self {
+        ShimRng { state: seed }
+    }
+
+    /// Creates a generator whose stream is a pure function of the
+    /// test's fully-qualified name.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use proptest::rng::ShimRng;
+    ///
+    /// let mut a = ShimRng::for_test("my::test");
+    /// let mut b = ShimRng::for_test("my::test");
+    /// assert_eq!(a.next_u64(), b.next_u64());
+    /// ```
+    pub fn for_test(name: &str) -> Self {
+        let mut hash = FNV_OFFSET;
+        for byte in name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        ShimRng::new(hash)
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform integer in `[0, bound)` via Lemire's multiply-shift
+    /// (debiased by rejection).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound` is zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bound must be positive");
+        loop {
+            let x = self.next_u64();
+            let hi = ((x as u128 * bound as u128) >> 64) as u64;
+            let lo = x.wrapping_mul(bound);
+            if lo >= bound || lo >= bound.wrapping_neg() % bound {
+                return hi;
+            }
+        }
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn below_stays_in_bound() {
+        let mut rng = ShimRng::new(7);
+        for bound in [1u64, 2, 3, 10, 1000, u64::MAX] {
+            for _ in 0..200 {
+                assert!(rng.below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = ShimRng::new(11);
+        for _ in 0..1000 {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn below_zero_panics() {
+        ShimRng::new(1).below(0);
+    }
+
+    #[test]
+    fn streams_differ_by_name() {
+        let mut a = ShimRng::for_test("a");
+        let mut b = ShimRng::for_test("b");
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,229 @@
+//! Value-generation strategies.
+//!
+//! A [`Strategy`] produces one value per call from the shim's
+//! deterministic RNG. Ranges over the primitive numeric types, tuples
+//! of strategies, and `Vec<Strategy>` (via [`crate::collection::vec`])
+//! cover every argument form the workspace's property tests use.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::rng::ShimRng;
+
+/// Generates values of `Self::Value` from the shim RNG.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut ShimRng) -> Self::Value;
+}
+
+/// A strategy that always yields the same value.
+///
+/// # Example
+///
+/// ```
+/// use proptest::{Just, Strategy};
+/// use proptest::rng::ShimRng;
+///
+/// let mut rng = ShimRng::new(1);
+/// assert_eq!(Just(42).generate(&mut rng), 42);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut ShimRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_uint_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut ShimRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut ShimRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_uint_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut ShimRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut ShimRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = hi.wrapping_sub(lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut ShimRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let u = rng.f64() as $t;
+                let x = self.start + u * (self.end - self.start);
+                // Floating rounding could land exactly on `end`; fold it
+                // back inside so the half-open contract holds.
+                if x >= self.end { self.start } else { x }
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut ShimRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                lo + (rng.f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+macro_rules! impl_tuple {
+    ($(($($s:ident / $idx:tt),+)),+) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut ShimRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple!(
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3)
+);
+
+/// Types usable as bare `name: Type` proptest arguments.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value of `Self`.
+    fn arbitrary(rng: &mut ShimRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut ShimRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut ShimRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uint_range_bounds() {
+        let mut rng = ShimRng::new(3);
+        for _ in 0..500 {
+            let x = (10u64..20).generate(&mut rng);
+            assert!((10..20).contains(&x));
+            let y = (0usize..=5).generate(&mut rng);
+            assert!(y <= 5);
+        }
+    }
+
+    #[test]
+    fn signed_range_bounds() {
+        let mut rng = ShimRng::new(5);
+        for _ in 0..500 {
+            let x = (-100i64..100).generate(&mut rng);
+            assert!((-100..100).contains(&x));
+        }
+    }
+
+    #[test]
+    fn float_range_bounds() {
+        let mut rng = ShimRng::new(9);
+        for _ in 0..500 {
+            let x = (1.5f64..2.5).generate(&mut rng);
+            assert!((1.5..2.5).contains(&x));
+        }
+    }
+
+    #[test]
+    fn full_u64_range_is_accepted() {
+        let mut rng = ShimRng::new(13);
+        // span + 1 would overflow; exercises the u64::MAX special case.
+        let _ = (0u64..=u64::MAX).generate(&mut rng);
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut rng = ShimRng::new(17);
+        let (a, b, c) = (0u8..4, 10u16..12, 0.0f32..1.0).generate(&mut rng);
+        assert!(a < 4);
+        assert!((10..12).contains(&b));
+        assert!((0.0..1.0).contains(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range strategy")]
+    fn empty_range_panics() {
+        let mut rng = ShimRng::new(1);
+        let _ = (5u32..5).generate(&mut rng);
+    }
+}

@@ -40,7 +40,10 @@ impl DoubleQ {
     ///
     /// Panics if either dimension is zero.
     pub fn new(states: usize, actions: usize) -> Self {
-        DoubleQ { a: QTable::new(states, actions), b: QTable::new(states, actions) }
+        DoubleQ {
+            a: QTable::new(states, actions),
+            b: QTable::new(states, actions),
+        }
     }
 
     /// Number of states.
@@ -163,7 +166,10 @@ mod tests {
             double < plain,
             "double-Q ({double:.3}) should estimate lower than plain Q ({plain:.3})"
         );
-        assert!(plain > 0.0, "plain Q should show positive bias here, got {plain:.3}");
+        assert!(
+            plain > 0.0,
+            "plain Q should show positive bias here, got {plain:.3}"
+        );
     }
 
     #[test]

@@ -45,7 +45,10 @@ impl ExperienceLog {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        ExperienceLog { buf: VecDeque::with_capacity(capacity), capacity }
+        ExperienceLog {
+            buf: VecDeque::with_capacity(capacity),
+            capacity,
+        }
     }
 
     /// Appends a transition, evicting the oldest when full.
@@ -87,7 +90,12 @@ mod tests {
     use super::*;
 
     fn t(state: usize) -> Transition {
-        Transition { state, action: 0, reward: 1.0, next_state: state + 1 }
+        Transition {
+            state,
+            action: 0,
+            reward: 1.0,
+            next_state: state + 1,
+        }
     }
 
     #[test]

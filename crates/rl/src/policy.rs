@@ -71,7 +71,10 @@ impl Softmax {
     ///
     /// Panics if `temperature` is not positive and finite.
     pub fn new(temperature: f64) -> Self {
-        assert!(temperature.is_finite() && temperature > 0.0, "temperature must be positive");
+        assert!(
+            temperature.is_finite() && temperature > 0.0,
+            "temperature must be positive"
+        );
         Softmax { temperature }
     }
 
@@ -79,9 +82,12 @@ impl Softmax {
     pub fn choose(&self, q: &QTable, s: usize, rng: &mut Pcg64) -> usize {
         let n = q.actions();
         // Subtract the max for numerical stability.
-        let max = (0..n).map(|a| q.get(s, a)).fold(f64::NEG_INFINITY, f64::max);
-        let weights: Vec<f64> =
-            (0..n).map(|a| ((q.get(s, a) - max) / self.temperature).exp()).collect();
+        let max = (0..n)
+            .map(|a| q.get(s, a))
+            .fold(f64::NEG_INFINITY, f64::max);
+        let weights: Vec<f64> = (0..n)
+            .map(|a| ((q.get(s, a) - max) / self.temperature).exp())
+            .collect();
         rng.weighted_index(&weights)
     }
 }
@@ -127,7 +133,9 @@ mod tests {
         let q = table();
         let mut rng = Pcg64::seed_from_u64(5);
         let p = EpsilonGreedy::new(0.1);
-        let greedy = (0..10_000).filter(|_| p.choose(&q, 0, &mut rng) == 1).count();
+        let greedy = (0..10_000)
+            .filter(|_| p.choose(&q, 0, &mut rng) == 1)
+            .count();
         // 90% greedy + 2.5% random hits on action 1 ≈ 92.5%.
         assert!((9_000..9_600).contains(&greedy), "greedy picks {greedy}");
     }

@@ -29,9 +29,16 @@ impl QTable {
     /// Panics if either dimension is zero or the table would overflow
     /// memory indexing.
     pub fn new(states: usize, actions: usize) -> Self {
-        assert!(states > 0 && actions > 0, "table dimensions must be positive");
+        assert!(
+            states > 0 && actions > 0,
+            "table dimensions must be positive"
+        );
         let size = states.checked_mul(actions).expect("Q-table too large");
-        QTable { values: vec![0.0; size], states, actions }
+        QTable {
+            values: vec![0.0; size],
+            states,
+            actions,
+        }
     }
 
     /// Number of states.
@@ -46,7 +53,10 @@ impl QTable {
 
     #[inline]
     fn idx(&self, s: usize, a: usize) -> usize {
-        debug_assert!(s < self.states && a < self.actions, "({s},{a}) out of bounds");
+        debug_assert!(
+            s < self.states && a < self.actions,
+            "({s},{a}) out of bounds"
+        );
         s * self.actions + a
     }
 
@@ -259,7 +269,11 @@ mod tests {
         q.set(1, 1, 10.0);
         let td = QLearning::new(1.0, 0.9);
         td.sarsa_update(&mut q, 0, 0, 0.0, 1, 0);
-        assert_eq!(q.get(0, 0), 0.0, "SARSA follows the sampled action, not the max");
+        assert_eq!(
+            q.get(0, 0),
+            0.0,
+            "SARSA follows the sampled action, not the max"
+        );
         td.update(&mut q, 0, 1, 0.0, 1);
         assert!((q.get(0, 1) - 9.0).abs() < 1e-6);
     }

@@ -220,7 +220,14 @@ mod tests {
         let mut a = QTable::new(9, 3);
         let mut b = QTable::new(9, 3);
         batch_value_sweep_with(&env, &mut a, &learner, Backup::Greedy, 1e-6, 200);
-        batch_value_sweep_with(&env, &mut b, &learner, Backup::EpsilonGreedy(0.0), 1e-6, 200);
+        batch_value_sweep_with(
+            &env,
+            &mut b,
+            &learner,
+            Backup::EpsilonGreedy(0.0),
+            1e-6,
+            200,
+        );
         for s in 0..9 {
             for act in 0..3 {
                 assert!((a.get(s, act) - b.get(s, act)).abs() < 1e-6);
@@ -253,6 +260,9 @@ mod tests {
         let mut warm = QTable::new(31, 3);
         warm.copy_from(&cold);
         let warm_passes = batch_value_sweep(&env, &mut warm, &learner, 1e-4, 10_000);
-        assert!(warm_passes < cold_passes, "warm {warm_passes} vs cold {cold_passes}");
+        assert!(
+            warm_passes < cold_passes,
+            "warm {warm_passes} vs cold {cold_passes}"
+        );
     }
 }

@@ -69,7 +69,11 @@ impl<E> Ord for Entry<E> {
 impl<E> EventQueue<E> {
     /// Creates an empty queue with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), seq: 0, now: SimTime::ZERO }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
     }
 
     /// The timestamp of the most recently popped event — the current
@@ -97,7 +101,11 @@ impl<E> EventQueue<E> {
     ///
     /// Panics in debug builds if `at` is earlier than [`EventQueue::now`].
     pub fn schedule(&mut self, at: SimTime, event: E) {
-        debug_assert!(at >= self.now, "scheduled event in the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduled event in the past: {at} < {}",
+            self.now
+        );
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
@@ -180,11 +188,17 @@ mod tests {
         let mut q = EventQueue::new();
         q.schedule(SimTime::from_secs(1), "a");
         q.schedule(SimTime::from_secs(3), "b");
-        assert_eq!(q.pop_before(SimTime::from_secs(2)), Some((SimTime::from_secs(1), "a")));
+        assert_eq!(
+            q.pop_before(SimTime::from_secs(2)),
+            Some((SimTime::from_secs(1), "a"))
+        );
         assert_eq!(q.pop_before(SimTime::from_secs(2)), None);
         assert_eq!(q.len(), 1);
         // Resume with a later horizon.
-        assert_eq!(q.pop_before(SimTime::from_secs(4)), Some((SimTime::from_secs(3), "b")));
+        assert_eq!(
+            q.pop_before(SimTime::from_secs(4)),
+            Some((SimTime::from_secs(3), "b"))
+        );
     }
 
     #[test]

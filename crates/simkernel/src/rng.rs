@@ -161,7 +161,10 @@ impl Exponential {
     ///
     /// Panics if `rate` is not finite and positive.
     pub fn new(rate: f64) -> Self {
-        assert!(rate.is_finite() && rate > 0.0, "rate must be positive, got {rate}");
+        assert!(
+            rate.is_finite() && rate > 0.0,
+            "rate must be positive, got {rate}"
+        );
         Exponential { rate }
     }
 
@@ -171,7 +174,10 @@ impl Exponential {
     ///
     /// Panics if `mean` is not finite and positive.
     pub fn with_mean(mean: f64) -> Self {
-        assert!(mean.is_finite() && mean > 0.0, "mean must be positive, got {mean}");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "mean must be positive, got {mean}"
+        );
         Exponential { rate: 1.0 / mean }
     }
 
@@ -206,7 +212,12 @@ impl Normal {
     pub fn clamped(mean: f64, std_dev: f64, min: f64, max: f64) -> Self {
         assert!(std_dev >= 0.0, "std_dev must be non-negative");
         assert!(min <= max, "min must not exceed max");
-        Normal { mean, std_dev, min, max }
+        Normal {
+            mean,
+            std_dev,
+            min,
+            max,
+        }
     }
 
     /// Draws a sample.

@@ -32,7 +32,13 @@ pub struct Welford {
 impl Welford {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        Welford { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Welford {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Adds an observation.
@@ -95,7 +101,8 @@ impl Welford {
         }
         let total = self.count + other.count;
         let delta = other.mean - self.mean;
-        self.m2 += other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
         self.mean += delta * other.count as f64 / total as f64;
         self.count = total;
         self.min = self.min.min(other.min);
@@ -153,7 +160,11 @@ impl DurationHistogram {
         let exp = 63 - us.leading_zeros(); // position of the highest set bit
         let exp = exp.min(MAX_EXPONENT + SUB_BITS - 1);
         let bucket_exp = exp - SUB_BITS + 1;
-        let sub = (us >> bucket_exp) & (SUB_BUCKETS - 1);
+        // Shift so the value lands in [SUB_BUCKETS, 2*SUB_BUCKETS); the
+        // masked low bits are then the linear sub-bucket, and
+        // `lower_bound_of` round-trips it exactly via
+        // `(SUB_BUCKETS + sub) << (bucket_exp - 1)`.
+        let sub = (us >> (bucket_exp - 1)) & (SUB_BUCKETS - 1);
         ((bucket_exp as usize) * SUB_BUCKETS as usize + sub as usize)
             .min(((MAX_EXPONENT + 1) as usize) * SUB_BUCKETS as usize - 1)
     }
@@ -183,7 +194,8 @@ impl DurationHistogram {
 
     /// Exact mean of all recorded durations, or `None` when empty.
     pub fn mean(&self) -> Option<SimDuration> {
-        (self.total > 0).then(|| SimDuration::from_micros((self.sum_micros / self.total as u128) as u64))
+        (self.total > 0)
+            .then(|| SimDuration::from_micros((self.sum_micros / self.total as u128) as u64))
     }
 
     /// Approximate percentile (`p` in `[0, 100]`), or `None` when empty.
@@ -204,7 +216,9 @@ impl DurationHistogram {
                 return Some(SimDuration::from_micros(Self::lower_bound_of(i)));
             }
         }
-        Some(SimDuration::from_micros(Self::lower_bound_of(self.counts.len() - 1)))
+        Some(SimDuration::from_micros(Self::lower_bound_of(
+            self.counts.len() - 1,
+        )))
     }
 
     /// Resets the histogram to empty without deallocating.
@@ -256,7 +270,12 @@ pub struct TimeWeighted {
 impl TimeWeighted {
     /// Starts tracking a signal whose value is `initial` at time `start`.
     pub fn new(start: SimTime, initial: f64) -> Self {
-        TimeWeighted { last_change: start, value: initial, weighted_sum: 0.0, start }
+        TimeWeighted {
+            last_change: start,
+            value: initial,
+            weighted_sum: 0.0,
+            start,
+        }
     }
 
     /// Updates the signal value at time `now`.
@@ -328,7 +347,11 @@ impl SlidingWindow {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "window capacity must be positive");
-        SlidingWindow { buf: vec![0.0; capacity], head: 0, len: 0 }
+        SlidingWindow {
+            buf: vec![0.0; capacity],
+            head: 0,
+            len: 0,
+        }
     }
 
     /// Maximum number of retained values.

@@ -216,7 +216,12 @@ impl Sum for SimDuration {
 
 impl fmt::Display for SimTime {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}.{:03}s", self.0 / 1_000_000, (self.0 % 1_000_000) / 1_000)
+        write!(
+            f,
+            "{}.{:03}s",
+            self.0 / 1_000_000,
+            (self.0 % 1_000_000) / 1_000
+        )
     }
 }
 
@@ -275,7 +280,10 @@ mod tests {
     #[test]
     fn scaling() {
         assert_eq!(SimDuration::from_millis(2) * 3, SimDuration::from_millis(6));
-        assert_eq!(SimDuration::from_millis(3) * 0.5, SimDuration::from_micros(1_500));
+        assert_eq!(
+            SimDuration::from_millis(3) * 0.5,
+            SimDuration::from_micros(1_500)
+        );
         assert_eq!(SimDuration::from_millis(6) / 2, SimDuration::from_millis(3));
     }
 

@@ -117,7 +117,12 @@ impl Browser {
             }
         };
         self.current = Some(interaction);
-        Request { browser: self.index, session: self.session, interaction, new_session }
+        Request {
+            browser: self.index,
+            session: self.session,
+            interaction,
+            new_session,
+        }
     }
 }
 
@@ -152,7 +157,10 @@ impl Fleet {
     /// Panics if `n` is zero.
     pub fn new(n: usize, mix: Mix) -> Self {
         assert!(n > 0, "a fleet needs at least one browser");
-        Fleet { browsers: (0..n).map(|i| Browser::new(i, mix)).collect(), mix }
+        Fleet {
+            browsers: (0..n).map(|i| Browser::new(i, mix)).collect(),
+            mix,
+        }
     }
 
     /// Number of browsers.
@@ -269,11 +277,16 @@ mod tests {
         let mut rng = Pcg64::seed_from_u64(5);
         let count_orders = |mix: Mix, rng: &mut Pcg64| {
             let mut eb = Browser::new(0, mix);
-            (0..5_000).filter(|_| eb.next_request(rng).interaction.is_order()).count()
+            (0..5_000)
+                .filter(|_| eb.next_request(rng).interaction.is_order())
+                .count()
         };
         let browsing = count_orders(Mix::Browsing, &mut rng);
         let ordering = count_orders(Mix::Ordering, &mut rng);
-        assert!(ordering > 3 * browsing, "browsing {browsing} ordering {ordering}");
+        assert!(
+            ordering > 3 * browsing,
+            "browsing {browsing} ordering {ordering}"
+        );
     }
 
     #[test]

@@ -71,7 +71,10 @@ impl Interaction {
 
     /// Dense index in `0..14`, matching [`Interaction::ALL`].
     pub fn index(self) -> usize {
-        Interaction::ALL.iter().position(|&i| i == self).expect("interaction in ALL")
+        Interaction::ALL
+            .iter()
+            .position(|&i| i == self)
+            .expect("interaction in ALL")
     }
 
     /// The interaction at a dense index.
@@ -212,11 +215,18 @@ mod tests {
             let d = i.demand();
             assert!(d.web_cpu_us > 0, "{i} needs web CPU");
             assert!(d.total_cpu_us() > 0);
-            assert_eq!(d.db_cpu_us == 0, d.db_queries == 0, "{i}: db time iff db queries");
+            assert_eq!(
+                d.db_cpu_us == 0,
+                d.db_queries == 0,
+                "{i}: db time iff db queries"
+            );
         }
         // Relative shapes the model depends on:
         assert!(Interaction::BestSellers.demand().db_cpu_us > Interaction::Home.demand().db_cpu_us);
-        assert!(Interaction::BuyConfirm.demand().app_cpu_us > Interaction::SearchRequest.demand().app_cpu_us);
+        assert!(
+            Interaction::BuyConfirm.demand().app_cpu_us
+                > Interaction::SearchRequest.demand().app_cpu_us
+        );
         assert!(Interaction::BuyConfirm.demand().uses_session);
         assert!(!Interaction::Home.demand().uses_session);
     }

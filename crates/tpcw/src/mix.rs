@@ -127,14 +127,28 @@ impl MixMatrix {
                     (base_order - PERSISTENCE * base_order).max(0.01)
                 };
                 let mut row = [0.0f64; 14];
-                let browse_total: f64 =
-                    Interaction::ALL.iter().filter(|i| i.is_browse()).map(|&i| popularity(i)).sum();
-                let order_total: f64 =
-                    Interaction::ALL.iter().filter(|i| i.is_order()).map(|&i| popularity(i)).sum();
+                let browse_total: f64 = Interaction::ALL
+                    .iter()
+                    .filter(|i| i.is_browse())
+                    .map(|&i| popularity(i))
+                    .sum();
+                let order_total: f64 = Interaction::ALL
+                    .iter()
+                    .filter(|i| i.is_order())
+                    .map(|&i| popularity(i))
+                    .sum();
                 for &to in &Interaction::ALL {
-                    let class_p = if to.is_order() { order_p } else { 1.0 - order_p };
+                    let class_p = if to.is_order() {
+                        order_p
+                    } else {
+                        1.0 - order_p
+                    };
                     let within = popularity(to)
-                        / if to.is_order() { order_total } else { browse_total };
+                        / if to.is_order() {
+                            order_total
+                        } else {
+                            browse_total
+                        };
                     row[to.index()] = class_p * within;
                 }
                 row
@@ -204,7 +218,11 @@ mod tests {
     fn stationary_order_fraction(mix: Mix) -> f64 {
         let m = mix.matrix();
         let dist = m.stationary_distribution();
-        Interaction::ALL.iter().filter(|i| i.is_order()).map(|i| dist[i.index()]).sum()
+        Interaction::ALL
+            .iter()
+            .filter(|i| i.is_order())
+            .map(|i| dist[i.index()])
+            .sum()
     }
 
     #[test]
@@ -212,9 +230,18 @@ mod tests {
         let browsing = stationary_order_fraction(Mix::Browsing);
         let shopping = stationary_order_fraction(Mix::Shopping);
         let ordering = stationary_order_fraction(Mix::Ordering);
-        assert!((browsing - 0.05).abs() < 0.02, "browsing order fraction {browsing}");
-        assert!((shopping - 0.20).abs() < 0.04, "shopping order fraction {shopping}");
-        assert!((ordering - 0.50).abs() < 0.06, "ordering order fraction {ordering}");
+        assert!(
+            (browsing - 0.05).abs() < 0.02,
+            "browsing order fraction {browsing}"
+        );
+        assert!(
+            (shopping - 0.20).abs() < 0.04,
+            "shopping order fraction {shopping}"
+        );
+        assert!(
+            (ordering - 0.50).abs() < 0.06,
+            "ordering order fraction {ordering}"
+        );
         assert!(browsing < shopping && shopping < ordering);
     }
 
@@ -234,7 +261,10 @@ mod tests {
         }
         let frac = orders as f64 / n as f64;
         let expected = stationary_order_fraction(mix);
-        assert!((frac - expected).abs() < 0.01, "sampled {frac} vs stationary {expected}");
+        assert!(
+            (frac - expected).abs() < 0.01,
+            "sampled {frac} vs stationary {expected}"
+        );
     }
 
     #[test]

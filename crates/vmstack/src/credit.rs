@@ -44,7 +44,10 @@ impl CreditScheduler {
     ///
     /// Panics if `cores` is not positive and finite.
     pub fn new(cores: f64) -> Self {
-        assert!(cores.is_finite() && cores > 0.0, "host must have positive core count");
+        assert!(
+            cores.is_finite() && cores > 0.0,
+            "host must have positive core count"
+        );
         CreditScheduler { cores }
     }
 
@@ -67,7 +70,9 @@ impl CreditScheduler {
         }
         let limit: Vec<f64> = vms.iter().map(|v| v.cap.min(v.demand).max(0.0)).collect();
         let mut remaining = self.cores;
-        let mut active: Vec<usize> = (0..n).filter(|&i| limit[i] > 0.0 && vms[i].weight > 0.0).collect();
+        let mut active: Vec<usize> = (0..n)
+            .filter(|&i| limit[i] > 0.0 && vms[i].weight > 0.0)
+            .collect();
 
         // Water-filling: repeatedly give every unsatisfied VM its weighted
         // share; VMs whose limit is reached leave the pool and release the
@@ -106,7 +111,11 @@ impl CreditScheduler {
 pub fn loads(tuples: &[(f64, f64, f64)]) -> Vec<VmLoad> {
     tuples
         .iter()
-        .map(|&(weight, cap, demand)| VmLoad { weight, cap, demand })
+        .map(|&(weight, cap, demand)| VmLoad {
+            weight,
+            cap,
+            demand,
+        })
         .collect()
 }
 

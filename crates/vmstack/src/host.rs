@@ -74,7 +74,10 @@ pub enum HostError {
 impl fmt::Display for HostError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            HostError::InsufficientMemory { requested, available } => {
+            HostError::InsufficientMemory {
+                requested,
+                available,
+            } => {
                 write!(f, "insufficient host memory: requested {requested} MiB, {available} MiB available")
             }
             HostError::UnknownVm(id) => write!(f, "unknown vm: {id}"),
@@ -148,7 +151,8 @@ impl Vm {
     /// cost is I/O *waiting* — callers typically convert the excess over
     /// 1.0 into additive latency rather than stretching CPU time.
     pub fn memory_slowdown(&self, used_memory_mb: f64) -> f64 {
-        self.memory_model.slowdown(used_memory_mb, self.spec.memory_mb as f64)
+        self.memory_model
+            .slowdown(used_memory_mb, self.spec.memory_mb as f64)
     }
 
     /// Combined latency multiplier: CPU sharing/overhead × memory
@@ -184,7 +188,10 @@ impl Host {
     ///
     /// Panics if either resource is zero.
     pub fn new(cores: u32, memory_mb: u64) -> Self {
-        assert!(cores > 0 && memory_mb > 0, "host resources must be positive");
+        assert!(
+            cores > 0 && memory_mb > 0,
+            "host resources must be positive"
+        );
         Host {
             scheduler: CreditScheduler::new(cores as f64),
             memory_mb,
@@ -231,7 +238,10 @@ impl Host {
     pub fn create_vm(&mut self, spec: VmSpec) -> Result<VmId, HostError> {
         let available = self.available_memory_mb();
         if spec.memory_mb() > available {
-            return Err(HostError::InsufficientMemory { requested: spec.memory_mb(), available });
+            return Err(HostError::InsufficientMemory {
+                requested: spec.memory_mb(),
+                available,
+            });
         }
         let id = VmId(self.vms.len());
         self.vms.push(Vm {
@@ -284,7 +294,10 @@ impl Host {
             .sum();
         let available = self.memory_mb.saturating_sub(others);
         if spec.memory_mb() > available {
-            return Err(HostError::InsufficientMemory { requested: spec.memory_mb(), available });
+            return Err(HostError::InsufficientMemory {
+                requested: spec.memory_mb(),
+                available,
+            });
         }
         let vm = &mut self.vms[id.0];
         vm.spec = spec;
@@ -305,7 +318,11 @@ impl Host {
             .vms
             .iter()
             .zip(demands)
-            .map(|(vm, &demand)| VmLoad { weight: vm.weight, cap: vm.spec.vcpus() as f64, demand })
+            .map(|(vm, &demand)| VmLoad {
+                weight: vm.weight,
+                cap: vm.spec.vcpus() as f64,
+                demand,
+            })
             .collect();
         let shares = self.scheduler.allocate(&loads);
         for (vm, share) in self.vms.iter_mut().zip(shares) {
@@ -335,7 +352,13 @@ mod tests {
         let mut host = Host::new(8, 4096);
         host.create_vm(VmSpec::new(2, 3072)).unwrap();
         let err = host.create_vm(VmSpec::new(2, 2048)).unwrap_err();
-        assert_eq!(err, HostError::InsufficientMemory { requested: 2048, available: 1024 });
+        assert_eq!(
+            err,
+            HostError::InsufficientMemory {
+                requested: 2048,
+                available: 1024
+            }
+        );
         assert!(err.to_string().contains("2048"));
     }
 
@@ -397,8 +420,12 @@ mod tests {
     #[test]
     fn stronger_vm_is_faster_under_same_load() {
         let mut host = Host::new(16, 8192);
-        let strong = host.create_vm(crate::ResourceLevel::Level1.vm_spec()).unwrap();
-        let weak = host.create_vm(crate::ResourceLevel::Level3.vm_spec()).unwrap();
+        let strong = host
+            .create_vm(crate::ResourceLevel::Level1.vm_spec())
+            .unwrap();
+        let weak = host
+            .create_vm(crate::ResourceLevel::Level3.vm_spec())
+            .unwrap();
         let load = 32.0;
         assert!(
             host.vm(strong).service_multiplier(load, 1024.0)

@@ -75,8 +75,11 @@ pub enum ResourceLevel {
 
 impl ResourceLevel {
     /// All levels, strongest first.
-    pub const ALL: [ResourceLevel; 3] =
-        [ResourceLevel::Level1, ResourceLevel::Level2, ResourceLevel::Level3];
+    pub const ALL: [ResourceLevel; 3] = [
+        ResourceLevel::Level1,
+        ResourceLevel::Level2,
+        ResourceLevel::Level3,
+    ];
 
     /// The VM specification for this level.
     pub fn vm_spec(self) -> VmSpec {

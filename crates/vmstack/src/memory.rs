@@ -47,9 +47,19 @@ impl MemoryModel {
     /// Panics if `pressure_knee` is outside `(0, 1]` or either slope is
     /// negative.
     pub fn new(pressure_knee: f64, ramp_slope: f64, swap_penalty: f64) -> Self {
-        assert!(pressure_knee > 0.0 && pressure_knee <= 1.0, "knee must be in (0,1]");
-        assert!(ramp_slope >= 0.0 && swap_penalty >= 0.0, "slopes must be non-negative");
-        MemoryModel { pressure_knee, ramp_slope, swap_penalty }
+        assert!(
+            pressure_knee > 0.0 && pressure_knee <= 1.0,
+            "knee must be in (0,1]"
+        );
+        assert!(
+            ramp_slope >= 0.0 && swap_penalty >= 0.0,
+            "slopes must be non-negative"
+        );
+        MemoryModel {
+            pressure_knee,
+            ramp_slope,
+            swap_penalty,
+        }
     }
 
     /// Latency multiplier for a working set of `used_mb` on an allocation

@@ -5,21 +5,29 @@ use tpcw::Mix;
 use vmstack::ResourceLevel;
 use websim::{measure_config, Param, ServerConfig, SystemSpec};
 
-fn measure(
-    mix: Mix,
-    level: ResourceLevel,
-    cfg: ServerConfig,
-) -> f64 {
-    let spec = SystemSpec::default().with_mix(mix).with_level(level).with_seed(11);
-    measure_config(&spec, cfg, SimDuration::from_secs(900), SimDuration::from_secs(300))
-        .mean_response_ms
+fn measure(mix: Mix, level: ResourceLevel, cfg: ServerConfig) -> f64 {
+    let spec = SystemSpec::default()
+        .with_mix(mix)
+        .with_level(level)
+        .with_seed(11);
+    measure_config(
+        &spec,
+        cfg,
+        SimDuration::from_secs(900),
+        SimDuration::from_secs(300),
+    )
+    .mean_response_ms
 }
 
 fn main() {
     let dflt = ServerConfig::default();
     println!("== KeepAlive sweep (shopping, L1 / L3), MaxClients=300 ==");
     for ka in [1u32, 3, 5, 9, 15, 21] {
-        let cfg = dflt.with(Param::MaxClients, 300).unwrap().with(Param::KeepaliveTimeout, ka).unwrap();
+        let cfg = dflt
+            .with(Param::MaxClients, 300)
+            .unwrap()
+            .with(Param::KeepaliveTimeout, ka)
+            .unwrap();
         println!(
             "  ka={ka:>2}  L1={:>8.1}  L3={:>8.1}",
             measure(Mix::Shopping, ResourceLevel::Level1, cfg),
@@ -28,7 +36,11 @@ fn main() {
     }
     println!("== MaxThreads sweep (shopping, L1 / L3), MaxClients=300 ==");
     for mt in [5u32, 25, 75, 150, 300, 450, 600] {
-        let cfg = dflt.with(Param::MaxClients, 300).unwrap().with(Param::MaxThreads, mt).unwrap();
+        let cfg = dflt
+            .with(Param::MaxClients, 300)
+            .unwrap()
+            .with(Param::MaxThreads, mt)
+            .unwrap();
         println!(
             "  mt={mt:>3}  L1={:>8.1}  L3={:>8.1}",
             measure(Mix::Shopping, ResourceLevel::Level1, cfg),
@@ -37,7 +49,11 @@ fn main() {
     }
     println!("== SessionTimeout sweep (ordering, L1 / L3), MaxClients=300 ==");
     for st in [1u32, 5, 15, 25, 35] {
-        let cfg = dflt.with(Param::MaxClients, 300).unwrap().with(Param::SessionTimeout, st).unwrap();
+        let cfg = dflt
+            .with(Param::MaxClients, 300)
+            .unwrap()
+            .with(Param::SessionTimeout, st)
+            .unwrap();
         println!(
             "  st={st:>2}  L1={:>8.1}  L3={:>8.1}",
             measure(Mix::Ordering, ResourceLevel::Level1, cfg),
@@ -46,6 +62,9 @@ fn main() {
     }
     println!("== Mix effect at default config (L1) ==");
     for mix in Mix::ALL {
-        println!("  {mix:<9} rt={:>8.1}", measure(mix, ResourceLevel::Level1, dflt));
+        println!(
+            "  {mix:<9} rt={:>8.1}",
+            measure(mix, ResourceLevel::Level1, dflt)
+        );
     }
 }

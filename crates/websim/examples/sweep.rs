@@ -11,8 +11,13 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(400);
     println!("clients={clients}");
-    println!("{:>10} {:>12} {:>12} {:>12}", "MaxClients", "Level-1", "Level-2", "Level-3");
-    for mc in [5u32, 25, 50, 100, 150, 200, 250, 300, 350, 400, 450, 500, 550, 600] {
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "MaxClients", "Level-1", "Level-2", "Level-3"
+    );
+    for mc in [
+        5u32, 25, 50, 100, 150, 200, 250, 300, 350, 400, 450, 500, 550, 600,
+    ] {
         let mut row = format!("{mc:>10}");
         for level in ResourceLevel::ALL {
             let spec = SystemSpec::default()

@@ -54,7 +54,10 @@ impl Param {
 
     /// Dense index in `0..8` matching [`Param::ALL`].
     pub fn index(self) -> usize {
-        Param::ALL.iter().position(|&p| p == self).expect("param in ALL")
+        Param::ALL
+            .iter()
+            .position(|&p| p == self)
+            .expect("param in ALL")
     }
 
     /// Inclusive `(low, high)` tuning range from Table 1.
@@ -134,7 +137,11 @@ pub struct ConfigError {
 impl fmt::Display for ConfigError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let (lo, hi) = self.param.range();
-        write!(f, "{} = {} outside range [{lo}, {hi}]", self.param, self.value)
+        write!(
+            f,
+            "{} = {} outside range [{lo}, {hi}]",
+            self.param, self.value
+        )
     }
 }
 
@@ -170,7 +177,10 @@ impl ServerConfig {
         for (param, &value) in Param::ALL.iter().zip(&values) {
             let (lo, hi) = param.range();
             if value < lo || value > hi {
-                return Err(ConfigError { param: *param, value });
+                return Err(ConfigError {
+                    param: *param,
+                    value,
+                });
             }
         }
         Ok(ServerConfig { values })
@@ -220,7 +230,8 @@ impl ServerConfig {
     /// Effective `MaxSpareServers`: Apache forces it above
     /// `MinSpareServers` when misconfigured, and so do we.
     pub fn max_spare_servers(&self) -> u32 {
-        self.get(Param::MaxSpareServers).max(self.min_spare_servers() + 1)
+        self.get(Param::MaxSpareServers)
+            .max(self.min_spare_servers() + 1)
     }
 
     /// Tomcat `maxThreads`.
@@ -241,7 +252,8 @@ impl ServerConfig {
     /// Effective `maxSpareThreads` (forced above the minimum, as Tomcat
     /// does).
     pub fn max_spare_threads(&self) -> u32 {
-        self.get(Param::MaxSpareThreads).max(self.min_spare_threads() + 1)
+        self.get(Param::MaxSpareThreads)
+            .max(self.min_spare_threads() + 1)
     }
 }
 

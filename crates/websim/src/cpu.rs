@@ -133,7 +133,10 @@ impl PsCpu {
     ///
     /// Panics if `load` is negative or non-finite.
     pub fn set_extra_load(&mut self, now: SimTime, load: f64) {
-        assert!(load.is_finite() && load >= 0.0, "extra load must be non-negative");
+        assert!(
+            load.is_finite() && load >= 0.0,
+            "extra load must be non-negative"
+        );
         self.advance(now);
         self.extra_load = load;
         self.recompute_speed();
@@ -145,9 +148,13 @@ impl PsCpu {
     ///
     /// Panics if `work_us` is not positive and finite.
     pub fn push(&mut self, now: SimTime, work_us: f64, token: TaskToken) {
-        assert!(work_us.is_finite() && work_us > 0.0, "work must be positive");
+        assert!(
+            work_us.is_finite() && work_us > 0.0,
+            "work must be positive"
+        );
         self.advance(now);
-        self.heap.push(Reverse((VirtFinish(self.virt + work_us), token)));
+        self.heap
+            .push(Reverse((VirtFinish(self.virt + work_us), token)));
         self.recompute_speed();
     }
 

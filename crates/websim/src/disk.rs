@@ -52,7 +52,12 @@ impl Disk {
     pub fn new(gain: f64, max_depth: f64) -> Self {
         assert!(gain >= 0.0, "gain must be non-negative");
         assert!(max_depth >= 1.0, "max depth must be at least 1");
-        Disk { gain, max_depth, queue: VecDeque::new(), busy_with: None }
+        Disk {
+            gain,
+            max_depth,
+            queue: VecDeque::new(),
+            busy_with: None,
+        }
     }
 
     /// Outstanding operations (serving + queued).
@@ -84,7 +89,10 @@ impl Disk {
     ///
     /// Panics if `work_ms` is not positive and finite.
     pub fn submit(&mut self, now: SimTime, work_ms: f64, token: usize) -> Option<SimTime> {
-        assert!(work_ms.is_finite() && work_ms > 0.0, "disk work must be positive");
+        assert!(
+            work_ms.is_finite() && work_ms > 0.0,
+            "disk work must be positive"
+        );
         if self.busy_with.is_none() {
             self.busy_with = Some(token);
             // Depth at service start includes this op.
@@ -159,7 +167,10 @@ mod tests {
         // Second request starts with depth 9 outstanding: faster than 10 ms.
         let (_, next) = deep.finish(SimTime::from_millis(10));
         let (_, eta) = next.unwrap();
-        assert!(eta < SimTime::from_millis(20), "elevator gain missing: {eta}");
+        assert!(
+            eta < SimTime::from_millis(20),
+            "elevator gain missing: {eta}"
+        );
         let _ = t_shallow;
     }
 

@@ -84,7 +84,11 @@ impl fmt::Display for PerfSample {
         write!(
             f,
             "rt={:.1}ms p95={:.1}ms xput={:.1}rps n={} refused={}",
-            self.mean_response_ms, self.p95_response_ms, self.throughput_rps, self.completed, self.refused
+            self.mean_response_ms,
+            self.p95_response_ms,
+            self.throughput_rps,
+            self.completed,
+            self.refused
         )
     }
 }
@@ -116,7 +120,9 @@ mod tests {
         let mut rts = vec![10.0; 95];
         rts.extend(vec![1000.0; 5]);
         let s = PerfSample::from_parts(rts, 0, 60.0);
-        assert!(s.p95_response_ms >= 10.0);
+        // The true 95th percentile is exactly 10 ms; the histogram
+        // reports the containing bucket's lower bound (≤ ~4% below).
+        assert!(s.p95_response_ms >= 10.0 * 0.96 && s.p95_response_ms < 1000.0);
         assert!(s.mean_response_ms > 10.0 && s.mean_response_ms < 1000.0);
     }
 

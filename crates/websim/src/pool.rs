@@ -252,7 +252,11 @@ mod tests {
         assert_eq!(p.maintain(50).spawned, 4);
         assert_eq!(p.maintain(50).spawned, 8);
         assert_eq!(p.maintain(50).spawned, 16);
-        assert_eq!(p.maintain(50).spawned, 32, "batch saturates at MAX_SPAWN_BATCH");
+        assert_eq!(
+            p.maintain(50).spawned,
+            32,
+            "batch saturates at MAX_SPAWN_BATCH"
+        );
     }
 
     #[test]
@@ -283,7 +287,7 @@ mod tests {
         p.maintain(500);
         p.maintain(500);
         p.maintain(500); // batch now 8
-        // Satisfy the pool: stop all demand.
+                         // Satisfy the pool: stop all demand.
         while p.idle() < 5 {
             p.maintain(0);
         }
@@ -299,7 +303,7 @@ mod tests {
         for _ in 0..10 {
             assert!(p.try_acquire());
         }
-        let killed = p.set_limits(20, 2, 5, );
+        let killed = p.set_limits(20, 2, 5);
         assert_eq!(killed, 30);
         assert_eq!(p.size(), 20);
         assert_eq!(p.busy(), 10);

@@ -93,7 +93,52 @@ impl SystemSpec {
         self.seed = seed;
         self
     }
+
+    /// A 64-bit FNV-1a fingerprint of the complete spec — hardware, VM
+    /// placement, workload, every model-calibration constant, and the
+    /// seed. Two specs with equal fingerprints produce bit-identical
+    /// simulations, which is what makes memoizing measurement results
+    /// safe (see `rac::runner`).
+    ///
+    /// The hash covers the spec's canonical `Debug` rendering. Rust
+    /// renders floats with shortest-round-trip formatting, so the
+    /// rendering is lossless; the fingerprint is stable within a
+    /// process, which is all the in-memory cache needs.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use websim::SystemSpec;
+    ///
+    /// let a = SystemSpec::default();
+    /// assert_eq!(a.fingerprint(), SystemSpec::default().fingerprint());
+    /// assert_ne!(a.fingerprint(), a.clone().with_seed(7).fingerprint());
+    /// assert_ne!(a.fingerprint(), a.clone().with_clients(10).fingerprint());
+    /// ```
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in format!("{self:?}").bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
 }
+
+// Send audit: measurement jobs move specs and whole systems across
+// worker threads (`rac::runner`). Every constituent of the simulator is
+// owned data (no Rc, no raw pointers, no thread-locals), so these hold
+// structurally; the assertions turn any future regression into a
+// compile error at the definition site rather than an inference failure
+// at a distant spawn site.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SystemSpec>();
+    assert_send_sync::<ServerConfig>();
+    assert_send_sync::<PerfSample>();
+    assert_send::<ThreeTierSystem>();
+};
 
 type ReqId = usize;
 
@@ -202,7 +247,9 @@ impl ThreeTierSystem {
     pub fn new(spec: SystemSpec) -> Self {
         let mut host = Host::new(spec.host_cores, spec.host_memory_mb);
         let web_vm = host.create_vm(spec.web_vm).expect("web VM fits host");
-        let appdb_vm = host.create_vm(spec.appdb_level.vm_spec()).expect("app/db VM fits host");
+        let appdb_vm = host
+            .create_vm(spec.appdb_level.vm_spec())
+            .expect("app/db VM fits host");
         let config = ServerConfig::default();
         let apache = WorkerPool::new(
             config.max_clients(),
@@ -366,7 +413,8 @@ impl ThreeTierSystem {
             self.queue.schedule(SimTime::ZERO + offset, Ev::Issue(b));
         }
         self.queue.schedule(SimTime::from_secs(1), Ev::Maintain);
-        self.queue.schedule(SimTime::from_secs(10), Ev::SessionSweep);
+        self.queue
+            .schedule(SimTime::from_secs(10), Ev::SessionSweep);
     }
 
     fn dispatch(&mut self, now: SimTime, ev: Ev) {
@@ -541,8 +589,10 @@ impl ThreeTierSystem {
     /// Database CPU finished: pay for buffer-pool misses with disk I/O.
     fn on_db_cpu_done(&mut self, now: SimTime, id: ReqId) {
         let queries = self.req(id).demand.db_queries as f64;
-        let disk_ms =
-            queries * self.model.accesses_per_query * self.db_miss_rate() * self.model.disk_access_ms;
+        let disk_ms = queries
+            * self.model.accesses_per_query
+            * self.db_miss_rate()
+            * self.model.disk_access_ms;
         if disk_ms < 0.05 {
             self.finish_db(now, id);
         } else if let Some(eta) = self.disk.submit(now, disk_ms, id) {
@@ -587,9 +637,12 @@ impl ThreeTierSystem {
     }
 
     fn respond(&mut self, now: SimTime, id: ReqId) {
-        let req = self.requests[id].take().expect("responding to live request");
+        let req = self.requests[id]
+            .take()
+            .expect("responding to live request");
         self.free_ids.push(id);
-        self.response_ms.push(now.saturating_since(req.issued_at).as_millis_f64());
+        self.response_ms
+            .push(now.saturating_since(req.issued_at).as_millis_f64());
 
         let browser_alive = req.browser < self.fleet.len();
         let keepalive = self.config.keepalive_timeout_secs();
@@ -607,7 +660,10 @@ impl ThreeTierSystem {
             self.serve_accept_queue();
         }
         if browser_alive {
-            let think = self.fleet.browser_mut(req.browser).think_time(&mut self.rng);
+            let think = self
+                .fleet
+                .browser_mut(req.browser)
+                .think_time(&mut self.rng);
             self.queue.schedule(now + think, Ev::Issue(req.browser));
         }
     }
@@ -650,13 +706,16 @@ impl ThreeTierSystem {
         self.cpus[WEB].set_cores(now, self.host.vm(self.web_vm).effective_cores());
         self.cpus[APPDB].set_cores(now, self.host.vm(self.appdb_vm).effective_cores());
 
-        self.queue.schedule(now + SimDuration::from_secs(1), Ev::Maintain);
+        self.queue
+            .schedule(now + SimDuration::from_secs(1), Ev::Maintain);
     }
 
     fn on_session_sweep(&mut self, now: SimTime) {
         let timeout = SimDuration::from_secs(self.config.session_timeout_mins() as u64 * 60);
-        self.sessions.retain(|_, last| now.saturating_since(*last) <= timeout);
-        self.queue.schedule(now + SimDuration::from_secs(10), Ev::SessionSweep);
+        self.sessions
+            .retain(|_, last| now.saturating_since(*last) <= timeout);
+        self.queue
+            .schedule(now + SimDuration::from_secs(10), Ev::SessionSweep);
     }
 
     // ----- performance model ------------------------------------------
@@ -857,7 +916,9 @@ mod tests {
         );
         let sane = measure_config(
             &spec,
-            ServerConfig::default().with(Param::MaxClients, 300).unwrap(),
+            ServerConfig::default()
+                .with(Param::MaxClients, 300)
+                .unwrap(),
             SimDuration::from_secs(120),
             SimDuration::from_secs(180),
         );
@@ -871,7 +932,9 @@ mod tests {
     fn reconfiguration_applies_at_runtime() {
         let mut sys = ThreeTierSystem::new(small_spec());
         run_secs(&mut sys, 60);
-        let new_cfg = ServerConfig::default().with(Param::MaxClients, 300).unwrap();
+        let new_cfg = ServerConfig::default()
+            .with(Param::MaxClients, 300)
+            .unwrap();
         sys.set_config(new_cfg);
         assert_eq!(sys.config().max_clients(), 300);
         let s = run_secs(&mut sys, 60);
@@ -906,11 +969,19 @@ mod tests {
     #[test]
     fn sessions_expire_with_short_timeout() {
         let mut sys = ThreeTierSystem::new(small_spec());
-        sys.set_config(ServerConfig::default().with(Param::SessionTimeout, 1).unwrap());
+        sys.set_config(
+            ServerConfig::default()
+                .with(Param::SessionTimeout, 1)
+                .unwrap(),
+        );
         run_secs(&mut sys, 300);
         let short = sys.live_sessions();
         let mut sys2 = ThreeTierSystem::new(small_spec());
-        sys2.set_config(ServerConfig::default().with(Param::SessionTimeout, 35).unwrap());
+        sys2.set_config(
+            ServerConfig::default()
+                .with(Param::SessionTimeout, 35)
+                .unwrap(),
+        );
         run_secs(&mut sys2, 300);
         let long = sys2.live_sessions();
         assert!(long > short, "short timeout {short} vs long timeout {long}");

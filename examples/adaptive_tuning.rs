@@ -54,7 +54,10 @@ fn main() {
         .then(contexts[2], 20);
 
     let mut agent = RacAgent::with_policy_library(settings, library);
-    println!("\n{:>5} {:>10} {:>9}  notes", "iter", "resp (ms)", "switches");
+    println!(
+        "\n{:>5} {:>10} {:>9}  notes",
+        "iter", "resp (ms)", "switches"
+    );
     let mut last_switches = 0;
     for r in experiment.run(&mut agent) {
         let switches = agent.policy_switches();
@@ -69,7 +72,10 @@ fn main() {
             notes.push_str(" [policy switch]");
             last_switches = switches;
         }
-        println!("{:>5} {:>10.0} {:>9}  {notes}", r.iteration, r.response_ms, switches);
+        println!(
+            "{:>5} {:>10.0} {:>9}  {notes}",
+            r.iteration, r.response_ms, switches
+        );
     }
     println!("\ntotal policy switches: {}", agent.policy_switches());
 }

@@ -17,12 +17,19 @@ use websim::{measure_config, Param, ServerConfig, SystemSpec};
 
 fn main() {
     let sweep: Vec<u32> = (1..=12).map(|i| i * 50).collect();
-    println!("sweeping MaxClients over {sweep:?}\nfor 600 shopping-mix clients at each VM level…\n");
-    println!("{:>10} {:>10} {:>10} {:>10}", "MaxClients", "Level-1", "Level-2", "Level-3");
+    println!(
+        "sweeping MaxClients over {sweep:?}\nfor 600 shopping-mix clients at each VM level…\n"
+    );
+    println!(
+        "{:>10} {:>10} {:>10} {:>10}",
+        "MaxClients", "Level-1", "Level-2", "Level-3"
+    );
 
     let mut best: Vec<(u32, f64)> = vec![(0, f64::INFINITY); 3];
     for &mc in &sweep {
-        let cfg = ServerConfig::default().with(Param::MaxClients, mc).expect("in range");
+        let cfg = ServerConfig::default()
+            .with(Param::MaxClients, mc)
+            .expect("in range");
         let mut row = format!("{mc:>10}");
         for (i, level) in ResourceLevel::ALL.iter().enumerate() {
             let spec = SystemSpec::default()

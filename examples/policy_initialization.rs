@@ -11,12 +11,12 @@
 
 use rac::{
     grouping, train_initial_policy, ConfigLattice, Experiment, OfflineSettings, RacAgent,
-    RacSettings, SlaReward, SystemContext,
+    RacSettings, Runner, SimMeasurer, SlaReward, SystemContext,
 };
 use simkernel::SimDuration;
 use tpcw::Mix;
 use vmstack::ResourceLevel;
-use websim::{measure_config, SystemSpec};
+use websim::SystemSpec;
 
 fn main() {
     let spec = SystemSpec::default().with_clients(600).with_seed(3);
@@ -34,24 +34,34 @@ fn main() {
         grouping::GROUP_COUNT,
         plan.len()
     );
-    println!("        (instead of {} at full online granularity)", lattice.num_states());
+    println!(
+        "        (instead of {} at full online granularity)",
+        lattice.num_states()
+    );
 
-    // Steps 2-4 run inside train_initial_policy; we pass a measurement
-    // closure that samples the live simulator.
-    println!("step 2: measuring the plan on the simulated testbed…");
-    let mut measured = 0;
-    let policy = train_initial_policy(&lattice, reward, OfflineSettings::default(), |cfg| {
-        measured += 1;
-        let s = measure_config(
-            &spec_ctx,
-            *cfg,
-            SimDuration::from_secs(600),
-            SimDuration::from_secs(240),
-        );
-        s.mean_response_ms
-    })
-    .expect("fit succeeds on the simulated landscape");
-    println!("        {measured} configurations measured");
+    // Steps 2-4 run inside train_initial_policy; the measurer samples
+    // the live simulator through the parallel runner, so the whole plan
+    // fans out across RAC_THREADS workers.
+    let runner = Runner::global();
+    println!(
+        "step 2: measuring the plan on the simulated testbed ({} worker threads)…",
+        runner.threads()
+    );
+    let started = std::time::Instant::now();
+    let measurer = SimMeasurer::new(
+        spec_ctx,
+        SimDuration::from_secs(600),
+        SimDuration::from_secs(240),
+    );
+    let policy = train_initial_policy(&lattice, reward, OfflineSettings::default(), measurer)
+        .expect("fit succeeds on the simulated landscape");
+    let stats = runner.cache_stats();
+    println!(
+        "        {} configurations measured in {:.1}s wall-clock ({} cache hits)",
+        stats.misses,
+        started.elapsed().as_secs_f64(),
+        stats.hits
+    );
     println!(
         "step 3: regression fit over group features: r² = {:.3}, rmse = {:.1} ms",
         policy.fit.r_squared, policy.fit.rmse
@@ -60,7 +70,10 @@ fn main() {
         "        predicted performance for all {} lattice states",
         policy.perf_ms.len()
     );
-    println!("step 4: offline RL converged in {} sweep passes\n", policy.passes);
+    println!(
+        "step 4: offline RL converged in {} sweep passes\n",
+        policy.passes
+    );
 
     // Online comparison: bootstrapped vs cold agent (Figure 7 effect).
     let experiment = Experiment::new(spec)
@@ -73,9 +86,15 @@ fn main() {
     let mut without_init = RacAgent::new(settings);
     let without_series = experiment.run(&mut without_init);
 
-    println!("{:>5} {:>16} {:>16}", "iter", "w/ init (ms)", "w/o init (ms)");
+    println!(
+        "{:>5} {:>16} {:>16}",
+        "iter", "w/ init (ms)", "w/o init (ms)"
+    );
     for (a, b) in with_series.iter().zip(&without_series) {
-        println!("{:>5} {:>16.0} {:>16.0}", a.iteration, a.response_ms, b.response_ms);
+        println!(
+            "{:>5} {:>16.0} {:>16.0}",
+            a.iteration, a.response_ms, b.response_ms
+        );
     }
     println!(
         "\nmean: w/ initialization {:.0} ms, w/o {:.0} ms",

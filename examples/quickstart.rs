@@ -30,7 +30,10 @@ fn main() {
     let mut agent = RacAgent::new(RacSettings::default());
 
     println!("tuning {context} for 30 iterations…\n");
-    println!("{:>5} {:>12} {:>10}  configuration", "iter", "resp (ms)", "xput (rps)");
+    println!(
+        "{:>5} {:>12} {:>10}  configuration",
+        "iter", "resp (ms)", "xput (rps)"
+    );
     let series = experiment.run(&mut agent);
     for r in &series {
         println!(

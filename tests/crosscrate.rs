@@ -16,8 +16,9 @@ fn every_lattice_state_is_runnable() {
     let lattice = ConfigLattice::new(3);
     let mut sys = ThreeTierSystem::new(SystemSpec::default().with_clients(40).with_seed(5));
     // Exercise a deterministic sample of states, including the corners.
-    let probe: Vec<usize> =
-        (0..lattice.num_states()).step_by(lattice.num_states() / 40).collect();
+    let probe: Vec<usize> = (0..lattice.num_states())
+        .step_by(lattice.num_states() / 40)
+        .collect();
     for state in probe {
         let cfg = lattice.config_at(state);
         sys.set_config(cfg);
@@ -55,8 +56,10 @@ fn actions_change_at_most_one_parameter() {
         let s2 = mdp.transition(s, a);
         let before = lattice.config_at(s);
         let after = lattice.config_at(s2);
-        let changed: Vec<Param> =
-            Param::ALL.into_iter().filter(|&p| before.get(p) != after.get(p)).collect();
+        let changed: Vec<Param> = Param::ALL
+            .into_iter()
+            .filter(|&p| before.get(p) != after.get(p))
+            .collect();
         assert!(changed.len() <= 1, "action {a} changed {changed:?}");
     }
 }
@@ -100,7 +103,10 @@ fn random_reconfiguration_storm_is_safe() {
         let s = sys.run_interval(SimDuration::from_secs(30));
         total += s.completed;
     }
-    assert!(total > 500, "storm starved the system: only {total} completions");
+    assert!(
+        total > 500,
+        "storm starved the system: only {total} completions"
+    );
 }
 
 proptest! {
@@ -160,7 +166,11 @@ fn cloned_system_is_independent_but_identical() {
     let sb = b.run_interval(SimDuration::from_secs(60));
     assert_eq!(sa, sb);
     // Diverge one copy: the other is unaffected.
-    b.set_config(ServerConfig::default().with(Param::MaxClients, 5).expect("in range"));
+    b.set_config(
+        ServerConfig::default()
+            .with(Param::MaxClients, 5)
+            .expect("in range"),
+    );
     let sa2 = a.run_interval(SimDuration::from_secs(60));
     let sb2 = b.run_interval(SimDuration::from_secs(60));
     assert_ne!(sa2, sb2);

@@ -18,7 +18,12 @@ fn test_spec() -> SystemSpec {
 }
 
 fn fast_settings() -> RacSettings {
-    RacSettings { online_levels: 3, sla_ms: 1_000.0, seed: 99, ..RacSettings::default() }
+    RacSettings {
+        online_levels: 3,
+        sla_ms: 1_000.0,
+        seed: 99,
+        ..RacSettings::default()
+    }
 }
 
 fn fast_training() -> TrainingOptions {
@@ -49,7 +54,11 @@ fn offline_training_then_online_tuning_beats_default() {
         fast_training(),
     );
     let policy = library.for_context(context).expect("trained").clone();
-    assert!(policy.fit.r_squared > 0.3, "regression badly underfit: {:?}", policy.fit);
+    assert!(
+        policy.fit.r_squared > 0.3,
+        "regression badly underfit: {:?}",
+        policy.fit
+    );
 
     let exp = quick_experiment(context, 15);
     let mut agent = RacAgent::with_initial_policy(settings, &policy);
@@ -129,7 +138,11 @@ fn cold_agent_explores_without_crashing_and_reports_experience() {
         for p in websim::Param::ALL {
             let (lo, hi) = p.range();
             let v = r.config.get(p);
-            assert!(v >= lo && v <= hi, "{p} = {v} out of range at iter {}", r.iteration);
+            assert!(
+                v >= lo && v <= hi,
+                "{p} = {v} out of range at iter {}",
+                r.iteration
+            );
         }
     }
 }

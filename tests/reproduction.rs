@@ -8,16 +8,27 @@ use vmstack::ResourceLevel;
 use websim::{measure_config, Param, ServerConfig, SystemSpec};
 
 fn spec(mix: Mix, level: ResourceLevel) -> SystemSpec {
-    SystemSpec::default().with_clients(600).with_mix(mix).with_level(level).with_seed(7)
+    SystemSpec::default()
+        .with_clients(600)
+        .with_mix(mix)
+        .with_level(level)
+        .with_seed(7)
 }
 
 fn rt(spec: &SystemSpec, cfg: ServerConfig) -> f64 {
-    measure_config(spec, cfg, SimDuration::from_secs(600), SimDuration::from_secs(240))
-        .mean_response_ms
+    measure_config(
+        spec,
+        cfg,
+        SimDuration::from_secs(600),
+        SimDuration::from_secs(240),
+    )
+    .mean_response_ms
 }
 
 fn with_mc(mc: u32) -> ServerConfig {
-    ServerConfig::default().with(Param::MaxClients, mc).expect("in range")
+    ServerConfig::default()
+        .with(Param::MaxClients, mc)
+        .expect("in range")
 }
 
 /// Section 2.2 / Figure 2: each platform has its own preferred
@@ -64,7 +75,10 @@ fn levels_order_response_times() {
     let l2 = rt(&spec(Mix::Shopping, ResourceLevel::Level2), cfg);
     let l3 = rt(&spec(Mix::Shopping, ResourceLevel::Level3), cfg);
     assert!(l1 < l3, "Level-1 ({l1:.0}) must beat Level-3 ({l3:.0})");
-    assert!(l2 <= l3 * 1.05, "Level-2 ({l2:.0}) must not lose to Level-3 ({l3:.0})");
+    assert!(
+        l2 <= l3 * 1.05,
+        "Level-2 ({l2:.0}) must not lose to Level-3 ({l3:.0})"
+    );
 }
 
 /// Figure 1: traffic mixes stress the system differently — response
@@ -91,9 +105,14 @@ fn mixes_have_different_performance_profiles() {
 #[test]
 fn very_long_keepalive_is_not_optimal() {
     let s = spec(Mix::Shopping, ResourceLevel::Level1);
-    let base = ServerConfig::default().with(Param::MaxClients, 300).expect("in range");
+    let base = ServerConfig::default()
+        .with(Param::MaxClients, 300)
+        .expect("in range");
     let moderate = rt(&s, base.with(Param::KeepaliveTimeout, 5).expect("in range"));
-    let very_long = rt(&s, base.with(Param::KeepaliveTimeout, 21).expect("in range"));
+    let very_long = rt(
+        &s,
+        base.with(Param::KeepaliveTimeout, 21).expect("in range"),
+    );
     assert!(
         moderate <= very_long * 1.10,
         "keep-alive 5s ({moderate:.0}) should be competitive with 21s ({very_long:.0})"
@@ -105,7 +124,9 @@ fn very_long_keepalive_is_not_optimal() {
 #[test]
 fn long_session_timeout_hurts_on_small_vm() {
     let s = spec(Mix::Ordering, ResourceLevel::Level3);
-    let base = ServerConfig::default().with(Param::MaxClients, 400).expect("in range");
+    let base = ServerConfig::default()
+        .with(Param::MaxClients, 400)
+        .expect("in range");
     let short = rt(&s, base.with(Param::SessionTimeout, 1).expect("in range"));
     let long = rt(&s, base.with(Param::SessionTimeout, 35).expect("in range"));
     assert!(
@@ -120,7 +141,9 @@ fn long_session_timeout_hurts_on_small_vm() {
 #[test]
 fn tiny_max_threads_chokes_app_tier() {
     let s = spec(Mix::Shopping, ResourceLevel::Level3);
-    let base = ServerConfig::default().with(Param::MaxClients, 300).expect("in range");
+    let base = ServerConfig::default()
+        .with(Param::MaxClients, 300)
+        .expect("in range");
     let choked = rt(&s, base.with(Param::MaxThreads, 5).expect("in range"));
     let sane = rt(&s, base.with(Param::MaxThreads, 200).expect("in range"));
     assert!(
