@@ -6,11 +6,20 @@
 //! cargo run --release -p rac-bench --bin figures -- fig5
 //! cargo run --release -p rac-bench --bin figures -- fig2 --quick
 //! RAC_THREADS=8 cargo run --release -p rac-bench --bin figures -- all
+//! RAC_OBS=trace cargo run --release -p rac-bench --bin figures -- fig5
 //! ```
 //!
 //! Each subcommand prints the series/rows the paper reports and writes a
 //! CSV under `results/`. Offline-trained policies are cached under
-//! `results/cache/`.
+//! `results/cache/`. Progress and timing chatter goes to stderr through
+//! the obs console exporter; `--quiet` (or `RAC_OBS=off`) silences it
+//! without touching the stdout report or the on-disk artifacts.
+//!
+//! With `RAC_OBS=trace`, each figure additionally drops a deterministic
+//! decision trace at `results/<cmd>.trace.jsonl` (replay it with the
+//! `inspect_trace` bin), and every run writes a metrics snapshot to
+//! `results/metrics.prom` + `results/metrics.csv` unless observability
+//! is off.
 //!
 //! Independent figure jobs run **concurrently** on the global parallel
 //! runner (`RAC_THREADS` workers; see `rac::runner`), each buffering its
@@ -23,7 +32,10 @@
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
+
+use obs::{Console, TraceWriter};
 
 use rac::{
     grouping, maxclients_sweep, paper_contexts, Experiment, IterationRecord, MeasureJob,
@@ -78,6 +90,7 @@ fn needs_library(cmd: &str) -> bool {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let quiet = args.iter().any(|a| a == "--quiet");
     let cmds: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -87,6 +100,7 @@ fn main() {
         quick,
         results_dir: PathBuf::from("results"),
     };
+    let console = Console::from_env(quiet);
 
     let selected: Vec<&str> = if cmds.is_empty() || cmds.contains(&"all") {
         ALL_CMDS.to_vec()
@@ -96,7 +110,7 @@ fn main() {
     for cmd in &selected {
         if !ALL_CMDS.contains(cmd) {
             eprintln!("unknown experiment: {cmd}");
-            eprintln!("available: table1 table2 fig1..fig10 all [--quick]");
+            eprintln!("available: table1 table2 fig1..fig10 all [--quick] [--quiet]");
             std::process::exit(2);
         }
     }
@@ -111,31 +125,81 @@ fn main() {
     };
 
     let runner = Runner::global();
-    eprintln!(
+    console.note(format!(
         "figures: {} job(s) across {} worker thread(s) [RAC_THREADS]",
         selected.len(),
         runner.threads()
-    );
+    ));
     let started = Instant::now();
+    let tracing = obs::tracing_enabled();
     let reports = runner.run_tasks(selected.len(), |i| {
         let cmd = selected[i];
+        let _span = obs::Span::start("figure");
         let mut out = String::new();
         let t0 = Instant::now();
-        run_figure(cmd, &opts, library.as_ref(), &mut out);
-        (out, t0.elapsed().as_secs_f64())
+        // Each figure gets its own trace scope: the scope is
+        // thread-local and the figure job is single-threaded (its
+        // measurement fan-out happens in untraced workers), so the
+        // JSONL is deterministic per figure at any RAC_THREADS.
+        let trace = if tracing {
+            let writer = Arc::new(TraceWriter::new());
+            obs::trace::with_writer(&writer, || {
+                run_figure(cmd, &opts, library.as_ref(), &mut out)
+            });
+            Some(writer)
+        } else {
+            run_figure(cmd, &opts, library.as_ref(), &mut out);
+            None
+        };
+        (out, t0.elapsed().as_secs_f64(), trace)
     });
-    for (cmd, (out, secs)) in selected.iter().zip(&reports) {
+    for (cmd, (out, secs, trace)) in selected.iter().zip(&reports) {
         print!("{out}");
-        println!("  [{cmd}: {secs:.1}s wall-clock]");
+        if let Some(writer) = trace {
+            let path = opts.results_dir.join(format!("{cmd}.trace.jsonl"));
+            match writer.write_to(&path) {
+                Ok(()) => {
+                    console.note(format!("  -> {} ({} events)", path.display(), writer.len()))
+                }
+                Err(e) => eprintln!("  could not write {}: {e}", path.display()),
+            }
+        }
+        console.note(format!("  [{cmd}: {secs:.1}s wall-clock]"));
     }
     let stats = runner.cache_stats();
-    println!(
+    console.note(format!(
         "\ntotal: {:.1}s wall-clock, {:.1}s summed over jobs ({} simulations, {} cache hits)",
         started.elapsed().as_secs_f64(),
-        reports.iter().map(|(_, s)| s).sum::<f64>(),
+        reports.iter().map(|(_, s, _)| s).sum::<f64>(),
         stats.misses,
         stats.hits
-    );
+    ));
+    write_metrics_snapshot(&opts, &console);
+}
+
+/// Drops the process-wide metrics next to the figure CSVs (Prometheus
+/// text + CSV), unless observability is off.
+fn write_metrics_snapshot(opts: &Options, console: &Console) {
+    if !obs::enabled() {
+        return;
+    }
+    let snapshot = obs::Registry::global().snapshot();
+    if snapshot.is_empty() {
+        return;
+    }
+    for (file, text) in [
+        ("metrics.prom", obs::export::render_prometheus(&snapshot)),
+        ("metrics.csv", obs::export::render_csv(&snapshot)),
+    ] {
+        let path = opts.results_dir.join(file);
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match std::fs::write(&path, text) {
+            Ok(()) => console.note(format!("  -> {}", path.display())),
+            Err(e) => eprintln!("  could not write {}: {e}", path.display()),
+        }
+    }
 }
 
 fn run_figure(cmd: &str, opts: &Options, library: Option<&PolicyLibrary>, out: &mut String) {

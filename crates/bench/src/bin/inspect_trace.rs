@@ -1,0 +1,364 @@
+//! Replays a decision trace (`results/<cmd>.trace.jsonl`, written by the
+//! `figures` bin under `RAC_OBS=trace`) into summary tables: the reward
+//! curve, the per-context action mix, violation episodes and policy
+//! switches, and runner-batch cache efficiency.
+//!
+//! ```text
+//! RAC_OBS=trace cargo run --release -p rac-bench --bin figures -- fig5 --quick
+//! cargo run --release -p rac-bench --bin inspect_trace -- results/fig5.trace.jsonl
+//! ```
+//!
+//! The bin doubles as a schema check: any malformed line, unknown event
+//! kind, or decision event missing a required field fails the process
+//! with a non-zero exit status (CI runs it after a traced figure).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::process::ExitCode;
+
+use obs::event::parse_line;
+use obs::{Event, Value};
+use rac_bench::output::{ascii_chart, TextTable};
+
+/// Field names every `decision` event must carry (the schema contract
+/// documented in DESIGN.md; `inspect_trace` is its executable check).
+const DECISION_FIELDS: [&str; 17] = [
+    "iter",
+    "rt_ms",
+    "p95_ms",
+    "tput_rps",
+    "completed",
+    "refused",
+    "reward",
+    "epsilon",
+    "state",
+    "action",
+    "next_state",
+    "q_delta",
+    "sweep_passes",
+    "streak",
+    "switched",
+    "switches",
+    "calibration",
+];
+
+fn main() -> ExitCode {
+    let paths: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with("--"))
+        .collect();
+    if paths.is_empty() {
+        eprintln!("usage: inspect_trace <trace.jsonl>...");
+        return ExitCode::from(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        match inspect(Path::new(path)) {
+            Ok(report) => print!("{report}"),
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn inspect(path: &Path) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read trace: {e}"))?;
+    let events = parse_and_check(&text)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "\n=== {} ({} events) ===",
+        path.display(),
+        events.len()
+    );
+    render_runs(&events, &mut out);
+    render_cache(&events, &mut out);
+    Ok(out)
+}
+
+/// Parses every line and enforces the event schema. Line numbers in
+/// errors are 1-based.
+fn parse_and_check(text: &str) -> Result<Vec<Event>, String> {
+    let mut events = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let event = parse_line(line).map_err(|e| {
+            format!(
+                "line {}: parse error at byte {}: {}",
+                lineno + 1,
+                e.at,
+                e.message
+            )
+        })?;
+        check_schema(&event).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        events.push(event);
+    }
+    Ok(events)
+}
+
+fn check_schema(event: &Event) -> Result<(), String> {
+    let require = |names: &[&str]| -> Result<(), String> {
+        for name in names {
+            if event.get(name).is_none() {
+                return Err(format!("{} event missing field '{name}'", event.kind));
+            }
+        }
+        Ok(())
+    };
+    match event.kind.as_str() {
+        "decision" => {
+            require(&DECISION_FIELDS)?;
+            for name in ["rt_ms", "reward", "epsilon", "q_delta", "calibration"] {
+                if event.get(name).and_then(Value::as_f64).is_none() {
+                    return Err(format!("decision field '{name}' is not numeric"));
+                }
+            }
+            if event.get("action").and_then(Value::as_str).is_none() {
+                return Err("decision field 'action' is not a string".to_string());
+            }
+            if event.get("switched").and_then(Value::as_bool).is_none() {
+                return Err("decision field 'switched' is not a bool".to_string());
+            }
+            Ok(())
+        }
+        "experiment" => require(&["tuner", "phases", "iterations", "interval_s", "warmup_s"]),
+        "phase" => require(&["phase", "context", "iterations"]),
+        "reconfigure" => require(&["iter", "from", "to"]),
+        "runner_batch" => require(&["jobs", "distinct"]),
+        "offline_training" => require(&["context"]),
+        "offline_policy" => require(&["samples", "passes", "r_squared"]),
+        other => Err(format!("unknown event kind '{other}'")),
+    }
+}
+
+/// Summarizes each run (one tuning session) in the trace: reward curve,
+/// per-context action mix, violation episodes.
+fn render_runs(events: &[Event], out: &mut String) {
+    let runs: Vec<u64> = {
+        let mut seen = Vec::new();
+        for e in events {
+            if e.kind == "decision" && !seen.contains(&e.run) {
+                seen.push(e.run);
+            }
+        }
+        seen
+    };
+    for run in runs {
+        let in_run: Vec<&Event> = events.iter().filter(|e| e.run == run).collect();
+        let tuner = in_run
+            .iter()
+            .find(|e| e.kind == "experiment")
+            .and_then(|e| e.get("tuner"))
+            .and_then(Value::as_str)
+            .unwrap_or("?");
+        let _ = writeln!(out, "-- run {run}: {tuner}");
+
+        // Replay in order, tracking the active context from phase events.
+        let mut context = String::from("?");
+        let mut rewards: Vec<f64> = Vec::new();
+        let mut rts: Vec<f64> = Vec::new();
+        let mut action_mix: BTreeMap<(String, String), u64> = BTreeMap::new();
+        let mut episodes = 0u64;
+        let mut in_episode = false;
+        let mut switches = 0u64;
+        for e in &in_run {
+            match e.kind.as_str() {
+                "phase" => {
+                    context = e
+                        .get("context")
+                        .and_then(Value::as_str)
+                        .unwrap_or("?")
+                        .to_string();
+                }
+                "decision" => {
+                    rewards.push(e.get("reward").and_then(Value::as_f64).unwrap_or(f64::NAN));
+                    rts.push(e.get("rt_ms").and_then(Value::as_f64).unwrap_or(f64::NAN));
+                    let action = e
+                        .get("action")
+                        .and_then(Value::as_str)
+                        .unwrap_or("?")
+                        .to_string();
+                    *action_mix.entry((context.clone(), action)).or_insert(0) += 1;
+                    let streak = e.get("streak").and_then(Value::as_u64).unwrap_or(0);
+                    if streak > 0 && !in_episode {
+                        episodes += 1;
+                    }
+                    in_episode = streak > 0;
+                    if e.get("switched").and_then(Value::as_bool) == Some(true) {
+                        switches += 1;
+                        // A detector firing ends its episode even though
+                        // the streak counter resets to 0 on the same event.
+                        in_episode = false;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if rewards.is_empty() {
+            let _ = writeln!(out, "   (no decision events)");
+            continue;
+        }
+
+        let mean = |v: &[f64]| {
+            let f: Vec<f64> = v.iter().copied().filter(|x| x.is_finite()).collect();
+            if f.is_empty() {
+                f64::NAN
+            } else {
+                f.iter().sum::<f64>() / f.len() as f64
+            }
+        };
+        let _ = writeln!(
+            out,
+            "   {} decisions | reward first {:.2} last {:.2} mean {:.2} | mean rt {:.0} ms",
+            rewards.len(),
+            rewards.first().copied().unwrap_or(f64::NAN),
+            rewards.last().copied().unwrap_or(f64::NAN),
+            mean(&rewards),
+            mean(&rts),
+        );
+        let _ = write!(out, "{}", ascii_chart(&[("reward", rewards)], 10));
+
+        let mut t = TextTable::new(&["context", "action", "count"]);
+        for ((ctx, action), count) in &action_mix {
+            t.row(&[ctx.clone(), action.clone(), count.to_string()]);
+        }
+        let _ = write!(out, "{t}");
+        let _ = writeln!(
+            out,
+            "   violation episodes: {episodes} | policy switches: {switches}"
+        );
+    }
+}
+
+/// Cache efficiency as far as the deterministic trace can tell it:
+/// within-batch duplicate collapse. (Cross-batch hit rates depend on
+/// scheduling and live in `results/metrics.csv` instead.)
+fn render_cache(events: &[Event], out: &mut String) {
+    let batches: Vec<(u64, u64)> = events
+        .iter()
+        .filter(|e| e.kind == "runner_batch")
+        .map(|e| {
+            (
+                e.get("jobs").and_then(Value::as_u64).unwrap_or(0),
+                e.get("distinct").and_then(Value::as_u64).unwrap_or(0),
+            )
+        })
+        .collect();
+    if batches.is_empty() {
+        return;
+    }
+    let jobs: u64 = batches.iter().map(|&(j, _)| j).sum();
+    let distinct: u64 = batches.iter().map(|&(_, d)| d).sum();
+    let _ = writeln!(
+        out,
+        "-- runner: {} batches, {jobs} jobs, {distinct} distinct points ({:.0}% within-batch dedup)",
+        batches.len(),
+        if jobs > 0 {
+            100.0 * (jobs - distinct) as f64 / jobs as f64
+        } else {
+            0.0
+        }
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::trace::{self, TraceWriter};
+    use std::sync::Arc;
+
+    fn decision(iter: u64, reward: f64, action: &str, streak: u64, switched: bool) -> Event {
+        Event::new("decision")
+            .field("iter", iter)
+            .field("rt_ms", 500.0)
+            .field("p95_ms", 800.0)
+            .field("tput_rps", 30.0)
+            .field("completed", 900u64)
+            .field("refused", 0u64)
+            .field("reward", reward)
+            .field("epsilon", 0.05)
+            .field("state", 1u64)
+            .field("action", action)
+            .field("next_state", 2u64)
+            .field("q_delta", 0.01)
+            .field("sweep_passes", 3u64)
+            .field("streak", streak)
+            .field("switched", switched)
+            .field("switches", u64::from(switched))
+            .field("calibration", 1.0)
+    }
+
+    fn sample_trace() -> String {
+        let w = Arc::new(TraceWriter::new());
+        trace::with_writer(&w, || {
+            trace::begin_run();
+            trace::emit(|| {
+                Event::new("experiment")
+                    .field("tuner", "RAC")
+                    .field("phases", 1u64)
+                    .field("iterations", 3u64)
+                    .field("interval_s", 300.0)
+                    .field("warmup_s", 600.0)
+            });
+            trace::emit(|| {
+                Event::new("phase")
+                    .field("phase", 0u64)
+                    .field("context", "shopping @ Level-1")
+                    .field("iterations", 3u64)
+            });
+            for i in 1..=3u64 {
+                trace::set_sim_time_us(i * 300_000_000);
+                trace::emit(|| decision(i, i as f64, "Keep", u64::from(i == 2), i == 3));
+            }
+            trace::emit(|| {
+                Event::new("runner_batch")
+                    .field("jobs", 10u64)
+                    .field("distinct", 7u64)
+            });
+        });
+        w.serialize()
+    }
+
+    #[test]
+    fn sample_trace_passes_schema_and_summarizes() {
+        let text = sample_trace();
+        let events = parse_and_check(&text).unwrap();
+        assert_eq!(events.len(), 6);
+        let mut out = String::new();
+        render_runs(&events, &mut out);
+        render_cache(&events, &mut out);
+        assert!(out.contains("run 1: RAC"), "{out}");
+        assert!(out.contains("3 decisions"), "{out}");
+        assert!(out.contains("shopping @ Level-1"), "{out}");
+        assert!(out.contains("Keep"), "{out}");
+        assert!(out.contains("policy switches: 1"), "{out}");
+        assert!(out.contains("within-batch dedup"), "{out}");
+    }
+
+    #[test]
+    fn unknown_kind_fails_schema() {
+        let e = Event::new("mystery");
+        assert!(check_schema(&e).is_err());
+    }
+
+    #[test]
+    fn missing_decision_field_fails_schema() {
+        let e = Event::new("decision").field("iter", 1u64);
+        let err = check_schema(&e).unwrap_err();
+        assert!(err.contains("missing field"), "{err}");
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let err =
+            parse_and_check("{\"run\":0,\"t_us\":0,\"seq\":0,\"kind\":\"decision\"\n").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+    }
+}

@@ -1,8 +1,13 @@
 //! The RAC agent (Sections 3–4, Algorithm 3) and the `Tuner` interface.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::OnceLock;
 
-use rl::{batch_value_sweep, Environment, ExperienceLog, QLearning, QTable, Transition};
+use obs::Event;
+use rl::{
+    batch_value_sweep_report, Backup, Environment, ExperienceLog, QLearning, QTable, SweepReport,
+    Transition,
+};
 use simkernel::Pcg64;
 use websim::{PerfSample, ServerConfig};
 
@@ -12,6 +17,32 @@ use crate::init::InitialPolicy;
 use crate::mdp::ConfigMdp;
 use crate::param::ConfigLattice;
 use crate::reward::SlaReward;
+
+/// Resolved-once handles for the agent's hot-path metrics (the
+/// registry lock is only taken on first use).
+struct AgentMetrics {
+    iterations: obs::Counter,
+    switches: obs::Counter,
+    sweep_passes: obs::Counter,
+    sweep_updates: obs::Counter,
+    streak: obs::Gauge,
+}
+
+impl AgentMetrics {
+    fn get() -> &'static AgentMetrics {
+        static METRICS: OnceLock<AgentMetrics> = OnceLock::new();
+        METRICS.get_or_init(|| {
+            let r = obs::Registry::global();
+            AgentMetrics {
+                iterations: r.counter("rac_agent_iterations_total"),
+                switches: r.counter("rac_agent_policy_switches_total"),
+                sweep_passes: r.counter("rac_agent_sweep_passes_total"),
+                sweep_updates: r.counter("rac_agent_sweep_updates_total"),
+                streak: r.gauge("rac_agent_violation_streak"),
+            }
+        })
+    }
+}
 
 /// Anything that can drive the configuration of a running web system:
 /// the RAC agent and the baselines it is compared against.
@@ -310,6 +341,8 @@ impl Tuner for RacAgent {
     fn next_config(&mut self, observed: &PerfSample) -> ServerConfig {
         self.iterations += 1;
         let measured = observed.mean_response_ms;
+        let switches_before = self.switches;
+        let mut sweep = SweepReport::default();
 
         if self.settings.online_learning {
             if measured.is_finite() && measured > 0.0 {
@@ -353,10 +386,11 @@ impl Tuner for RacAgent {
             // Batch retraining over measured + calibrated-predicted
             // performance.
             self.refresh_perf_map();
-            batch_value_sweep(
+            sweep = batch_value_sweep_report(
                 &self.mdp,
                 &mut self.qtable,
                 &self.learner,
+                Backup::Greedy,
                 self.settings.batch_theta,
                 self.settings.batch_passes,
             );
@@ -365,12 +399,48 @@ impl Tuner for RacAgent {
         // Guarded ε-greedy action selection from the (re)trained table.
         let action = self.choose_action(self.current_state);
         let next_state = self.mdp.transition(self.current_state, action);
+        let reward = self.mdp.sla_reward().of_response_ms(measured);
         self.experience.record(Transition {
             state: self.current_state,
             action,
-            reward: self.mdp.sla_reward().of_response_ms(measured),
+            reward,
             next_state,
         });
+
+        if obs::enabled() {
+            let m = AgentMetrics::get();
+            m.iterations.inc();
+            m.switches.add(self.switches - switches_before);
+            m.sweep_passes.add(sweep.passes as u64);
+            m.sweep_updates.add(sweep.updates);
+            m.streak.set(self.detector.streak() as i64);
+        }
+        obs::trace::emit(|| {
+            let epsilon = if self.settings.online_learning {
+                self.settings.epsilon
+            } else {
+                0.0
+            };
+            Event::new("decision")
+                .field("iter", self.iterations)
+                .field("rt_ms", measured)
+                .field("p95_ms", observed.p95_response_ms)
+                .field("tput_rps", observed.throughput_rps)
+                .field("completed", observed.completed)
+                .field("refused", observed.refused)
+                .field("reward", reward)
+                .field("epsilon", epsilon)
+                .field("state", self.current_state as u64)
+                .field("action", Action::from_index(action).to_string())
+                .field("next_state", next_state as u64)
+                .field("q_delta", sweep.max_delta)
+                .field("sweep_passes", sweep.passes as u64)
+                .field("streak", self.detector.streak() as u64)
+                .field("switched", self.switches > switches_before)
+                .field("switches", self.switches)
+                .field("calibration", self.calibration)
+        });
+
         self.last_action = action;
         self.current_state = next_state;
         self.lattice.config_at(next_state)

@@ -116,6 +116,12 @@ impl ViolationDetector {
         self.s_thr
     }
 
+    /// Length of the current violation streak (0 in steady state; the
+    /// detector resets to 0 when it fires).
+    pub fn streak(&self) -> usize {
+        self.consecutive
+    }
+
     /// Feeds one response-time observation. Returns `true` when a
     /// context change is detected (the detector then resets).
     pub fn observe(&mut self, response_ms: f64) -> bool {
@@ -318,6 +324,56 @@ mod tests {
             fired = d.observe(1_000.0) || fired;
         }
         assert!(fired);
+    }
+
+    #[test]
+    fn streak_exactly_at_s_thr_fires_and_resets() {
+        let mut d = ViolationDetector::new(10, 0.3, 5);
+        for _ in 0..10 {
+            d.observe(100.0);
+        }
+        // Exactly s_thr − 1 violations: armed but not fired.
+        for i in 1..5 {
+            assert!(!d.observe(250.0));
+            assert_eq!(d.streak(), i);
+        }
+        // The s_thr-th violation fires, and the streak resets to 0.
+        assert!(d.observe(250.0));
+        assert_eq!(d.streak(), 0);
+        // The triggering streak's mean is exactly the violating level.
+        assert!((d.last_streak_mean() - 250.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reset_mid_streak_clears_progress() {
+        let mut d = ViolationDetector::new(10, 0.3, 5);
+        for _ in 0..10 {
+            d.observe(100.0);
+        }
+        for _ in 0..4 {
+            d.observe(250.0);
+        }
+        assert_eq!(d.streak(), 4);
+        d.reset();
+        assert_eq!(d.streak(), 0);
+        // After reset the baseline window is empty too, so the next
+        // samples establish a *new* baseline instead of violating the
+        // old one — no firing even at the previously violating level.
+        for i in 0..10 {
+            assert!(!d.observe(250.0), "fired after reset at sample {i}");
+        }
+    }
+
+    #[test]
+    fn last_streak_mean_is_nan_before_any_streak() {
+        let d = ViolationDetector::paper_defaults();
+        assert!(d.last_streak_mean().is_nan());
+        let mut d = ViolationDetector::paper_defaults();
+        for _ in 0..20 {
+            d.observe(100.0);
+        }
+        // Steady state never fired: still NaN.
+        assert!(d.last_streak_mean().is_nan());
     }
 
     fn tiny_policy(scale: f64) -> InitialPolicy {

@@ -9,6 +9,7 @@
 //! they fan out across the global parallel [`Runner`](crate::Runner)
 //! and return deterministic, submission-ordered results.
 
+use obs::{trace, Event};
 use simkernel::SimDuration;
 use tpcw::Mix;
 use vmstack::ResourceLevel;
@@ -147,6 +148,21 @@ impl Experiment {
             !self.phases.is_empty(),
             "experiment needs at least one phase"
         );
+        // Each tuning session is one trace *run*: the sim clock restarts
+        // at zero, and the run counter keeps events from back-to-back
+        // sessions (several tuners per figure) in session order.
+        if trace::scoped() {
+            trace::begin_run();
+            trace::set_sim_time_us(0);
+            trace::emit(|| {
+                Event::new("experiment")
+                    .field("tuner", tuner.name())
+                    .field("phases", self.phases.len() as u64)
+                    .field("iterations", self.total_iterations() as u64)
+                    .field("interval_s", self.interval.as_secs_f64())
+                    .field("warmup_s", self.warmup.as_secs_f64())
+            });
+        }
         let first = self.phases[0].context;
         let spec = self
             .spec
@@ -162,11 +178,23 @@ impl Experiment {
 
         let mut series = Vec::with_capacity(self.total_iterations());
         let mut iteration = 0;
+        let mut sim_us = self.warmup.as_micros();
         for (phase_idx, phase) in self.phases.iter().enumerate() {
+            trace::set_sim_time_us(sim_us);
+            trace::emit(|| {
+                Event::new("phase")
+                    .field("phase", phase_idx as u64)
+                    .field("context", phase.context.to_string())
+                    .field("iterations", phase.iterations as u64)
+            });
             system.set_workload(system.clients(), phase.context.mix);
             system.set_resource_level(phase.context.level);
             for _ in 0..phase.iterations {
                 let sample: PerfSample = system.run_interval(self.interval);
+                // Decisions are stamped with the *end* of the interval
+                // they observed, so the trace orders by simulated time.
+                sim_us = sim_us.saturating_add(self.interval.as_micros());
+                trace::set_sim_time_us(sim_us);
                 series.push(IterationRecord {
                     iteration,
                     phase: phase_idx,
@@ -177,6 +205,12 @@ impl Experiment {
                 });
                 let next = tuner.next_config(&sample);
                 if next != config {
+                    trace::emit(|| {
+                        Event::new("reconfigure")
+                            .field("iter", (iteration + 1) as u64)
+                            .field("from", config.to_string())
+                            .field("to", next.to_string())
+                    });
                     system.set_config(next);
                     config = next;
                 }

@@ -108,6 +108,7 @@ pub fn train_initial_policy(
     settings: OfflineSettings,
     mut measure: impl Measure,
 ) -> Result<InitialPolicy, RegressionError> {
+    let _span = obs::Span::start("train_initial_policy");
     // 1. Parameter grouping + coarse data collection, submitted as one
     //    batch so runner-backed measurers evaluate it in parallel.
     let plan = sampling_plan(settings.group_levels);
@@ -166,6 +167,13 @@ pub fn train_initial_policy(
         settings.theta,
         settings.max_passes,
     );
+
+    obs::trace::emit(|| {
+        obs::Event::new("offline_policy")
+            .field("samples", samples as u64)
+            .field("passes", passes as u64)
+            .field("r_squared", model.quality().r_squared)
+    });
 
     Ok(InitialPolicy {
         qtable,

@@ -46,12 +46,43 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
+use obs::Event;
 use simkernel::SimDuration;
 use websim::{measure_config, PerfSample, ServerConfig, SystemSpec};
 
 /// Environment variable selecting the worker count (`0` or unset →
 /// available parallelism).
 pub const THREADS_ENV: &str = "RAC_THREADS";
+
+/// Resolved-once obs handles for the measurement engine. Cache
+/// hit/miss totals and wall-clock timings are inherently scheduling-
+/// dependent across thread counts, so they live **only** here (the
+/// metrics registry), never in the deterministic JSONL trace.
+struct RunnerMetrics {
+    jobs: obs::Counter,
+    cache_hits: obs::Counter,
+    cache_misses: obs::Counter,
+    cache_clears: obs::Counter,
+    queue_depth: obs::Gauge,
+    job_ms: obs::Histogram,
+}
+
+impl RunnerMetrics {
+    fn get() -> &'static RunnerMetrics {
+        static METRICS: OnceLock<RunnerMetrics> = OnceLock::new();
+        METRICS.get_or_init(|| {
+            let r = obs::Registry::global();
+            RunnerMetrics {
+                jobs: r.counter("rac_runner_jobs_total"),
+                cache_hits: r.counter("rac_runner_cache_hits_total"),
+                cache_misses: r.counter("rac_runner_cache_misses_total"),
+                cache_clears: r.counter("rac_runner_cache_clears_total"),
+                queue_depth: r.gauge("rac_runner_queue_depth"),
+                job_ms: r.histogram("rac_runner_job_ms"),
+            }
+        })
+    }
+}
 
 /// One independent measurement: a system, a configuration, and how long
 /// to warm up and measure.
@@ -105,7 +136,10 @@ struct CacheKey {
     measure_us: u64,
 }
 
-/// Cache effectiveness counters (monotone over the runner's lifetime).
+/// Cache effectiveness counters. `hits`, `misses`, and `clears` are
+/// **cumulative over the runner's lifetime** — [`Runner::clear_cache`]
+/// drops the cached samples (and resets `entries`) but never the
+/// counters, so figure-end summaries report whole-process efficiency.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Measurements answered from memory.
@@ -114,6 +148,8 @@ pub struct CacheStats {
     pub misses: u64,
     /// Distinct points currently cached.
     pub entries: usize,
+    /// Times the cache has been cleared.
+    pub clears: u64,
 }
 
 /// Work-queue executor for batches of independent measurements, plus a
@@ -124,6 +160,7 @@ pub struct Runner {
     cache: Mutex<HashMap<CacheKey, PerfSample>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    clears: AtomicU64,
 }
 
 impl Runner {
@@ -145,6 +182,7 @@ impl Runner {
             cache: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            clears: AtomicU64::new(0),
         }
     }
 
@@ -177,12 +215,28 @@ impl Runner {
     ) -> PerfSample {
         let job = MeasureJob::new(spec.clone(), config, warmup, measure);
         let key = job.key();
+        let recording = obs::enabled();
+        if recording {
+            RunnerMetrics::get().jobs.inc();
+        }
         if let Some(sample) = self.cache.lock().unwrap().get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            if recording {
+                RunnerMetrics::get().cache_hits.inc();
+            }
             return *sample;
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        if recording {
+            RunnerMetrics::get().cache_misses.inc();
+        }
+        let started = std::time::Instant::now();
         let sample = job.execute();
+        if recording {
+            RunnerMetrics::get()
+                .job_ms
+                .record_ms(started.elapsed().as_secs_f64() * 1_000.0);
+        }
         self.cache.lock().unwrap().insert(key, sample);
         sample
     }
@@ -199,20 +253,40 @@ impl Runner {
         // `pending` holds the first job for each distinct uncached key.
         let keys: Vec<CacheKey> = jobs.iter().map(MeasureJob::key).collect();
         let mut pending: Vec<(CacheKey, &MeasureJob)> = Vec::new();
+        let mut batch_hits = 0u64;
         {
             let cache = self.cache.lock().unwrap();
             let mut scheduled: HashMap<CacheKey, ()> = HashMap::new();
             for (job, key) in jobs.iter().zip(&keys) {
                 if cache.contains_key(key) {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    batch_hits += 1;
                 } else if scheduled.insert(*key, ()).is_none() {
-                    self.misses.fetch_add(1, Ordering::Relaxed);
                     pending.push((*key, job));
                 } else {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    batch_hits += 1;
                 }
             }
         }
+        self.hits.fetch_add(batch_hits, Ordering::Relaxed);
+        self.misses
+            .fetch_add(pending.len() as u64, Ordering::Relaxed);
+        if obs::enabled() {
+            let m = RunnerMetrics::get();
+            m.jobs.add(jobs.len() as u64);
+            m.cache_hits.add(batch_hits);
+            m.cache_misses.add(pending.len() as u64);
+        }
+        // The trace carries only scheduling-independent facts about the
+        // batch: its size and its distinct-key count are properties of
+        // the job list alone. (Hit/miss counts depend on what other
+        // batches already populated the shared cache, so they go to the
+        // metrics registry above, never into the trace.)
+        obs::trace::emit(|| {
+            let distinct = keys.iter().collect::<std::collections::HashSet<_>>().len();
+            Event::new("runner_batch")
+                .field("jobs", jobs.len() as u64)
+                .field("distinct", distinct as u64)
+        });
 
         let fresh = self.execute_parallel(&pending);
         {
@@ -269,22 +343,40 @@ impl Runner {
             .collect()
     }
 
-    /// Current cache counters.
+    /// Current cache counters (see [`CacheStats`]: `hits`/`misses`/
+    /// `clears` are cumulative and survive [`Runner::clear_cache`]).
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             entries: self.cache.lock().unwrap().len(),
+            clears: self.clears.load(Ordering::Relaxed),
         }
     }
 
     /// Drops every cached sample (counters keep accumulating).
     pub fn clear_cache(&self) {
         self.cache.lock().unwrap().clear();
+        self.clears.fetch_add(1, Ordering::Relaxed);
+        if obs::enabled() {
+            RunnerMetrics::get().cache_clears.inc();
+        }
     }
 
     fn execute_parallel(&self, pending: &[(CacheKey, &MeasureJob)]) -> Vec<PerfSample> {
-        self.run_tasks(pending.len(), |i| pending[i].1.execute())
+        if !obs::enabled() {
+            return self.run_tasks(pending.len(), |i| pending[i].1.execute());
+        }
+        let m = RunnerMetrics::get();
+        m.queue_depth.add(pending.len() as i64);
+        self.run_tasks(pending.len(), |i| {
+            let started = std::time::Instant::now();
+            let sample = pending[i].1.execute();
+            m.job_ms
+                .record_ms(started.elapsed().as_secs_f64() * 1_000.0);
+            m.queue_depth.add(-1);
+            sample
+        })
     }
 }
 
@@ -475,6 +567,31 @@ mod tests {
         assert_eq!(first, fresh);
         assert_eq!(runner.cache_stats().hits, 1);
         assert_eq!(runner.cache_stats().misses, 2);
+    }
+
+    #[test]
+    fn cache_stats_survive_clear() {
+        let runner = Runner::new(2);
+        let jobs = tiny_jobs(3);
+        runner.run(&jobs); // 3 misses
+        runner.run(&jobs); // 3 hits
+        let before = runner.cache_stats();
+        assert_eq!((before.hits, before.misses), (3, 3));
+        assert_eq!(before.entries, 3);
+        assert_eq!(before.clears, 0);
+
+        runner.clear_cache();
+        let after = runner.cache_stats();
+        // Cumulative counters are untouched; only the stored samples go.
+        assert_eq!((after.hits, after.misses), (before.hits, before.misses));
+        assert_eq!(after.entries, 0);
+        assert_eq!(after.clears, 1);
+
+        runner.run(&jobs); // re-simulates: 3 more misses
+        let refilled = runner.cache_stats();
+        assert_eq!(refilled.misses, 6);
+        assert_eq!(refilled.hits, 3);
+        assert_eq!(refilled.entries, 3);
     }
 
     #[test]

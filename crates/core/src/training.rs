@@ -68,6 +68,8 @@ pub fn train_policy_for_context(
     reward: SlaReward,
     options: TrainingOptions,
 ) -> InitialPolicy {
+    let _span = obs::Span::start("train_policy_for_context");
+    obs::trace::emit(|| obs::Event::new("offline_training").field("context", context.to_string()));
     let spec = spec_base
         .clone()
         .with_mix(context.mix)

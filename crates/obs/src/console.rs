@@ -1,0 +1,64 @@
+//! A `--quiet`-able console exporter for human-readable progress
+//! output.
+//!
+//! Binaries route their progress and timing chatter through a
+//! [`Console`] so `--quiet` (or `RAC_OBS=off` via
+//! [`Console::from_env`]) silences it without touching the actual
+//! deliverable output (report tables on stdout, CSV/JSONL artifacts on
+//! disk). Notes go to **stderr**, keeping stdout machine-consumable.
+
+/// Human-readable progress output with a quiet switch.
+///
+/// # Example
+///
+/// ```
+/// use obs::Console;
+///
+/// let console = Console::new(true); // quiet
+/// console.note("this line is suppressed");
+/// assert!(console.is_quiet());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Console {
+    quiet: bool,
+}
+
+impl Console {
+    /// A console; `quiet` suppresses all notes.
+    pub fn new(quiet: bool) -> Self {
+        Console { quiet }
+    }
+
+    /// A console that is quiet when `quiet` is requested **or** when
+    /// observability is fully disabled (`RAC_OBS=off`).
+    pub fn from_env(quiet: bool) -> Self {
+        Console {
+            quiet: quiet || !crate::enabled(),
+        }
+    }
+
+    /// `true` when notes are suppressed.
+    pub fn is_quiet(&self) -> bool {
+        self.quiet
+    }
+
+    /// Writes one progress line to stderr (suppressed when quiet).
+    pub fn note(&self, message: impl AsRef<str>) {
+        if !self.quiet {
+            eprintln!("{}", message.as_ref());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_flag_is_respected() {
+        assert!(Console::new(true).is_quiet());
+        assert!(!Console::new(false).is_quiet());
+        // from_env never un-quiets an explicit --quiet.
+        assert!(Console::from_env(true).is_quiet());
+    }
+}

@@ -1,0 +1,570 @@
+//! Structured trace events and their canonical JSONL form.
+//!
+//! Every event serializes to exactly one JSON object per line with a
+//! **stable field order**: the envelope keys `run`, `t_us`, `seq`,
+//! `kind` first, then payload fields in emission order. Serialization
+//! is deterministic — floats use Rust's shortest-round-trip `Display`,
+//! non-finite floats become the strings `"Infinity"`, `"-Infinity"`,
+//! `"NaN"` — so two traces of the same run are byte-identical, and
+//! `emit → parse → re-emit` reproduces the input bytes exactly.
+
+use std::fmt::{self, Write as _};
+
+/// A payload value. The subset of JSON the trace schema needs: no
+/// nested objects or arrays, by design — flat events stay greppable,
+/// diffable, and trivially parseable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer (non-negative integers parse as [`Value::U64`]).
+    I64(i64),
+    /// Finite float (non-finite floats serialize as strings).
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// String (also carries non-finite floats: `"Infinity"` etc.).
+    Str(String),
+}
+
+impl Value {
+    /// Numeric coercion: integers and floats as `f64`, plus the
+    /// non-finite string spellings this module emits.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::U64(v) => Some(*v as f64),
+            Value::I64(v) => Some(*v as f64),
+            Value::F64(v) => Some(*v),
+            Value::Bool(_) => None,
+            Value::Str(s) => match s.as_str() {
+                "Infinity" => Some(f64::INFINITY),
+                "-Infinity" => Some(f64::NEG_INFINITY),
+                "NaN" => Some(f64::NAN),
+                _ => None,
+            },
+        }
+    }
+
+    /// Integer coercion.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            Value::I64(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Value::F64(v) => {
+                if v.is_finite() {
+                    // Normalize -0.0 so re-parsing (which reads "-0" as
+                    // an integer) round-trips byte-identically.
+                    let v = if *v == 0.0 { 0.0 } else { *v };
+                    let _ = write!(out, "{v}");
+                } else if v.is_nan() {
+                    out.push_str("\"NaN\"");
+                } else if *v > 0.0 {
+                    out.push_str("\"Infinity\"");
+                } else {
+                    out.push_str("\"-Infinity\"");
+                }
+            }
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Str(s) => write_json_string(s, out),
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        if v >= 0 {
+            Value::U64(v as u64)
+        } else {
+            Value::I64(v)
+        }
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// One trace event: an envelope (`run`, `t_us`, `seq`, `kind`) plus an
+/// ordered list of payload fields.
+///
+/// # Example
+///
+/// ```
+/// use obs::event::Event;
+///
+/// let e = Event::new("decision").field("iter", 3u64).field("rt_ms", 812.5);
+/// assert_eq!(
+///     e.to_json(),
+///     r#"{"run":0,"t_us":0,"seq":0,"kind":"decision","iter":3,"rt_ms":812.5}"#
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Experiment-run index within the trace (0 before any run starts).
+    pub run: u64,
+    /// Simulated-time stamp, microseconds since run start.
+    pub t_us: u64,
+    /// Emission sequence number, assigned by the writer.
+    pub seq: u64,
+    /// Event kind (`"decision"`, `"iteration"`, `"runner_batch"`, …).
+    pub kind: String,
+    /// Payload fields, in emission order.
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Event {
+    /// Creates an event of `kind`, stamped with the current thread's
+    /// trace clock (run index and sim-time; see [`crate::trace`]).
+    pub fn new(kind: &str) -> Self {
+        Event {
+            run: crate::trace::current_run(),
+            t_us: crate::trace::sim_time_us(),
+            seq: 0,
+            kind: kind.to_string(),
+            fields: Vec::new(),
+        }
+    }
+
+    /// Overrides the simulated-time stamp.
+    pub fn at_us(mut self, t_us: u64) -> Self {
+        self.t_us = t_us;
+        self
+    }
+
+    /// Appends a payload field (order is preserved into the JSON).
+    pub fn field(mut self, name: &str, value: impl Into<Value>) -> Self {
+        self.fields.push((name.to_string(), value.into()));
+        self
+    }
+
+    /// Looks up a payload field by name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// The canonical single-line JSON form.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(64 + self.fields.len() * 16);
+        let _ = write!(
+            out,
+            "{{\"run\":{},\"t_us\":{},\"seq\":{},\"kind\":",
+            self.run, self.t_us, self.seq
+        );
+        write_json_string(&self.kind, &mut out);
+        for (name, value) in &self.fields {
+            out.push(',');
+            write_json_string(name, &mut out);
+            out.push(':');
+            value.write_json(&mut out);
+        }
+        out.push('}');
+        out
+    }
+
+    /// The trace sort key: runs are sequential, sim-time orders within
+    /// a run, the emission sequence breaks sim-time ties.
+    pub fn sort_key(&self) -> (u64, u64, u64) {
+        (self.run, self.t_us, self.seq)
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_json())
+    }
+}
+
+/// Why a trace line failed to parse.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Byte offset of the failure within the line.
+    pub at: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (at byte {})", self.message, self.at)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one canonical JSONL trace line back into an [`Event`].
+///
+/// Strict by design: the line must be a flat JSON object whose first
+/// four keys are `run`, `t_us`, `seq`, `kind` (the envelope), with no
+/// nested values and nothing after the closing brace. This is the
+/// schema check the `inspect_trace` tool and CI rely on.
+pub fn parse_line(line: &str) -> Result<Event, ParseError> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        at: 0,
+    };
+    p.expect(b'{')?;
+    let run = p.envelope_u64("run")?;
+    p.expect(b',')?;
+    let t_us = p.envelope_u64("t_us")?;
+    p.expect(b',')?;
+    let seq = p.envelope_u64("seq")?;
+    p.expect(b',')?;
+    let kind_key = p.parse_string()?;
+    if kind_key != "kind" {
+        return Err(p.err(format!(
+            "expected envelope key \"kind\", got \"{kind_key}\""
+        )));
+    }
+    p.expect(b':')?;
+    let kind = p.parse_string()?;
+
+    let mut fields = Vec::new();
+    loop {
+        match p.peek() {
+            Some(b'}') => {
+                p.at += 1;
+                break;
+            }
+            Some(b',') => {
+                p.at += 1;
+                let name = p.parse_string()?;
+                p.expect(b':')?;
+                let value = p.parse_value()?;
+                fields.push((name, value));
+            }
+            _ => return Err(p.err("expected ',' or '}'".to_string())),
+        }
+    }
+    if p.at != p.bytes.len() {
+        return Err(p.err("trailing bytes after event object".to_string()));
+    }
+    Ok(Event {
+        run,
+        t_us,
+        seq,
+        kind,
+        fields,
+    })
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: String) -> ParseError {
+        ParseError {
+            at: self.at,
+            message,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.at).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn envelope_u64(&mut self, key: &str) -> Result<u64, ParseError> {
+        let name = self.parse_string()?;
+        if name != key {
+            return Err(self.err(format!("expected envelope key \"{key}\", got \"{name}\"")));
+        }
+        self.expect(b':')?;
+        match self.parse_value()? {
+            Value::U64(v) => Ok(v),
+            other => Err(self.err(format!(
+                "envelope key \"{key}\" must be a non-negative integer, got {other:?}"
+            ))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string".to_string())),
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            if self.at + 5 > self.bytes.len() {
+                                return Err(self.err("truncated \\u escape".to_string()));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.at + 1..self.at + 5])
+                                .map_err(|_| self.err("non-UTF-8 \\u escape".to_string()))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape".to_string()))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid codepoint".to_string()))?,
+                            );
+                            self.at += 4;
+                        }
+                        _ => return Err(self.err("unknown escape".to_string())),
+                    }
+                    self.at += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let rest = std::str::from_utf8(&self.bytes[self.at..])
+                        .map_err(|_| self.err("invalid UTF-8".to_string()))?;
+                    let c = rest.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.at += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", Value::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Value::Bool(false)),
+            Some(b'-') | Some(b'0'..=b'9') => self.parse_number(),
+            Some(b'{') | Some(b'[') => {
+                Err(self.err("nested values are outside the trace schema".to_string()))
+            }
+            _ => Err(self.err("expected a value".to_string())),
+        }
+    }
+
+    fn parse_literal(&mut self, text: &str, value: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.at..].starts_with(text.as_bytes()) {
+            self.at += text.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected '{text}'")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, ParseError> {
+        let start = self.at;
+        if self.peek() == Some(b'-') {
+            self.at += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.at += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.at += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.at]).expect("number bytes are ASCII");
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::U64(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::I64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| self.err(format!("bad number '{text}'")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_first_then_fields_in_order() {
+        let e = Event::new("k").at_us(42).field("b", 1u64).field("a", 2u64);
+        assert_eq!(
+            e.to_json(),
+            r#"{"run":0,"t_us":42,"seq":0,"kind":"k","b":1,"a":2}"#
+        );
+    }
+
+    #[test]
+    fn floats_serialize_shortest_and_specials_as_strings() {
+        let e = Event::new("f")
+            .field("half", 0.5)
+            .field("whole", 2.0)
+            .field("zero", -0.0)
+            .field("inf", f64::INFINITY)
+            .field("ninf", f64::NEG_INFINITY)
+            .field("nan", f64::NAN);
+        let json = e.to_json();
+        assert!(json.contains("\"half\":0.5"), "{json}");
+        assert!(json.contains("\"whole\":2"), "{json}");
+        assert!(json.contains("\"zero\":0"), "{json}");
+        assert!(json.contains("\"inf\":\"Infinity\""), "{json}");
+        assert!(json.contains("\"ninf\":\"-Infinity\""), "{json}");
+        assert!(json.contains("\"nan\":\"NaN\""), "{json}");
+    }
+
+    #[test]
+    fn round_trip_is_byte_identical() {
+        let e = Event::new("decision")
+            .at_us(600_000_000)
+            .field("iter", 17u64)
+            .field("rt_ms", 812.53125)
+            .field("reward", -0.25)
+            .field("action", "Increase(MaxClients)")
+            .field("quote", "a\"b\\c\nd")
+            .field("switched", true)
+            .field("inf", f64::INFINITY);
+        let json = e.to_json();
+        let parsed = parse_line(&json).unwrap();
+        assert_eq!(parsed.to_json(), json);
+        assert_eq!(parsed.t_us, 600_000_000);
+        assert_eq!(parsed.get("iter").unwrap().as_u64(), Some(17));
+        assert_eq!(parsed.get("rt_ms").unwrap().as_f64(), Some(812.53125));
+        assert_eq!(parsed.get("inf").unwrap().as_f64(), Some(f64::INFINITY));
+        assert_eq!(parsed.get("quote").unwrap().as_str(), Some("a\"b\\c\nd"));
+        assert_eq!(parsed.get("switched").unwrap().as_bool(), Some(true));
+    }
+
+    #[test]
+    fn negative_integers_round_trip() {
+        let e = Event::new("n").field("delta", -42i64);
+        let json = e.to_json();
+        assert!(json.contains("\"delta\":-42"));
+        assert_eq!(parse_line(&json).unwrap().to_json(), json);
+    }
+
+    #[test]
+    fn parser_rejects_schema_violations() {
+        // Wrong envelope order.
+        assert!(parse_line(r#"{"t_us":0,"run":0,"seq":0,"kind":"x"}"#).is_err());
+        // Missing envelope.
+        assert!(parse_line(r#"{"kind":"x"}"#).is_err());
+        // Nested values.
+        assert!(parse_line(r#"{"run":0,"t_us":0,"seq":0,"kind":"x","o":{"a":1}}"#).is_err());
+        // Trailing garbage.
+        assert!(parse_line(r#"{"run":0,"t_us":0,"seq":0,"kind":"x"} extra"#).is_err());
+        // Not an object.
+        assert!(parse_line("[1,2]").is_err());
+        // Unterminated string.
+        assert!(parse_line(r#"{"run":0,"t_us":0,"seq":0,"kind":"x"#).is_err());
+    }
+
+    #[test]
+    fn parse_error_reports_position() {
+        let err = parse_line(r#"{"run":0,"t_us":0,"seq":0,"kind":"x","bad":@}"#).unwrap_err();
+        assert!(err.at > 0);
+        assert!(err.to_string().contains("expected a value"));
+    }
+
+    #[test]
+    fn value_coercions() {
+        assert_eq!(Value::U64(3).as_f64(), Some(3.0));
+        assert_eq!(Value::I64(-3).as_f64(), Some(-3.0));
+        assert_eq!(Value::Str("Infinity".into()).as_f64(), Some(f64::INFINITY));
+        assert!(Value::Str("NaN".into()).as_f64().unwrap().is_nan());
+        assert_eq!(Value::Str("hello".into()).as_f64(), None);
+        assert_eq!(Value::Bool(true).as_f64(), None);
+        assert_eq!(Value::I64(-1).as_u64(), None);
+    }
+}

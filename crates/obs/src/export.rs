@@ -1,0 +1,134 @@
+//! Exporters: Prometheus text exposition and CSV rendering of a
+//! registry snapshot.
+
+use std::fmt::Write as _;
+
+use crate::registry::MetricSnapshot;
+
+/// Renders a snapshot in the Prometheus text exposition format
+/// (version 0.0.4): counters and gauges as single samples, histograms
+/// as cumulative `_bucket{le="..."}` series (edges in milliseconds)
+/// plus `_sum` and `_count`.
+///
+/// # Example
+///
+/// ```
+/// use obs::Registry;
+/// use obs::export::render_prometheus;
+///
+/// let r = Registry::new();
+/// r.counter("rac_jobs_total").add(2);
+/// let text = render_prometheus(&r.snapshot());
+/// assert!(text.contains("rac_jobs_total 2"));
+/// ```
+pub fn render_prometheus(snapshot: &[MetricSnapshot]) -> String {
+    let mut out = String::new();
+    for metric in snapshot {
+        match metric {
+            MetricSnapshot::Counter { name, value } => {
+                let _ = writeln!(out, "# TYPE {name} counter");
+                let _ = writeln!(out, "{name} {value}");
+            }
+            MetricSnapshot::Gauge { name, value } => {
+                let _ = writeln!(out, "# TYPE {name} gauge");
+                let _ = writeln!(out, "{name} {value}");
+            }
+            MetricSnapshot::Histogram {
+                name,
+                count,
+                sum_ms,
+                buckets,
+                ..
+            } => {
+                let _ = writeln!(out, "# TYPE {name} histogram");
+                let mut cumulative = 0u64;
+                for &(upper_us, n) in buckets {
+                    cumulative += n;
+                    let le = upper_us as f64 / 1_000.0;
+                    let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+                }
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {count}");
+                let _ = writeln!(out, "{name}_sum {sum_ms}");
+                let _ = writeln!(out, "{name}_count {count}");
+            }
+        }
+    }
+    out
+}
+
+/// Renders a snapshot as CSV: `name,kind,value,count,sum_ms,p50_ms,p95_ms`
+/// (scalar metrics leave the histogram columns empty).
+pub fn render_csv(snapshot: &[MetricSnapshot]) -> String {
+    let mut out = String::from("name,kind,value,count,sum_ms,p50_ms,p95_ms\n");
+    for metric in snapshot {
+        match metric {
+            MetricSnapshot::Counter { name, value } => {
+                let _ = writeln!(out, "{name},counter,{value},,,,");
+            }
+            MetricSnapshot::Gauge { name, value } => {
+                let _ = writeln!(out, "{name},gauge,{value},,,,");
+            }
+            MetricSnapshot::Histogram {
+                name,
+                count,
+                sum_ms,
+                p50_ms,
+                p95_ms,
+                ..
+            } => {
+                let _ = writeln!(
+                    out,
+                    "{name},histogram,,{count},{sum_ms:.3},{p50_ms:.3},{p95_ms:.3}"
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("jobs_total").add(7);
+        r.gauge("queue_depth").set(-1);
+        let h = r.histogram("job_ms");
+        h.record_ms(1.0);
+        h.record_ms(1.5);
+        h.record_ms(100.0);
+        r
+    }
+
+    #[test]
+    fn prometheus_format_shape() {
+        let text = render_prometheus(&sample_registry().snapshot());
+        assert!(text.contains("# TYPE jobs_total counter"), "{text}");
+        assert!(text.contains("jobs_total 7"), "{text}");
+        assert!(text.contains("queue_depth -1"), "{text}");
+        assert!(text.contains("# TYPE job_ms histogram"), "{text}");
+        assert!(text.contains("job_ms_bucket{le=\"+Inf\"} 3"), "{text}");
+        assert!(text.contains("job_ms_count 3"), "{text}");
+        // Buckets are cumulative: the last finite bucket holds all 3.
+        let last_finite = text
+            .lines()
+            .rfind(|l| l.starts_with("job_ms_bucket") && !l.contains("+Inf"))
+            .unwrap();
+        assert!(last_finite.ends_with(" 3"), "{last_finite}");
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let text = render_csv(&sample_registry().snapshot());
+        let mut lines = text.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "name,kind,value,count,sum_ms,p50_ms,p95_ms"
+        );
+        assert!(text.contains("jobs_total,counter,7,,,,"), "{text}");
+        assert!(text.contains("queue_depth,gauge,-1,,,,"), "{text}");
+        assert!(text.contains("job_ms,histogram,,3,"), "{text}");
+    }
+}

@@ -1,0 +1,99 @@
+//! Wall-clock spans for coarse stages (figure jobs, offline training,
+//! measurement batches).
+//!
+//! A span records its duration into a registry histogram named
+//! `rac_span_ms_<name>` when it drops, and counts entries in
+//! `rac_span_total_<name>`. Wall-clock readings are inherently
+//! non-deterministic, so spans feed the **metrics** side only — never
+//! the decision trace (see [`crate::trace`] for why).
+
+use std::time::Instant;
+
+use crate::registry::Registry;
+
+/// An RAII wall-clock timer tied to a registry histogram.
+///
+/// # Example
+///
+/// ```
+/// use obs::{Registry, Span};
+///
+/// let r = Registry::new();
+/// {
+///     let _span = Span::start_in(&r, "stage");
+///     // ... timed work ...
+/// }
+/// assert_eq!(r.histogram("rac_span_ms_stage").count(), 1);
+/// ```
+#[derive(Debug)]
+pub struct Span<'a> {
+    name: &'static str,
+    started: Instant,
+    registry: &'a Registry,
+    /// Disabled spans still measure (callers may read `elapsed_ms`) but
+    /// record nothing on drop.
+    record: bool,
+}
+
+impl Span<'static> {
+    /// Starts a span against the global registry, recording only when
+    /// observability is [enabled](crate::enabled).
+    pub fn start(name: &'static str) -> Span<'static> {
+        Span {
+            name,
+            started: Instant::now(),
+            registry: Registry::global(),
+            record: crate::enabled(),
+        }
+    }
+}
+
+impl<'a> Span<'a> {
+    /// Starts a span against an explicit registry (always records).
+    pub fn start_in(registry: &'a Registry, name: &'static str) -> Span<'a> {
+        Span {
+            name,
+            started: Instant::now(),
+            registry,
+            record: true,
+        }
+    }
+
+    /// Milliseconds elapsed since the span started.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.started.elapsed().as_secs_f64() * 1_000.0
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        if self.record {
+            let elapsed = self.elapsed_ms();
+            self.registry
+                .histogram(&format!("rac_span_ms_{}", self.name))
+                .record_ms(elapsed);
+            self.registry
+                .counter(&format!("rac_span_total_{}", self.name))
+                .inc();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_into_private_registry() {
+        let r = Registry::new();
+        {
+            let span = Span::start_in(&r, "unit");
+            assert!(span.elapsed_ms() >= 0.0);
+        }
+        {
+            let _again = Span::start_in(&r, "unit");
+        }
+        assert_eq!(r.histogram("rac_span_ms_unit").count(), 2);
+        assert_eq!(r.counter("rac_span_total_unit").get(), 2);
+    }
+}

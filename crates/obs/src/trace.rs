@@ -1,0 +1,272 @@
+//! The decision-trace pipeline: a buffering [`TraceWriter`] plus a
+//! thread-local scope through which instrumented code emits events
+//! without holding a writer reference.
+//!
+//! # Determinism contract
+//!
+//! A trace is deterministic when every event emitted into it is a pure
+//! function of the traced computation: the writer assigns sequence
+//! numbers in emission order, stamps events from the thread-local
+//! simulated clock, and serializes sorted by `(run, t_us, seq)` with a
+//! stable field order. A single-threaded traced computation (one figure
+//! job, one experiment) therefore produces **byte-identical** JSONL
+//! regardless of `RAC_THREADS`, host load, or wall-clock time — which
+//! is why wall-clock durations live in the metrics registry
+//! ([`crate::registry`]) and never in trace events.
+
+use std::cell::{Cell, RefCell};
+use std::io::{self, Write as _};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::event::Event;
+
+/// Buffers trace events and serializes them deterministically.
+///
+/// Writers are [`Sync`]: events may be emitted from any thread (each
+/// gets a unique sequence number), though deterministic traces come
+/// from single-threaded scopes — see the module docs.
+#[derive(Debug, Default)]
+pub struct TraceWriter {
+    events: Mutex<Vec<Event>>,
+    seq: AtomicU64,
+}
+
+impl TraceWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        TraceWriter::default()
+    }
+
+    /// Records an event, assigning it the next sequence number.
+    pub fn emit(&self, mut event: Event) {
+        event.seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.events.lock().unwrap().push(event);
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.lock().unwrap().len()
+    }
+
+    /// `true` when nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The buffered events, sorted by `(run, t_us, seq)`.
+    pub fn events(&self) -> Vec<Event> {
+        let mut events = self.events.lock().unwrap().clone();
+        events.sort_by_key(Event::sort_key);
+        events
+    }
+
+    /// The canonical JSONL serialization: one event per line, sorted by
+    /// `(run, t_us, seq)`, with a trailing newline (empty string when
+    /// no events were emitted).
+    pub fn serialize(&self) -> String {
+        let events = self.events();
+        let mut out = String::new();
+        for e in &events {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the serialized trace to `path`, creating parent
+    /// directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.serialize().as_bytes())
+    }
+}
+
+thread_local! {
+    static SCOPE: RefCell<Vec<Arc<TraceWriter>>> = const { RefCell::new(Vec::new()) };
+    static SIM_TIME_US: Cell<u64> = const { Cell::new(0) };
+    static RUN: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Runs `f` with `writer` installed as the current thread's trace
+/// scope. Scopes nest; the innermost receives emissions. The sim clock
+/// and run counter are saved and restored around `f`, so sibling
+/// scopes on a reused worker thread start from a clean clock.
+pub fn with_writer<R>(writer: &Arc<TraceWriter>, f: impl FnOnce() -> R) -> R {
+    struct Guard {
+        saved_time: u64,
+        saved_run: u64,
+    }
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            SCOPE.with(|s| {
+                s.borrow_mut().pop();
+            });
+            SIM_TIME_US.with(|t| t.set(self.saved_time));
+            RUN.with(|r| r.set(self.saved_run));
+        }
+    }
+    let guard = Guard {
+        saved_time: SIM_TIME_US.with(Cell::get),
+        saved_run: RUN.with(Cell::get),
+    };
+    SCOPE.with(|s| s.borrow_mut().push(Arc::clone(writer)));
+    SIM_TIME_US.with(|t| t.set(0));
+    RUN.with(|r| r.set(0));
+    let result = f();
+    drop(guard);
+    result
+}
+
+/// `true` when a trace scope is installed on this thread —
+/// instrumented code uses this to skip event construction entirely
+/// when nobody is listening.
+pub fn scoped() -> bool {
+    SCOPE.with(|s| !s.borrow().is_empty())
+}
+
+/// Emits the event built by `make` into the current scope, if any.
+/// Without a scope this is a no-op and `make` is never called.
+pub fn emit(make: impl FnOnce() -> Event) {
+    let writer = SCOPE.with(|s| s.borrow().last().cloned());
+    if let Some(writer) = writer {
+        writer.emit(make());
+    }
+}
+
+/// Sets the thread's simulated clock (microseconds since run start);
+/// subsequent [`Event::new`] stamps use it.
+pub fn set_sim_time_us(t_us: u64) {
+    SIM_TIME_US.with(|t| t.set(t_us));
+}
+
+/// The thread's current simulated clock.
+pub fn sim_time_us() -> u64 {
+    SIM_TIME_US.with(Cell::get)
+}
+
+/// Starts a new run on this thread: increments the run counter, resets
+/// the sim clock to zero, and returns the new run index. Experiment
+/// harnesses call this once per tuning session so events from
+/// back-to-back sessions in one scope sort as sequential runs instead
+/// of interleaving by sim-time.
+pub fn begin_run() -> u64 {
+    let run = RUN.with(|r| {
+        r.set(r.get() + 1);
+        r.get()
+    });
+    set_sim_time_us(0);
+    run
+}
+
+/// The thread's current run index (0 before the first [`begin_run`]).
+pub fn current_run() -> u64 {
+    RUN.with(Cell::get)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unscoped_emit_is_a_noop_and_builds_nothing() {
+        let mut built = false;
+        emit(|| {
+            built = true;
+            Event::new("never")
+        });
+        assert!(!built, "event closure must not run without a scope");
+    }
+
+    #[test]
+    fn scoped_emissions_are_ordered_and_sequenced() {
+        let w = Arc::new(TraceWriter::new());
+        with_writer(&w, || {
+            set_sim_time_us(100);
+            emit(|| Event::new("b"));
+            set_sim_time_us(50); // out of order on purpose
+            emit(|| Event::new("a"));
+        });
+        let events = w.events();
+        assert_eq!(events.len(), 2);
+        // Sorted by sim-time despite emission order.
+        assert_eq!(events[0].kind, "a");
+        assert_eq!(events[0].t_us, 50);
+        assert_eq!(events[1].kind, "b");
+        assert_eq!(events[1].seq, 0, "seq reflects emission order");
+    }
+
+    #[test]
+    fn runs_partition_the_ordering() {
+        let w = Arc::new(TraceWriter::new());
+        with_writer(&w, || {
+            assert_eq!(begin_run(), 1);
+            set_sim_time_us(900);
+            emit(|| Event::new("first-run-late"));
+            assert_eq!(begin_run(), 2);
+            assert_eq!(sim_time_us(), 0, "begin_run resets the clock");
+            set_sim_time_us(10);
+            emit(|| Event::new("second-run-early"));
+        });
+        let events = w.events();
+        // Run 1's t=900 sorts before run 2's t=10.
+        assert_eq!(events[0].kind, "first-run-late");
+        assert_eq!(events[1].kind, "second-run-early");
+        assert_eq!(events[0].run, 1);
+        assert_eq!(events[1].run, 2);
+    }
+
+    #[test]
+    fn scopes_nest_and_restore_clock() {
+        let outer = Arc::new(TraceWriter::new());
+        let inner = Arc::new(TraceWriter::new());
+        with_writer(&outer, || {
+            set_sim_time_us(77);
+            begin_run();
+            with_writer(&inner, || {
+                assert_eq!(sim_time_us(), 0, "fresh scope, fresh clock");
+                assert_eq!(current_run(), 0);
+                emit(|| Event::new("inner"));
+            });
+            assert_eq!(sim_time_us(), 0, "begin_run had reset the clock");
+            assert_eq!(current_run(), 1, "outer run restored");
+            emit(|| Event::new("outer"));
+        });
+        assert_eq!(inner.events()[0].kind, "inner");
+        assert_eq!(outer.events()[0].kind, "outer");
+        assert!(!scoped());
+    }
+
+    #[test]
+    fn serialize_is_jsonl_with_trailing_newline() {
+        let w = Arc::new(TraceWriter::new());
+        assert_eq!(w.serialize(), "");
+        with_writer(&w, || {
+            emit(|| Event::new("x").field("v", 1u64));
+        });
+        let text = w.serialize();
+        assert!(text.ends_with('\n'));
+        assert_eq!(text.lines().count(), 1);
+        crate::event::parse_line(text.trim_end()).unwrap();
+    }
+
+    #[test]
+    fn write_to_creates_directories() {
+        let dir = std::env::temp_dir().join(format!("obs-trace-test-{}", std::process::id()));
+        let path = dir.join("nested/trace.jsonl");
+        let w = Arc::new(TraceWriter::new());
+        with_writer(&w, || emit(|| Event::new("x")));
+        w.write_to(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, w.serialize());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

@@ -55,4 +55,7 @@ pub use double_q::DoubleQ;
 pub use experience::{ExperienceLog, Transition};
 pub use qtable::{QLearning, QTable};
 pub use space::IndexSpace;
-pub use sweep::{batch_value_sweep, batch_value_sweep_with, Backup, Environment};
+pub use sweep::{
+    batch_value_sweep, batch_value_sweep_report, batch_value_sweep_with, Backup, Environment,
+    SweepReport,
+};

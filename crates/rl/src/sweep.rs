@@ -48,6 +48,20 @@ impl Backup {
     }
 }
 
+/// What a batch retraining sweep did — the observability payload the
+/// online agent reports per iteration (passes run, largest Q-entry
+/// change, total updates applied).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SweepReport {
+    /// Passes performed (≥ 1).
+    pub passes: usize,
+    /// Largest single-entry |ΔQ| observed in the **final** pass — the
+    /// residual training error when the sweep stopped.
+    pub max_delta: f64,
+    /// Total TD updates applied across all passes.
+    pub updates: u64,
+}
+
 /// Runs repeated full-table Q-learning sweeps (the paper's Algorithm 1)
 /// until the largest single-entry change in a pass drops below `theta`
 /// or `max_passes` passes have run.
@@ -69,7 +83,7 @@ pub fn batch_value_sweep(
     theta: f64,
     max_passes: usize,
 ) -> usize {
-    batch_value_sweep_with(env, q, learner, Backup::Greedy, theta, max_passes)
+    batch_value_sweep_report(env, q, learner, Backup::Greedy, theta, max_passes).passes
 }
 
 /// [`batch_value_sweep`] with an explicit successor-state [`Backup`]
@@ -87,6 +101,24 @@ pub fn batch_value_sweep_with(
     theta: f64,
     max_passes: usize,
 ) -> usize {
+    batch_value_sweep_report(env, q, learner, backup, theta, max_passes).passes
+}
+
+/// The fully instrumented sweep: like [`batch_value_sweep_with`] but
+/// returning the [`SweepReport`] (passes, residual max |ΔQ|, update
+/// count) instead of just the pass count.
+///
+/// # Panics
+///
+/// Same as [`batch_value_sweep_with`].
+pub fn batch_value_sweep_report(
+    env: &impl Environment,
+    q: &mut QTable,
+    learner: &QLearning,
+    backup: Backup,
+    theta: f64,
+    max_passes: usize,
+) -> SweepReport {
     assert_eq!(q.states(), env.num_states(), "state count mismatch");
     assert_eq!(q.actions(), env.num_actions(), "action count mismatch");
     assert!(theta >= 0.0, "theta must be non-negative");
@@ -95,6 +127,7 @@ pub fn batch_value_sweep_with(
         assert!((0.0..=1.0).contains(&e), "epsilon must be in [0, 1]");
     }
 
+    let mut report = SweepReport::default();
     for pass in 1..=max_passes {
         let mut error: f64 = 0.0;
         for s in 0..env.num_states() {
@@ -106,11 +139,14 @@ pub fn batch_value_sweep_with(
                 error = error.max(delta);
             }
         }
+        report.passes = pass;
+        report.max_delta = error;
+        report.updates += (env.num_states() * env.num_actions()) as u64;
         if error < theta {
-            return pass;
+            break;
         }
     }
-    max_passes
+    report
 }
 
 #[cfg(test)]
@@ -248,6 +284,25 @@ mod tests {
             1e-3,
             10,
         );
+    }
+
+    #[test]
+    fn report_matches_pass_count_and_counts_updates() {
+        let env = Ridge { n: 21, peak: 13 };
+        let learner = QLearning::new(1.0, 0.9);
+        let mut q1 = QTable::new(21, 3);
+        let passes = batch_value_sweep(&env, &mut q1, &learner, 1e-4, 1000);
+        let mut q2 = QTable::new(21, 3);
+        let report = batch_value_sweep_report(&env, &mut q2, &learner, Backup::Greedy, 1e-4, 1000);
+        assert_eq!(report.passes, passes);
+        assert_eq!(report.updates, (passes * 21 * 3) as u64);
+        assert!(report.max_delta < 1e-4, "residual {}", report.max_delta);
+        // Identical sweeps produce identical tables.
+        for s in 0..21 {
+            for a in 0..3 {
+                assert_eq!(q1.get(s, a), q2.get(s, a));
+            }
+        }
     }
 
     #[test]

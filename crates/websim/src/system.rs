@@ -1,6 +1,7 @@
 //! The three-tier web system simulator.
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::OnceLock;
 
 use simkernel::rng::Exponential;
 use simkernel::{EventQueue, Pcg64, SimDuration, SimTime};
@@ -13,6 +14,30 @@ use crate::disk::Disk;
 use crate::metrics::PerfSample;
 use crate::model::ModelParams;
 use crate::pool::WorkerPool;
+
+/// Resolved-once obs handles for interval-level simulator metrics (the
+/// registry mutex is taken once, not per interval).
+struct SimMetrics {
+    intervals: obs::Counter,
+    completed: obs::Counter,
+    refused: obs::Counter,
+    response_ms: obs::Histogram,
+}
+
+impl SimMetrics {
+    fn get() -> &'static SimMetrics {
+        static METRICS: OnceLock<SimMetrics> = OnceLock::new();
+        METRICS.get_or_init(|| {
+            let r = obs::Registry::global();
+            SimMetrics {
+                intervals: r.counter("websim_intervals_total"),
+                completed: r.counter("websim_requests_completed_total"),
+                refused: r.counter("websim_requests_refused_total"),
+                response_ms: r.histogram("websim_interval_mean_rt_ms"),
+            }
+        })
+    }
+}
 
 /// Static description of the simulated testbed: hardware, VM placement,
 /// workload and model calibration.
@@ -398,11 +423,19 @@ impl ThreeTierSystem {
             self.dispatch(now, ev);
             self.resync_cpu_ticks();
         }
-        PerfSample::from_parts(
+        let sample = PerfSample::from_parts(
             std::mem::take(&mut self.response_ms),
             std::mem::take(&mut self.refused),
             interval.as_secs_f64(),
-        )
+        );
+        if obs::enabled() {
+            let m = SimMetrics::get();
+            m.intervals.inc();
+            m.completed.add(sample.completed);
+            m.refused.add(sample.refused);
+            m.response_ms.record_ms(sample.mean_response_ms);
+        }
+        sample
     }
 
     fn bootstrap(&mut self) {

@@ -1,0 +1,177 @@
+//! Decision-trace contract tests.
+//!
+//! The JSONL trace is the diffable record of a tuning session: the
+//! suite pins (1) lossless serialization — parse then re-serialize is
+//! byte-identical — and (2) determinism — a session traced at
+//! `RAC_THREADS=1` and `RAC_THREADS=8` yields bit-identical JSONL,
+//! which is what makes traces comparable across machines and CI matrix
+//! legs. A light schema check keeps the emitted kinds in sync with
+//! what `inspect_trace` validates.
+
+use std::sync::Arc;
+
+use obs::event::parse_line;
+use obs::trace::{self, TraceWriter};
+use obs::{Event, Value};
+use rac::runner::{MeasureJob, Runner};
+use rac::{Experiment, RacAgent, RacSettings, SystemContext};
+use simkernel::SimDuration;
+use tpcw::Mix;
+use vmstack::ResourceLevel;
+use websim::{Param, ServerConfig, SystemSpec};
+
+fn spec() -> SystemSpec {
+    SystemSpec::default().with_clients(600).with_seed(1234)
+}
+
+fn settings() -> RacSettings {
+    RacSettings {
+        online_levels: 3,
+        sla_ms: 1_000.0,
+        seed: 99,
+        ..RacSettings::default()
+    }
+}
+
+/// A traced session exercising every emitter: a short online tuning
+/// run (experiment / phase / decision / reconfigure events) plus a
+/// runner batch with a duplicate point (runner_batch event), executed
+/// on a private runner with `threads` workers.
+fn traced_session(threads: usize) -> String {
+    let writer = Arc::new(TraceWriter::new());
+    trace::with_writer(&writer, || {
+        let exp = Experiment::new(spec())
+            .with_interval(SimDuration::from_secs(120))
+            .with_warmup(SimDuration::from_secs(240))
+            .then(SystemContext::new(Mix::Shopping, ResourceLevel::Level1), 6);
+        let mut agent = RacAgent::new(settings());
+        exp.run(&mut agent);
+
+        let runner = Runner::new(threads);
+        let mut jobs: Vec<MeasureJob> = (0..4)
+            .map(|i| {
+                let config = ServerConfig::default()
+                    .with(Param::MaxClients, 100 + 50 * i)
+                    .unwrap();
+                MeasureJob::new(
+                    SystemSpec::default().with_clients(40).with_seed(i as u64),
+                    config,
+                    SimDuration::from_secs(10),
+                    SimDuration::from_secs(40),
+                )
+            })
+            .collect();
+        jobs.push(jobs[1].clone());
+        runner.run(&jobs);
+    });
+    writer.serialize()
+}
+
+#[test]
+fn jsonl_round_trip_is_byte_identical() {
+    let text = traced_session(2);
+    assert!(!text.is_empty() && text.ends_with('\n'));
+    let rebuilt: String = text
+        .lines()
+        .map(|line| {
+            let event = parse_line(line).expect("every trace line parses");
+            format!("{}\n", event.to_json())
+        })
+        .collect();
+    assert_eq!(text, rebuilt, "parse → to_json must be lossless");
+}
+
+#[test]
+fn trace_is_bit_identical_across_thread_counts() {
+    let serial = traced_session(1);
+    let parallel = traced_session(8);
+    assert_eq!(
+        serial, parallel,
+        "trace JSONL diverged between 1 and 8 runner threads"
+    );
+}
+
+#[test]
+fn emitted_events_satisfy_the_documented_schema() {
+    const KNOWN: [&str; 7] = [
+        "decision",
+        "experiment",
+        "phase",
+        "reconfigure",
+        "runner_batch",
+        "offline_training",
+        "offline_policy",
+    ];
+    let text = traced_session(2);
+    let events: Vec<Event> = text
+        .lines()
+        .map(|line| parse_line(line).expect("parses"))
+        .collect();
+    let mut decisions = 0;
+    let mut batches = 0;
+    for e in &events {
+        assert!(
+            KNOWN.contains(&e.kind.as_str()),
+            "unknown kind {:?}",
+            e.kind
+        );
+        match e.kind.as_str() {
+            "decision" => {
+                decisions += 1;
+                for name in [
+                    "iter",
+                    "rt_ms",
+                    "reward",
+                    "epsilon",
+                    "state",
+                    "action",
+                    "next_state",
+                    "q_delta",
+                    "sweep_passes",
+                    "streak",
+                    "switched",
+                    "switches",
+                    "calibration",
+                ] {
+                    assert!(e.get(name).is_some(), "decision missing '{name}'");
+                }
+                assert!(e.get("action").and_then(Value::as_str).is_some());
+                assert!(e.get("reward").and_then(Value::as_f64).is_some());
+            }
+            "runner_batch" => {
+                batches += 1;
+                let jobs = e.get("jobs").and_then(Value::as_u64).unwrap();
+                let distinct = e.get("distinct").and_then(Value::as_u64).unwrap();
+                assert!(distinct <= jobs, "distinct {distinct} > jobs {jobs}");
+                assert_eq!(jobs, 5, "batch carries its own job count");
+                assert_eq!(distinct, 4, "duplicate point collapses within the batch");
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(decisions, 6, "one decision event per tuning iteration");
+    assert_eq!(batches, 1);
+}
+
+#[test]
+fn events_are_ordered_by_sim_time_then_sequence() {
+    let text = traced_session(2);
+    let keys: Vec<(u64, u64, u64)> = text
+        .lines()
+        .map(|line| {
+            let e = parse_line(line).expect("parses");
+            (e.run, e.t_us, e.seq)
+        })
+        .collect();
+    let mut sorted = keys.clone();
+    sorted.sort_unstable();
+    assert_eq!(keys, sorted, "serialized trace must be in sort-key order");
+}
+
+#[test]
+fn unscoped_emission_is_a_no_op() {
+    // Outside a `with_writer` scope nothing is recorded and the
+    // event-constructing closure is never run.
+    assert!(!trace::scoped());
+    trace::emit(|| unreachable!("closure must not run without a scope"));
+}
