@@ -5,6 +5,8 @@
 //! cargo run --release -p rac-bench --bin figures -- all
 //! cargo run --release -p rac-bench --bin figures -- fig5
 //! cargo run --release -p rac-bench --bin figures -- fig2 --quick
+//! cargo run --release -p rac-bench --bin figures -- scenario diurnal
+//! cargo run --release -p rac-bench --bin figures -- scenario --list
 //! RAC_THREADS=8 cargo run --release -p rac-bench --bin figures -- all
 //! RAC_OBS=trace cargo run --release -p rac-bench --bin figures -- fig5
 //! ```
@@ -42,7 +44,10 @@ use rac::{
     PolicyLibrary, RacAgent, RacSettings, Runner, SimMeasurer, StaticDefault, TrialAndError, Tuner,
 };
 use rac_bench::output::{ascii_chart, TextTable};
-use rac_bench::{paper_system_spec, standard_policy_library, standard_settings, ONLINE_LEVELS};
+use rac_bench::{
+    paper_system_spec, standard_policy_library, standard_settings, ONLINE_LEVELS, SLA_MS,
+};
+use scenario::Scenario;
 use simkernel::SimDuration;
 use tpcw::Mix;
 use vmstack::ResourceLevel;
@@ -102,6 +107,15 @@ fn main() {
     };
     let console = Console::from_env(quiet);
 
+    // `scenario` is its own sub-grammar (operands are scenario names or
+    // .scn paths, plus `--list`), so it branches off before the figure
+    // validation below.
+    if cmds.first() == Some(&"scenario") {
+        let list = args.iter().any(|a| a == "--list");
+        run_scenarios(&cmds[1..], list, &opts, &console);
+        return;
+    }
+
     let selected: Vec<&str> = if cmds.is_empty() || cmds.contains(&"all") {
         ALL_CMDS.to_vec()
     } else {
@@ -110,7 +124,10 @@ fn main() {
     for cmd in &selected {
         if !ALL_CMDS.contains(cmd) {
             eprintln!("unknown experiment: {cmd}");
-            eprintln!("available: table1 table2 fig1..fig10 all [--quick] [--quiet]");
+            eprintln!(
+                "available: table1 table2 fig1..fig10 all | scenario <name|file.scn> [--list] \
+                 [--quick] [--quiet]"
+            );
             std::process::exit(2);
         }
     }
@@ -822,6 +839,136 @@ fn fig10(opts: &Options, library: &PolicyLibrary, out: &mut String) {
         "  static-vs-adaptive loss: {:.0}%",
         100.0 * (ms - ma) / ma
     );
+}
+
+// --------------------------------------------------------------------
+// Scenario runs (time-varying workload & fault injection)
+// --------------------------------------------------------------------
+
+/// Entry point for `figures scenario ...`: lists the bundled scenarios
+/// or runs each operand (bundled name or `.scn` path) through the
+/// standard tuner line-up, writing `results/scenario-<name>.csv` per
+/// run.
+///
+/// Scenario runs are sequential end to end — the series must be a pure
+/// function of (spec, scenario, seed), bit-identical at any
+/// `RAC_THREADS` — so unlike the figure jobs there is no fan-out here.
+fn run_scenarios(operands: &[&str], list: bool, opts: &Options, console: &Console) {
+    if list {
+        println!("bundled scenarios:");
+        for (name, src) in scenario::bundled::all() {
+            let scn = Scenario::parse(src).expect("bundled scenario parses");
+            println!(
+                "  {name}: {} iterations of {:.0}s, {} directives",
+                scn.iterations(),
+                scn.interval.as_secs_f64(),
+                scn.directives.len()
+            );
+        }
+        return;
+    }
+    if operands.is_empty() {
+        eprintln!("usage: figures scenario <name|file.scn>... | figures scenario --list");
+        eprintln!(
+            "bundled: {}",
+            rac_bench::scenario::bundled_names().join(" ")
+        );
+        std::process::exit(2);
+    }
+    let scenarios: Vec<Scenario> = operands
+        .iter()
+        .map(|arg| match rac_bench::scenario::resolve(arg) {
+            Ok(scn) => {
+                if opts.quick {
+                    scn.scaled(1, 3)
+                } else {
+                    scn
+                }
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        })
+        .collect();
+
+    let library = standard_policy_library(&opts.cache_dir());
+    let tracing = obs::tracing_enabled();
+    let started = Instant::now();
+    for scn in &scenarios {
+        let mut out = String::new();
+        let t0 = Instant::now();
+        let trace = if tracing {
+            let writer = Arc::new(TraceWriter::new());
+            obs::trace::with_writer(&writer, || scenario_figure(scn, &library, opts, &mut out));
+            Some(writer)
+        } else {
+            scenario_figure(scn, &library, opts, &mut out);
+            None
+        };
+        print!("{out}");
+        if let Some(writer) = trace {
+            let path = opts
+                .results_dir
+                .join(format!("scenario-{}.trace.jsonl", scn.name));
+            match writer.write_to(&path) {
+                Ok(()) => {
+                    console.note(format!("  -> {} ({} events)", path.display(), writer.len()))
+                }
+                Err(e) => eprintln!("  could not write {}: {e}", path.display()),
+            }
+        }
+        console.note(format!(
+            "  [scenario {}: {:.1}s wall-clock]",
+            scn.name,
+            t0.elapsed().as_secs_f64()
+        ));
+    }
+    console.note(format!(
+        "\ntotal: {:.1}s wall-clock over {} scenario(s)",
+        started.elapsed().as_secs_f64(),
+        scenarios.len()
+    ));
+    write_metrics_snapshot(opts, console);
+}
+
+/// Runs one scenario through RAC, trial-and-error, and the static
+/// default, then reports the series table, chart, and summary stats.
+fn scenario_figure(scn: &Scenario, library: &PolicyLibrary, opts: &Options, out: &mut String) {
+    banner(
+        out,
+        &format!(
+            "Scenario {}: {} iterations of {:.0}s ({} timeline events)",
+            scn.name,
+            scn.iterations(),
+            scn.interval.as_secs_f64(),
+            scn.compile().len()
+        ),
+    );
+    let series = rac_bench::scenario::run_tuners(scn, library);
+    let t = rac_bench::scenario::scenario_table(scn, &series);
+    let _ = write!(out, "{t}");
+    let chart: Vec<(&str, Vec<f64>)> = series
+        .iter()
+        .map(|(n, s)| (*n, response_series(s)))
+        .collect();
+    let _ = write!(out, "{}", ascii_chart(&chart, 14));
+    for (name, s) in &series {
+        let finite: Vec<f64> = response_series(s)
+            .into_iter()
+            .filter(|x| x.is_finite())
+            .collect();
+        let worst = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let violations = finite.iter().filter(|&&rt| rt > SLA_MS).count();
+        let dropped = s.len() - finite.len();
+        let _ = writeln!(
+            out,
+            "  {name}: mean {:.0} ms, worst {worst:.0} ms, SLA violations {violations}/{}, dropped intervals {dropped}",
+            rac_bench::scenario::finite_mean(s),
+            s.len()
+        );
+    }
+    save(&t, opts, &format!("scenario-{}.csv", scn.name), out);
 }
 
 // --------------------------------------------------------------------

@@ -80,6 +80,7 @@ fn inspect(path: &Path) -> Result<String, String> {
         events.len()
     );
     render_runs(&events, &mut out);
+    render_scenario(&events, &mut out);
     render_cache(&events, &mut out);
     Ok(out)
 }
@@ -134,6 +135,7 @@ fn check_schema(event: &Event) -> Result<(), String> {
         "runner_batch" => require(&["jobs", "distinct"]),
         "offline_training" => require(&["context"]),
         "offline_policy" => require(&["samples", "passes", "r_squared"]),
+        "scenario_event" => require(&["event", "detail"]),
         other => Err(format!("unknown event kind '{other}'")),
     }
 }
@@ -235,6 +237,49 @@ fn render_runs(events: &[Event], out: &mut String) {
             "   violation episodes: {episodes} | policy switches: {switches}"
         );
     }
+}
+
+/// Per-event-type summary of the scenario timeline injections recorded
+/// in the trace (intensity steps, mix drift, faults, ...), with the
+/// first and last occurrence so the injection window is visible at a
+/// glance. Silent when the trace has no scenario events.
+fn render_scenario(events: &[Event], out: &mut String) {
+    let mut by_type: BTreeMap<String, (u64, String, u64, u64)> = BTreeMap::new();
+    for e in events.iter().filter(|e| e.kind == "scenario_event") {
+        let name = e
+            .get("event")
+            .and_then(Value::as_str)
+            .unwrap_or("?")
+            .to_string();
+        let detail = e
+            .get("detail")
+            .and_then(Value::as_str)
+            .unwrap_or("?")
+            .to_string();
+        by_type
+            .entry(name)
+            .and_modify(|(count, _, _, last)| {
+                *count += 1;
+                *last = e.t_us;
+            })
+            .or_insert((1, detail, e.t_us, e.t_us));
+    }
+    if by_type.is_empty() {
+        return;
+    }
+    let total: u64 = by_type.values().map(|(c, _, _, _)| c).sum();
+    let _ = writeln!(out, "-- scenario: {total} timeline events");
+    let mut t = TextTable::new(&["event", "count", "first (s)", "last (s)", "first detail"]);
+    for (name, (count, detail, first, last)) in &by_type {
+        t.row(&[
+            name.clone(),
+            count.to_string(),
+            format!("{:.0}", *first as f64 / 1e6),
+            format!("{:.0}", *last as f64 / 1e6),
+            detail.clone(),
+        ]);
+    }
+    let _ = write!(out, "{t}");
 }
 
 /// Cache efficiency as far as the deterministic trace can tell it:
@@ -340,6 +385,37 @@ mod tests {
         assert!(out.contains("Keep"), "{out}");
         assert!(out.contains("policy switches: 1"), "{out}");
         assert!(out.contains("within-batch dedup"), "{out}");
+    }
+
+    #[test]
+    fn scenario_events_pass_schema_and_summarize_by_type() {
+        let w = Arc::new(TraceWriter::new());
+        trace::with_writer(&w, || {
+            trace::begin_run();
+            for (t_s, event, detail) in [
+                (0u64, "intensity", "x1.00"),
+                (300, "intensity", "x1.45"),
+                (600, "stall", "appdb for 120s"),
+                (900, "intensity", "x1.00"),
+            ] {
+                trace::set_sim_time_us(t_s * 1_000_000);
+                trace::emit(|| {
+                    Event::new("scenario_event")
+                        .field("event", event)
+                        .field("detail", detail)
+                });
+            }
+        });
+        let events = parse_and_check(&w.serialize()).unwrap();
+        let mut out = String::new();
+        render_scenario(&events, &mut out);
+        assert!(out.contains("4 timeline events"), "{out}");
+        assert!(out.contains("intensity"), "{out}");
+        assert!(out.contains("appdb for 120s"), "{out}");
+
+        // A scenario event missing its detail fails the schema check.
+        let bad = Event::new("scenario_event").field("event", "stall");
+        assert!(check_schema(&bad).unwrap_err().contains("detail"));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 pub mod cache;
 pub mod output;
+pub mod scenario;
 
 use rac::{
     build_policy_library, paper_contexts, ConfigLattice, PolicyLibrary, RacSettings, SlaReward,

@@ -52,15 +52,9 @@ impl TextTable {
         self.rows.is_empty()
     }
 
-    /// Writes the table as CSV.
-    ///
-    /// # Errors
-    ///
-    /// Returns any underlying I/O error.
-    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
-        if let Some(parent) = path.parent() {
-            fs::create_dir_all(parent)?;
-        }
+    /// Renders the table as a CSV string (what [`write_csv`](Self::write_csv)
+    /// puts on disk) — lets tests digest the exact bytes without I/O.
+    pub fn render_csv(&self) -> String {
         let mut out = String::new();
         let escape = |cell: &str| {
             if cell.contains(',') || cell.contains('"') {
@@ -85,7 +79,19 @@ impl TextTable {
                 row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(",")
             );
         }
-        fs::write(path, out)
+        out
+    }
+
+    /// Writes the table as CSV.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        fs::write(path, self.render_csv())
     }
 }
 
@@ -183,6 +189,7 @@ mod tests {
         let path = dir.join("t.csv");
         t.write_csv(&path).unwrap();
         let csv = fs::read_to_string(&path).unwrap();
+        assert_eq!(csv, t.render_csv(), "disk CSV must match the rendering");
         assert!(csv.starts_with("a,b\n"));
         assert!(csv.contains("\"hello, world\""));
         assert!(csv.contains("\"x\"\"y\""));

@@ -1,0 +1,158 @@
+//! Scenario-run helpers shared by the `figures scenario` subcommand and
+//! the integration tests (golden digest, determinism).
+//!
+//! Everything here is deliberately sequential: a scenario run must be a
+//! pure function of (spec, scenario, seed), bit-identical at any
+//! `RAC_THREADS` setting, so the tuner line-up runs one after another
+//! instead of fanning out over the global runner.
+
+use std::path::Path;
+
+use rac::{
+    Experiment, IterationRecord, PolicyLibrary, RacAgent, StaticDefault, TrialAndError, Tuner,
+};
+use scenario::Scenario;
+
+use crate::output::TextTable;
+use crate::{paper_system_spec, standard_settings, ONLINE_LEVELS};
+
+/// Names of the bundled scenarios, in bundle order.
+pub fn bundled_names() -> Vec<&'static str> {
+    scenario::bundled::all()
+        .into_iter()
+        .map(|(n, _)| n)
+        .collect()
+}
+
+/// Resolves a scenario operand: a bundled name first, then a path to a
+/// `.scn` file on disk.
+///
+/// # Errors
+///
+/// Returns a human-readable message when the operand is neither.
+pub fn resolve(arg: &str) -> Result<Scenario, String> {
+    if let Some(src) = scenario::bundled::by_name(arg) {
+        return Scenario::parse(src).map_err(|e| format!("bundled scenario {arg}: {e}"));
+    }
+    let src = std::fs::read_to_string(Path::new(arg)).map_err(|e| {
+        format!(
+            "{arg}: not a bundled scenario ({}) and not a readable file: {e}",
+            bundled_names().join(", ")
+        )
+    })?;
+    Scenario::parse(&src).map_err(|e| format!("{arg}: {e}"))
+}
+
+/// Runs the standard tuner line-up — RAC seeded from the offline policy
+/// library, trial-and-error, and the static default — through one
+/// scenario, returning each tuner's series under its display name.
+pub fn run_tuners(
+    scn: &Scenario,
+    library: &PolicyLibrary,
+) -> Vec<(&'static str, Vec<IterationRecord>)> {
+    let exp = Experiment::for_scenario(paper_system_spec(), scn);
+    let mut rac_agent = RacAgent::with_policy_library(standard_settings(), library.clone());
+    let mut tae = TrialAndError::new(ONLINE_LEVELS);
+    let mut dflt = StaticDefault::new();
+    let tuners: [(&'static str, &mut dyn Tuner); 3] = [
+        ("RAC", &mut rac_agent),
+        ("trial-and-error", &mut tae),
+        ("static default", &mut dflt),
+    ];
+    tuners
+        .into_iter()
+        .map(|(name, tuner)| (name, exp.run_scenario(scn, tuner)))
+        .collect()
+}
+
+/// The per-iteration scenario table: interval start time and offered
+/// client population alongside each tuner's mean response time.
+pub fn scenario_table(scn: &Scenario, series: &[(&str, Vec<IterationRecord>)]) -> TextTable {
+    let base = scn.clients.unwrap_or_else(|| paper_system_spec().clients);
+    let clients = scn.offered_clients(base);
+    let mut headers = vec!["iteration", "t_s", "clients"];
+    headers.extend(series.iter().map(|(n, _)| *n));
+    let mut t = TextTable::new(&headers);
+    for i in 0..scn.iterations() {
+        let t_s = i as u64 * scn.interval.as_micros() / 1_000_000;
+        let mut cells = vec![
+            i.to_string(),
+            t_s.to_string(),
+            clients.get(i).map(|c| c.to_string()).unwrap_or_default(),
+        ];
+        for (_, s) in series {
+            cells.push(
+                s.get(i)
+                    .map(|r| format!("{:.1}", r.response_ms))
+                    .unwrap_or_default(),
+            );
+        }
+        t.row(&cells);
+    }
+    t
+}
+
+/// Mean over the finite samples of a series (dropped intervals record an
+/// infinite response time and would otherwise poison the mean).
+pub fn finite_mean(series: &[IterationRecord]) -> f64 {
+    let finite: Vec<f64> = series
+        .iter()
+        .map(|r| r.response_ms)
+        .filter(|x| x.is_finite())
+        .collect();
+    if finite.is_empty() {
+        return f64::NAN;
+    }
+    finite.iter().sum::<f64>() / finite.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolve_finds_bundled_and_rejects_garbage() {
+        for name in bundled_names() {
+            let scn = resolve(name).expect("bundled scenario resolves");
+            assert_eq!(scn.name, name);
+        }
+        let err = resolve("no-such-scenario").unwrap_err();
+        assert!(
+            err.contains("diurnal"),
+            "error must list bundled names: {err}"
+        );
+    }
+
+    #[test]
+    fn table_has_time_and_client_columns() {
+        let scn = resolve("flash-crowd").unwrap();
+        let series: Vec<(&str, Vec<IterationRecord>)> = vec![("RAC", Vec::new())];
+        let t = scenario_table(&scn, &series);
+        assert_eq!(t.len(), scn.iterations());
+        let csv = t.render_csv();
+        assert!(csv.starts_with("iteration,t_s,clients,RAC\n"));
+        // The spike at 2400s must show in the offered-client column.
+        let peak = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(2).unwrap().parse::<usize>().unwrap())
+            .max()
+            .unwrap();
+        assert!(peak > 400, "spike must lift clients above base: {peak}");
+    }
+
+    #[test]
+    fn finite_mean_skips_dropped_intervals() {
+        let rec = |rt: f64| IterationRecord {
+            iteration: 0,
+            phase: 0,
+            response_ms: rt,
+            p95_ms: rt,
+            throughput_rps: 0.0,
+            config: websim::ServerConfig::default(),
+        };
+        let series = [rec(100.0), rec(f64::INFINITY), rec(200.0)];
+        assert!((finite_mean(&series) - 150.0).abs() < 1e-9);
+        assert!(finite_mean(&[]).is_nan());
+    }
+}

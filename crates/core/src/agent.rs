@@ -228,7 +228,7 @@ impl RacAgent {
             rng,
             current_state,
             last_action: Action::Keep.index(),
-            detector: ViolationDetector::paper_defaults(),
+            detector: ViolationDetector::paper_defaults().with_outlier_guard(4.0),
             library,
             experience: ExperienceLog::new(1024),
             iterations: 0,

@@ -111,7 +111,7 @@ impl TrialAndError {
             best_for_param: None,
             pending_level: None,
             done: false,
-            detector: ViolationDetector::paper_defaults(),
+            detector: ViolationDetector::paper_defaults().with_outlier_guard(4.0),
         }
     }
 

@@ -59,6 +59,15 @@ pub fn paper_contexts() -> [SystemContext; 6] {
 /// than `v_thr`; `s_thr` consecutive violations signal a context change
 /// (Section 4.3; the paper uses n = 10, v_thr = 0.3, s_thr = 5).
 ///
+/// An optional *outlier guard*
+/// ([`with_outlier_guard`](ViolationDetector::with_outlier_guard))
+/// protects against corrupted measurements: a lone sample more than
+/// `k ×` the windowed median is held back rather than counted, and only
+/// counts (retroactively) if the next sample violates too. A real
+/// context shift therefore still fires after exactly `s_thr`
+/// violating samples, while an isolated monitoring glitch — however
+/// extreme — can no longer contribute to a spurious policy switch.
+///
 /// # Example
 ///
 /// ```
@@ -83,6 +92,12 @@ pub struct ViolationDetector {
     streak_sum: f64,
     streak_count: usize,
     last_streak_mean: f64,
+    /// Samples above `outlier_k ×` the windowed median are suspected
+    /// corruption; `INFINITY` disables the guard.
+    outlier_k: f64,
+    /// A suspected-outlier sample awaiting confirmation by its
+    /// successor.
+    pending_outlier: Option<f64>,
 }
 
 impl ViolationDetector {
@@ -103,7 +118,23 @@ impl ViolationDetector {
             streak_sum: 0.0,
             streak_count: 0,
             last_streak_mean: f64::NAN,
+            outlier_k: f64::INFINITY,
+            pending_outlier: None,
         }
+    }
+
+    /// Enables the outlier guard: a violating sample greater than
+    /// `k ×` the windowed median, arriving with no streak in progress,
+    /// is held until the next sample confirms (counts both) or refutes
+    /// (discards it) the shift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is not greater than 1.
+    pub fn with_outlier_guard(mut self, k: f64) -> Self {
+        assert!(k > 1.0, "outlier guard factor must exceed 1");
+        self.outlier_k = k;
+        self
     }
 
     /// The paper's empirical settings: n = 10, v_thr = 0.3, s_thr = 5.
@@ -134,12 +165,27 @@ impl ViolationDetector {
             // No history yet: nothing to deviate from.
             None => false,
         };
-        if violation {
-            self.consecutive += 1;
-            if response_ms.is_finite() {
-                self.streak_sum += response_ms;
-                self.streak_count += 1;
+        // Resolve a held suspected outlier first: a violating successor
+        // confirms the shift was real, so the held sample counts
+        // retroactively; a recovered successor proves it was isolated
+        // corruption, and it is discarded without a trace.
+        if let Some(held) = self.pending_outlier.take() {
+            if violation {
+                self.count_violation(held);
             }
+        }
+        if violation {
+            let suspicious = self.consecutive == 0
+                && response_ms.is_finite()
+                && self
+                    .window
+                    .median()
+                    .is_some_and(|m| m > 0.0 && response_ms > self.outlier_k * m);
+            if suspicious {
+                self.pending_outlier = Some(response_ms);
+                return false;
+            }
+            self.count_violation(response_ms);
         } else {
             self.consecutive = 0;
             self.streak_sum = 0.0;
@@ -176,6 +222,15 @@ impl ViolationDetector {
         self.consecutive = 0;
         self.streak_sum = 0.0;
         self.streak_count = 0;
+        self.pending_outlier = None;
+    }
+
+    fn count_violation(&mut self, response_ms: f64) {
+        self.consecutive += 1;
+        if response_ms.is_finite() {
+            self.streak_sum += response_ms;
+            self.streak_count += 1;
+        }
     }
 }
 
@@ -374,6 +429,60 @@ mod tests {
         }
         // Steady state never fired: still NaN.
         assert!(d.last_streak_mean().is_nan());
+    }
+
+    #[test]
+    fn outlier_guard_ignores_isolated_spikes() {
+        let mut d = ViolationDetector::new(10, 0.3, 5).with_outlier_guard(4.0);
+        for _ in 0..10 {
+            d.observe(100.0);
+        }
+        // A lone 10× sample followed by recovery, repeated forever:
+        // never fires, and the held sample never even starts a streak.
+        for i in 0..20 {
+            assert!(!d.observe(1_000.0), "spike {i} must be held, not counted");
+            assert_eq!(d.streak(), 0, "held spike {i} must not start a streak");
+            assert!(!d.observe(100.0), "recovery {i} must discard the spike");
+            assert_eq!(d.streak(), 0);
+        }
+    }
+
+    #[test]
+    fn outlier_guard_does_not_delay_real_shifts() {
+        let mut guarded = ViolationDetector::new(10, 0.3, 5).with_outlier_guard(4.0);
+        let mut plain = ViolationDetector::new(10, 0.3, 5);
+        for _ in 0..10 {
+            guarded.observe(100.0);
+            plain.observe(100.0);
+        }
+        // A sustained shift beyond k × median: the first sample is held,
+        // the second confirms it retroactively, so both detectors fire on
+        // exactly the same observation.
+        for i in 0..5 {
+            let g = guarded.observe(900.0);
+            let p = plain.observe(900.0);
+            assert_eq!(g, p, "guarded and plain diverged at sample {i}");
+            assert_eq!(g, i == 4, "must fire on the 5th sample, not sample {i}");
+        }
+        assert!((guarded.last_streak_mean() - 900.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn outlier_guard_leaves_moderate_violations_alone() {
+        let mut d = ViolationDetector::new(10, 0.3, 5).with_outlier_guard(4.0);
+        for _ in 0..10 {
+            d.observe(100.0);
+        }
+        // 200 ms violates the 30% band but stays under 4 × median, so it
+        // counts immediately — the guard only questions extreme samples.
+        assert!(!d.observe(200.0));
+        assert_eq!(d.streak(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outlier guard factor must exceed 1")]
+    fn outlier_guard_rejects_factor_at_most_one() {
+        let _ = ViolationDetector::paper_defaults().with_outlier_guard(1.0);
     }
 
     fn tiny_policy(scale: f64) -> InitialPolicy {

@@ -10,6 +10,7 @@
 //! and return deterministic, submission-ordered results.
 
 use obs::{trace, Event};
+use scenario::{EventKind, Scenario};
 use simkernel::SimDuration;
 use tpcw::Mix;
 use vmstack::ResourceLevel;
@@ -219,6 +220,144 @@ impl Experiment {
         }
         series
     }
+
+    /// Builds the experiment a scenario prescribes: the scenario's
+    /// interval and warm-up, its starting mix and VM level, and its
+    /// `clients`/`seed` overrides applied to `base`. The schedule stays
+    /// empty — drive it with [`Experiment::run_scenario`].
+    pub fn for_scenario(base: SystemSpec, scn: &Scenario) -> Experiment {
+        let mut spec = base.with_mix(scn.mix).with_level(scn.level);
+        if let Some(clients) = scn.clients {
+            spec = spec.with_clients(clients);
+        }
+        if let Some(seed) = scn.seed {
+            spec = spec.with_seed(seed);
+        }
+        Experiment::new(spec)
+            .with_interval(scn.interval)
+            .with_warmup(scn.warmup)
+    }
+
+    /// Runs the tuner through a compiled scenario timeline and returns
+    /// the series.
+    ///
+    /// Each timeline event is applied at the start of the measurement
+    /// interval containing it (events are authored relative to the end
+    /// of warm-up); the interval is then simulated, measurement faults
+    /// (outlier corruption, dropped intervals) are applied to the
+    /// observed sample, and the possibly-corrupted sample is what the
+    /// tuner sees — exactly the feedback a live monitor would deliver.
+    ///
+    /// The run is sequential and uses no shared state, so the series is
+    /// a pure function of (spec, scenario) and bit-identical at any
+    /// `RAC_THREADS` setting.
+    pub fn run_scenario(&self, scn: &Scenario, tuner: &mut dyn Tuner) -> Vec<IterationRecord> {
+        let timeline = scn.compile();
+        let iterations = scn.iterations();
+        if trace::scoped() {
+            trace::begin_run();
+            trace::set_sim_time_us(0);
+            trace::emit(|| {
+                Event::new("experiment")
+                    .field("tuner", tuner.name())
+                    .field("phases", 1u64)
+                    .field("iterations", iterations as u64)
+                    .field("interval_s", self.interval.as_secs_f64())
+                    .field("warmup_s", self.warmup.as_secs_f64())
+            });
+            trace::emit(|| {
+                Event::new("phase")
+                    .field("phase", 0u64)
+                    .field("context", format!("scenario {}", scn.name))
+                    .field("iterations", iterations as u64)
+            });
+        }
+        let mut system = ThreeTierSystem::new(self.spec.clone());
+        let mut config = ServerConfig::default();
+        system.set_config(config);
+        if !self.warmup.is_zero() {
+            let _ = system.run_interval(self.warmup);
+        }
+
+        let warmup_us = self.warmup.as_micros();
+        let mut series = Vec::with_capacity(iterations);
+        let mut next_event = 0usize;
+        let mut outlier: Option<f64> = None;
+        let mut drop_next = false;
+        for iteration in 0..iterations {
+            let start_us = iteration as u64 * self.interval.as_micros();
+            while let Some(ev) = timeline.events().get(next_event) {
+                if ev.t.as_micros() > start_us {
+                    break;
+                }
+                trace::set_sim_time_us(warmup_us + ev.t.as_micros());
+                trace::emit(|| {
+                    Event::new("scenario_event")
+                        .field("event", ev.kind.label())
+                        .field("detail", ev.kind.to_string())
+                });
+                match &ev.kind {
+                    EventKind::Intensity(scale) => system.set_intensity(*scale),
+                    EventKind::MixStep(mix) => system.set_workload(system.clients(), *mix),
+                    EventKind::MixBlend { from, to, frac } => {
+                        system.set_mix_blend(*from, *to, *frac)
+                    }
+                    EventKind::Level(level) => system.set_resource_level(*level),
+                    EventKind::Stall { tier, dur } => system.inject_stall(sim_tier(*tier), *dur),
+                    EventKind::Noise(factor) => system.set_latency_factor(*factor),
+                    EventKind::Outlier(factor) => outlier = Some(*factor),
+                    EventKind::Drop => drop_next = true,
+                }
+                next_event += 1;
+            }
+            let raw = system.run_interval(self.interval);
+            let sample = if drop_next {
+                // A dropped interval loses the outlier corruption too —
+                // there is nothing left to corrupt.
+                drop_next = false;
+                outlier = None;
+                PerfSample::empty()
+            } else if let Some(factor) = outlier.take() {
+                PerfSample {
+                    mean_response_ms: raw.mean_response_ms * factor,
+                    p95_response_ms: raw.p95_response_ms * factor,
+                    ..raw
+                }
+            } else {
+                raw
+            };
+            let sim_us = warmup_us + (iteration as u64 + 1) * self.interval.as_micros();
+            trace::set_sim_time_us(sim_us);
+            series.push(IterationRecord {
+                iteration,
+                phase: 0,
+                response_ms: sample.mean_response_ms,
+                p95_ms: sample.p95_response_ms,
+                throughput_rps: sample.throughput_rps,
+                config,
+            });
+            let next = tuner.next_config(&sample);
+            if next != config {
+                trace::emit(|| {
+                    Event::new("reconfigure")
+                        .field("iter", (iteration + 1) as u64)
+                        .field("from", config.to_string())
+                        .field("to", next.to_string())
+                });
+                system.set_config(next);
+                config = next;
+            }
+        }
+        series
+    }
+}
+
+/// Maps the scenario crate's tier naming onto the simulator's.
+fn sim_tier(tier: scenario::Tier) -> websim::Tier {
+    match tier {
+        scenario::Tier::Web => websim::Tier::Web,
+        scenario::Tier::AppDb => websim::Tier::AppDb,
+    }
 }
 
 /// Summary statistics over (part of) a series.
@@ -401,6 +540,61 @@ mod tests {
     #[should_panic(expected = "at least one phase")]
     fn empty_schedule_panics() {
         quick_experiment().run(&mut StaticDefault::new());
+    }
+
+    fn mini_scenario(faults: bool) -> Scenario {
+        let fault_lines = if faults {
+            "fault at 120s drop\nfault at 180s outlier 4\n"
+        } else {
+            ""
+        };
+        let src = format!(
+            "name mini\nduration 240s\ninterval 60s\nwarmup 60s\nclients 60\nseed 3\n\
+             at 60s intensity 1.5\n{fault_lines}"
+        );
+        Scenario::parse(&src).unwrap()
+    }
+
+    #[test]
+    fn scenario_run_is_deterministic_and_applies_measurement_faults() {
+        let scn = mini_scenario(true);
+        let exp = Experiment::for_scenario(SystemSpec::default(), &scn);
+        let a = exp.run_scenario(&scn, &mut StaticDefault::new());
+        let b = exp.run_scenario(&scn, &mut StaticDefault::new());
+        assert_eq!(a, b, "scenario runs must be reproducible");
+        assert_eq!(a.len(), 4);
+        assert!((0..4).all(|i| a[i].iteration == i));
+
+        // Measurement faults never touch the system itself, so a run of
+        // the same scenario minus the faults sees identical raw
+        // samples; the faults only corrupt what the tuner/series sees.
+        let clean_scn = mini_scenario(false);
+        let clean = Experiment::for_scenario(SystemSpec::default(), &clean_scn)
+            .run_scenario(&clean_scn, &mut StaticDefault::new());
+        assert!(a[2].response_ms.is_infinite(), "dropped interval");
+        assert!(clean[2].response_ms.is_finite());
+        assert!(
+            (a[3].response_ms - 4.0 * clean[3].response_ms).abs() < 1e-9,
+            "outlier corruption: {} vs 4 x {}",
+            a[3].response_ms,
+            clean[3].response_ms
+        );
+        assert_eq!(a[0].response_ms, clean[0].response_ms);
+        assert_eq!(a[1].response_ms, clean[1].response_ms);
+    }
+
+    #[test]
+    fn for_scenario_applies_header_overrides() {
+        let scn = Scenario::parse(
+            "name o\nduration 600s\ninterval 300s\nclients 123\nseed 77\nmix ordering\nlevel 3\n",
+        )
+        .unwrap();
+        let exp = Experiment::for_scenario(SystemSpec::default(), &scn);
+        assert_eq!(exp.spec.clients, 123);
+        assert_eq!(exp.spec.seed, 77);
+        assert_eq!(exp.spec.mix, Mix::Ordering);
+        assert_eq!(exp.spec.appdb_level, ResourceLevel::Level3);
+        assert_eq!(exp.interval(), SimDuration::from_secs(300));
     }
 
     #[test]

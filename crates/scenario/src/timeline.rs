@@ -1,0 +1,465 @@
+//! Compilation of a [`Scenario`] into a sorted, discrete event
+//! timeline.
+//!
+//! Continuous directives (ramps, sine cycles, spikes, mix drift) are
+//! sampled at measurement-interval boundaries — the only instants the
+//! experiment driver can act on — while discrete directives (steps,
+//! faults) keep their authored times and are applied at the boundary of
+//! the interval that contains them. Every event carries a globally
+//! unique sequence number assigned in a fixed two-pass order
+//! (declaration-ordered discrete events first, then the intensity
+//! boundary sweep), and the final timeline is stably sorted by
+//! `(t, seq)` — mirroring `simkernel`'s event-queue discipline, so two
+//! compilations of the same scenario are identical and ties break the
+//! same way everywhere.
+
+use std::fmt;
+
+use simkernel::SimDuration;
+use tpcw::Mix;
+use vmstack::ResourceLevel;
+
+use crate::parse::format_duration;
+use crate::{Directive, Scenario, Tier};
+
+/// What a timeline event does when applied to the running system.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// Scale the offered client population to `base × value`.
+    Intensity(f64),
+    /// Hard-switch the traffic mix (sessions restart).
+    MixStep(Mix),
+    /// Blend the transition matrix `frac` of the way from `from` to
+    /// `to` (sessions survive).
+    MixBlend {
+        /// Starting mix.
+        from: Mix,
+        /// Target mix.
+        to: Mix,
+        /// Interpolation fraction in `[0, 1]`.
+        frac: f64,
+    },
+    /// Reallocate the app/db VM to this level.
+    Level(ResourceLevel),
+    /// Freeze a tier's CPU for the given duration.
+    Stall {
+        /// Which tier stalls.
+        tier: Tier,
+        /// How long it stays frozen.
+        dur: SimDuration,
+    },
+    /// Multiply all service demands by this factor (1.0 restores).
+    Noise(f64),
+    /// Corrupt the next measurement: response times × this factor.
+    Outlier(f64),
+    /// Drop the next measurement entirely.
+    Drop,
+}
+
+impl EventKind {
+    /// Stable event-type label, used in traces and summaries.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::Intensity(_) => "intensity",
+            EventKind::MixStep(_) => "mix",
+            EventKind::MixBlend { .. } => "mix_blend",
+            EventKind::Level(_) => "level",
+            EventKind::Stall { .. } => "stall",
+            EventKind::Noise(_) => "noise",
+            EventKind::Outlier(_) => "outlier",
+            EventKind::Drop => "drop",
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    /// Compact payload rendering, used as the `detail` trace field.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventKind::Intensity(v) => write!(f, "x{v:.4}"),
+            EventKind::MixStep(mix) => f.write_str(mix.label()),
+            EventKind::MixBlend { from, to, frac } => {
+                write!(f, "{}->{} frac={frac:.3}", from.label(), to.label())
+            }
+            EventKind::Level(level) => f.write_str(level.label()),
+            EventKind::Stall { tier, dur } => {
+                write!(f, "{} for {}", tier.label(), format_duration(*dur))
+            }
+            EventKind::Noise(factor) => write!(f, "x{factor:.3}"),
+            EventKind::Outlier(factor) => write!(f, "x{factor:.3}"),
+            EventKind::Drop => f.write_str("interval dropped"),
+        }
+    }
+}
+
+/// One scheduled event: a time offset from the start of the measured
+/// run, a unique sequence number for tie-breaking, and the action.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimedEvent {
+    /// Offset from the start of the measured run.
+    pub t: SimDuration,
+    /// Globally unique tie-breaker; assignment order is deterministic.
+    pub seq: u64,
+    /// The action to apply.
+    pub kind: EventKind,
+}
+
+/// A compiled scenario: events sorted by `(t, seq)`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Timeline {
+    events: Vec<TimedEvent>,
+}
+
+impl Timeline {
+    /// The events in application order.
+    pub fn events(&self) -> &[TimedEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the timeline holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Evaluates the intensity curve defined by `dirs` at time `t`.
+///
+/// Directives layer: the last declared directive covering `t` wins. A
+/// spike covers only its own `[t, t+rise+decay]` window and blends with
+/// whatever the directives *below* it prescribe — so a flash crowd
+/// rides on top of a diurnal cycle and hands back to it on decay.
+/// With no covering directive the intensity is 1.0.
+fn intensity_at(dirs: &[Directive], t: SimDuration) -> f64 {
+    let t_us = t.as_micros();
+    for (i, d) in dirs.iter().enumerate().rev() {
+        match d {
+            Directive::IntensityAt { t: start, value } if t >= *start => return *value,
+            Directive::IntensityRamp { t0, t1, from, to } if t >= *t0 => {
+                if t >= *t1 {
+                    return *to;
+                }
+                let frac =
+                    (t_us - t0.as_micros()) as f64 / (t1.as_micros() - t0.as_micros()) as f64;
+                return from + (to - from) * frac;
+            }
+            Directive::IntensitySine {
+                t0,
+                t1,
+                base,
+                amp,
+                period,
+            } if t >= *t0 => {
+                if t > *t1 {
+                    return *base;
+                }
+                let phase = (t_us - t0.as_micros()) as f64 / period.as_micros() as f64;
+                return base + amp * (std::f64::consts::TAU * phase).sin();
+            }
+            Directive::IntensitySpike {
+                t: start,
+                peak,
+                rise,
+                decay,
+            } => {
+                let end_us = start.as_micros() + rise.as_micros() + decay.as_micros();
+                if t >= *start && t_us <= end_us {
+                    let below = intensity_at(&dirs[..i], t);
+                    let x_us = t_us - start.as_micros();
+                    if x_us < rise.as_micros() {
+                        let frac = x_us as f64 / rise.as_micros() as f64;
+                        return below + (peak - below) * frac;
+                    }
+                    if decay.is_zero() {
+                        return *peak;
+                    }
+                    let frac = (x_us - rise.as_micros()) as f64 / decay.as_micros() as f64;
+                    return peak + (below - peak) * frac;
+                }
+            }
+            _ => {}
+        }
+    }
+    1.0
+}
+
+impl Scenario {
+    /// Compiles the scenario into a sorted event timeline. Events at or
+    /// past `duration` are dropped.
+    pub fn compile(&self) -> Timeline {
+        let mut events: Vec<TimedEvent> = Vec::new();
+        let mut seq: u64 = 0;
+        let mut push = |events: &mut Vec<TimedEvent>, t: SimDuration, kind: EventKind| {
+            if t < self.duration {
+                events.push(TimedEvent { t, seq, kind });
+            }
+            seq += 1;
+        };
+        let boundaries: Vec<SimDuration> = (0..self.iterations() as u64)
+            .map(|k| SimDuration::from_micros(k * self.interval.as_micros()))
+            .collect();
+
+        // Pass 1: discrete directives and drift sampling, in
+        // declaration order.
+        for d in &self.directives {
+            match d {
+                Directive::MixAt { t, mix } => {
+                    push(&mut events, *t, EventKind::MixStep(*mix));
+                }
+                Directive::MixDrift { t0, t1, from, to } => {
+                    let span_us = (t1.as_micros() - t0.as_micros()) as f64;
+                    for &b in boundaries.iter().filter(|b| **b >= *t0) {
+                        let frac = ((b.as_micros() - t0.as_micros()) as f64 / span_us).min(1.0);
+                        push(
+                            &mut events,
+                            b,
+                            EventKind::MixBlend {
+                                from: *from,
+                                to: *to,
+                                frac,
+                            },
+                        );
+                        if frac >= 1.0 {
+                            break;
+                        }
+                    }
+                }
+                Directive::LevelAt { t, level } => {
+                    push(&mut events, *t, EventKind::Level(*level));
+                }
+                Directive::Stall { t, tier, dur } => {
+                    push(
+                        &mut events,
+                        *t,
+                        EventKind::Stall {
+                            tier: *tier,
+                            dur: *dur,
+                        },
+                    );
+                }
+                Directive::Noise { t, factor, dur } => {
+                    push(&mut events, *t, EventKind::Noise(*factor));
+                    push(
+                        &mut events,
+                        SimDuration::from_micros(t.as_micros() + dur.as_micros()),
+                        EventKind::Noise(1.0),
+                    );
+                }
+                Directive::Outlier { t, factor } => {
+                    push(&mut events, *t, EventKind::Outlier(*factor));
+                }
+                Directive::Drop { t } => {
+                    push(&mut events, *t, EventKind::Drop);
+                }
+                Directive::IntensityAt { .. }
+                | Directive::IntensityRamp { .. }
+                | Directive::IntensitySine { .. }
+                | Directive::IntensitySpike { .. } => {}
+            }
+        }
+
+        // Pass 2: sample the intensity curve at interval boundaries,
+        // emitting only changes (the implicit starting intensity is
+        // 1.0).
+        let mut current = 1.0;
+        for &b in &boundaries {
+            let value = intensity_at(&self.directives, b);
+            if value != current {
+                push(&mut events, b, EventKind::Intensity(value));
+                current = value;
+            }
+        }
+
+        events.sort_by_key(|e| (e.t.as_micros(), e.seq));
+        Timeline { events }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scn(body: &str) -> Scenario {
+        let src = format!("name t\nduration 1200s\ninterval 300s\n{body}");
+        Scenario::parse(&src).unwrap()
+    }
+
+    fn secs(s: u64) -> SimDuration {
+        SimDuration::from_secs(s)
+    }
+
+    #[test]
+    fn timeline_is_totally_ordered() {
+        let scn =
+            scn("at 300s intensity 2\nat 300s mix ordering\nfault at 300s drop\nat 600s level 2\n");
+        let tl = scn.compile();
+        let keys: Vec<(u64, u64)> = tl
+            .events()
+            .iter()
+            .map(|e| (e.t.as_micros(), e.seq))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(keys, sorted, "events must be strictly (t, seq)-sorted");
+        // Ties at t=300s break in declaration order: mix, drop, then
+        // the intensity sweep (pass 2) last.
+        let at_300: Vec<&str> = tl
+            .events()
+            .iter()
+            .filter(|e| e.t == secs(300))
+            .map(|e| e.kind.label())
+            .collect();
+        assert_eq!(at_300, ["mix", "drop", "intensity"]);
+    }
+
+    #[test]
+    fn intensity_steps_emit_only_changes() {
+        let scn = scn("at 300s intensity 2\n");
+        let tl = scn.compile();
+        let intensities: Vec<(SimDuration, f64)> = tl
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Intensity(v) => Some((e.t, v)),
+                _ => None,
+            })
+            .collect();
+        // No event at 0s (implicit 1.0), one change at 300s, nothing
+        // after (value holds).
+        assert_eq!(intensities, vec![(secs(300), 2.0)]);
+    }
+
+    #[test]
+    fn ramp_holds_final_value() {
+        let scn = scn("ramp 0s..600s intensity 1 -> 3\n");
+        let d = &scn.directives;
+        assert_eq!(intensity_at(d, secs(0)), 1.0);
+        assert_eq!(intensity_at(d, secs(300)), 2.0);
+        assert_eq!(intensity_at(d, secs(600)), 3.0);
+        assert_eq!(intensity_at(d, secs(900)), 3.0);
+    }
+
+    #[test]
+    fn spike_overlays_the_curve_beneath() {
+        let scn = scn("at 0s intensity 2\nspike at 300s peak 4 rise 150s decay 300s\n");
+        let d = &scn.directives;
+        assert_eq!(intensity_at(d, secs(0)), 2.0);
+        assert_eq!(intensity_at(d, secs(300)), 2.0); // rise starts at baseline
+        assert_eq!(intensity_at(d, secs(375)), 3.0); // halfway up
+        assert_eq!(intensity_at(d, secs(450)), 4.0); // peak
+        assert_eq!(intensity_at(d, secs(600)), 3.0); // halfway down
+        assert_eq!(intensity_at(d, secs(750)), 2.0); // back on baseline
+        assert_eq!(intensity_at(d, secs(1000)), 2.0); // spike window over
+    }
+
+    #[test]
+    fn sine_returns_to_base_after_window() {
+        let scn = scn("sine 0s..600s intensity 2 amp 1 period 600s\n");
+        let d = &scn.directives;
+        assert_eq!(intensity_at(d, secs(0)), 2.0);
+        assert!((intensity_at(d, secs(150)) - 3.0).abs() < 1e-12);
+        assert!((intensity_at(d, secs(450)) - 1.0).abs() < 1e-12);
+        assert_eq!(intensity_at(d, secs(900)), 2.0);
+    }
+
+    #[test]
+    fn drift_samples_boundaries_until_complete() {
+        let scn = scn("drift 300s..900s mix shopping -> ordering\n");
+        let tl = scn.compile();
+        let fracs: Vec<(SimDuration, f64)> = tl
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::MixBlend { frac, .. } => Some((e.t, frac)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            fracs,
+            vec![(secs(300), 0.0), (secs(600), 0.5), (secs(900), 1.0)]
+        );
+    }
+
+    #[test]
+    fn noise_emits_restore_pair() {
+        let scn = scn("fault at 300s noise 1.5 for 300s\n");
+        let tl = scn.compile();
+        let noises: Vec<(SimDuration, f64)> = tl
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Noise(f) => Some((e.t, f)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(noises, vec![(secs(300), 1.5), (secs(600), 1.0)]);
+    }
+
+    #[test]
+    fn events_past_duration_are_dropped() {
+        let scn = scn("fault at 1200s drop\nfault at 900s noise 2 for 600s\n");
+        let tl = scn.compile();
+        // The drop at t == duration and the noise restore at 1500s are
+        // both cut; only the noise onset survives.
+        assert_eq!(tl.len(), 1);
+        assert_eq!(tl.events()[0].kind, EventKind::Noise(2.0));
+    }
+
+    #[test]
+    fn compile_is_deterministic() {
+        let scn = Scenario::parse(crate::bundled::DEGRADE).unwrap();
+        assert_eq!(scn.compile(), scn.compile());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        let kinds = [
+            EventKind::Intensity(1.0),
+            EventKind::MixStep(Mix::Shopping),
+            EventKind::MixBlend {
+                from: Mix::Shopping,
+                to: Mix::Ordering,
+                frac: 0.5,
+            },
+            EventKind::Level(ResourceLevel::Level2),
+            EventKind::Stall {
+                tier: Tier::AppDb,
+                dur: secs(120),
+            },
+            EventKind::Noise(1.5),
+            EventKind::Outlier(6.0),
+            EventKind::Drop,
+        ];
+        let labels: Vec<&str> = kinds.iter().map(EventKind::label).collect();
+        assert_eq!(
+            labels,
+            [
+                "intensity",
+                "mix",
+                "mix_blend",
+                "level",
+                "stall",
+                "noise",
+                "outlier",
+                "drop"
+            ]
+        );
+        // Display payloads are non-empty and deterministic.
+        for k in &kinds {
+            assert!(!k.to_string().is_empty());
+        }
+        assert_eq!(
+            EventKind::Stall {
+                tier: Tier::AppDb,
+                dur: secs(120)
+            }
+            .to_string(),
+            "appdb for 120s"
+        );
+    }
+}

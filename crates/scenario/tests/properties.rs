@@ -1,0 +1,212 @@
+//! Property tests for the `.scn` parser and timeline compiler.
+//!
+//! Three contracts, each checked on randomized inputs:
+//!  1. `Display` is a canonical form — rendering any scenario and
+//!     re-parsing it yields an identical value;
+//!  2. malformed lines are rejected with the correct 1-based line
+//!     number;
+//!  3. compiled timelines are totally ordered by `(t, seq)` with every
+//!     sequence number unique, and compilation is deterministic.
+
+use proptest::prelude::*;
+use scenario::{Directive, EventKind, Scenario, Tier};
+use simkernel::SimDuration;
+use tpcw::Mix;
+use vmstack::ResourceLevel;
+
+fn mix(i: u64) -> Mix {
+    Mix::ALL[(i % 3) as usize]
+}
+
+fn level(i: u64) -> ResourceLevel {
+    ResourceLevel::ALL[(i % 3) as usize]
+}
+
+/// Builds a directive of shape `which` from bounded raw ingredients.
+/// Times land on a 1-second grid inside the scenario duration; values
+/// are arbitrary finite floats from the strategy ranges.
+fn directive(which: u64, t_s: u64, span_s: u64, a: f64, b: f64) -> Directive {
+    let t = SimDuration::from_secs(t_s);
+    let t1 = SimDuration::from_secs(t_s + span_s);
+    let dur = SimDuration::from_secs(span_s);
+    match which % 11 {
+        0 => Directive::IntensityAt { t, value: a },
+        1 => Directive::IntensityRamp {
+            t0: t,
+            t1,
+            from: a,
+            to: b,
+        },
+        2 => Directive::IntensitySine {
+            t0: t,
+            t1,
+            base: a + b, // base > amp since both are positive
+            amp: b,
+            period: dur,
+        },
+        3 => Directive::IntensitySpike {
+            t,
+            peak: a,
+            rise: dur,
+            decay: dur,
+        },
+        4 => Directive::MixAt { t, mix: mix(which) },
+        5 => Directive::MixDrift {
+            t0: t,
+            t1,
+            from: Mix::Shopping,
+            to: Mix::Ordering,
+        },
+        6 => Directive::LevelAt {
+            t,
+            level: level(which / 11),
+        },
+        7 => Directive::Stall {
+            t,
+            tier: if which.is_multiple_of(2) {
+                Tier::Web
+            } else {
+                Tier::AppDb
+            },
+            dur,
+        },
+        8 => Directive::Noise { t, factor: a, dur },
+        9 => Directive::Outlier { t, factor: a },
+        _ => Directive::Drop { t },
+    }
+}
+
+proptest! {
+    #[test]
+    fn display_round_trips_through_the_parser(
+        duration_ivals in 2u64..25,
+        interval_s in 1u64..400,
+        warmup_s in 0u64..900,
+        clients_sel in 0usize..2000,
+        seed_sel: u64,
+        header_sel: u64,
+        dirs in proptest::collection::vec(
+            ((0u64..u64::MAX, 0u64..7000, 1u64..4000), (0.001f64..50.0, 0.001f64..50.0)),
+            0..12,
+        ),
+    ) {
+        let clients = if clients_sel == 0 { None } else { Some(clients_sel) };
+        let seed = if seed_sel % 2 == 0 { None } else { Some(seed_sel) };
+        let scn = Scenario {
+            name: format!("p{header_sel}"),
+            duration: SimDuration::from_secs(duration_ivals * interval_s),
+            interval: SimDuration::from_secs(interval_s),
+            warmup: SimDuration::from_secs(warmup_s),
+            clients,
+            mix: mix(header_sel),
+            level: level(header_sel / 3),
+            seed,
+            directives: dirs
+                .into_iter()
+                .map(|((w, t, span), (a, b))| directive(w, t, span, a, b))
+                .collect(),
+        };
+        let text = scn.to_string();
+        let reparsed = Scenario::parse(&text);
+        prop_assert_eq!(reparsed.as_ref(), Ok(&scn), "no round-trip for:\n{}", text);
+        // Canonical form is a fixed point: render → parse → render is
+        // byte-identical.
+        prop_assert_eq!(reparsed.unwrap().to_string(), text);
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_their_line_number(
+        bad_sel in 0usize..10,
+        insert_at in 0usize..5,
+        noise in 0u64..u64::MAX,
+    ) {
+        const BAD: [&str; 10] = [
+            "at 0s intensity nope",
+            "at 0s intensity -2",
+            "at 0s mix festive",
+            "at 0s level 9",
+            "ramp 600s..0s intensity 1 -> 2",
+            "sine 0s..9s intensity 1 amp 2 period 3s",
+            "spike at 0s peak 2 rise 0s decay 0s",
+            "fault at 0s stall db 10s",
+            "fault at 0s noise 0 for 10s",
+            "wibble 17",
+        ];
+        let good: [String; 4] = [
+            format!("at {}s intensity 1.5", noise % 1000),
+            "fault at 10s drop".to_string(),
+            "at 20s level 2".to_string(),
+            "drift 0s..60s mix shopping -> browsing".to_string(),
+        ];
+        // Header is 3 lines; directives follow. Insert the bad line
+        // among `insert_at` good ones.
+        let mut lines = vec![
+            "name t".to_string(),
+            "duration 6000s".to_string(),
+            "interval 300s".to_string(),
+        ];
+        for g in good.iter().take(insert_at) {
+            lines.push(g.clone());
+        }
+        let bad_line = lines.len() + 1; // 1-based
+        lines.push(BAD[bad_sel].to_string());
+        for g in good.iter().skip(insert_at) {
+            lines.push(g.clone());
+        }
+        let src = format!("{}\n", lines.join("\n"));
+        let e = Scenario::parse(&src).expect_err("malformed input must be rejected");
+        prop_assert_eq!(e.line, bad_line, "wrong line in {:?} for:\n{}", e, src);
+        prop_assert!(
+            e.to_string().starts_with(&format!("line {bad_line}: ")),
+            "message {:?} not line-prefixed", e.to_string()
+        );
+    }
+
+    #[test]
+    fn timelines_are_totally_ordered_with_unique_seq(
+        dirs in proptest::collection::vec(
+            ((0u64..u64::MAX, 0u64..7000, 1u64..4000), (0.001f64..50.0, 0.001f64..50.0)),
+            1..16,
+        ),
+    ) {
+        let scn = Scenario {
+            name: "order".to_string(),
+            duration: SimDuration::from_secs(7200),
+            interval: SimDuration::from_secs(300),
+            warmup: SimDuration::from_secs(0),
+            clients: None,
+            mix: Mix::Shopping,
+            level: ResourceLevel::Level1,
+            seed: None,
+            directives: dirs
+                .into_iter()
+                .map(|((w, t, span), (a, b))| directive(w, t, span, a, b))
+                .collect(),
+        };
+        let timeline = scn.compile();
+        // Deterministic: compiling twice gives the same event list.
+        prop_assert_eq!(&timeline, &scn.compile());
+        let keys: Vec<(u64, u64)> = timeline
+            .events()
+            .iter()
+            .map(|e| (e.t.as_micros(), e.seq))
+            .collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(&keys, &sorted, "timeline not (t, seq)-sorted");
+        let mut seqs: Vec<u64> = timeline.events().iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        prop_assert_eq!(seqs.len(), timeline.len(), "duplicate seq numbers");
+        // Everything scheduled lies inside the measured run.
+        for e in timeline.events() {
+            prop_assert!(e.t < scn.duration);
+        }
+        // Intensity events only ever land on interval boundaries.
+        for e in timeline.events() {
+            if matches!(e.kind, EventKind::Intensity(_) | EventKind::MixBlend { .. }) {
+                prop_assert_eq!(e.t.as_micros() % scn.interval.as_micros(), 0);
+            }
+        }
+    }
+}

@@ -389,6 +389,23 @@ impl SlidingWindow {
         Some(self.iter().sum::<f64>() / self.len as f64)
     }
 
+    /// Median of the retained values, or `None` when empty. For an even
+    /// count the two middle values are averaged. NaN-safe via total
+    /// ordering (NaNs sort last).
+    pub fn median(&self) -> Option<f64> {
+        if self.len == 0 {
+            return None;
+        }
+        let mut values: Vec<f64> = self.iter().collect();
+        values.sort_by(f64::total_cmp);
+        let mid = values.len() / 2;
+        Some(if values.len() % 2 == 1 {
+            values[mid]
+        } else {
+            (values[mid - 1] + values[mid]) / 2.0
+        })
+    }
+
     /// Iterates over retained values, oldest first.
     pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
         let cap = self.buf.len();
@@ -535,6 +552,23 @@ mod tests {
         let w = SlidingWindow::new(4);
         assert_eq!(w.mean(), None);
         assert!(w.is_empty());
+    }
+
+    #[test]
+    fn sliding_window_median() {
+        let mut w = SlidingWindow::new(5);
+        assert_eq!(w.median(), None);
+        w.push(5.0);
+        assert_eq!(w.median(), Some(5.0));
+        w.push(1.0);
+        assert_eq!(w.median(), Some(3.0)); // even count: average of middle two
+        w.push(9.0);
+        assert_eq!(w.median(), Some(5.0)); // odd count, unsorted input
+                                           // Eviction changes the population the median is over.
+        for x in [2.0, 2.0, 2.0, 2.0] {
+            w.push(x);
+        }
+        assert_eq!(w.median(), Some(2.0));
     }
 
     proptest! {

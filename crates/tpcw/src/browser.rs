@@ -90,6 +90,13 @@ impl Browser {
         self.current = None;
     }
 
+    /// Replaces the transition matrix *without* restarting the current
+    /// session — used for gradual mix drift, where customers keep
+    /// shopping while the population's behaviour shifts.
+    pub fn set_matrix(&mut self, matrix: MixMatrix) {
+        self.matrix = matrix;
+    }
+
     /// Index within the fleet.
     pub fn index(&self) -> usize {
         self.index
@@ -147,6 +154,10 @@ impl Browser {
 pub struct Fleet {
     browsers: Vec<Browser>,
     mix: Mix,
+    /// When set, an interpolated matrix overrides `mix.matrix()`; new
+    /// browsers created by [`Fleet::resize`] inherit it so the whole
+    /// population behaves uniformly mid-drift.
+    blend: Option<MixMatrix>,
 }
 
 impl Fleet {
@@ -160,6 +171,7 @@ impl Fleet {
         Fleet {
             browsers: (0..n).map(|i| Browser::new(i, mix)).collect(),
             mix,
+            blend: None,
         }
     }
 
@@ -188,11 +200,25 @@ impl Fleet {
     }
 
     /// Switches every browser to a new mix (all sessions restart).
+    /// Clears any drift matrix installed via [`Fleet::set_matrix`].
     pub fn set_mix(&mut self, mix: Mix) {
         self.mix = mix;
+        self.blend = None;
         for b in &mut self.browsers {
             b.set_mix(mix);
         }
+    }
+
+    /// Installs an interpolated transition matrix on every browser
+    /// without restarting sessions (gradual mix drift). `nominal` is
+    /// the mix the blend is closest to; it becomes the fleet's reported
+    /// [`Fleet::mix`], which is what context-aware tuners key on.
+    pub fn set_matrix(&mut self, matrix: MixMatrix, nominal: Mix) {
+        self.mix = nominal;
+        for b in &mut self.browsers {
+            b.set_matrix(matrix.clone());
+        }
+        self.blend = Some(matrix);
     }
 
     /// Resizes the fleet, keeping existing browsers' session state where
@@ -208,7 +234,13 @@ impl Fleet {
         if n < old {
             self.browsers.truncate(n);
         } else {
-            self.browsers.extend((old..n).map(|i| Browser::new(i, mix)));
+            self.browsers.extend((old..n).map(|i| {
+                let mut b = Browser::new(i, mix);
+                if let Some(blend) = &self.blend {
+                    b.set_matrix(blend.clone());
+                }
+                b
+            }));
         }
     }
 }
@@ -302,6 +334,47 @@ mod tests {
         fleet.set_mix(Mix::Browsing);
         assert_eq!(fleet.mix(), Mix::Browsing);
         assert_eq!(fleet.browser_mut(7).index(), 7);
+    }
+
+    #[test]
+    fn set_matrix_preserves_sessions_and_survives_resize() {
+        let mut rng = Pcg64::seed_from_u64(7);
+        let mut fleet = Fleet::new(2, Mix::Shopping);
+        let first = fleet.browser_mut(0).next_request(&mut rng);
+        let blend = MixMatrix::interpolate(&Mix::Shopping.matrix(), &Mix::Ordering.matrix(), 0.5);
+        fleet.set_matrix(blend.clone(), Mix::Shopping);
+        assert_eq!(fleet.mix(), Mix::Shopping);
+        // Sessions continue: the very next request with end_session_p
+        // suppressed would not be Home. We can't force the geometric
+        // draw, but the session id must be reusable — compare against a
+        // hard switch, which always restarts.
+        let mut hard = fleet.clone();
+        hard.set_mix(Mix::Ordering);
+        let r_hard = hard
+            .browser_mut(0)
+            .next_request(&mut Pcg64::seed_from_u64(8));
+        assert!(r_hard.new_session, "hard switch restarts sessions");
+        // Browsers grown mid-drift use the blended matrix (statistical
+        // check: with a 50/50 shopping→ordering blend, order fraction
+        // sits well above pure shopping).
+        fleet.resize(3);
+        let mut orders = 0;
+        for _ in 0..4_000 {
+            if fleet
+                .browser_mut(2)
+                .next_request(&mut rng)
+                .interaction
+                .is_order()
+            {
+                orders += 1;
+            }
+        }
+        let frac = orders as f64 / 4_000.0;
+        assert!(frac > 0.25, "blended order fraction {frac}");
+        // A later hard set_mix clears the blend for future resizes.
+        fleet.set_mix(Mix::Browsing);
+        fleet.resize(4);
+        let _ = first;
     }
 
     #[test]

@@ -162,6 +162,28 @@ impl MixMatrix {
         self.rows[from.index()][to.index()]
     }
 
+    /// Row-wise convex combination of two matrices:
+    /// `(1 − t)·a + t·b` with `t` clamped to `[0, 1]`. A convex
+    /// combination of row-stochastic matrices is row-stochastic, which
+    /// is what lets a scenario drift the traffic mix gradually instead
+    /// of hard-switching it.
+    pub fn interpolate(a: &MixMatrix, b: &MixMatrix, t: f64) -> MixMatrix {
+        let t = t.clamp(0.0, 1.0);
+        let rows = a
+            .rows
+            .iter()
+            .zip(&b.rows)
+            .map(|(ra, rb)| {
+                let mut row = [0.0f64; 14];
+                for (out, (pa, pb)) in row.iter_mut().zip(ra.iter().zip(rb)) {
+                    *out = (1.0 - t) * pa + t * pb;
+                }
+                row
+            })
+            .collect();
+        MixMatrix { rows }
+    }
+
     /// Samples the next interaction after `from`.
     pub fn sample_next(&self, from: Interaction, rng: &mut Pcg64) -> Interaction {
         let row = &self.rows[from.index()];
@@ -212,6 +234,36 @@ mod tests {
     fn matrices_are_stochastic() {
         for mix in Mix::ALL {
             assert!(mix.matrix().is_stochastic(), "{mix} matrix not stochastic");
+        }
+    }
+
+    #[test]
+    fn interpolation_stays_stochastic_and_hits_endpoints() {
+        let a = Mix::Shopping.matrix();
+        let b = Mix::Ordering.matrix();
+        for t in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert!(
+                MixMatrix::interpolate(&a, &b, t).is_stochastic(),
+                "blend at t={t} not stochastic"
+            );
+        }
+        assert_eq!(MixMatrix::interpolate(&a, &b, 0.0), a);
+        assert_eq!(MixMatrix::interpolate(&a, &b, 1.0), b);
+        // Out-of-range fractions clamp to the endpoints.
+        assert_eq!(MixMatrix::interpolate(&a, &b, -3.0), a);
+        assert_eq!(MixMatrix::interpolate(&a, &b, 7.0), b);
+        // The blend moves probability monotonically: halfway sits
+        // between the endpoints entry-wise.
+        let mid = MixMatrix::interpolate(&a, &b, 0.5);
+        for from in Interaction::ALL {
+            for to in Interaction::ALL {
+                let (pa, pb) = (a.probability(from, to), b.probability(from, to));
+                let pm = mid.probability(from, to);
+                assert!(
+                    (pm - (pa + pb) / 2.0).abs() < 1e-12,
+                    "{from:?}->{to:?} midpoint off"
+                );
+            }
         }
     }
 

@@ -170,6 +170,29 @@ type ReqId = usize;
 const WEB: usize = 0;
 const APPDB: usize = 1;
 
+/// Effective core count of a stalled tier. `PsCpu` requires a strictly
+/// positive capacity, so a stall is modelled as a capacity so small that
+/// no task completes within any realistic stall window.
+const STALLED_CORES: f64 = 1e-6;
+
+/// A tier of the simulated system, addressable by fault injection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Tier {
+    /// The web (Apache) VM.
+    Web,
+    /// The app/db (Tomcat + MySQL) VM.
+    AppDb,
+}
+
+impl Tier {
+    fn index(self) -> usize {
+        match self {
+            Tier::Web => WEB,
+            Tier::AppDb => APPDB,
+        }
+    }
+}
+
 const PHASE_WEB: u8 = 0;
 const PHASE_APP_FIRST: u8 = 1;
 const PHASE_DB: u8 = 2;
@@ -196,6 +219,8 @@ enum Ev {
     Maintain,
     /// Periodic expired-session sweep.
     SessionSweep,
+    /// An injected tier stall (generation-checked) ends.
+    FaultClear(usize, u64),
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -258,6 +283,17 @@ pub struct ThreeTierSystem {
     response_ms: Vec<f64>,
     refused: u64,
     started: bool,
+    /// Client population the spec started with; intensity scaling is
+    /// always relative to this, not to the current fleet size.
+    base_clients: usize,
+    /// Multiplier on every CPU service demand (scenario latency noise;
+    /// 1.0 = nominal).
+    latency_factor: f64,
+    /// Whether each tier's CPU is currently frozen by a fault.
+    stalled: [bool; 2],
+    /// Stall generations; a `FaultClear` only applies if its generation
+    /// is current (overlapping stalls extend, not truncate).
+    stall_gen: [u64; 2],
 }
 
 impl ThreeTierSystem {
@@ -321,6 +357,10 @@ impl ThreeTierSystem {
             response_ms: Vec::new(),
             refused: 0,
             started: false,
+            base_clients: spec.clients,
+            latency_factor: 1.0,
+            stalled: [false, false],
+            stall_gen: [0, 0],
         }
     }
 
@@ -403,8 +443,100 @@ impl ThreeTierSystem {
             .expect("paper levels always fit the host");
         self.appdb_level = level;
         let now = self.queue.now();
-        self.cpus[APPDB].set_cores(now, self.host.vm(self.appdb_vm).effective_cores());
+        self.apply_effective_cores(now);
         self.resync_cpu_ticks();
+    }
+
+    // ----- scenario hooks ---------------------------------------------
+
+    /// Scales the offered client population to `scale ×` the spec's
+    /// base population (scenario intensity curves). The mix is kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not finite and positive.
+    pub fn set_intensity(&mut self, scale: f64) {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "intensity must be finite and positive, got {scale}"
+        );
+        let clients = ((self.base_clients as f64 * scale).round() as usize).max(1);
+        self.set_workload(clients, self.fleet.mix());
+    }
+
+    /// Multiplies every CPU service demand by `factor` until the next
+    /// call (scenario latency noise; 1.0 restores nominal service).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not finite and positive.
+    pub fn set_latency_factor(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "latency factor must be finite and positive, got {factor}"
+        );
+        self.latency_factor = factor;
+    }
+
+    /// Current latency-noise factor (diagnostics).
+    pub fn latency_factor(&self) -> f64 {
+        self.latency_factor
+    }
+
+    /// Drifts the traffic mix: installs the transition matrix `frac` of
+    /// the way from `from` to `to` on every browser, preserving their
+    /// sessions. The fleet reports whichever endpoint the blend is
+    /// closer to as its nominal mix.
+    pub fn set_mix_blend(&mut self, from: Mix, to: Mix, frac: f64) {
+        let matrix = tpcw::MixMatrix::interpolate(&from.matrix(), &to.matrix(), frac);
+        let nominal = if frac < 0.5 { from } else { to };
+        self.fleet.set_matrix(matrix, nominal);
+    }
+
+    /// Freezes a tier's CPU for `duration` of simulated time (scenario
+    /// stall fault); in-flight and arriving work queues up and drains
+    /// when the stall clears. Overlapping stalls extend the freeze.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration` is zero.
+    pub fn inject_stall(&mut self, tier: Tier, duration: SimDuration) {
+        assert!(!duration.is_zero(), "stall duration must be positive");
+        let vm = tier.index();
+        self.stalled[vm] = true;
+        self.stall_gen[vm] += 1;
+        let now = self.queue.now();
+        self.queue
+            .schedule(now + duration, Ev::FaultClear(vm, self.stall_gen[vm]));
+        self.apply_effective_cores(now);
+        self.resync_cpu_ticks();
+    }
+
+    /// Whether a tier is currently stalled by an injected fault.
+    pub fn is_stalled(&self, tier: Tier) -> bool {
+        self.stalled[tier.index()]
+    }
+
+    fn on_fault_clear(&mut self, now: SimTime, vm: usize, gen: u64) {
+        if gen == self.stall_gen[vm] {
+            self.stalled[vm] = false;
+            self.apply_effective_cores(now);
+        }
+    }
+
+    /// Applies the host's current effective core allocation to both
+    /// tier CPUs, respecting active stall faults — the single place
+    /// core capacity is written, so the per-second rebalance cannot
+    /// silently lift a stall.
+    fn apply_effective_cores(&mut self, now: SimTime) {
+        for (vm, id) in [(WEB, self.web_vm), (APPDB, self.appdb_vm)] {
+            let cores = if self.stalled[vm] {
+                STALLED_CORES
+            } else {
+                self.host.vm(id).effective_cores()
+            };
+            self.cpus[vm].set_cores(now, cores);
+        }
     }
 
     /// Runs the simulation for `interval` of simulated time and returns
@@ -461,6 +593,7 @@ impl ThreeTierSystem {
             Ev::KeepaliveExpire(b, gen) => self.on_keepalive_expire(b, gen),
             Ev::Maintain => self.on_maintain(now),
             Ev::SessionSweep => self.on_session_sweep(now),
+            Ev::FaultClear(vm, gen) => self.on_fault_clear(now, vm, gen),
         }
     }
 
@@ -563,7 +696,7 @@ impl ThreeTierSystem {
         if !reused {
             cpu_us += self.model.connection_setup_us as f64;
         }
-        self.cpus[WEB].push(now, cpu_us, (id, PHASE_WEB));
+        self.cpus[WEB].push(now, cpu_us * self.latency_factor, (id, PHASE_WEB));
     }
 
     fn on_web_done(&mut self, now: SimTime, id: ReqId) {
@@ -600,7 +733,11 @@ impl ThreeTierSystem {
             }
             self.sessions.insert(session, now);
         }
-        self.cpus[APPDB].push(now, cpu_us.max(1.0), (id, PHASE_APP_FIRST));
+        self.cpus[APPDB].push(
+            now,
+            (cpu_us * self.latency_factor).max(1.0),
+            (id, PHASE_APP_FIRST),
+        );
     }
 
     fn on_app_first_done(&mut self, now: SimTime, id: ReqId) {
@@ -616,7 +753,7 @@ impl ThreeTierSystem {
 
     fn start_db(&mut self, now: SimTime, id: ReqId) {
         let cpu_us = self.req(id).demand.db_cpu_us as f64 * self.model.demand_scale;
-        self.cpus[APPDB].push(now, cpu_us.max(1.0), (id, PHASE_DB));
+        self.cpus[APPDB].push(now, (cpu_us * self.latency_factor).max(1.0), (id, PHASE_DB));
     }
 
     /// Database CPU finished: pay for buffer-pool misses with disk I/O.
@@ -655,8 +792,12 @@ impl ThreeTierSystem {
 
     fn start_app_second(&mut self, now: SimTime, id: ReqId) {
         let demand = self.req(id).demand;
-        let cpu_us = (demand.app_cpu_us as f64 / 2.0 * self.model.demand_scale).max(1.0);
-        self.cpus[APPDB].push(now, cpu_us, (id, PHASE_APP_SECOND));
+        let cpu_us = demand.app_cpu_us as f64 / 2.0 * self.model.demand_scale;
+        self.cpus[APPDB].push(
+            now,
+            (cpu_us * self.latency_factor).max(1.0),
+            (id, PHASE_APP_SECOND),
+        );
     }
 
     fn on_app_second_done(&mut self, now: SimTime, id: ReqId) {
@@ -736,8 +877,7 @@ impl ThreeTierSystem {
 
         let demands = [self.cpus[WEB].load(), self.cpus[APPDB].load()];
         self.host.rebalance(&demands);
-        self.cpus[WEB].set_cores(now, self.host.vm(self.web_vm).effective_cores());
-        self.cpus[APPDB].set_cores(now, self.host.vm(self.appdb_vm).effective_cores());
+        self.apply_effective_cores(now);
 
         self.queue
             .schedule(now + SimDuration::from_secs(1), Ev::Maintain);
@@ -903,6 +1043,123 @@ mod tests {
         let mut sys = ThreeTierSystem::new(small_spec());
         run_secs(&mut sys, 120);
         assert!(sys.in_flight() <= sys.clients());
+    }
+
+    #[test]
+    fn intensity_scales_relative_to_base_population() {
+        let mut sys = ThreeTierSystem::new(small_spec());
+        run_secs(&mut sys, 30);
+        sys.set_intensity(2.5);
+        assert_eq!(sys.clients(), 200);
+        // Scaling is relative to the base (80), not the current fleet.
+        sys.set_intensity(0.5);
+        assert_eq!(sys.clients(), 40);
+        sys.set_intensity(0.001);
+        assert_eq!(sys.clients(), 1, "population never drops to zero");
+        let s = run_secs(&mut sys, 60);
+        assert!(s.is_measurable());
+    }
+
+    #[test]
+    fn latency_noise_degrades_and_restores() {
+        let run = |factor: f64| {
+            let mut sys = ThreeTierSystem::new(small_spec());
+            run_secs(&mut sys, 60);
+            sys.set_latency_factor(factor);
+            let noisy = run_secs(&mut sys, 120);
+            sys.set_latency_factor(1.0);
+            run_secs(&mut sys, 60);
+            let restored = run_secs(&mut sys, 120);
+            (noisy, restored)
+        };
+        let (clean, clean_tail) = run(1.0);
+        let (noisy, noisy_tail) = run(2.0);
+        assert!(
+            noisy.mean_response_ms > 1.5 * clean.mean_response_ms,
+            "noise must slow responses: clean {clean} noisy {noisy}"
+        );
+        // After restoring the factor the system converges back.
+        assert!(
+            noisy_tail.mean_response_ms < 1.5 * clean_tail.mean_response_ms,
+            "restore: clean {clean_tail} noisy {noisy_tail}"
+        );
+    }
+
+    #[test]
+    fn unit_latency_factor_is_bit_identical_to_default() {
+        let mut plain = ThreeTierSystem::new(small_spec());
+        let mut touched = ThreeTierSystem::new(small_spec());
+        touched.set_latency_factor(1.0);
+        assert_eq!(run_secs(&mut plain, 120), run_secs(&mut touched, 120));
+    }
+
+    #[test]
+    fn stall_freezes_then_recovers() {
+        let mut sys = ThreeTierSystem::new(small_spec());
+        run_secs(&mut sys, 60);
+        sys.inject_stall(Tier::AppDb, SimDuration::from_secs(30));
+        assert!(sys.is_stalled(Tier::AppDb));
+        assert!(!sys.is_stalled(Tier::Web));
+        let stalled = run_secs(&mut sys, 60);
+        // Requests pile up behind the frozen tier: the interval's mean
+        // response time reflects the 30 s freeze.
+        let mut clean = ThreeTierSystem::new(small_spec());
+        run_secs(&mut clean, 60);
+        let clean_s = run_secs(&mut clean, 60);
+        assert!(
+            stalled.mean_response_ms > 3.0 * clean_s.mean_response_ms,
+            "stall must hurt: clean {clean_s} stalled {stalled}"
+        );
+        assert!(!sys.is_stalled(Tier::AppDb), "stall self-clears");
+        run_secs(&mut sys, 120);
+        let recovered = run_secs(&mut sys, 120);
+        assert!(
+            recovered.mean_response_ms < 3.0 * clean_s.mean_response_ms,
+            "post-stall recovery: clean {clean_s} recovered {recovered}"
+        );
+    }
+
+    #[test]
+    fn overlapping_stalls_extend_the_freeze() {
+        let mut sys = ThreeTierSystem::new(small_spec());
+        run_secs(&mut sys, 30);
+        sys.inject_stall(Tier::Web, SimDuration::from_secs(40));
+        // A second stall injected immediately supersedes the first
+        // clear event; the tier stays frozen for the full 90 s.
+        sys.inject_stall(Tier::Web, SimDuration::from_secs(90));
+        run_secs(&mut sys, 60);
+        assert!(sys.is_stalled(Tier::Web), "first clear must be stale");
+        run_secs(&mut sys, 60);
+        assert!(!sys.is_stalled(Tier::Web));
+    }
+
+    #[test]
+    fn mix_blend_shifts_order_fraction() {
+        let order_rate = |blend: Option<f64>| {
+            let mut sys = ThreeTierSystem::new(small_spec());
+            run_secs(&mut sys, 60);
+            if let Some(frac) = blend {
+                sys.set_mix_blend(Mix::Shopping, Mix::Ordering, frac);
+            }
+            // Sessions survive the blend; run long enough to see the
+            // behavioural shift in aggregate throughput of order pages.
+            run_secs(&mut sys, 600);
+            sys.live_sessions()
+        };
+        // A full blend to Ordering creates session-heavier traffic than
+        // pure shopping (ordering flows all use sessions).
+        let shopping = order_rate(None);
+        let ordering = order_rate(Some(1.0));
+        assert!(
+            ordering > shopping,
+            "ordering-blend sessions {ordering} <= shopping {shopping}"
+        );
+        // Nominal mix follows the nearest endpoint.
+        let mut sys = ThreeTierSystem::new(small_spec());
+        sys.set_mix_blend(Mix::Shopping, Mix::Ordering, 0.25);
+        assert_eq!(sys.mix(), Mix::Shopping);
+        sys.set_mix_blend(Mix::Shopping, Mix::Ordering, 0.75);
+        assert_eq!(sys.mix(), Mix::Ordering);
     }
 
     #[test]

@@ -93,7 +93,7 @@ fn trace_is_bit_identical_across_thread_counts() {
 
 #[test]
 fn emitted_events_satisfy_the_documented_schema() {
-    const KNOWN: [&str; 7] = [
+    const KNOWN: [&str; 8] = [
         "decision",
         "experiment",
         "phase",
@@ -101,6 +101,7 @@ fn emitted_events_satisfy_the_documented_schema() {
         "runner_batch",
         "offline_training",
         "offline_policy",
+        "scenario_event",
     ];
     let text = traced_session(2);
     let events: Vec<Event> = text
