@@ -9,7 +9,23 @@
 //! cargo run --release -p rac-bench --bin figures -- scenario --list
 //! RAC_THREADS=8 cargo run --release -p rac-bench --bin figures -- all
 //! RAC_OBS=trace cargo run --release -p rac-bench --bin figures -- fig5
+//!
+//! # Crash-safe scenario runs
+//! figures -- scenario flash-crowd --checkpoint ckpts
+//! figures -- scenario flash-crowd --checkpoint ckpts --stop-after 10
+//! figures -- scenario flash-crowd --resume ckpts/scenario-flash-crowd.ckpt
+//! figures -- scenario diurnal --warm-start ckpts/scenario-flash-crowd.ckpt
 //! ```
+//!
+//! `--checkpoint <dir>` snapshots the whole tuner line-up (learned
+//! state, recorded series, decision-trace prefix) to
+//! `<dir>/scenario-<name>.ckpt` every `--checkpoint-every N` (default 5)
+//! line-up iterations, atomically. `--stop-after N` exits cleanly after
+//! N iterations; `--resume <file>` picks the run back up and finishes
+//! it, producing CSV and trace output byte-identical to an
+//! uninterrupted run. `--warm-start <file>` seeds a fresh run's RAC
+//! agent with the policy library stored in a previous run's checkpoint
+//! instead of training/loading one from the cache.
 //!
 //! Each subcommand prints the series/rows the paper reports and writes a
 //! CSV under `results/`. Offline-trained policies are cached under
@@ -43,6 +59,7 @@ use rac::{
     grouping, maxclients_sweep, paper_contexts, Experiment, IterationRecord, MeasureJob,
     PolicyLibrary, RacAgent, RacSettings, Runner, SimMeasurer, StaticDefault, TrialAndError, Tuner,
 };
+use rac_bench::checkpoint::{CheckpointOptions, LineupOutcome};
 use rac_bench::output::{ascii_chart, TextTable};
 use rac_bench::{
     paper_system_spec, standard_policy_library, standard_settings, ONLINE_LEVELS, SLA_MS,
@@ -108,11 +125,15 @@ fn main() {
     let console = Console::from_env(quiet);
 
     // `scenario` is its own sub-grammar (operands are scenario names or
-    // .scn paths, plus `--list`), so it branches off before the figure
-    // validation below.
+    // .scn paths, plus `--list` and the checkpoint flags, some of which
+    // take values), so it gets the *raw* argument tail and branches off
+    // before the figure validation below.
     if cmds.first() == Some(&"scenario") {
-        let list = args.iter().any(|a| a == "--list");
-        run_scenarios(&cmds[1..], list, &opts, &console);
+        let pos = args
+            .iter()
+            .position(|a| a == "scenario")
+            .expect("cmds came from args");
+        run_scenarios(&args[pos + 1..], &opts, &console);
         return;
     }
 
@@ -845,16 +866,121 @@ fn fig10(opts: &Options, library: &PolicyLibrary, out: &mut String) {
 // Scenario runs (time-varying workload & fault injection)
 // --------------------------------------------------------------------
 
+/// Parsed form of the `figures scenario` argument tail.
+struct ScenarioCli {
+    operands: Vec<String>,
+    list: bool,
+    checkpoint_dir: Option<PathBuf>,
+    every: usize,
+    stop_after: Option<usize>,
+    resume: Option<PathBuf>,
+    warm_start: Option<PathBuf>,
+}
+
+fn scenario_usage() -> ! {
+    eprintln!(
+        "usage: figures scenario <name|file.scn>... [--checkpoint <dir>] [--checkpoint-every N] \
+         [--stop-after N] [--warm-start <file>]\n       \
+         figures scenario <name|file.scn> --resume <file>\n       \
+         figures scenario --list"
+    );
+    eprintln!(
+        "bundled: {}",
+        rac_bench::scenario::bundled_names().join(" ")
+    );
+    std::process::exit(2);
+}
+
+/// Parses the raw argument tail after the `scenario` token. The global
+/// flags (`--quick`, `--quiet`) were consumed in `main` and are skipped
+/// here; anything else starting with `--` must be a known scenario flag.
+fn parse_scenario_cli(raw: &[String]) -> ScenarioCli {
+    let mut cli = ScenarioCli {
+        operands: Vec::new(),
+        list: false,
+        checkpoint_dir: None,
+        every: 5,
+        stop_after: None,
+        resume: None,
+        warm_start: None,
+    };
+    let mut i = 0;
+    let value = |raw: &[String], i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        match raw.get(*i) {
+            Some(v) if !v.starts_with("--") => v.clone(),
+            _ => {
+                eprintln!("{flag} needs a value");
+                scenario_usage();
+            }
+        }
+    };
+    let number = |raw: &[String], i: &mut usize, flag: &str| -> usize {
+        let v = value(raw, i, flag);
+        match v.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("{flag} needs a positive integer, got `{v}`");
+                scenario_usage();
+            }
+        }
+    };
+    while i < raw.len() {
+        match raw[i].as_str() {
+            "--list" => cli.list = true,
+            "--quick" | "--quiet" => {}
+            "--checkpoint" => {
+                cli.checkpoint_dir = Some(PathBuf::from(value(raw, &mut i, "--checkpoint")))
+            }
+            "--checkpoint-every" => cli.every = number(raw, &mut i, "--checkpoint-every"),
+            "--stop-after" => cli.stop_after = Some(number(raw, &mut i, "--stop-after")),
+            "--resume" => cli.resume = Some(PathBuf::from(value(raw, &mut i, "--resume"))),
+            "--warm-start" => {
+                cli.warm_start = Some(PathBuf::from(value(raw, &mut i, "--warm-start")))
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown scenario flag: {flag}");
+                scenario_usage();
+            }
+            operand => cli.operands.push(operand.to_string()),
+        }
+        i += 1;
+    }
+    if cli.stop_after.is_some() && cli.checkpoint_dir.is_none() && cli.resume.is_none() {
+        eprintln!("--stop-after only makes sense with --checkpoint or --resume");
+        scenario_usage();
+    }
+    if cli.resume.is_some() && cli.operands.len() != 1 {
+        eprintln!("--resume continues exactly one scenario run");
+        scenario_usage();
+    }
+    cli
+}
+
+/// Loads and verifies a snapshot file, or exits with a clear message —
+/// a half-written, corrupt, or stale checkpoint must never panic.
+fn load_snapshot_or_exit(path: &Path, what: &str) -> ckpt::Snapshot {
+    match ckpt::Snapshot::load(path) {
+        Ok(snap) => snap,
+        Err(e) => {
+            eprintln!("cannot {what} from {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Entry point for `figures scenario ...`: lists the bundled scenarios
 /// or runs each operand (bundled name or `.scn` path) through the
 /// standard tuner line-up, writing `results/scenario-<name>.csv` per
-/// run.
+/// run. With `--checkpoint`/`--resume`, the line-up persists and
+/// restores itself through `rac_bench::checkpoint`.
 ///
 /// Scenario runs are sequential end to end — the series must be a pure
 /// function of (spec, scenario, seed), bit-identical at any
 /// `RAC_THREADS` — so unlike the figure jobs there is no fan-out here.
-fn run_scenarios(operands: &[&str], list: bool, opts: &Options, console: &Console) {
-    if list {
+fn run_scenarios(raw: &[String], opts: &Options, console: &Console) {
+    let cli = parse_scenario_cli(raw);
+    if cli.list {
         println!("bundled scenarios:");
         for (name, src) in scenario::bundled::all() {
             let scn = Scenario::parse(src).expect("bundled scenario parses");
@@ -867,15 +993,11 @@ fn run_scenarios(operands: &[&str], list: bool, opts: &Options, console: &Consol
         }
         return;
     }
-    if operands.is_empty() {
-        eprintln!("usage: figures scenario <name|file.scn>... | figures scenario --list");
-        eprintln!(
-            "bundled: {}",
-            rac_bench::scenario::bundled_names().join(" ")
-        );
-        std::process::exit(2);
+    if cli.operands.is_empty() {
+        scenario_usage();
     }
-    let scenarios: Vec<Scenario> = operands
+    let scenarios: Vec<Scenario> = cli
+        .operands
         .iter()
         .map(|arg| match rac_bench::scenario::resolve(arg) {
             Ok(scn) => {
@@ -892,22 +1014,79 @@ fn run_scenarios(operands: &[&str], list: bool, opts: &Options, console: &Consol
         })
         .collect();
 
-    let library = standard_policy_library(&opts.cache_dir());
+    let library = match &cli.warm_start {
+        Some(path) => {
+            let snap = load_snapshot_or_exit(path, "warm-start");
+            match rac::library_from_snapshot(&snap) {
+                Ok(lib) => {
+                    console.note(format!(
+                        "  warm start: {} policies from {}",
+                        lib.len(),
+                        path.display()
+                    ));
+                    lib
+                }
+                Err(e) => {
+                    eprintln!("cannot warm-start from {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+            }
+        }
+        None => standard_policy_library(&opts.cache_dir()),
+    };
+    let resume = cli
+        .resume
+        .as_ref()
+        .map(|path| load_snapshot_or_exit(path, "resume"));
     let tracing = obs::tracing_enabled();
     let started = Instant::now();
     for scn in &scenarios {
+        // Resume continues the checkpoint file it came from; a fresh
+        // checkpointed run gets one file per scenario under the dir.
+        let ckpt_plan = match (&cli.resume, &cli.checkpoint_dir) {
+            (Some(path), _) => Some(CheckpointOptions {
+                path: path.clone(),
+                every: cli.every,
+                stop_after: cli.stop_after,
+            }),
+            (None, Some(dir)) => Some(CheckpointOptions {
+                path: dir.join(format!("scenario-{}.ckpt", scn.name)),
+                every: cli.every,
+                stop_after: cli.stop_after,
+            }),
+            (None, None) => None,
+        };
         let mut out = String::new();
         let t0 = Instant::now();
-        let trace = if tracing {
+        let (completed, trace) = if tracing {
             let writer = Arc::new(TraceWriter::new());
-            obs::trace::with_writer(&writer, || scenario_figure(scn, &library, opts, &mut out));
-            Some(writer)
+            let completed = obs::trace::with_writer(&writer, || {
+                scenario_figure(
+                    scn,
+                    &library,
+                    opts,
+                    ckpt_plan.as_ref(),
+                    resume.as_ref(),
+                    &mut out,
+                )
+            });
+            (completed, Some(writer))
         } else {
-            scenario_figure(scn, &library, opts, &mut out);
-            None
+            let completed = scenario_figure(
+                scn,
+                &library,
+                opts,
+                ckpt_plan.as_ref(),
+                resume.as_ref(),
+                &mut out,
+            );
+            (completed, None)
         };
         print!("{out}");
-        if let Some(writer) = trace {
+        // An interrupted (`--stop-after`) run writes neither CSV nor
+        // trace: its outputs exist only to be byte-compared against an
+        // uninterrupted run once resumed to completion.
+        if let (true, Some(writer)) = (completed, &trace) {
             let path = opts
                 .results_dir
                 .join(format!("scenario-{}.trace.jsonl", scn.name));
@@ -934,7 +1113,16 @@ fn run_scenarios(operands: &[&str], list: bool, opts: &Options, console: &Consol
 
 /// Runs one scenario through RAC, trial-and-error, and the static
 /// default, then reports the series table, chart, and summary stats.
-fn scenario_figure(scn: &Scenario, library: &PolicyLibrary, opts: &Options, out: &mut String) {
+/// Returns `false` when a checkpointed run stopped early (`--stop-after`)
+/// — the caller then skips the CSV and trace artifacts.
+fn scenario_figure(
+    scn: &Scenario,
+    library: &PolicyLibrary,
+    opts: &Options,
+    ckpt_plan: Option<&CheckpointOptions>,
+    resume: Option<&ckpt::Snapshot>,
+    out: &mut String,
+) -> bool {
     banner(
         out,
         &format!(
@@ -945,7 +1133,33 @@ fn scenario_figure(scn: &Scenario, library: &PolicyLibrary, opts: &Options, out:
             scn.compile().len()
         ),
     );
-    let series = rac_bench::scenario::run_tuners(scn, library);
+    let series = match ckpt_plan {
+        None => rac_bench::scenario::run_tuners(scn, library),
+        Some(plan) => {
+            match rac_bench::checkpoint::run_tuners_checkpointed(scn, library, plan, resume) {
+                Ok(LineupOutcome::Complete(series)) => series,
+                Ok(LineupOutcome::Interrupted { global_iterations }) => {
+                    let _ = writeln!(
+                        out,
+                        "  stopped after {global_iterations} line-up iterations \
+                         (checkpoint: {})",
+                        plan.path.display()
+                    );
+                    let _ = writeln!(
+                        out,
+                        "  resume with: figures scenario {} --resume {}",
+                        scn.name,
+                        plan.path.display()
+                    );
+                    return false;
+                }
+                Err(e) => {
+                    eprintln!("scenario {}: checkpoint error: {e}", scn.name);
+                    std::process::exit(2);
+                }
+            }
+        }
+    };
     let t = rac_bench::scenario::scenario_table(scn, &series);
     let _ = write!(out, "{t}");
     let chart: Vec<(&str, Vec<f64>)> = series
@@ -969,6 +1183,7 @@ fn scenario_figure(scn: &Scenario, library: &PolicyLibrary, opts: &Options, out:
         );
     }
     save(&t, opts, &format!("scenario-{}.csv", scn.name), out);
+    true
 }
 
 // --------------------------------------------------------------------

@@ -136,6 +136,7 @@ fn check_schema(event: &Event) -> Result<(), String> {
         "offline_training" => require(&["context"]),
         "offline_policy" => require(&["samples", "passes", "r_squared"]),
         "scenario_event" => require(&["event", "detail"]),
+        "checkpoint" => require(&["iter", "tuner_iter", "tuner"]),
         other => Err(format!("unknown event kind '{other}'")),
     }
 }
@@ -422,6 +423,17 @@ mod tests {
     fn unknown_kind_fails_schema() {
         let e = Event::new("mystery");
         assert!(check_schema(&e).is_err());
+    }
+
+    #[test]
+    fn checkpoint_events_pass_schema() {
+        let e = Event::new("checkpoint")
+            .field("iter", 10u64)
+            .field("tuner_iter", 4u64)
+            .field("tuner", 1u64);
+        check_schema(&e).unwrap();
+        let bad = Event::new("checkpoint").field("iter", 10u64);
+        assert!(check_schema(&bad).unwrap_err().contains("tuner"));
     }
 
     #[test]

@@ -1,0 +1,479 @@
+//! Crash-safe scenario lineups: one checkpoint file spans the whole
+//! three-tuner run of `figures scenario --checkpoint`.
+//!
+//! The snapshot holds the lineup cursor (which tuner is active), the
+//! series of every finished tuner, the active tuner's
+//! [`ScenarioProgress`] and learned state, and the serialized decision
+//! trace prefix. Resuming restores all of that, replays the active
+//! tuner's completed intervals deterministically
+//! ([`Experiment::run_scenario_resumable`]), and continues — producing
+//! CSV and trace output byte-identical to an uninterrupted run at any
+//! `RAC_THREADS`.
+//!
+//! Trace-equivalence invariants (all load-bearing):
+//!
+//! * The `checkpoint` trace event is emitted *before* the snapshot is
+//!   encoded, so the embedded trace prefix includes it — an interrupted
+//!   and resumed run then replays the event from the prefix instead of
+//!   re-emitting it.
+//! * The event carries only deterministic fields (global iteration,
+//!   tuner iteration, tuner index). Bytes written and wall-clock
+//!   durations vary run to run, so they go to metrics only.
+//! * Whether a boundary flushes is a pure function of the *global*
+//!   (whole-lineup) iteration count, so an interrupted run and its
+//!   resumption agree on the schedule without communicating.
+//! * Restoring is metrics/console-only — no `checkpoint_restored` trace
+//!   event, because the uninterrupted reference run never restores.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use ckpt::{CkptError, Snapshot, SnapshotWriter};
+use obs::trace;
+use rac::{
+    decode_series, encode_series, BoundaryAction, Experiment, IterationRecord, PersistTuner,
+    PolicyLibrary, RacAgent, ScenarioProgress, ScenarioRunOutcome, StaticDefault, TrialAndError,
+};
+use scenario::Scenario;
+
+use crate::{paper_system_spec, standard_settings, ONLINE_LEVELS};
+
+/// Display names of the standard tuner lineup, in run order.
+pub const LINEUP: [&str; 3] = ["RAC", "trial-and-error", "static default"];
+
+const SECTION_META: &str = "lineup.meta";
+const SECTION_DONE: &str = "lineup.done";
+const SECTION_PROGRESS: &str = "lineup.progress";
+const SECTION_TRACE: &str = "lineup.trace";
+
+/// How a checkpointed lineup run persists itself.
+#[derive(Debug, Clone)]
+pub struct CheckpointOptions {
+    /// Snapshot file (atomically replaced at every flush).
+    pub path: PathBuf,
+    /// Flush to disk every N lineup iterations.
+    pub every: usize,
+    /// Stop cleanly once N lineup iterations have completed (testing /
+    /// CI hook for "the process died here").
+    pub stop_after: Option<usize>,
+}
+
+/// How a checkpointed lineup run ended.
+#[derive(Debug)]
+pub enum LineupOutcome {
+    /// All three tuners ran; same shape as
+    /// [`run_tuners`](crate::scenario::run_tuners).
+    Complete(Vec<(&'static str, Vec<IterationRecord>)>),
+    /// `stop_after` hit; the snapshot on disk resumes the run.
+    Interrupted {
+        /// Lineup iterations completed across all tuners.
+        global_iterations: usize,
+    },
+}
+
+/// Runs the standard tuner lineup through one scenario with periodic
+/// snapshots, optionally resuming a previous run's snapshot.
+///
+/// Byte-identical to [`run_tuners`](crate::scenario::run_tuners) in
+/// series and trace output — checkpointing only *adds* the
+/// deterministic `checkpoint` trace events.
+///
+/// # Errors
+///
+/// Returns [`CkptError::Mismatch`] when `resume` was written for a
+/// different system spec or scenario, any decoding error from a corrupt
+/// snapshot, and I/O errors from writing the snapshot file.
+pub fn run_tuners_checkpointed(
+    scn: &Scenario,
+    library: &PolicyLibrary,
+    options: &CheckpointOptions,
+    resume: Option<&Snapshot>,
+) -> Result<LineupOutcome, CkptError> {
+    let exp = Experiment::for_scenario(paper_system_spec(), scn);
+    let spec_fp = exp.spec().fingerprint();
+    let scn_fp = scn.fingerprint();
+
+    let mut done: Vec<(&'static str, Vec<IterationRecord>)> = Vec::new();
+    let mut tuner_index = 0usize;
+    let mut active: Option<(Box<dyn PersistTuner>, ScenarioProgress)> = None;
+    if let Some(snap) = resume {
+        let t0 = Instant::now();
+        let resumed = decode_lineup(snap, spec_fp, scn_fp)?;
+        tuner_index = resumed.tuner_index;
+        done = resumed.done;
+        active = Some((resumed.tuner, resumed.progress));
+        let m = obs::Registry::global();
+        m.counter("rac_ckpt_restores_total").inc();
+        m.histogram("rac_ckpt_restore_us")
+            .record_us(t0.elapsed().as_micros() as u64);
+    }
+
+    let mut sink = CkptSink {
+        options,
+        library,
+        spec_fp,
+        scn_fp,
+        pending: None,
+    };
+    while tuner_index < LINEUP.len() {
+        let (mut tuner, progress) = match active.take() {
+            Some((t, p)) => (t, Some(p)),
+            None => (fresh_tuner(tuner_index, library), None),
+        };
+        let base: usize = done.iter().map(|(_, s)| s.len()).sum();
+        let outcome = exp.run_scenario_resumable(scn, tuner.as_mut(), progress, |p, t| {
+            sink.boundary(tuner_index, &done, base + p.iterations_done, p, t)
+        })?;
+        match outcome {
+            ScenarioRunOutcome::Complete(series) => {
+                done.push((LINEUP[tuner_index], series));
+                tuner_index += 1;
+                // A stop landing exactly on a tuner's final iteration is
+                // swallowed by the scenario runner (the run is complete);
+                // honor it at the lineup level instead. The snapshot
+                // already on disk resumes by replaying the finished
+                // tuner, then starts the next one fresh.
+                let global: usize = done.iter().map(|(_, s)| s.len()).sum();
+                if sink.stop_requested(global) && tuner_index < LINEUP.len() {
+                    return Ok(LineupOutcome::Interrupted {
+                        global_iterations: global,
+                    });
+                }
+            }
+            ScenarioRunOutcome::Interrupted(p) => {
+                return Ok(LineupOutcome::Interrupted {
+                    global_iterations: base + p.iterations_done,
+                });
+            }
+        }
+    }
+    // Leave the finished run's final state on disk (warm-start food for
+    // the next run) even when the last boundary missed the schedule.
+    sink.flush_pending()?;
+    Ok(LineupOutcome::Complete(done))
+}
+
+fn fresh_tuner(index: usize, library: &PolicyLibrary) -> Box<dyn PersistTuner> {
+    match index {
+        0 => Box::new(RacAgent::with_policy_library(
+            standard_settings(),
+            library.clone(),
+        )),
+        1 => Box::new(TrialAndError::new(ONLINE_LEVELS)),
+        _ => Box::new(StaticDefault::new()),
+    }
+}
+
+/// The periodic-snapshot sink driven by the scenario runner's boundary
+/// callback. Encodes the full lineup snapshot at *every* boundary and
+/// flushes it on the schedule; whatever is pending when the sink drops
+/// (error paths, panics) is flushed best-effort so no completed work is
+/// lost.
+struct CkptSink<'a> {
+    options: &'a CheckpointOptions,
+    library: &'a PolicyLibrary,
+    spec_fp: u64,
+    scn_fp: u64,
+    pending: Option<Vec<u8>>,
+}
+
+impl CkptSink<'_> {
+    fn stop_requested(&self, global: usize) -> bool {
+        self.options.stop_after.is_some_and(|n| global >= n)
+    }
+
+    fn boundary(
+        &mut self,
+        tuner_index: usize,
+        done: &[(&'static str, Vec<IterationRecord>)],
+        global: usize,
+        progress: &ScenarioProgress,
+        tuner: &dyn PersistTuner,
+    ) -> Result<BoundaryAction, CkptError> {
+        let flush = self.options.every > 0 && global.is_multiple_of(self.options.every);
+        if flush {
+            // Emitted before encoding so the snapshot's trace prefix
+            // includes this event: a resumed run replays it from the
+            // prefix and never re-emits it.
+            trace::emit(|| {
+                obs::Event::new("checkpoint")
+                    .field("iter", global as u64)
+                    .field("tuner_iter", progress.iterations_done as u64)
+                    .field("tuner", tuner_index as u64)
+            });
+        }
+        let bytes = encode_lineup(
+            self.spec_fp,
+            self.scn_fp,
+            tuner_index,
+            done,
+            progress,
+            tuner,
+            self.library,
+        );
+        if flush {
+            self.write(&bytes)?;
+            self.pending = None;
+        } else {
+            self.pending = Some(bytes);
+        }
+        if self.stop_requested(global) {
+            // Make the stop resumable even off-schedule: persist the
+            // just-encoded state, without a trace event (the resumed
+            // run's schedule is what keeps traces identical).
+            self.flush_pending()?;
+            return Ok(BoundaryAction::Stop);
+        }
+        Ok(BoundaryAction::Continue)
+    }
+
+    fn write(&self, bytes: &[u8]) -> Result<(), CkptError> {
+        let t0 = Instant::now();
+        ckpt::write_bytes_atomic(bytes, &self.options.path)?;
+        let m = obs::Registry::global();
+        m.counter("rac_ckpt_writes_total").inc();
+        m.counter("rac_ckpt_bytes_total").add(bytes.len() as u64);
+        m.histogram("rac_ckpt_write_us")
+            .record_us(t0.elapsed().as_micros() as u64);
+        Ok(())
+    }
+
+    fn flush_pending(&mut self) -> Result<(), CkptError> {
+        match self.pending.take() {
+            Some(bytes) => self.write(&bytes),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for CkptSink<'_> {
+    fn drop(&mut self) {
+        // Snapshot-on-drop: error paths and panics still leave the last
+        // boundary's state behind. Errors are swallowed — this is a
+        // best-effort rescue, never the primary persistence path.
+        let _ = self.flush_pending();
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn encode_lineup(
+    spec_fp: u64,
+    scn_fp: u64,
+    tuner_index: usize,
+    done: &[(&'static str, Vec<IterationRecord>)],
+    progress: &ScenarioProgress,
+    tuner: &dyn PersistTuner,
+    library: &PolicyLibrary,
+) -> Vec<u8> {
+    let mut snap = SnapshotWriter::new();
+    snap.section(SECTION_META, |w| {
+        w.put_u64(spec_fp);
+        w.put_u64(scn_fp);
+        w.put_usize(tuner_index);
+    });
+    snap.section(SECTION_DONE, |w| {
+        w.put_usize(done.len());
+        for (_, series) in done {
+            encode_series(w, series);
+        }
+    });
+    snap.section(SECTION_PROGRESS, |w| progress.encode(w));
+    tuner.save_state(&mut snap);
+    if tuner_index != 0 {
+        // The RAC agent (tuner 0) saves its own library section; once a
+        // later tuner is active, persist the lineup's library here so
+        // any snapshot of the run — including the final one — can seed
+        // a warm start.
+        rac::library_to_snapshot(&mut snap, library);
+    }
+    let prefix = trace::snapshot_serialized();
+    snap.section(SECTION_TRACE, |w| {
+        w.put_bool(prefix.is_some());
+        w.put_str(prefix.as_deref().unwrap_or(""));
+    });
+    snap.to_bytes()
+}
+
+struct ResumedLineup {
+    tuner_index: usize,
+    done: Vec<(&'static str, Vec<IterationRecord>)>,
+    tuner: Box<dyn PersistTuner>,
+    progress: ScenarioProgress,
+}
+
+fn decode_lineup(snap: &Snapshot, spec_fp: u64, scn_fp: u64) -> Result<ResumedLineup, CkptError> {
+    let mut r = snap.section(SECTION_META)?;
+    let snap_spec = r.get_u64()?;
+    let snap_scn = r.get_u64()?;
+    let tuner_index = r.get_usize()?;
+    r.finish()?;
+    if snap_spec != spec_fp {
+        return Err(CkptError::Mismatch {
+            detail: format!(
+                "checkpoint was written for a different system spec \
+                 (fingerprint {snap_spec:#018x}, this run has {spec_fp:#018x})"
+            ),
+        });
+    }
+    if snap_scn != scn_fp {
+        return Err(CkptError::Mismatch {
+            detail: format!(
+                "checkpoint was written for a different scenario or scaling \
+                 (fingerprint {snap_scn:#018x}, this run has {scn_fp:#018x})"
+            ),
+        });
+    }
+    if tuner_index >= LINEUP.len() {
+        return Err(CkptError::Corrupt {
+            detail: format!("lineup cursor {tuner_index} out of range"),
+        });
+    }
+
+    let mut r = snap.section(SECTION_DONE)?;
+    let count = r.get_usize()?;
+    if count != tuner_index {
+        return Err(CkptError::Corrupt {
+            detail: format!("lineup cursor at tuner {tuner_index} but {count} finished series"),
+        });
+    }
+    let mut done = Vec::with_capacity(count);
+    for (i, name) in LINEUP.iter().enumerate().take(count) {
+        let series = decode_series(&mut r).map_err(|e| CkptError::Corrupt {
+            detail: format!("finished series {i}: {e}"),
+        })?;
+        done.push((*name, series));
+    }
+    r.finish()?;
+
+    let mut r = snap.section(SECTION_PROGRESS)?;
+    let progress = ScenarioProgress::decode(&mut r)?;
+    r.finish()?;
+
+    let tuner: Box<dyn PersistTuner> = match tuner_index {
+        0 => Box::new(RacAgent::restore(snap)?),
+        1 => Box::new(TrialAndError::restore(snap)?),
+        _ => Box::new(StaticDefault::new()),
+    };
+
+    let mut r = snap.section(SECTION_TRACE)?;
+    let has_trace = r.get_bool()?;
+    let prefix = r.get_str()?;
+    r.finish()?;
+    if has_trace && trace::scoped() {
+        trace::restore_serialized(&prefix).map_err(|e| CkptError::Corrupt {
+            detail: format!("embedded trace prefix: {e}"),
+        })?;
+        // The active tuner's session header is part of the restored
+        // prefix; its remaining live events must land in the same run.
+        trace::set_run(tuner_index as u64 + 1);
+    }
+
+    Ok(ResumedLineup {
+        tuner_index,
+        done,
+        tuner,
+        progress,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_scenario() -> Scenario {
+        Scenario::parse(
+            "name tiny\nduration 360s\ninterval 60s\nwarmup 60s\nclients 60\nseed 5\n\
+             at 60s intensity 1.4\nfault at 200s drop\n",
+        )
+        .unwrap()
+    }
+
+    fn tiny_library() -> PolicyLibrary {
+        // A fast single-context library at the standard lattice
+        // resolution (the checkpoint validates Q-table dimensions, so
+        // the lattice must match ONLINE_LEVELS).
+        rac::build_policy_library(
+            &paper_system_spec().with_clients(60),
+            &[rac::paper_contexts()[0]],
+            &crate::standard_lattice(),
+            rac::SlaReward::new(crate::SLA_MS),
+            rac::TrainingOptions {
+                warmup: simkernel::SimDuration::from_secs(60),
+                measure: simkernel::SimDuration::from_secs(60),
+                ..rac::TrainingOptions::default()
+            },
+        )
+    }
+
+    #[test]
+    fn checkpointed_lineup_matches_plain_lineup_and_resumes_identically() {
+        let scn = tiny_scenario();
+        let library = tiny_library();
+        let dir = std::env::temp_dir().join(format!("rac-ckpt-test-{}", std::process::id()));
+        let plain = crate::scenario::run_tuners(&scn, &library);
+
+        let opts = CheckpointOptions {
+            path: dir.join("full.ckpt"),
+            every: 4,
+            stop_after: None,
+        };
+        let full = match run_tuners_checkpointed(&scn, &library, &opts, None).unwrap() {
+            LineupOutcome::Complete(series) => series,
+            LineupOutcome::Interrupted { .. } => panic!("no stop requested"),
+        };
+        assert_eq!(full, plain, "checkpointing must not perturb the series");
+
+        // Interrupt at a mid-lineup boundary (tuner 1 mid-run) and at a
+        // non-schedule boundary (pending flush), then resume each.
+        for stop_after in [8usize, 7] {
+            let path = dir.join(format!("stop-{stop_after}.ckpt"));
+            let opts = CheckpointOptions {
+                path: path.clone(),
+                every: 4,
+                stop_after: Some(stop_after),
+            };
+            let outcome = run_tuners_checkpointed(&scn, &library, &opts, None).unwrap();
+            let LineupOutcome::Interrupted { global_iterations } = outcome else {
+                panic!("run should stop after {stop_after} lineup iterations");
+            };
+            assert_eq!(global_iterations, stop_after);
+
+            let snap = Snapshot::load(&path).unwrap();
+            let opts = CheckpointOptions {
+                path,
+                every: 4,
+                stop_after: None,
+            };
+            let resumed = match run_tuners_checkpointed(&scn, &library, &opts, Some(&snap)).unwrap()
+            {
+                LineupOutcome::Complete(series) => series,
+                LineupOutcome::Interrupted { .. } => panic!("resume should finish"),
+            };
+            assert_eq!(resumed, full, "resume after {stop_after} diverged");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn resume_rejects_wrong_scenario() {
+        let scn = tiny_scenario();
+        let library = tiny_library();
+        let dir = std::env::temp_dir().join(format!("rac-ckpt-mism-{}", std::process::id()));
+        let path = dir.join("run.ckpt");
+        let opts = CheckpointOptions {
+            path: path.clone(),
+            every: 2,
+            stop_after: Some(2),
+        };
+        run_tuners_checkpointed(&scn, &library, &opts, None).unwrap();
+        let snap = Snapshot::load(&path).unwrap();
+
+        let other = Scenario::parse(
+            "name other\nduration 360s\ninterval 60s\nwarmup 60s\nclients 60\nseed 5\n",
+        )
+        .unwrap();
+        let err = run_tuners_checkpointed(&other, &library, &opts, Some(&snap)).unwrap_err();
+        assert!(matches!(err, CkptError::Mismatch { .. }), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -24,23 +24,75 @@ pub fn bundled_names() -> Vec<&'static str> {
         .collect()
 }
 
+/// Why a scenario operand could not be turned into a [`Scenario`].
+#[derive(Debug)]
+pub enum ResolveError {
+    /// The operand named neither a bundled scenario nor a readable file.
+    NotFound {
+        /// The operand as given.
+        arg: String,
+        /// The bundled names that *would* have resolved.
+        bundled: Vec<&'static str>,
+        /// The error from trying it as a path.
+        source: std::io::Error,
+    },
+    /// The operand was readable but is not a valid scenario.
+    Parse {
+        /// Where the text came from (operand or `bundled scenario X`).
+        origin: String,
+        /// The scenario-language error, with line number.
+        source: scenario::ParseError,
+    },
+}
+
+impl std::fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResolveError::NotFound {
+                arg,
+                bundled,
+                source,
+            } => write!(
+                f,
+                "{arg}: not a bundled scenario ({}) and not a readable file: {source}",
+                bundled.join(", ")
+            ),
+            ResolveError::Parse { origin, source } => write!(f, "{origin}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ResolveError::NotFound { source, .. } => Some(source),
+            ResolveError::Parse { source, .. } => Some(source),
+        }
+    }
+}
+
 /// Resolves a scenario operand: a bundled name first, then a path to a
 /// `.scn` file on disk.
 ///
 /// # Errors
 ///
-/// Returns a human-readable message when the operand is neither.
-pub fn resolve(arg: &str) -> Result<Scenario, String> {
+/// Returns [`ResolveError`] when the operand is neither.
+pub fn resolve(arg: &str) -> Result<Scenario, ResolveError> {
     if let Some(src) = scenario::bundled::by_name(arg) {
-        return Scenario::parse(src).map_err(|e| format!("bundled scenario {arg}: {e}"));
+        return Scenario::parse(src).map_err(|source| ResolveError::Parse {
+            origin: format!("bundled scenario {arg}"),
+            source,
+        });
     }
-    let src = std::fs::read_to_string(Path::new(arg)).map_err(|e| {
-        format!(
-            "{arg}: not a bundled scenario ({}) and not a readable file: {e}",
-            bundled_names().join(", ")
-        )
+    let src = std::fs::read_to_string(Path::new(arg)).map_err(|source| ResolveError::NotFound {
+        arg: arg.to_string(),
+        bundled: bundled_names(),
+        source,
     })?;
-    Scenario::parse(&src).map_err(|e| format!("{arg}: {e}"))
+    Scenario::parse(&src).map_err(|source| ResolveError::Parse {
+        origin: arg.to_string(),
+        source,
+    })
 }
 
 /// Runs the standard tuner line-up — RAC seeded from the offline policy
@@ -117,9 +169,11 @@ mod tests {
             assert_eq!(scn.name, name);
         }
         let err = resolve("no-such-scenario").unwrap_err();
+        assert!(matches!(err, ResolveError::NotFound { .. }));
+        let msg = err.to_string();
         assert!(
-            err.contains("diurnal"),
-            "error must list bundled names: {err}"
+            msg.contains("diurnal"),
+            "error must list bundled names: {msg}"
         );
     }
 

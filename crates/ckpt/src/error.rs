@@ -1,0 +1,98 @@
+//! The typed failure modes of snapshot reading and writing.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Why a snapshot could not be written, read, or applied.
+///
+/// Every rejection of a bad file maps to a distinct variant, so callers
+/// (and tests) can tell a truncated file from a bit-flipped one from a
+/// version skew without parsing message strings.
+#[derive(Debug)]
+pub enum CkptError {
+    /// An OS-level I/O failure, with the path and the operation that
+    /// failed attached for a self-explanatory message.
+    Io {
+        /// The file the operation was acting on.
+        path: PathBuf,
+        /// What we were doing, e.g. `"write temp file"`.
+        context: &'static str,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The file does not start with the snapshot magic — not a
+    /// checkpoint at all.
+    BadMagic,
+    /// The file is a checkpoint, but from a format revision this build
+    /// does not speak.
+    UnsupportedVersion {
+        /// The version the file claims.
+        found: u32,
+        /// The version this build reads and writes.
+        supported: u32,
+    },
+    /// The file ends mid-structure.
+    Truncated {
+        /// Where the data ran out.
+        detail: String,
+    },
+    /// A section's payload does not match its recorded checksum.
+    CrcMismatch {
+        /// The corrupted section.
+        section: String,
+    },
+    /// A required section is absent.
+    MissingSection {
+        /// The section that was looked up.
+        section: String,
+    },
+    /// Structurally invalid content: trailing bytes, invalid UTF-8 in a
+    /// name, an out-of-range enum tag, and the like.
+    Corrupt {
+        /// What exactly was malformed.
+        detail: String,
+    },
+    /// The snapshot is internally valid but does not apply here — e.g.
+    /// it was taken against a different scenario or system spec.
+    Mismatch {
+        /// What disagreed.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CkptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CkptError::Io {
+                path,
+                context,
+                source,
+            } => write!(f, "{} {}: {}", context, path.display(), source),
+            CkptError::BadMagic => write!(f, "not a checkpoint file (bad magic)"),
+            CkptError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported checkpoint format version {found} (this build reads {supported})"
+            ),
+            CkptError::Truncated { detail } => write!(f, "truncated checkpoint: {detail}"),
+            CkptError::CrcMismatch { section } => {
+                write!(f, "checkpoint section `{section}` fails its CRC check")
+            }
+            CkptError::MissingSection { section } => {
+                write!(f, "checkpoint is missing section `{section}`")
+            }
+            CkptError::Corrupt { detail } => write!(f, "corrupt checkpoint: {detail}"),
+            CkptError::Mismatch { detail } => {
+                write!(f, "checkpoint does not match this run: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CkptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CkptError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

@@ -141,7 +141,7 @@ pub struct RacAgent {
     iterations: u64,
     switches: u64,
     /// Base predictions of the active initial policy (ms per state).
-    predicted: Vec<f32>,
+    predicted: Vec<f64>,
     /// States measured in the current context, overriding predictions.
     measured: HashMap<usize, f64>,
     /// EWMA multiplicative correction of `predicted` toward observed
@@ -185,7 +185,7 @@ impl RacAgent {
             lattice.num_states(),
             "initial policy trained on a different lattice"
         );
-        mdp.set_perf_map(policy.perf_ms.clone());
+        mdp.set_perf_map(policy.perf_ms.iter().map(|&p| p as f64).collect());
         let mut qtable = QTable::new(lattice.num_states(), Action::COUNT);
         qtable.copy_from(&policy.qtable);
         Self::assemble(settings, lattice, mdp, qtable, None)
@@ -266,7 +266,7 @@ impl RacAgent {
         };
         if let Some(best) = library.best_match(self.current_state, measured_ms) {
             self.qtable.copy_from(&best.qtable);
-            self.predicted = best.perf_ms.clone();
+            self.predicted = best.perf_ms.iter().map(|&p| p as f64).collect();
             self.calibration = 1.0;
             // Measurements from before the change no longer describe the
             // system; the violation streak that triggered the switch does.
@@ -279,16 +279,15 @@ impl RacAgent {
     }
 
     /// Rebuilds the MDP's performance map: measured values where
-    /// available, calibrated predictions elsewhere.
+    /// available, calibrated predictions elsewhere. The map stays in
+    /// `f64` end to end — rounding the calibrated products through
+    /// `f32` collapsed near-tied states and let the index tie-break
+    /// flip the argmin whenever calibration ≠ 1.0.
     fn refresh_perf_map(&mut self) {
         let calib = self.calibration;
-        let mut perf: Vec<f32> = self
-            .predicted
-            .iter()
-            .map(|&p| (p as f64 * calib) as f32)
-            .collect();
+        let mut perf: Vec<f64> = self.predicted.iter().map(|&p| p * calib).collect();
         for (&s, &rt) in &self.measured {
-            perf[s] = rt as f32;
+            perf[s] = rt;
         }
         self.mdp.set_perf_map(perf);
     }
@@ -323,7 +322,288 @@ impl RacAgent {
             candidates[self.rng.below(candidates.len() as u64) as usize]
         }
     }
+
+    /// Writes the agent's complete learned and tuner state into a
+    /// snapshot: settings, Q-table, performance knowledge, detector,
+    /// experience log, RNG stream position, and (when present) the
+    /// policy library. A [`restore`](Self::restore)d agent makes
+    /// bit-identical decisions to one that was never serialized.
+    pub fn save_state(&self, snap: &mut ckpt::SnapshotWriter) {
+        snap.section(SECTION_SETTINGS, |w| {
+            w.put_usize(self.settings.online_levels);
+            w.put_f64(self.settings.sla_ms);
+            w.put_f64(self.settings.alpha);
+            w.put_f64(self.settings.gamma);
+            w.put_f64(self.settings.epsilon);
+            w.put_f64(self.settings.exploration_guard);
+            w.put_f64(self.settings.batch_theta);
+            w.put_usize(self.settings.batch_passes);
+            w.put_bool(self.settings.online_learning);
+            w.put_u64(self.settings.seed);
+        });
+        snap.section(SECTION_QTABLE, |w| {
+            crate::persist::encode_qtable(w, &self.qtable);
+        });
+        snap.section(SECTION_STATE, |w| {
+            w.put_u64(self.iterations);
+            w.put_u64(self.switches);
+            w.put_usize(self.current_state);
+            w.put_usize(self.last_action);
+            w.put_f64(self.calibration);
+            w.put_usize(self.predicted.len());
+            for &p in &self.predicted {
+                w.put_f64(p);
+            }
+            // HashMap iteration order is unstable; sort so identical
+            // agents encode to identical bytes.
+            let mut measured: Vec<(usize, f64)> =
+                self.measured.iter().map(|(&s, &rt)| (s, rt)).collect();
+            measured.sort_unstable_by_key(|&(s, _)| s);
+            w.put_usize(measured.len());
+            for (s, rt) in measured {
+                w.put_usize(s);
+                w.put_f64(rt);
+            }
+            w.put_usize(self.recent.len());
+            for &(s, rt) in &self.recent {
+                w.put_usize(s);
+                w.put_f64(rt);
+            }
+        });
+        snap.section(SECTION_EXPERIENCE, |w| {
+            w.put_usize(self.experience.capacity());
+            w.put_usize(self.experience.len());
+            for t in self.experience.iter() {
+                w.put_usize(t.state);
+                w.put_usize(t.action);
+                w.put_f64(t.reward);
+                w.put_usize(t.next_state);
+            }
+        });
+        snap.section(SECTION_DETECTOR, |w| {
+            self.detector.encode(w);
+        });
+        snap.section(SECTION_RNG, |w| {
+            for word in self.rng.state_words() {
+                w.put_u64(word);
+            }
+        });
+        snap.section(SECTION_LIBRARY, |w| {
+            match &self.library {
+                Some(lib) => {
+                    w.put_bool(true);
+                    w.put_usize(self.lattice.num_states());
+                    w.put_usize(Action::COUNT);
+                    crate::persist::encode_library(w, lib);
+                }
+                None => w.put_bool(false),
+            };
+        });
+    }
+
+    /// Reconstructs an agent from a snapshot written by
+    /// [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`ckpt::CkptError`] when a section is missing,
+    /// fails its CRC, or decodes to values that violate the agent's
+    /// invariants (out-of-range states/actions, mismatched table
+    /// shapes, invalid hyper-parameters) — a CRC-valid but semantically
+    /// impossible snapshot is rejected rather than trusted.
+    pub fn restore(snap: &ckpt::Snapshot) -> Result<Self, ckpt::CkptError> {
+        let corrupt = |detail: String| ckpt::CkptError::Corrupt { detail };
+
+        let mut r = snap.section(SECTION_SETTINGS)?;
+        let settings = RacSettings {
+            online_levels: r.get_usize()?,
+            sla_ms: r.get_f64()?,
+            alpha: r.get_f64()?,
+            gamma: r.get_f64()?,
+            epsilon: r.get_f64()?,
+            exploration_guard: r.get_f64()?,
+            batch_theta: r.get_f64()?,
+            batch_passes: r.get_usize()?,
+            online_learning: r.get_bool()?,
+            seed: r.get_u64()?,
+        };
+        r.finish()?;
+        if settings.online_levels < 2 || settings.online_levels > 64 {
+            return Err(corrupt(format!(
+                "online_levels {} out of range",
+                settings.online_levels
+            )));
+        }
+        if settings.sla_ms.is_nan() || settings.sla_ms <= 0.0 {
+            return Err(corrupt(format!(
+                "sla_ms {} must be positive",
+                settings.sla_ms
+            )));
+        }
+        if settings.alpha.is_nan() || settings.alpha <= 0.0 || settings.alpha > 1.0 {
+            return Err(corrupt(format!("alpha {} out of (0, 1]", settings.alpha)));
+        }
+        if settings.gamma.is_nan() || settings.gamma < 0.0 || settings.gamma >= 1.0 {
+            return Err(corrupt(format!("gamma {} out of [0, 1)", settings.gamma)));
+        }
+        if settings.epsilon.is_nan() || settings.epsilon < 0.0 || settings.epsilon > 1.0 {
+            return Err(corrupt(format!(
+                "epsilon {} out of [0, 1]",
+                settings.epsilon
+            )));
+        }
+
+        let lattice = ConfigLattice::new(settings.online_levels);
+        let states = lattice.num_states();
+        let reward = SlaReward::new(settings.sla_ms);
+        let mdp = ConfigMdp::new(&lattice, reward);
+
+        let mut r = snap.section(SECTION_QTABLE)?;
+        let qtable = crate::persist::decode_qtable(&mut r, states, Action::COUNT)?;
+        r.finish()?;
+
+        let mut r = snap.section(SECTION_STATE)?;
+        let iterations = r.get_u64()?;
+        let switches = r.get_u64()?;
+        let current_state = r.get_usize()?;
+        let last_action = r.get_usize()?;
+        let calibration = r.get_f64()?;
+        if current_state >= states {
+            return Err(corrupt(format!(
+                "current state {current_state} out of {states} states"
+            )));
+        }
+        if last_action >= Action::COUNT {
+            return Err(corrupt(format!("action index {last_action} out of range")));
+        }
+        if !calibration.is_finite() || calibration <= 0.0 {
+            return Err(corrupt(format!(
+                "calibration {calibration} must be positive"
+            )));
+        }
+        let predicted_len = r.get_usize()?;
+        if predicted_len != states {
+            return Err(ckpt::CkptError::Mismatch {
+                detail: format!("predicted map has {predicted_len} states, lattice has {states}"),
+            });
+        }
+        let mut predicted = Vec::with_capacity(states);
+        for _ in 0..states {
+            predicted.push(r.get_f64()?);
+        }
+        let measured_len = r.get_usize()?;
+        let mut measured = HashMap::with_capacity(measured_len);
+        for _ in 0..measured_len {
+            let s = r.get_usize()?;
+            let rt = r.get_f64()?;
+            if s >= states {
+                return Err(corrupt(format!("measured state {s} out of range")));
+            }
+            measured.insert(s, rt);
+        }
+        let recent_len = r.get_usize()?;
+        let mut recent = VecDeque::with_capacity(recent_len.max(8));
+        for _ in 0..recent_len {
+            let s = r.get_usize()?;
+            let rt = r.get_f64()?;
+            if s >= states {
+                return Err(corrupt(format!("recent state {s} out of range")));
+            }
+            recent.push_back((s, rt));
+        }
+        r.finish()?;
+
+        let mut r = snap.section(SECTION_EXPERIENCE)?;
+        let capacity = r.get_usize()?;
+        let len = r.get_usize()?;
+        if capacity == 0 || len > capacity {
+            return Err(corrupt(format!(
+                "experience log {len}/{capacity} is impossible"
+            )));
+        }
+        let mut experience = ExperienceLog::new(capacity);
+        for _ in 0..len {
+            let t = Transition {
+                state: r.get_usize()?,
+                action: r.get_usize()?,
+                reward: r.get_f64()?,
+                next_state: r.get_usize()?,
+            };
+            if t.state >= states || t.next_state >= states || t.action >= Action::COUNT {
+                return Err(corrupt("experience transition out of range".to_string()));
+            }
+            experience.record(t);
+        }
+        r.finish()?;
+
+        let mut r = snap.section(SECTION_DETECTOR)?;
+        let detector = ViolationDetector::decode(&mut r)?;
+        r.finish()?;
+
+        let mut r = snap.section(SECTION_RNG)?;
+        let mut words = [0u64; 4];
+        for word in &mut words {
+            *word = r.get_u64()?;
+        }
+        r.finish()?;
+        let rng = Pcg64::from_state_words(words);
+
+        let mut r = snap.section(SECTION_LIBRARY)?;
+        let library = if r.get_bool()? {
+            let lib_states = r.get_usize()?;
+            let lib_actions = r.get_usize()?;
+            if (lib_states, lib_actions) != (states, Action::COUNT) {
+                return Err(ckpt::CkptError::Mismatch {
+                    detail: format!(
+                        "library trained on {lib_states}x{lib_actions}, agent uses {}x{}",
+                        states,
+                        Action::COUNT
+                    ),
+                });
+            }
+            Some(crate::persist::decode_library(
+                &mut r,
+                states,
+                Action::COUNT,
+            )?)
+        } else {
+            None
+        };
+        r.finish()?;
+
+        let learner = QLearning::new(settings.alpha, settings.gamma);
+        let mut agent = RacAgent {
+            settings,
+            lattice,
+            mdp,
+            qtable,
+            learner,
+            rng,
+            current_state,
+            last_action,
+            detector,
+            library,
+            experience,
+            iterations,
+            switches,
+            predicted,
+            measured,
+            calibration,
+            recent,
+        };
+        agent.refresh_perf_map();
+        Ok(agent)
+    }
 }
+
+/// Section names of a [`RacAgent`] snapshot.
+pub(crate) const SECTION_SETTINGS: &str = "rac.settings";
+pub(crate) const SECTION_QTABLE: &str = "rac.qtable";
+pub(crate) const SECTION_STATE: &str = "rac.state";
+pub(crate) const SECTION_EXPERIENCE: &str = "rac.experience";
+pub(crate) const SECTION_DETECTOR: &str = "rac.detector";
+pub(crate) const SECTION_RNG: &str = "rac.rng";
+pub(crate) const SECTION_LIBRARY: &str = "rac.library";
 
 impl Tuner for RacAgent {
     fn name(&self) -> &str {
@@ -352,7 +632,7 @@ impl Tuner for RacAgent {
                 // local noise — small errors are handled precisely by
                 // the measured-value layer, and folding them into the
                 // global factor would churn the whole landscape.
-                let base = self.predicted[self.current_state] as f64;
+                let base = self.predicted[self.current_state];
                 if !self.measured.contains_key(&self.current_state) && base > 0.0 {
                     let target = measured / (base * self.calibration);
                     if !(0.5..=2.0).contains(&target) {

@@ -139,7 +139,96 @@ impl TrialAndError {
         self.pending_level = None;
         self.done = false;
     }
+
+    /// Writes the tuner's complete sweep state into a snapshot. The
+    /// parameter order is a compile-time constant, so only the cursor
+    /// into it is serialized.
+    pub fn save_state(&self, snap: &mut ckpt::SnapshotWriter) {
+        snap.section(SECTION_TAE, |w| {
+            w.put_usize(self.lattice.levels());
+            crate::persist::encode_config(w, &self.best_config);
+            w.put_usize(self.param_pos);
+            w.put_usize(self.next_level);
+            match self.best_for_param {
+                Some((rt, level)) => {
+                    w.put_bool(true);
+                    w.put_f64(rt);
+                    w.put_usize(level);
+                }
+                None => w.put_bool(false),
+            }
+            match self.pending_level {
+                Some(level) => {
+                    w.put_bool(true);
+                    w.put_usize(level);
+                }
+                None => w.put_bool(false),
+            }
+            w.put_bool(self.done);
+            self.detector.encode(w);
+        });
+    }
+
+    /// Reconstructs a tuner from a snapshot written by
+    /// [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`ckpt::CkptError`] when the section is missing,
+    /// corrupt, or decodes to an impossible sweep position.
+    pub fn restore(snap: &ckpt::Snapshot) -> Result<Self, ckpt::CkptError> {
+        let corrupt = |detail: String| ckpt::CkptError::Corrupt { detail };
+        let mut r = snap.section(SECTION_TAE)?;
+        let levels = r.get_usize()?;
+        if !(2..=64).contains(&levels) {
+            return Err(corrupt(format!("lattice levels {levels} out of range")));
+        }
+        let best_config = crate::persist::decode_config(&mut r)?;
+        let param_pos = r.get_usize()?;
+        let next_level = r.get_usize()?;
+        if param_pos >= Self::ORDER.len() || next_level > levels {
+            return Err(corrupt(format!(
+                "sweep cursor param {param_pos}/levels {next_level} out of range"
+            )));
+        }
+        let best_for_param = if r.get_bool()? {
+            let rt = r.get_f64()?;
+            let level = r.get_usize()?;
+            if level >= levels {
+                return Err(corrupt(format!("best level {level} out of range")));
+            }
+            Some((rt, level))
+        } else {
+            None
+        };
+        let pending_level = if r.get_bool()? {
+            let level = r.get_usize()?;
+            if level >= levels {
+                return Err(corrupt(format!("pending level {level} out of range")));
+            }
+            Some(level)
+        } else {
+            None
+        };
+        let done = r.get_bool()?;
+        let detector = ViolationDetector::decode(&mut r)?;
+        r.finish()?;
+        Ok(TrialAndError {
+            lattice: ConfigLattice::new(levels),
+            order: Self::ORDER,
+            best_config,
+            param_pos,
+            next_level,
+            best_for_param,
+            pending_level,
+            done,
+            detector,
+        })
+    }
 }
+
+/// Section name of a [`TrialAndError`] snapshot.
+pub(crate) const SECTION_TAE: &str = "tae.state";
 
 impl Tuner for TrialAndError {
     fn name(&self) -> &str {
@@ -284,6 +373,41 @@ mod tests {
             achieved > global_best * 1.02,
             "one-at-a-time tuning should be trapped: {achieved} vs {global_best}"
         );
+    }
+
+    #[test]
+    fn trial_and_error_round_trips_mid_sweep() {
+        let mut t = TrialAndError::new(3);
+        let mut cfg = ServerConfig::default();
+        for _ in 0..7 {
+            cfg = t.next_config(&sample(separable(&cfg))); // mid-parameter
+        }
+        let mut snap = ckpt::SnapshotWriter::new();
+        t.save_state(&mut snap);
+        let restored = ckpt::Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+        let mut back = TrialAndError::restore(&restored).unwrap();
+        // Both copies must make identical decisions from here on.
+        for _ in 0..30 {
+            let s = sample(separable(&cfg));
+            let a = t.next_config(&s);
+            assert_eq!(back.next_config(&s), a);
+            cfg = a;
+        }
+        assert_eq!(back.is_done(), t.is_done());
+        assert_eq!(back.best_config(), t.best_config());
+    }
+
+    #[test]
+    fn trial_and_error_restore_rejects_bad_cursor() {
+        let mut t = TrialAndError::new(3);
+        t.param_pos = 99;
+        let mut snap = ckpt::SnapshotWriter::new();
+        t.save_state(&mut snap);
+        let restored = ckpt::Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert!(matches!(
+            TrialAndError::restore(&restored),
+            Err(ckpt::CkptError::Corrupt { .. })
+        ));
     }
 
     #[test]

@@ -1,0 +1,504 @@
+//! Crash-safe scenario runs: boundary callbacks for periodic
+//! snapshots, and deterministic resume by replay.
+//!
+//! A full discrete-event-simulator state dump would be enormous and
+//! fragile; instead a checkpoint records only the *learned* state (the
+//! tuner, via [`PersistTuner`]) plus the run's recorded series
+//! ([`ScenarioProgress`]). Resuming rebuilds the simulated system from
+//! its spec and deterministically replays the completed intervals —
+//! applying timeline events and the recorded configuration transitions
+//! in the exact order of the live run, with no tuner calls and no trace
+//! emissions — then hands control back to the restored tuner. Because
+//! the simulator is a pure function of (spec, inputs), the replayed
+//! system is bit-identical to the one the interrupted run had, and the
+//! continued run produces byte-identical series and trace output to an
+//! uninterrupted one.
+
+use ckpt::wire::{Reader, Writer};
+use ckpt::{CkptError, SnapshotWriter};
+use obs::trace;
+use scenario::{EventKind, Scenario};
+use websim::{PerfSample, ServerConfig, ThreeTierSystem};
+
+use crate::agent::{RacAgent, Tuner};
+use crate::baseline::{StaticDefault, TrialAndError};
+use crate::experiment::{sim_tier, Experiment, IterationRecord};
+
+/// A tuner whose complete decision-relevant state can be serialized
+/// into a snapshot. Restoration is type-specific (each tuner has its
+/// own `restore` constructor); this trait covers the saving side so a
+/// checkpoint sink can snapshot whatever tuner it is driving.
+pub trait PersistTuner: Tuner {
+    /// Writes the tuner's state into the snapshot under construction.
+    fn save_state(&self, snap: &mut SnapshotWriter);
+}
+
+impl PersistTuner for RacAgent {
+    fn save_state(&self, snap: &mut SnapshotWriter) {
+        RacAgent::save_state(self, snap);
+    }
+}
+
+impl PersistTuner for TrialAndError {
+    fn save_state(&self, snap: &mut SnapshotWriter) {
+        TrialAndError::save_state(self, snap);
+    }
+}
+
+impl PersistTuner for StaticDefault {
+    fn save_state(&self, _snap: &mut SnapshotWriter) {
+        // Stateless: a fresh StaticDefault is already fully restored.
+    }
+}
+
+/// How far a scenario run has progressed: everything the resume replay
+/// needs besides the tuner's own state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioProgress {
+    /// Number of completed measurement iterations.
+    pub iterations_done: usize,
+    /// The records of those iterations, in order.
+    pub series: Vec<IterationRecord>,
+    /// The configuration the *next* interval will run under (the
+    /// tuner's last decision, already applied to the system).
+    pub next_config: ServerConfig,
+}
+
+/// Serializes an iteration series (shared by [`ScenarioProgress`] and
+/// the bench crate's whole-lineup checkpoint, which stores the series
+/// of every already-finished tuner).
+pub fn encode_series(w: &mut Writer, series: &[IterationRecord]) {
+    w.put_usize(series.len());
+    for rec in series {
+        w.put_usize(rec.iteration);
+        w.put_usize(rec.phase);
+        w.put_f64(rec.response_ms);
+        w.put_f64(rec.p95_ms);
+        w.put_f64(rec.throughput_rps);
+        crate::persist::encode_config(w, &rec.config);
+    }
+}
+
+/// Restores a series written by [`encode_series`].
+///
+/// # Errors
+///
+/// Returns [`CkptError::Corrupt`] when the records are not numbered
+/// `0..len` (a scenario series always is).
+pub fn decode_series(r: &mut Reader<'_>) -> Result<Vec<IterationRecord>, CkptError> {
+    let len = r.get_usize()?;
+    let mut series = Vec::with_capacity(len.min(1 << 20));
+    for i in 0..len {
+        let rec = IterationRecord {
+            iteration: r.get_usize()?,
+            phase: r.get_usize()?,
+            response_ms: r.get_f64()?,
+            p95_ms: r.get_f64()?,
+            throughput_rps: r.get_f64()?,
+            config: crate::persist::decode_config(r)?,
+        };
+        if rec.iteration != i {
+            return Err(CkptError::Corrupt {
+                detail: format!("record {i} carries iteration number {}", rec.iteration),
+            });
+        }
+        series.push(rec);
+    }
+    Ok(series)
+}
+
+impl ScenarioProgress {
+    /// Serializes the progress record.
+    pub fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.iterations_done);
+        encode_series(w, &self.series);
+        crate::persist::encode_config(w, &self.next_config);
+    }
+
+    /// Restores a progress record written by [`encode`](Self::encode).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkptError::Corrupt`] when the series is internally
+    /// inconsistent (length or iteration numbering).
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, CkptError> {
+        let iterations_done = r.get_usize()?;
+        let series = decode_series(r)?;
+        if series.len() != iterations_done {
+            return Err(CkptError::Corrupt {
+                detail: format!(
+                    "progress says {iterations_done} iterations but has {} records",
+                    series.len()
+                ),
+            });
+        }
+        let next_config = crate::persist::decode_config(r)?;
+        Ok(ScenarioProgress {
+            iterations_done,
+            series,
+            next_config,
+        })
+    }
+}
+
+/// What the boundary callback tells the runner to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundaryAction {
+    /// Keep running.
+    Continue,
+    /// Stop cleanly after this iteration (the caller has persisted the
+    /// progress it needs to resume later).
+    Stop,
+}
+
+/// How a resumable scenario run ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioRunOutcome {
+    /// The full timeline ran; the complete series is returned.
+    Complete(Vec<IterationRecord>),
+    /// The boundary callback requested a stop; the progress describes
+    /// the prefix that ran.
+    Interrupted(ScenarioProgress),
+}
+
+impl Experiment {
+    /// [`run_scenario`](Experiment::run_scenario) with checkpoint
+    /// hooks: `on_boundary` is called after every completed iteration
+    /// with the progress so far and the tuner (to snapshot), and may
+    /// stop the run; `resume` continues a previous run's progress by
+    /// deterministic replay.
+    ///
+    /// A run that is stopped at a boundary and later resumed produces
+    /// byte-identical series and trace output to one that ran straight
+    /// through, provided the caller restored the trace buffer and run
+    /// counter before resuming (the bench crate's checkpoint sink does
+    /// both).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CkptError::Mismatch`] when `resume` does not fit this
+    /// scenario (more iterations recorded than the timeline has), and
+    /// propagates errors from `on_boundary`.
+    pub fn run_scenario_resumable(
+        &self,
+        scn: &Scenario,
+        tuner: &mut dyn PersistTuner,
+        resume: Option<ScenarioProgress>,
+        mut on_boundary: impl FnMut(
+            &ScenarioProgress,
+            &dyn PersistTuner,
+        ) -> Result<BoundaryAction, CkptError>,
+    ) -> Result<ScenarioRunOutcome, CkptError> {
+        let timeline = scn.compile();
+        let iterations = scn.iterations();
+        let mut progress = match resume {
+            Some(p) => {
+                if p.iterations_done > iterations {
+                    return Err(CkptError::Mismatch {
+                        detail: format!(
+                            "checkpoint has {} iterations, scenario only runs {iterations}",
+                            p.iterations_done
+                        ),
+                    });
+                }
+                p
+            }
+            None => {
+                // Fresh run: emit the same session header run_scenario
+                // writes, so the trace is indistinguishable.
+                if trace::scoped() {
+                    trace::begin_run();
+                    trace::set_sim_time_us(0);
+                    trace::emit(|| {
+                        obs::Event::new("experiment")
+                            .field("tuner", tuner.name())
+                            .field("phases", 1u64)
+                            .field("iterations", iterations as u64)
+                            .field("interval_s", self.interval().as_secs_f64())
+                            .field("warmup_s", self.warmup().as_secs_f64())
+                    });
+                    trace::emit(|| {
+                        obs::Event::new("phase")
+                            .field("phase", 0u64)
+                            .field("context", format!("scenario {}", scn.name))
+                            .field("iterations", iterations as u64)
+                    });
+                }
+                ScenarioProgress {
+                    iterations_done: 0,
+                    series: Vec::with_capacity(iterations),
+                    next_config: ServerConfig::default(),
+                }
+            }
+        };
+
+        let mut system = ThreeTierSystem::new(self.spec().clone());
+        let mut config = ServerConfig::default();
+        system.set_config(config);
+        if !self.warmup().is_zero() {
+            let _ = system.run_interval(self.warmup());
+        }
+
+        let warmup_us = self.warmup().as_micros();
+        let interval_us = self.interval().as_micros();
+        let mut next_event = 0usize;
+        let mut outlier: Option<f64> = None;
+        let mut drop_next = false;
+
+        // Replay the completed prefix: identical system mutations in
+        // identical order, but silently — no tuner calls (its state
+        // came from the snapshot) and no trace emissions (the restored
+        // trace buffer already holds these iterations' events).
+        for iteration in 0..progress.iterations_done {
+            let start_us = iteration as u64 * interval_us;
+            while let Some(ev) = timeline.events().get(next_event) {
+                if ev.t.as_micros() > start_us {
+                    break;
+                }
+                apply_event(&mut system, &ev.kind, &mut outlier, &mut drop_next);
+                next_event += 1;
+            }
+            let _ = system.run_interval(self.interval());
+            // Measurement faults only corrupt samples, which the
+            // recorded series already holds; clear them like the live
+            // loop does.
+            drop_next = false;
+            outlier = None;
+            let next = if iteration + 1 < progress.iterations_done {
+                progress.series[iteration + 1].config
+            } else {
+                progress.next_config
+            };
+            if next != config {
+                system.set_config(next);
+                config = next;
+            }
+        }
+
+        // Live from here: byte-for-byte the run_scenario loop, plus the
+        // boundary callback.
+        for iteration in progress.iterations_done..iterations {
+            let start_us = iteration as u64 * interval_us;
+            while let Some(ev) = timeline.events().get(next_event) {
+                if ev.t.as_micros() > start_us {
+                    break;
+                }
+                trace::set_sim_time_us(warmup_us + ev.t.as_micros());
+                trace::emit(|| {
+                    obs::Event::new("scenario_event")
+                        .field("event", ev.kind.label())
+                        .field("detail", ev.kind.to_string())
+                });
+                apply_event(&mut system, &ev.kind, &mut outlier, &mut drop_next);
+                next_event += 1;
+            }
+            let raw = system.run_interval(self.interval());
+            let sample = if drop_next {
+                drop_next = false;
+                outlier = None;
+                PerfSample::empty()
+            } else if let Some(factor) = outlier.take() {
+                PerfSample {
+                    mean_response_ms: raw.mean_response_ms * factor,
+                    p95_response_ms: raw.p95_response_ms * factor,
+                    ..raw
+                }
+            } else {
+                raw
+            };
+            let sim_us = warmup_us + (iteration as u64 + 1) * interval_us;
+            trace::set_sim_time_us(sim_us);
+            progress.series.push(IterationRecord {
+                iteration,
+                phase: 0,
+                response_ms: sample.mean_response_ms,
+                p95_ms: sample.p95_response_ms,
+                throughput_rps: sample.throughput_rps,
+                config,
+            });
+            let next = tuner.next_config(&sample);
+            if next != config {
+                trace::emit(|| {
+                    obs::Event::new("reconfigure")
+                        .field("iter", (iteration + 1) as u64)
+                        .field("from", config.to_string())
+                        .field("to", next.to_string())
+                });
+                system.set_config(next);
+                config = next;
+            }
+            progress.iterations_done = iteration + 1;
+            progress.next_config = config;
+            if on_boundary(&progress, &*tuner)? == BoundaryAction::Stop
+                && progress.iterations_done < iterations
+            {
+                return Ok(ScenarioRunOutcome::Interrupted(progress));
+            }
+        }
+        Ok(ScenarioRunOutcome::Complete(progress.series))
+    }
+}
+
+/// Applies one timeline event to the simulated system — the shared
+/// mutation core of the live loop and the resume replay.
+fn apply_event(
+    system: &mut ThreeTierSystem,
+    kind: &EventKind,
+    outlier: &mut Option<f64>,
+    drop_next: &mut bool,
+) {
+    match kind {
+        EventKind::Intensity(scale) => system.set_intensity(*scale),
+        EventKind::MixStep(mix) => system.set_workload(system.clients(), *mix),
+        EventKind::MixBlend { from, to, frac } => system.set_mix_blend(*from, *to, *frac),
+        EventKind::Level(level) => system.set_resource_level(*level),
+        EventKind::Stall { tier, dur } => system.inject_stall(sim_tier(*tier), *dur),
+        EventKind::Noise(factor) => system.set_latency_factor(*factor),
+        EventKind::Outlier(factor) => *outlier = Some(*factor),
+        EventKind::Drop => *drop_next = true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use websim::SystemSpec;
+
+    fn scenario() -> Scenario {
+        Scenario::parse(
+            "name mini\nduration 360s\ninterval 60s\nwarmup 60s\nclients 60\nseed 3\n\
+             at 60s intensity 1.5\nfault at 150s outlier 4\nfault at 200s drop\n",
+        )
+        .unwrap()
+    }
+
+    fn experiment(scn: &Scenario) -> Experiment {
+        Experiment::for_scenario(SystemSpec::default(), scn)
+    }
+
+    #[test]
+    fn resumable_matches_run_scenario_when_uninterrupted() {
+        let scn = scenario();
+        let exp = experiment(&scn);
+        let plain = exp.run_scenario(&scn, &mut StaticDefault::new());
+        let outcome = exp
+            .run_scenario_resumable(&scn, &mut StaticDefault::new(), None, |_, _| {
+                Ok(BoundaryAction::Continue)
+            })
+            .unwrap();
+        assert_eq!(outcome, ScenarioRunOutcome::Complete(plain));
+    }
+
+    #[test]
+    fn stop_resume_is_bit_identical_for_every_boundary() {
+        let scn = scenario();
+        let exp = experiment(&scn);
+        let full = exp.run_scenario(&scn, &mut StaticDefault::new());
+        for stop_after in 1..scn.iterations() {
+            let outcome = exp
+                .run_scenario_resumable(&scn, &mut StaticDefault::new(), None, |p, _| {
+                    Ok(if p.iterations_done >= stop_after {
+                        BoundaryAction::Stop
+                    } else {
+                        BoundaryAction::Continue
+                    })
+                })
+                .unwrap();
+            let ScenarioRunOutcome::Interrupted(progress) = outcome else {
+                panic!("run should stop after {stop_after} iterations");
+            };
+            assert_eq!(progress.iterations_done, stop_after);
+            let resumed = exp
+                .run_scenario_resumable(&scn, &mut StaticDefault::new(), Some(progress), |_, _| {
+                    Ok(BoundaryAction::Continue)
+                })
+                .unwrap();
+            assert_eq!(
+                resumed,
+                ScenarioRunOutcome::Complete(full.clone()),
+                "resume after iteration {stop_after} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn rac_agent_survives_stop_and_snapshot_resume() {
+        let scn = scenario();
+        let exp = experiment(&scn);
+        let settings = crate::RacSettings {
+            online_levels: 3,
+            ..crate::RacSettings::default()
+        };
+        let full = exp.run_scenario(&scn, &mut RacAgent::new(settings.clone()));
+
+        let stop_after = 3;
+        let mut snapshot_bytes = Vec::new();
+        let outcome = exp
+            .run_scenario_resumable(&scn, &mut RacAgent::new(settings), None, |p, tuner| {
+                if p.iterations_done == stop_after {
+                    let mut snap = SnapshotWriter::new();
+                    tuner.save_state(&mut snap);
+                    snapshot_bytes = snap.to_bytes();
+                    Ok(BoundaryAction::Stop)
+                } else {
+                    Ok(BoundaryAction::Continue)
+                }
+            })
+            .unwrap();
+        let ScenarioRunOutcome::Interrupted(progress) = outcome else {
+            panic!("run should have stopped");
+        };
+        // Rebuild the agent purely from the snapshot bytes, as a new
+        // process would.
+        let snap = ckpt::Snapshot::from_bytes(&snapshot_bytes).unwrap();
+        let mut agent = RacAgent::restore(&snap).unwrap();
+        let resumed = exp
+            .run_scenario_resumable(&scn, &mut agent, Some(progress), |_, _| {
+                Ok(BoundaryAction::Continue)
+            })
+            .unwrap();
+        assert_eq!(resumed, ScenarioRunOutcome::Complete(full));
+    }
+
+    #[test]
+    fn resume_past_the_timeline_is_a_mismatch() {
+        let scn = scenario();
+        let exp = experiment(&scn);
+        let bogus = ScenarioProgress {
+            iterations_done: 99,
+            series: Vec::new(),
+            next_config: ServerConfig::default(),
+        };
+        let err = exp
+            .run_scenario_resumable(&scn, &mut StaticDefault::new(), Some(bogus), |_, _| {
+                Ok(BoundaryAction::Continue)
+            })
+            .unwrap_err();
+        assert!(matches!(err, CkptError::Mismatch { .. }));
+    }
+
+    #[test]
+    fn progress_round_trips() {
+        let scn = scenario();
+        let exp = experiment(&scn);
+        let outcome = exp
+            .run_scenario_resumable(&scn, &mut StaticDefault::new(), None, |p, _| {
+                Ok(if p.iterations_done >= 2 {
+                    BoundaryAction::Stop
+                } else {
+                    BoundaryAction::Continue
+                })
+            })
+            .unwrap();
+        let ScenarioRunOutcome::Interrupted(progress) = outcome else {
+            panic!("expected interruption");
+        };
+        let mut w = Writer::new();
+        progress.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes, "t");
+        let back = ScenarioProgress::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(back, progress);
+    }
+}

@@ -232,6 +232,79 @@ impl ViolationDetector {
             self.streak_count += 1;
         }
     }
+
+    /// Serializes the detector's complete state (window contents
+    /// oldest-first, thresholds, streak progress, outlier guard).
+    pub(crate) fn encode(&self, w: &mut ckpt::wire::Writer) {
+        w.put_usize(self.window.capacity());
+        w.put_usize(self.window.len());
+        for v in self.window.iter() {
+            w.put_f64(v);
+        }
+        w.put_f64(self.v_thr);
+        w.put_usize(self.s_thr);
+        w.put_usize(self.consecutive);
+        w.put_f64(self.streak_sum);
+        w.put_usize(self.streak_count);
+        w.put_f64(self.last_streak_mean);
+        w.put_f64(self.outlier_k);
+        match self.pending_outlier {
+            Some(v) => {
+                w.put_bool(true);
+                w.put_f64(v);
+            }
+            None => w.put_bool(false),
+        }
+    }
+
+    /// Restores a detector serialized by [`encode`](Self::encode).
+    pub(crate) fn decode(r: &mut ckpt::wire::Reader<'_>) -> Result<Self, ckpt::CkptError> {
+        let corrupt = |detail: String| ckpt::CkptError::Corrupt { detail };
+        let capacity = r.get_usize()?;
+        let len = r.get_usize()?;
+        if capacity == 0 || len > capacity {
+            return Err(corrupt(format!(
+                "detector window {len}/{capacity} is impossible"
+            )));
+        }
+        let mut window = SlidingWindow::new(capacity);
+        for _ in 0..len {
+            window.push(r.get_f64()?);
+        }
+        let v_thr = r.get_f64()?;
+        let s_thr = r.get_usize()?;
+        if v_thr.is_nan() || v_thr <= 0.0 || s_thr == 0 {
+            return Err(corrupt(format!(
+                "detector thresholds v_thr={v_thr} s_thr={s_thr} are invalid"
+            )));
+        }
+        let consecutive = r.get_usize()?;
+        let streak_sum = r.get_f64()?;
+        let streak_count = r.get_usize()?;
+        let last_streak_mean = r.get_f64()?;
+        let outlier_k = r.get_f64()?;
+        if outlier_k.is_nan() || outlier_k <= 1.0 {
+            return Err(corrupt(format!(
+                "detector outlier guard {outlier_k} must exceed 1"
+            )));
+        }
+        let pending_outlier = if r.get_bool()? {
+            Some(r.get_f64()?)
+        } else {
+            None
+        };
+        Ok(ViolationDetector {
+            window,
+            v_thr,
+            s_thr,
+            consecutive,
+            streak_sum,
+            streak_count,
+            last_streak_mean,
+            outlier_k,
+            pending_outlier,
+        })
+    }
 }
 
 /// A library of per-context initial policies, produced by offline
@@ -524,5 +597,62 @@ mod tests {
         let lib = PolicyLibrary::new();
         assert!(lib.best_match(0, 100.0).is_none());
         assert!(lib.is_empty());
+    }
+
+    #[test]
+    fn detector_round_trips_mid_streak() {
+        let mut d = ViolationDetector::new(10, 0.3, 5).with_outlier_guard(4.0);
+        for _ in 0..10 {
+            d.observe(100.0);
+        }
+        for _ in 0..3 {
+            d.observe(200.0); // streak in progress
+        }
+        let mut w = ckpt::wire::Writer::new();
+        d.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ckpt::wire::Reader::new(&bytes, "t");
+        let mut back = ViolationDetector::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        // Struct equality would trip over NaN fields (last_streak_mean
+        // starts as NaN); re-encoding must reproduce the exact bytes.
+        let mut w2 = ckpt::wire::Writer::new();
+        back.encode(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
+        // The restored detector fires on exactly the same future sample.
+        assert!(!back.observe(200.0));
+        assert!(back.observe(200.0), "streak must resume at 3/5");
+    }
+
+    #[test]
+    fn detector_round_trips_pending_outlier() {
+        let mut d = ViolationDetector::new(10, 0.3, 5).with_outlier_guard(4.0);
+        for _ in 0..10 {
+            d.observe(100.0);
+        }
+        assert!(!d.observe(1_000.0)); // held as a suspected outlier
+        let mut w = ckpt::wire::Writer::new();
+        d.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ckpt::wire::Reader::new(&bytes, "t");
+        let back = ViolationDetector::decode(&mut r).unwrap();
+        r.finish().unwrap();
+        let mut w2 = ckpt::wire::Writer::new();
+        back.encode(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
+    }
+
+    #[test]
+    fn detector_decode_rejects_bad_thresholds() {
+        let mut d = ViolationDetector::paper_defaults();
+        d.v_thr = -1.0;
+        let mut w = ckpt::wire::Writer::new();
+        d.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ckpt::wire::Reader::new(&bytes, "t");
+        assert!(matches!(
+            ViolationDetector::decode(&mut r),
+            Err(ckpt::CkptError::Corrupt { .. })
+        ));
     }
 }

@@ -129,6 +129,16 @@ impl Experiment {
         self.interval
     }
 
+    /// The base system specification.
+    pub fn spec(&self) -> &SystemSpec {
+        &self.spec
+    }
+
+    /// The warm-up run length.
+    pub fn warmup(&self) -> SimDuration {
+        self.warmup
+    }
+
     /// Total scheduled iterations.
     pub fn total_iterations(&self) -> usize {
         self.phases.iter().map(|p| p.iterations).sum()
@@ -353,7 +363,7 @@ impl Experiment {
 }
 
 /// Maps the scenario crate's tier naming onto the simulator's.
-fn sim_tier(tier: scenario::Tier) -> websim::Tier {
+pub(crate) fn sim_tier(tier: scenario::Tier) -> websim::Tier {
     match tier {
         scenario::Tier::Web => websim::Tier::Web,
         scenario::Tier::AppDb => websim::Tier::AppDb,

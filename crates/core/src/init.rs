@@ -177,7 +177,7 @@ pub fn train_initial_policy(
 
     Ok(InitialPolicy {
         qtable,
-        perf_ms: mdp.perf_map().to_vec(),
+        perf_ms: mdp.perf_map().iter().map(|&p| p as f32).collect(),
         fit: model.quality(),
         samples,
         passes,

@@ -58,12 +58,14 @@ mod action;
 mod agent;
 mod analysis;
 mod baseline;
+mod checkpoint;
 mod context;
 mod experiment;
 pub mod grouping;
 mod init;
 mod mdp;
 mod param;
+mod persist;
 mod reward;
 pub mod runner;
 mod sensitivity;
@@ -75,6 +77,10 @@ pub use analysis::{
     convergence_iteration, improvement_percent, response_series, summarize_series, SeriesSummary,
 };
 pub use baseline::{StaticDefault, TrialAndError};
+pub use checkpoint::{
+    decode_series, encode_series, BoundaryAction, PersistTuner, ScenarioProgress,
+    ScenarioRunOutcome,
+};
 pub use context::{paper_contexts, PolicyLibrary, SystemContext, ViolationDetector};
 pub use experiment::{
     cross_platform, cross_workload, maxclients_sweep, series_mean, ContextPhase, Experiment,
@@ -83,6 +89,7 @@ pub use experiment::{
 pub use init::{train_initial_policy, InitialPolicy, OfflineSettings};
 pub use mdp::ConfigMdp;
 pub use param::ConfigLattice;
+pub use persist::{library_from_snapshot, library_to_snapshot};
 pub use reward::SlaReward;
 pub use runner::{Measure, MeasureJob, Runner, SimMeasurer};
 pub use sensitivity::{analyze_sensitivity, select_parameters, ParamSensitivity};

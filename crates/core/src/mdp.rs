@@ -14,6 +14,12 @@ use crate::reward::SlaReward;
 /// Transitions are precomputed into a dense table so that batch
 /// retraining sweeps ([`rl::batch_value_sweep`]) are a linear pass.
 ///
+/// The performance map is kept in `f64`: the agent multiplies predicted
+/// response times by a calibration factor every interval, and rounding
+/// the products through `f32` used to collapse near-tied states onto
+/// the same value, letting the deterministic tie-break (lowest index)
+/// flip the argmin whenever calibration ≠ 1.0.
+///
 /// # Example
 ///
 /// ```
@@ -32,7 +38,7 @@ pub struct ConfigMdp {
     levels: usize,
     states: usize,
     transitions: Vec<u32>,
-    perf_ms: Vec<f32>,
+    perf_ms: Vec<f64>,
     reward: SlaReward,
 }
 
@@ -57,7 +63,7 @@ impl ConfigMdp {
             levels,
             states,
             transitions,
-            perf_ms: vec![reward.sla_ms() as f32; states],
+            perf_ms: vec![reward.sla_ms(); states],
             reward,
         }
     }
@@ -74,12 +80,12 @@ impl ConfigMdp {
     ///
     /// Panics if `state` is out of range.
     pub fn set_perf(&mut self, state: usize, response_ms: f64) {
-        self.perf_ms[state] = response_ms as f32;
+        self.perf_ms[state] = response_ms;
     }
 
     /// The stored response time of a state (ms).
     pub fn perf(&self, state: usize) -> f64 {
-        self.perf_ms[state] as f64
+        self.perf_ms[state]
     }
 
     /// Replaces the entire performance map.
@@ -87,13 +93,13 @@ impl ConfigMdp {
     /// # Panics
     ///
     /// Panics if `perf_ms.len()` differs from the state count.
-    pub fn set_perf_map(&mut self, perf_ms: Vec<f32>) {
+    pub fn set_perf_map(&mut self, perf_ms: Vec<f64>) {
         assert_eq!(perf_ms.len(), self.states, "performance map size mismatch");
         self.perf_ms = perf_ms;
     }
 
     /// Read access to the full performance map.
-    pub fn perf_map(&self) -> &[f32] {
+    pub fn perf_map(&self) -> &[f64] {
         &self.perf_ms
     }
 
@@ -124,7 +130,7 @@ impl Environment for ConfigMdp {
     }
 
     fn reward(&self, _s: usize, _a: usize, s2: usize) -> f64 {
-        self.reward.of_response_ms(self.perf_ms[s2] as f64)
+        self.reward.of_response_ms(self.perf_ms[s2])
     }
 }
 
@@ -215,6 +221,59 @@ mod tests {
             s = mdp.transition(s, q.best_action(s));
         }
         assert_eq!(s, goal, "greedy walk should end at the optimum");
+    }
+
+    #[test]
+    fn perf_map_preserves_sub_f32_differences() {
+        // Two states closer together than f32 can represent at this
+        // magnitude; the old f32 map collapsed them onto one value.
+        let l = lattice();
+        let mut mdp = ConfigMdp::new(&l, SlaReward::new(1_000.0));
+        mdp.set_perf(7, 500.000_000_1);
+        mdp.set_perf(3, 500.0);
+        assert_eq!(mdp.perf(7), 500.000_000_1, "stored exactly, no rounding");
+        assert!(mdp.perf(3) < mdp.perf(7));
+        assert_eq!(mdp.best_state(), 3);
+    }
+
+    #[test]
+    fn calibration_epsilon_never_reorders_near_ties() {
+        // Regression for the refresh_perf_map truncation bias: predicted
+        // response times one f32 ulp apart (the finest distinction an
+        // offline policy can express), rescaled by calibration factors
+        // within 1.0 ± ε, must keep their strict order in the map —
+        // including across a binade boundary, where the old rounding
+        // back to f32 could merge or reorder the products and flip the
+        // argmin onto the lower-indexed state.
+        let l = lattice();
+        let pairs: [(f32, f32); 3] = [
+            (500.0, f32::from_bits(500.0f32.to_bits() + 1)),
+            (f32::from_bits(512.0f32.to_bits() - 1), 512.0),
+            (999.999_94, 1_000.0),
+        ];
+        for eps in [1e-9, 1e-8, 3e-8, 1e-7, 1e-6] {
+            for calib in [1.0 - eps, 1.0 + eps] {
+                for (lo, hi) in pairs {
+                    // A high SLA reference keeps every untouched state's
+                    // default perf above the pair under test.
+                    let mut mdp = ConfigMdp::new(&l, SlaReward::new(10_000.0));
+                    // The lower-indexed state gets the *worse* (higher)
+                    // prediction, so any tie collapse would flip the
+                    // argmin onto it.
+                    mdp.set_perf(0, hi as f64 * calib);
+                    mdp.set_perf(1, lo as f64 * calib);
+                    assert!(
+                        mdp.perf(1) < mdp.perf(0),
+                        "calibration {calib} collapsed {lo} vs {hi}"
+                    );
+                    assert_eq!(
+                        mdp.best_state(),
+                        1,
+                        "calibration {calib} reordered {lo} vs {hi}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

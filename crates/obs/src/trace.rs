@@ -75,6 +75,20 @@ impl TraceWriter {
         out
     }
 
+    /// Restores previously captured events, preserving their original
+    /// sequence numbers, and bumps the writer's sequence counter past
+    /// the highest restored one so new emissions keep sorting after
+    /// their run/time peers. This is how a resumed run re-installs the
+    /// trace prefix a checkpoint carried: `serialize()` of the restored
+    /// prefix is byte-identical to the original writer's.
+    pub fn restore_events(&self, events: Vec<Event>) {
+        let max_seq = events.iter().map(|e| e.seq).max();
+        self.events.lock().unwrap().extend(events);
+        if let Some(max) = max_seq {
+            self.seq.fetch_max(max + 1, Ordering::Relaxed);
+        }
+    }
+
     /// Writes the serialized trace to `path`, creating parent
     /// directories as needed.
     ///
@@ -172,6 +186,47 @@ pub fn current_run() -> u64 {
     RUN.with(Cell::get)
 }
 
+/// Sets the thread's run counter directly. Resumed runs use this to
+/// continue from the run index a checkpoint recorded, so the next
+/// [`begin_run`] picks up exactly where the interrupted process left
+/// off.
+pub fn set_run(run: u64) {
+    RUN.with(|r| r.set(run));
+}
+
+/// Serializes the current scope's buffered trace, or `None` when no
+/// scope is installed (tracing off). Checkpoint writers embed this
+/// prefix so a resumed process can reproduce the full trace
+/// byte-for-byte.
+pub fn snapshot_serialized() -> Option<String> {
+    SCOPE
+        .with(|s| s.borrow().last().cloned())
+        .map(|w| w.serialize())
+}
+
+/// Parses a serialized trace prefix back into the current scope's
+/// writer, preserving sequence numbers (see
+/// [`TraceWriter::restore_events`]). Returns the number of restored
+/// events; without a scope this is a no-op returning 0.
+///
+/// # Errors
+///
+/// Returns the line's [`ParseError`](crate::event::ParseError) if the
+/// prefix is not a valid trace serialization.
+pub fn restore_serialized(text: &str) -> Result<usize, crate::event::ParseError> {
+    let writer = SCOPE.with(|s| s.borrow().last().cloned());
+    let Some(writer) = writer else {
+        return Ok(0);
+    };
+    let mut events = Vec::new();
+    for line in text.lines() {
+        events.push(crate::event::parse_line(line)?);
+    }
+    let n = events.len();
+    writer.restore_events(events);
+    Ok(n)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,6 +311,41 @@ mod tests {
         assert!(text.ends_with('\n'));
         assert_eq!(text.lines().count(), 1);
         crate::event::parse_line(text.trim_end()).unwrap();
+    }
+
+    #[test]
+    fn restore_round_trips_and_continues_sequencing() {
+        let original = Arc::new(TraceWriter::new());
+        with_writer(&original, || {
+            begin_run();
+            set_sim_time_us(10);
+            emit(|| Event::new("a").field("v", 1u64));
+            set_sim_time_us(20);
+            emit(|| Event::new("b"));
+        });
+        let prefix = original.serialize();
+
+        // A "new process": fresh writer, restore the prefix, continue.
+        let resumed = Arc::new(TraceWriter::new());
+        with_writer(&resumed, || {
+            assert_eq!(restore_serialized(&prefix).unwrap(), 2);
+            set_run(1);
+            set_sim_time_us(30);
+            emit(|| Event::new("c"));
+        });
+        let text = resumed.serialize();
+        assert!(text.starts_with(&prefix), "prefix must be byte-identical");
+        assert_eq!(text.lines().count(), 3);
+        let events = resumed.events();
+        assert_eq!(events[2].kind, "c");
+        assert_eq!(events[2].seq, 2, "sequencing continues past the prefix");
+        assert_eq!(events[2].run, 1);
+    }
+
+    #[test]
+    fn restore_without_scope_is_noop() {
+        assert_eq!(restore_serialized("").unwrap(), 0);
+        assert_eq!(restore_serialized("not parsed without a scope").unwrap(), 0);
     }
 
     #[test]

@@ -59,6 +59,11 @@ impl ExperienceLog {
         self.buf.push_back(t);
     }
 
+    /// The retention bound the log was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Number of retained transitions.
     pub fn len(&self) -> usize {
         self.buf.len()

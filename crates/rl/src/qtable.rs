@@ -97,6 +97,37 @@ impl QTable {
         self.values.fill(0.0);
     }
 
+    /// The raw state-major value storage, for persistence. Row `s`
+    /// occupies `raw()[s * actions .. (s + 1) * actions]`.
+    pub fn raw(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Rebuilds a table from storage previously captured with
+    /// [`QTable::raw`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions are zero or `values.len() != states *
+    /// actions` — callers restoring untrusted data must validate the
+    /// shape first.
+    pub fn from_raw(states: usize, actions: usize, values: Vec<f32>) -> Self {
+        assert!(
+            states > 0 && actions > 0,
+            "table dimensions must be positive"
+        );
+        assert_eq!(
+            values.len(),
+            states * actions,
+            "raw Q-table length mismatch"
+        );
+        QTable {
+            values,
+            states,
+            actions,
+        }
+    }
+
     /// Copies all values from another table of identical shape.
     ///
     /// # Panics

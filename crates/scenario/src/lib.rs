@@ -273,6 +273,30 @@ impl Scenario {
         out
     }
 
+    /// A 64-bit FNV-1a fingerprint of the scenario's canonical text
+    /// form. `Display` round-trips losslessly through the parser, so
+    /// two scenarios fingerprint equal exactly when every header and
+    /// directive matches — which is what checkpoint files record to
+    /// refuse resuming against a different timeline.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use scenario::Scenario;
+    ///
+    /// let a = Scenario::parse("name x\nduration 600s\ninterval 300s\n").unwrap();
+    /// assert_eq!(a.fingerprint(), a.clone().fingerprint());
+    /// assert_ne!(a.fingerprint(), a.scaled(1, 2).fingerprint());
+    /// ```
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in self.to_string().bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+
     /// The client population offered during each measurement iteration,
     /// given a base population — the intensity curve replayed over the
     /// interval grid. Useful for annotating figure CSVs.
