@@ -7,6 +7,8 @@
 //! cargo run --release -p rac-bench --bin figures -- fig2 --quick
 //! cargo run --release -p rac-bench --bin figures -- scenario diurnal
 //! cargo run --release -p rac-bench --bin figures -- scenario --list
+//! cargo run --release -p rac-bench --bin figures -- chaos            # pinned CI seeds
+//! cargo run --release -p rac-bench --bin figures -- chaos 7 --iterations 36
 //! RAC_THREADS=8 cargo run --release -p rac-bench --bin figures -- all
 //! RAC_OBS=trace cargo run --release -p rac-bench --bin figures -- fig5
 //!
@@ -137,6 +139,17 @@ fn main() {
         return;
     }
 
+    // `chaos` likewise: operands are RNG seeds (default: the pinned CI
+    // seeds), and the exit code reports invariant violations.
+    if cmds.first() == Some(&"chaos") {
+        let pos = args
+            .iter()
+            .position(|a| a == "chaos")
+            .expect("cmds came from args");
+        run_chaos_harness(&args[pos + 1..], &opts, &console);
+        return;
+    }
+
     let selected: Vec<&str> = if cmds.is_empty() || cmds.contains(&"all") {
         ALL_CMDS.to_vec()
     } else {
@@ -147,7 +160,7 @@ fn main() {
             eprintln!("unknown experiment: {cmd}");
             eprintln!(
                 "available: table1 table2 fig1..fig10 all | scenario <name|file.scn> [--list] \
-                 [--quick] [--quiet]"
+                 [--quick] [--quiet] | chaos [<seed>...] [--iterations <n>]"
             );
             std::process::exit(2);
         }
@@ -1184,6 +1197,122 @@ fn scenario_figure(
     }
     save(&t, opts, &format!("scenario-{}.csv", scn.name), out);
     true
+}
+
+fn chaos_usage() -> ! {
+    eprintln!("usage: figures chaos [<seed>...] [--iterations <n>] [--quiet]");
+    eprintln!("  (no seeds: runs the pinned CI seeds)");
+    std::process::exit(2);
+}
+
+/// `figures chaos` — the deterministic chaos harness: for each seed,
+/// generate a randomized fault schedule, run a cold-started RAC agent
+/// through it, write `results/chaos-<seed>.csv` (and a trace under
+/// `RAC_OBS=trace`), and check the guardrail invariants. Exits nonzero
+/// if any invariant is violated, so CI can gate on it.
+fn run_chaos_harness(raw: &[String], opts: &Options, console: &Console) {
+    let mut seeds: Vec<u64> = Vec::new();
+    let mut iterations = rac_bench::chaos::DEFAULT_ITERATIONS;
+    let mut i = 0;
+    while i < raw.len() {
+        match raw[i].as_str() {
+            "--iterations" => {
+                i += 1;
+                iterations = raw
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| chaos_usage());
+            }
+            "--quiet" | "--quick" => {}
+            a if a.starts_with("--") => chaos_usage(),
+            a => match a.parse::<u64>() {
+                Ok(seed) => seeds.push(seed),
+                Err(_) => {
+                    eprintln!("chaos: seeds are unsigned integers, got {a:?}");
+                    chaos_usage();
+                }
+            },
+        }
+        i += 1;
+    }
+    if seeds.is_empty() {
+        seeds = rac_bench::chaos::PINNED_SEEDS.to_vec();
+    }
+
+    let tracing = obs::tracing_enabled();
+    let started = Instant::now();
+    let mut violation_count = 0usize;
+    for &seed in &seeds {
+        let scn = rac_bench::chaos::chaos_scenario(seed, iterations);
+        let t0 = Instant::now();
+        let mut series = Vec::new();
+        let trace = if tracing {
+            let writer = Arc::new(TraceWriter::new());
+            obs::trace::with_writer(&writer, || series = rac_bench::chaos::run_chaos(&scn));
+            Some(writer)
+        } else {
+            series = rac_bench::chaos::run_chaos(&scn);
+            None
+        };
+        let mut out = String::new();
+        banner(
+            &mut out,
+            &format!(
+                "Chaos seed {seed}: {} iterations of {:.0}s, {} directives",
+                scn.iterations(),
+                scn.interval.as_secs_f64(),
+                scn.directives.len()
+            ),
+        );
+        let t = rac_bench::chaos::chaos_table(&series);
+        let _ = write!(out, "{t}");
+        let finite: Vec<f64> = series
+            .iter()
+            .map(|r| r.response_ms)
+            .filter(|x| x.is_finite())
+            .collect();
+        let worst = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let sla_misses = finite.iter().filter(|&&rt| rt > SLA_MS).count();
+        let _ = writeln!(
+            out,
+            "  worst {worst:.0} ms, SLA misses {sla_misses}/{}, lost intervals {}",
+            series.len(),
+            series.len() - finite.len()
+        );
+        let violations = rac_bench::chaos::check_invariants(&scn, &series);
+        if violations.is_empty() {
+            let _ = writeln!(out, "  invariants hold");
+        }
+        for v in &violations {
+            let _ = writeln!(out, "  INVARIANT VIOLATED: {v}");
+        }
+        violation_count += violations.len();
+        save(&t, opts, &format!("chaos-{seed}.csv"), &mut out);
+        print!("{out}");
+        if let Some(writer) = &trace {
+            let path = opts.results_dir.join(format!("chaos-{seed}.trace.jsonl"));
+            match writer.write_to(&path) {
+                Ok(()) => {
+                    console.note(format!("  -> {} ({} events)", path.display(), writer.len()))
+                }
+                Err(e) => eprintln!("  could not write {}: {e}", path.display()),
+            }
+        }
+        console.note(format!(
+            "  [chaos {seed}: {:.1}s wall-clock]",
+            t0.elapsed().as_secs_f64()
+        ));
+    }
+    console.note(format!(
+        "\ntotal: {:.1}s wall-clock over {} seed(s)",
+        started.elapsed().as_secs_f64(),
+        seeds.len()
+    ));
+    write_metrics_snapshot(opts, console);
+    if violation_count > 0 {
+        eprintln!("chaos: {violation_count} invariant violation(s)");
+        std::process::exit(1);
+    }
 }
 
 // --------------------------------------------------------------------

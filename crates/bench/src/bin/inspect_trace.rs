@@ -80,6 +80,7 @@ fn inspect(path: &Path) -> Result<String, String> {
         events.len()
     );
     render_runs(&events, &mut out);
+    render_guardrail(&events, &mut out);
     render_scenario(&events, &mut out);
     render_cache(&events, &mut out);
     Ok(out)
@@ -136,6 +137,14 @@ fn check_schema(event: &Event) -> Result<(), String> {
         "offline_training" => require(&["context"]),
         "offline_policy" => require(&["samples", "passes", "r_squared"]),
         "scenario_event" => require(&["event", "detail"]),
+        "guardrail" => {
+            require(&["iter", "action", "detail"])?;
+            match event.get("action").and_then(Value::as_str) {
+                Some("retry" | "trip" | "probe" | "recover" | "reopen" | "rollback") => Ok(()),
+                Some(other) => Err(format!("unknown guardrail action '{other}'")),
+                None => Err("guardrail field 'action' is not a string".to_string()),
+            }
+        }
         "checkpoint" => require(&["iter", "tuner_iter", "tuner"]),
         other => Err(format!("unknown event kind '{other}'")),
     }
@@ -238,6 +247,78 @@ fn render_runs(events: &[Event], out: &mut String) {
             "   violation episodes: {episodes} | policy switches: {switches}"
         );
     }
+}
+
+/// Guardrail activity per run: retry absorptions, breaker trips /
+/// reopens / recoveries, last-known-good rollbacks, and the number of
+/// degraded iterations (derived from trip→recover iteration spans; a
+/// trip the trace never sees recover counts up to the last guardrail
+/// event). Silent when the trace has no guardrail events.
+fn render_guardrail(events: &[Event], out: &mut String) {
+    let guard: Vec<&Event> = events.iter().filter(|e| e.kind == "guardrail").collect();
+    if guard.is_empty() {
+        return;
+    }
+    let runs: Vec<u64> = {
+        let mut seen = Vec::new();
+        for e in &guard {
+            if !seen.contains(&e.run) {
+                seen.push(e.run);
+            }
+        }
+        seen
+    };
+    let _ = writeln!(out, "-- guardrail: {} events", guard.len());
+    let mut t = TextTable::new(&[
+        "run",
+        "retries",
+        "trips",
+        "reopens",
+        "recoveries",
+        "degraded iters",
+        "rollbacks",
+    ]);
+    for run in runs {
+        let (mut retries, mut trips, mut reopens, mut recoveries, mut rollbacks) =
+            (0u64, 0u64, 0u64, 0u64, 0u64);
+        let mut degraded = 0u64;
+        let mut open_at: Option<u64> = None;
+        let mut last_iter = 0u64;
+        for e in guard.iter().filter(|e| e.run == run) {
+            let iter = e.get("iter").and_then(Value::as_u64).unwrap_or(0);
+            last_iter = last_iter.max(iter);
+            match e.get("action").and_then(Value::as_str).unwrap_or("?") {
+                "retry" => retries += 1,
+                "trip" => {
+                    trips += 1;
+                    open_at.get_or_insert(iter);
+                }
+                "reopen" => reopens += 1,
+                "recover" => {
+                    recoveries += 1;
+                    if let Some(at) = open_at.take() {
+                        degraded += iter.saturating_sub(at);
+                    }
+                }
+                "rollback" => rollbacks += 1,
+                _ => {}
+            }
+        }
+        if let Some(at) = open_at {
+            // Breaker still open when the trace ends.
+            degraded += last_iter.saturating_sub(at);
+        }
+        t.row(&[
+            run.to_string(),
+            retries.to_string(),
+            trips.to_string(),
+            reopens.to_string(),
+            recoveries.to_string(),
+            degraded.to_string(),
+            rollbacks.to_string(),
+        ]);
+    }
+    let _ = write!(out, "{t}");
 }
 
 /// Per-event-type summary of the scenario timeline injections recorded
@@ -417,6 +498,62 @@ mod tests {
         // A scenario event missing its detail fails the schema check.
         let bad = Event::new("scenario_event").field("event", "stall");
         assert!(check_schema(&bad).unwrap_err().contains("detail"));
+    }
+
+    #[test]
+    fn guardrail_events_pass_schema_and_summarize() {
+        let w = Arc::new(TraceWriter::new());
+        trace::with_writer(&w, || {
+            trace::begin_run();
+            for (iter, action, detail) in [
+                (2u64, "retry", "timeout recovered by retry"),
+                (4, "trip", "2 consecutive acquisition failures"),
+                (6, "probe", "cooldown elapsed; probing channel"),
+                (7, "recover", "channel healthy after 3 degraded intervals"),
+                (
+                    9,
+                    "rollback",
+                    "persistent severe violation; restoring last-known-good state 5",
+                ),
+            ] {
+                trace::set_sim_time_us(iter * 60_000_000);
+                trace::emit(|| {
+                    Event::new("guardrail")
+                        .field("iter", iter)
+                        .field("action", action)
+                        .field("detail", detail)
+                });
+            }
+        });
+        let events = parse_and_check(&w.serialize()).unwrap();
+        let mut out = String::new();
+        render_guardrail(&events, &mut out);
+        assert!(out.contains("guardrail: 5 events"), "{out}");
+        // retries=1, trips=1, reopens=0, recoveries=1, degraded 7-4=3,
+        // rollbacks=1 for run 1.
+        assert!(out.contains('3'), "{out}");
+        let row: Vec<&str> = out
+            .lines()
+            .find(|l| l.trim_start().starts_with('1'))
+            .expect("summary row")
+            .split_whitespace()
+            .collect();
+        assert_eq!(row, ["1", "1", "1", "0", "1", "3", "1"], "{out}");
+
+        // An unknown action and a missing field both fail the schema.
+        let bad = Event::new("guardrail")
+            .field("iter", 1u64)
+            .field("action", "explode")
+            .field("detail", "boom");
+        assert!(check_schema(&bad).unwrap_err().contains("explode"));
+        let missing = Event::new("guardrail").field("iter", 1u64);
+        assert!(check_schema(&missing).unwrap_err().contains("action"));
+    }
+
+    #[test]
+    fn decision_rollback_action_passes_schema() {
+        let e = decision(3, 0.1, "rollback", 2, false);
+        check_schema(&e).unwrap();
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! table / CSV output.
 
 pub mod cache;
+pub mod chaos;
 pub mod checkpoint;
 pub mod output;
 pub mod scenario;

@@ -13,10 +13,49 @@ use websim::{PerfSample, ServerConfig};
 
 use crate::action::Action;
 use crate::context::{PolicyLibrary, ViolationDetector};
+use crate::guardrail::{GuardDecision, RollbackGuard};
 use crate::init::InitialPolicy;
 use crate::mdp::ConfigMdp;
+use crate::measure::GuardMetrics;
 use crate::param::ConfigLattice;
 use crate::reward::SlaReward;
+
+/// Typed constructor errors for [`RacAgent`].
+///
+/// The panicking constructors ([`RacAgent::with_initial_policy`],
+/// [`RacAgent::with_policy_library`]) are thin wrappers over the
+/// `try_` variants that return these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AgentError {
+    /// The initial policy was trained on a lattice of a different size
+    /// than `settings.online_levels` implies.
+    LatticeMismatch {
+        /// States in the supplied policy's performance map.
+        policy_states: usize,
+        /// States in the agent's online lattice.
+        lattice_states: usize,
+    },
+    /// A policy library was supplied with no entries.
+    EmptyLibrary,
+}
+
+impl std::fmt::Display for AgentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AgentError::LatticeMismatch {
+                policy_states,
+                lattice_states,
+            } => write!(
+                f,
+                "initial policy trained on a different lattice \
+                 ({policy_states} states, online lattice has {lattice_states})"
+            ),
+            AgentError::EmptyLibrary => write!(f, "policy library must not be empty"),
+        }
+    }
+}
+
+impl std::error::Error for AgentError {}
 
 /// Resolved-once handles for the agent's hot-path metrics (the
 /// registry lock is only taken on first use).
@@ -56,6 +95,13 @@ pub trait Tuner {
     fn name(&self) -> &str;
     /// Decides the configuration for the next interval.
     fn next_config(&mut self, observed: &PerfSample) -> ServerConfig;
+    /// Informs the tuner whether the measurement channel is degraded
+    /// (circuit breaker open). While degraded the experiment loop holds
+    /// configuration and does not call
+    /// [`next_config`](Tuner::next_config); tuners that learn online
+    /// use this to freeze exploration and suspend updates cleanly.
+    /// Baselines ignore it.
+    fn set_degraded(&mut self, _degraded: bool) {}
 }
 
 /// Hyper-parameters of the online RAC agent.
@@ -154,6 +200,15 @@ pub struct RacAgent {
     /// Recent `(state, response_ms)` samples; after a policy switch the
     /// violation streak is replayed as measurements of the new context.
     recent: VecDeque<(usize, f64)>,
+    /// Whether the measurement channel is degraded: exploration frozen,
+    /// Q-updates suspended, configuration held.
+    degraded: bool,
+    /// Last-known-good rollback guardrail.
+    guard: RollbackGuard,
+    /// Exploration vetoes from rollbacks: `(state, action, expires_at)`
+    /// where `expires_at` is the iteration count past which the veto
+    /// lapses.
+    vetoes: Vec<(usize, usize, u64)>,
 }
 
 impl RacAgent {
@@ -172,23 +227,38 @@ impl RacAgent {
     /// Creates an agent bootstrapped from a single offline-trained
     /// policy (the "static initial policy" agent of Figure 9).
     ///
+    /// # Errors
+    ///
+    /// Returns [`AgentError::LatticeMismatch`] when the policy's
+    /// lattice size does not match `settings.online_levels`.
+    pub fn try_with_initial_policy(
+        settings: RacSettings,
+        policy: &InitialPolicy,
+    ) -> Result<Self, AgentError> {
+        let lattice = ConfigLattice::new(settings.online_levels);
+        let reward = SlaReward::new(settings.sla_ms);
+        let mut mdp = ConfigMdp::new(&lattice, reward);
+        if policy.perf_ms.len() != lattice.num_states() {
+            return Err(AgentError::LatticeMismatch {
+                policy_states: policy.perf_ms.len(),
+                lattice_states: lattice.num_states(),
+            });
+        }
+        mdp.set_perf_map(policy.perf_ms.iter().map(|&p| p as f64).collect());
+        let mut qtable = QTable::new(lattice.num_states(), Action::COUNT);
+        qtable.copy_from(&policy.qtable);
+        Ok(Self::assemble(settings, lattice, mdp, qtable, None))
+    }
+
+    /// Panicking convenience wrapper over
+    /// [`try_with_initial_policy`](Self::try_with_initial_policy).
+    ///
     /// # Panics
     ///
     /// Panics if the policy's lattice size does not match
     /// `settings.online_levels`.
     pub fn with_initial_policy(settings: RacSettings, policy: &InitialPolicy) -> Self {
-        let lattice = ConfigLattice::new(settings.online_levels);
-        let reward = SlaReward::new(settings.sla_ms);
-        let mut mdp = ConfigMdp::new(&lattice, reward);
-        assert_eq!(
-            policy.perf_ms.len(),
-            lattice.num_states(),
-            "initial policy trained on a different lattice"
-        );
-        mdp.set_perf_map(policy.perf_ms.iter().map(|&p| p as f64).collect());
-        let mut qtable = QTable::new(lattice.num_states(), Action::COUNT);
-        qtable.copy_from(&policy.qtable);
-        Self::assemble(settings, lattice, mdp, qtable, None)
+        Self::try_with_initial_policy(settings, policy).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Creates an agent with a library of per-context policies and
@@ -196,16 +266,33 @@ impl RacAgent {
     ///
     /// The agent starts from the first library entry.
     ///
+    /// # Errors
+    ///
+    /// Returns [`AgentError::EmptyLibrary`] for an empty library and
+    /// [`AgentError::LatticeMismatch`] when its policies do not match
+    /// the lattice.
+    pub fn try_with_policy_library(
+        settings: RacSettings,
+        library: PolicyLibrary,
+    ) -> Result<Self, AgentError> {
+        let Some((_, first)) = library.iter().next() else {
+            return Err(AgentError::EmptyLibrary);
+        };
+        let first = first.clone();
+        let mut agent = Self::try_with_initial_policy(settings, &first)?;
+        agent.library = Some(library);
+        Ok(agent)
+    }
+
+    /// Panicking convenience wrapper over
+    /// [`try_with_policy_library`](Self::try_with_policy_library).
+    ///
     /// # Panics
     ///
     /// Panics if the library is empty or its policies do not match the
     /// lattice.
     pub fn with_policy_library(settings: RacSettings, library: PolicyLibrary) -> Self {
-        assert!(!library.is_empty(), "policy library must not be empty");
-        let first = library.iter().next().expect("non-empty").1.clone();
-        let mut agent = Self::with_initial_policy(settings, &first);
-        agent.library = Some(library);
-        agent
+        Self::try_with_policy_library(settings, library).unwrap_or_else(|e| panic!("{e}"))
     }
 
     fn assemble(
@@ -237,6 +324,9 @@ impl RacAgent {
             measured: HashMap::new(),
             calibration: 1.0,
             recent: VecDeque::with_capacity(8),
+            degraded: false,
+            guard: RollbackGuard::default(),
+            vetoes: Vec::new(),
         }
     }
 
@@ -253,6 +343,25 @@ impl RacAgent {
     /// Number of policy switches performed (adaptive agents only).
     pub fn policy_switches(&self) -> u64 {
         self.switches
+    }
+
+    /// Whether the agent is holding in degraded mode (measurement
+    /// channel breaker open).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// The last-known-good rollback guardrail (diagnostics).
+    pub fn guard(&self) -> &RollbackGuard {
+        &self.guard
+    }
+
+    /// Whether exploring `action` from `state` is currently vetoed by a
+    /// rollback.
+    fn is_vetoed(&self, state: usize, action: usize) -> bool {
+        self.vetoes
+            .iter()
+            .any(|&(s, a, _)| s == state && a == action)
     }
 
     /// The observed transitions so far (oldest first, bounded).
@@ -314,7 +423,7 @@ impl RacAgent {
         }
         let floor = self.qtable.get(s, best) - self.settings.exploration_guard;
         let candidates: Vec<usize> = (0..self.qtable.actions())
-            .filter(|&a| self.qtable.get(s, a) >= floor)
+            .filter(|&a| self.qtable.get(s, a) >= floor && !self.is_vetoed(s, a))
             .collect();
         if candidates.is_empty() {
             best
@@ -382,6 +491,16 @@ impl RacAgent {
         });
         snap.section(SECTION_DETECTOR, |w| {
             self.detector.encode(w);
+        });
+        snap.section(SECTION_GUARD, |w| {
+            w.put_bool(self.degraded);
+            self.guard.encode(w);
+            w.put_usize(self.vetoes.len());
+            for &(s, a, exp) in &self.vetoes {
+                w.put_usize(s);
+                w.put_usize(a);
+                w.put_u64(exp);
+            }
         });
         snap.section(SECTION_RNG, |w| {
             for word in self.rng.state_words() {
@@ -540,6 +659,27 @@ impl RacAgent {
         let detector = ViolationDetector::decode(&mut r)?;
         r.finish()?;
 
+        let mut r = snap.section(SECTION_GUARD)?;
+        let degraded = r.get_bool()?;
+        let guard = RollbackGuard::decode(&mut r)?;
+        if let Some((s, _)) = guard.last_known_good() {
+            if s >= states {
+                return Err(corrupt(format!("last-known-good state {s} out of range")));
+            }
+        }
+        let veto_len = r.get_usize()?;
+        let mut vetoes = Vec::with_capacity(veto_len);
+        for _ in 0..veto_len {
+            let s = r.get_usize()?;
+            let a = r.get_usize()?;
+            let exp = r.get_u64()?;
+            if s >= states || a >= Action::COUNT {
+                return Err(corrupt(format!("veto ({s}, {a}) out of range")));
+            }
+            vetoes.push((s, a, exp));
+        }
+        r.finish()?;
+
         let mut r = snap.section(SECTION_RNG)?;
         let mut words = [0u64; 4];
         for word in &mut words {
@@ -590,6 +730,9 @@ impl RacAgent {
             measured,
             calibration,
             recent,
+            degraded,
+            guard,
+            vetoes,
         };
         agent.refresh_perf_map();
         Ok(agent)
@@ -604,6 +747,7 @@ pub(crate) const SECTION_EXPERIENCE: &str = "rac.experience";
 pub(crate) const SECTION_DETECTOR: &str = "rac.detector";
 pub(crate) const SECTION_RNG: &str = "rac.rng";
 pub(crate) const SECTION_LIBRARY: &str = "rac.library";
+pub(crate) const SECTION_GUARD: &str = "rac.guard";
 
 impl Tuner for RacAgent {
     fn name(&self) -> &str {
@@ -614,12 +758,28 @@ impl Tuner for RacAgent {
         }
     }
 
+    /// Enters or leaves degraded mode. Entering freezes exploration
+    /// (ε is never consulted because decisions are suspended entirely),
+    /// Q-updates, and configuration; leaving resumes exactly where the
+    /// agent stopped — RNG stream, Q-table, and detector state are
+    /// untouched by the outage.
+    fn set_degraded(&mut self, degraded: bool) {
+        self.degraded = degraded;
+    }
+
     /// One iteration of Algorithm 3: record the measurement for the
     /// current configuration, detect context changes (switching initial
     /// policies if a library is available), retrain the Q-table in batch,
     /// and pick the next action ε-greedily.
     fn next_config(&mut self, observed: &PerfSample) -> ServerConfig {
+        if self.degraded {
+            // Measurement channel is open: the sample is untrustworthy.
+            // Freeze everything — no exploration, no Q-update, no
+            // detector/guard bookkeeping — and hold the configuration.
+            return self.lattice.config_at(self.current_state);
+        }
         self.iterations += 1;
+        self.vetoes.retain(|&(_, _, exp)| exp > self.iterations);
         let measured = observed.mean_response_ms;
         let switches_before = self.switches;
         let mut sweep = SweepReport::default();
@@ -677,15 +837,51 @@ impl Tuner for RacAgent {
         }
 
         // Guarded ε-greedy action selection from the (re)trained table.
-        let action = self.choose_action(self.current_state);
-        let next_state = self.mdp.transition(self.current_state, action);
+        let mut action = self.choose_action(self.current_state);
+        let mut next_state = self.mdp.transition(self.current_state, action);
         let reward = self.mdp.sla_reward().of_response_ms(measured);
-        self.experience.record(Transition {
-            state: self.current_state,
-            action,
-            reward,
-            next_state,
-        });
+        let decision = self
+            .guard
+            .observe(self.current_state, measured, self.settings.sla_ms);
+        let rolled_back = if let GuardDecision::Rollback { state } = decision {
+            // Severe violations persisted: veto exploration of the step
+            // that led here and restore the last-known-good config. The
+            // jump is not a lattice action, so it is not recorded as
+            // experience — the Q-table keeps learning from real steps.
+            self.vetoes.push((
+                self.current_state,
+                self.last_action,
+                self.iterations + self.guard.settings().veto_ttl,
+            ));
+            action = Action::Keep.index();
+            next_state = state;
+            true
+        } else {
+            self.experience.record(Transition {
+                state: self.current_state,
+                action,
+                reward,
+                next_state,
+            });
+            false
+        };
+        if rolled_back {
+            if obs::enabled() {
+                GuardMetrics::get().rollbacks.inc();
+            }
+            obs::trace::emit(|| {
+                Event::new("guardrail")
+                    .field("iter", self.iterations)
+                    .field("action", "rollback")
+                    .field(
+                        "detail",
+                        format!(
+                            "persistent severe violation; restoring last-known-good state \
+                             {next_state}"
+                        ),
+                    )
+            });
+        }
 
         if obs::enabled() {
             let m = AgentMetrics::get();
@@ -711,7 +907,14 @@ impl Tuner for RacAgent {
                 .field("reward", reward)
                 .field("epsilon", epsilon)
                 .field("state", self.current_state as u64)
-                .field("action", Action::from_index(action).to_string())
+                .field(
+                    "action",
+                    if rolled_back {
+                        "rollback".to_string()
+                    } else {
+                        Action::from_index(action).to_string()
+                    },
+                )
                 .field("next_state", next_state as u64)
                 .field("q_delta", sweep.max_delta)
                 .field("sweep_passes", sweep.passes as u64)
@@ -884,6 +1087,117 @@ mod tests {
             last.reward > 0.0,
             "400ms under a 1000ms SLA earns positive reward"
         );
+    }
+
+    #[test]
+    fn lattice_mismatch_is_a_typed_error() {
+        let lattice = ConfigLattice::new(4);
+        let policy = train_initial_policy(
+            &lattice,
+            SlaReward::new(1_000.0),
+            OfflineSettings::default(),
+            |_: &ServerConfig| 100.0,
+        )
+        .unwrap();
+        let err = RacAgent::try_with_initial_policy(settings(), &policy).unwrap_err();
+        assert_eq!(
+            err,
+            AgentError::LatticeMismatch {
+                policy_states: lattice.num_states(),
+                lattice_states: ConfigLattice::new(3).num_states(),
+            }
+        );
+        assert!(err.to_string().contains("different lattice"));
+    }
+
+    #[test]
+    fn empty_library_is_a_typed_error() {
+        let err = RacAgent::try_with_policy_library(settings(), PolicyLibrary::new()).unwrap_err();
+        assert_eq!(err, AgentError::EmptyLibrary);
+        assert!(err.to_string().contains("must not be empty"));
+    }
+
+    #[test]
+    fn degraded_mode_holds_and_resumes_bit_identically() {
+        let mut a = RacAgent::new(settings());
+        let mut b = RacAgent::new(settings());
+        for _ in 0..10 {
+            assert_eq!(a.next_config(&sample(700.0)), b.next_config(&sample(700.0)));
+        }
+        // `a` goes through an outage: the experiment loop would not call
+        // a degraded tuner, but even direct calls must be inert.
+        a.set_degraded(true);
+        assert!(a.is_degraded());
+        let held = a.current_config();
+        for _ in 0..5 {
+            assert_eq!(a.next_config(&PerfSample::empty()), held);
+        }
+        assert_eq!(a.iterations(), 10, "degraded iterations must not count");
+        a.set_degraded(false);
+        // Resumed: identical to the never-degraded twin from here on.
+        for _ in 0..10 {
+            assert_eq!(a.next_config(&sample(650.0)), b.next_config(&sample(650.0)));
+        }
+    }
+
+    #[test]
+    fn persistent_severe_violation_triggers_rollback() {
+        let mut agent = RacAgent::new(settings());
+        // Establish a last-known-good state under the 1000ms SLA.
+        agent.next_config(&sample(300.0));
+        let (lkg, _) = agent.guard.last_known_good().expect("lkg recorded");
+        // Sustained severe violations (>2× SLA) must eventually fire the
+        // guard: configuration jumps back to the last-known-good state
+        // and the offending direction is vetoed.
+        let mut fired_at = None;
+        for i in 0..12 {
+            agent.next_config(&sample(5_000.0));
+            if !agent.vetoes.is_empty() {
+                fired_at = Some(i);
+                break;
+            }
+        }
+        assert!(fired_at.is_some(), "guard never fired");
+        assert_eq!(agent.current_state, lkg, "rollback must restore lkg");
+        // Vetoes expire after their TTL.
+        let expiry = agent.vetoes[0].2;
+        while agent.iterations() < expiry {
+            agent.next_config(&sample(300.0));
+        }
+        assert!(agent.vetoes.is_empty(), "veto outlived its TTL");
+    }
+
+    #[test]
+    fn guard_and_detector_state_survive_snapshot_mid_hold() {
+        let mut agent = RacAgent::new(settings());
+        agent.next_config(&sample(300.0));
+        // One extreme sample arms the detector's outlier guard
+        // (mid-hold) while severe streaks accumulate in the guard.
+        agent.next_config(&sample(300.0 * 100.0));
+        for _ in 0..8 {
+            agent.next_config(&sample(5_000.0));
+        }
+        agent.set_degraded(true);
+
+        let mut snap = ckpt::SnapshotWriter::new();
+        agent.save_state(&mut snap);
+        let bytes = snap.to_bytes();
+        let restored = RacAgent::restore(&ckpt::Snapshot::from_bytes(&bytes).unwrap()).unwrap();
+        assert!(restored.is_degraded());
+        assert_eq!(restored.vetoes, agent.vetoes);
+        assert_eq!(restored.guard, agent.guard);
+        let mut again = ckpt::SnapshotWriter::new();
+        restored.save_state(&mut again);
+        assert_eq!(again.to_bytes(), bytes, "restore → save not a fixed point");
+
+        // Both resume and continue identically.
+        let mut a = agent;
+        let mut b = restored;
+        a.set_degraded(false);
+        b.set_degraded(false);
+        for rt in [4_800.0, 500.0, 900.0, 5_200.0, 410.0] {
+            assert_eq!(a.next_config(&sample(rt)), b.next_config(&sample(rt)));
+        }
     }
 
     #[test]

@@ -23,6 +23,7 @@ use websim::{PerfSample, ServerConfig, ThreeTierSystem};
 use crate::agent::{RacAgent, Tuner};
 use crate::baseline::{StaticDefault, TrialAndError};
 use crate::experiment::{sim_tier, Experiment, IterationRecord};
+use crate::measure::{note_acquisition, MeasurementChannel};
 
 /// A tuner whose complete decision-relevant state can be serialized
 /// into a snapshot. Restoration is type-specific (each tuner has its
@@ -62,6 +63,11 @@ pub struct ScenarioProgress {
     /// The configuration the *next* interval will run under (the
     /// tuner's last decision, already applied to the system).
     pub next_config: ServerConfig,
+    /// The measurement channel (circuit breaker) state at the
+    /// boundary. Resume rebuilds the channel by replay and validates it
+    /// against this record, so a kill inside an open-breaker window
+    /// resumes exactly where it left off.
+    pub channel: MeasurementChannel,
 }
 
 /// Serializes an iteration series (shared by [`ScenarioProgress`] and
@@ -113,6 +119,7 @@ impl ScenarioProgress {
         w.put_usize(self.iterations_done);
         encode_series(w, &self.series);
         crate::persist::encode_config(w, &self.next_config);
+        self.channel.encode(w);
     }
 
     /// Restores a progress record written by [`encode`](Self::encode).
@@ -133,10 +140,12 @@ impl ScenarioProgress {
             });
         }
         let next_config = crate::persist::decode_config(r)?;
+        let channel = MeasurementChannel::decode(r)?;
         Ok(ScenarioProgress {
             iterations_done,
             series,
             next_config,
+            channel,
         })
     }
 }
@@ -228,6 +237,7 @@ impl Experiment {
                     iterations_done: 0,
                     series: Vec::with_capacity(iterations),
                     next_config: ServerConfig::default(),
+                    channel: MeasurementChannel::default(),
                 }
             }
         };
@@ -244,6 +254,7 @@ impl Experiment {
         let mut next_event = 0usize;
         let mut outlier: Option<f64> = None;
         let mut drop_next = false;
+        let mut channel = MeasurementChannel::default();
 
         // Replay the completed prefix: identical system mutations in
         // identical order, but silently — no tuner calls (its state
@@ -255,10 +266,18 @@ impl Experiment {
                 if ev.t.as_micros() > start_us {
                     break;
                 }
-                apply_event(&mut system, &ev.kind, &mut outlier, &mut drop_next);
+                apply_event(
+                    &mut system,
+                    &ev.kind,
+                    &mut outlier,
+                    &mut drop_next,
+                    &mut channel,
+                );
                 next_event += 1;
             }
-            let _ = system.run_interval(self.interval());
+            // The breaker state machine advances every interval, so the
+            // replay must step it too (silently — no metrics or trace).
+            let _ = channel.acquire(system.run_interval(self.interval()));
             // Measurement faults only corrupt samples, which the
             // recorded series already holds; clear them like the live
             // loop does.
@@ -273,6 +292,11 @@ impl Experiment {
                 system.set_config(next);
                 config = next;
             }
+        }
+        if channel != progress.channel {
+            return Err(CkptError::Mismatch {
+                detail: "measurement-channel state diverged on replay".to_string(),
+            });
         }
 
         // Live from here: byte-for-byte the run_scenario loop, plus the
@@ -289,25 +313,42 @@ impl Experiment {
                         .field("event", ev.kind.label())
                         .field("detail", ev.kind.to_string())
                 });
-                apply_event(&mut system, &ev.kind, &mut outlier, &mut drop_next);
+                apply_event(
+                    &mut system,
+                    &ev.kind,
+                    &mut outlier,
+                    &mut drop_next,
+                    &mut channel,
+                );
                 next_event += 1;
             }
-            let raw = system.run_interval(self.interval());
+            let acq = channel.acquire(system.run_interval(self.interval()));
             let sample = if drop_next {
                 drop_next = false;
                 outlier = None;
                 PerfSample::empty()
-            } else if let Some(factor) = outlier.take() {
-                PerfSample {
-                    mean_response_ms: raw.mean_response_ms * factor,
-                    p95_response_ms: raw.p95_response_ms * factor,
-                    ..raw
-                }
             } else {
-                raw
+                match acq.sample {
+                    None => {
+                        outlier = None;
+                        PerfSample::empty()
+                    }
+                    Some(raw) => {
+                        if let Some(factor) = outlier.take() {
+                            PerfSample {
+                                mean_response_ms: raw.mean_response_ms * factor,
+                                p95_response_ms: raw.p95_response_ms * factor,
+                                ..raw
+                            }
+                        } else {
+                            raw
+                        }
+                    }
+                }
             };
             let sim_us = warmup_us + (iteration as u64 + 1) * interval_us;
             trace::set_sim_time_us(sim_us);
+            note_acquisition(&acq, iteration, channel.is_open());
             progress.series.push(IterationRecord {
                 iteration,
                 phase: 0,
@@ -316,19 +357,23 @@ impl Experiment {
                 throughput_rps: sample.throughput_rps,
                 config,
             });
-            let next = tuner.next_config(&sample);
-            if next != config {
-                trace::emit(|| {
-                    obs::Event::new("reconfigure")
-                        .field("iter", (iteration + 1) as u64)
-                        .field("from", config.to_string())
-                        .field("to", next.to_string())
-                });
-                system.set_config(next);
-                config = next;
+            tuner.set_degraded(channel.is_open());
+            if !channel.is_open() {
+                let next = tuner.next_config(&sample);
+                if next != config {
+                    trace::emit(|| {
+                        obs::Event::new("reconfigure")
+                            .field("iter", (iteration + 1) as u64)
+                            .field("from", config.to_string())
+                            .field("to", next.to_string())
+                    });
+                    system.set_config(next);
+                    config = next;
+                }
             }
             progress.iterations_done = iteration + 1;
             progress.next_config = config;
+            progress.channel = channel.clone();
             if on_boundary(&progress, &*tuner)? == BoundaryAction::Stop
                 && progress.iterations_done < iterations
             {
@@ -346,6 +391,7 @@ fn apply_event(
     kind: &EventKind,
     outlier: &mut Option<f64>,
     drop_next: &mut bool,
+    channel: &mut MeasurementChannel,
 ) {
     match kind {
         EventKind::Intensity(scale) => system.set_intensity(*scale),
@@ -356,6 +402,8 @@ fn apply_event(
         EventKind::Noise(factor) => system.set_latency_factor(*factor),
         EventKind::Outlier(factor) => *outlier = Some(*factor),
         EventKind::Drop => *drop_next = true,
+        EventKind::Blackout(on) => channel.set_blackout(*on),
+        EventKind::Timeout => channel.arm_timeout(),
     }
 }
 
@@ -461,6 +509,68 @@ mod tests {
     }
 
     #[test]
+    fn stop_resume_through_an_open_breaker_window_is_bit_identical() {
+        // A blackout long enough to trip the breaker and keep it open
+        // across several boundaries, plus a one-shot timeout later.
+        let scn = Scenario::parse(
+            "name outage\nduration 600s\ninterval 60s\nwarmup 60s\nclients 60\nseed 3\n\
+             fault at 120s blackout for 180s\nfault at 420s timeout\n",
+        )
+        .unwrap();
+        let exp = experiment(&scn);
+        let settings = crate::RacSettings {
+            online_levels: 3,
+            ..crate::RacSettings::default()
+        };
+        let full = exp.run_scenario(&scn, &mut RacAgent::new(settings.clone()));
+        for stop_after in 1..scn.iterations() {
+            let mut snapshot_bytes = Vec::new();
+            let outcome = exp
+                .run_scenario_resumable(
+                    &scn,
+                    &mut RacAgent::new(settings.clone()),
+                    None,
+                    |p, tuner| {
+                        if p.iterations_done == stop_after {
+                            let mut snap = SnapshotWriter::new();
+                            tuner.save_state(&mut snap);
+                            snapshot_bytes = snap.to_bytes();
+                            Ok(BoundaryAction::Stop)
+                        } else {
+                            Ok(BoundaryAction::Continue)
+                        }
+                    },
+                )
+                .unwrap();
+            let ScenarioRunOutcome::Interrupted(progress) = outcome else {
+                panic!("run should stop after {stop_after} iterations");
+            };
+            // The breaker state is part of the progress record and
+            // round-trips with it.
+            let mut w = Writer::new();
+            progress.encode(&mut w);
+            let bytes = w.into_bytes();
+            let mut r = Reader::new(&bytes, "t");
+            let back = ScenarioProgress::decode(&mut r).unwrap();
+            r.finish().unwrap();
+            assert_eq!(back, progress);
+
+            let snap = ckpt::Snapshot::from_bytes(&snapshot_bytes).unwrap();
+            let mut agent = RacAgent::restore(&snap).unwrap();
+            let resumed = exp
+                .run_scenario_resumable(&scn, &mut agent, Some(back), |_, _| {
+                    Ok(BoundaryAction::Continue)
+                })
+                .unwrap();
+            assert_eq!(
+                resumed,
+                ScenarioRunOutcome::Complete(full.clone()),
+                "resume after iteration {stop_after} diverged"
+            );
+        }
+    }
+
+    #[test]
     fn resume_past_the_timeline_is_a_mismatch() {
         let scn = scenario();
         let exp = experiment(&scn);
@@ -468,6 +578,7 @@ mod tests {
             iterations_done: 99,
             series: Vec::new(),
             next_config: ServerConfig::default(),
+            channel: MeasurementChannel::default(),
         };
         let err = exp
             .run_scenario_resumable(&scn, &mut StaticDefault::new(), Some(bogus), |_, _| {

@@ -18,6 +18,7 @@ use websim::{Param, PerfSample, ServerConfig, SystemSpec, ThreeTierSystem};
 
 use crate::agent::Tuner;
 use crate::context::SystemContext;
+use crate::measure::{note_acquisition, MeasurementChannel};
 use crate::runner::{MeasureJob, Runner};
 
 /// One phase of an experiment: a system context held for a number of
@@ -294,6 +295,7 @@ impl Experiment {
         let mut next_event = 0usize;
         let mut outlier: Option<f64> = None;
         let mut drop_next = false;
+        let mut channel = MeasurementChannel::default();
         for iteration in 0..iterations {
             let start_us = iteration as u64 * self.interval.as_micros();
             while let Some(ev) = timeline.events().get(next_event) {
@@ -317,27 +319,42 @@ impl Experiment {
                     EventKind::Noise(factor) => system.set_latency_factor(*factor),
                     EventKind::Outlier(factor) => outlier = Some(*factor),
                     EventKind::Drop => drop_next = true,
+                    EventKind::Blackout(on) => channel.set_blackout(*on),
+                    EventKind::Timeout => channel.arm_timeout(),
                 }
                 next_event += 1;
             }
-            let raw = system.run_interval(self.interval);
+            let acq = channel.acquire(system.run_interval(self.interval));
             let sample = if drop_next {
                 // A dropped interval loses the outlier corruption too —
                 // there is nothing left to corrupt.
                 drop_next = false;
                 outlier = None;
                 PerfSample::empty()
-            } else if let Some(factor) = outlier.take() {
-                PerfSample {
-                    mean_response_ms: raw.mean_response_ms * factor,
-                    p95_response_ms: raw.p95_response_ms * factor,
-                    ..raw
-                }
             } else {
-                raw
+                match acq.sample {
+                    // Failed acquisition: the sample (and any pending
+                    // outlier corruption of it) is lost.
+                    None => {
+                        outlier = None;
+                        PerfSample::empty()
+                    }
+                    Some(raw) => {
+                        if let Some(factor) = outlier.take() {
+                            PerfSample {
+                                mean_response_ms: raw.mean_response_ms * factor,
+                                p95_response_ms: raw.p95_response_ms * factor,
+                                ..raw
+                            }
+                        } else {
+                            raw
+                        }
+                    }
+                }
             };
             let sim_us = warmup_us + (iteration as u64 + 1) * self.interval.as_micros();
             trace::set_sim_time_us(sim_us);
+            note_acquisition(&acq, iteration, channel.is_open());
             series.push(IterationRecord {
                 iteration,
                 phase: 0,
@@ -346,16 +363,19 @@ impl Experiment {
                 throughput_rps: sample.throughput_rps,
                 config,
             });
-            let next = tuner.next_config(&sample);
-            if next != config {
-                trace::emit(|| {
-                    Event::new("reconfigure")
-                        .field("iter", (iteration + 1) as u64)
-                        .field("from", config.to_string())
-                        .field("to", next.to_string())
-                });
-                system.set_config(next);
-                config = next;
+            tuner.set_degraded(channel.is_open());
+            if !channel.is_open() {
+                let next = tuner.next_config(&sample);
+                if next != config {
+                    trace::emit(|| {
+                        Event::new("reconfigure")
+                            .field("iter", (iteration + 1) as u64)
+                            .field("from", config.to_string())
+                            .field("to", next.to_string())
+                    });
+                    system.set_config(next);
+                    config = next;
+                }
             }
         }
         series

@@ -62,8 +62,10 @@ mod checkpoint;
 mod context;
 mod experiment;
 pub mod grouping;
+mod guardrail;
 mod init;
 mod mdp;
+mod measure;
 mod param;
 mod persist;
 mod reward;
@@ -72,7 +74,7 @@ mod sensitivity;
 mod training;
 
 pub use action::Action;
-pub use agent::{RacAgent, RacSettings, Tuner};
+pub use agent::{AgentError, RacAgent, RacSettings, Tuner};
 pub use analysis::{
     convergence_iteration, improvement_percent, response_series, summarize_series, SeriesSummary,
 };
@@ -86,8 +88,12 @@ pub use experiment::{
     cross_platform, cross_workload, maxclients_sweep, series_mean, ContextPhase, Experiment,
     IterationRecord,
 };
+pub use guardrail::{GuardDecision, GuardSettings, RollbackGuard};
 pub use init::{train_initial_policy, InitialPolicy, OfflineSettings};
 pub use mdp::ConfigMdp;
+pub use measure::{
+    Acquisition, BreakerState, BreakerTransition, ChannelSettings, MeasurementChannel,
+};
 pub use param::ConfigLattice;
 pub use persist::{library_from_snapshot, library_to_snapshot};
 pub use reward::SlaReward;

@@ -190,6 +190,23 @@ pub enum Directive {
         /// Which interval's measurement to drop.
         t: SimDuration,
     },
+    /// `fault at <t> blackout for <dur>` — total measurement outage:
+    /// every sample acquisition in `[t, t+dur)` fails, defeating the
+    /// measurement channel's retry budget (the system itself keeps
+    /// running).
+    Blackout {
+        /// Outage onset.
+        t: SimDuration,
+        /// How long acquisitions keep failing.
+        dur: SimDuration,
+    },
+    /// `fault at <t> timeout` — the sample acquisition for the interval
+    /// containing `t` times out once; a retry succeeds if the
+    /// measurement channel still has retry budget.
+    Timeout {
+        /// Which interval's acquisition times out.
+        t: SimDuration,
+    },
 }
 
 /// A parsed scenario: header (name, clock, base workload) plus timeline
@@ -249,7 +266,8 @@ impl Scenario {
                 | Directive::MixAt { t, .. }
                 | Directive::LevelAt { t, .. }
                 | Directive::Outlier { t, .. }
-                | Directive::Drop { t } => *t = scale(*t),
+                | Directive::Drop { t }
+                | Directive::Timeout { t } => *t = scale(*t),
                 Directive::IntensityRamp { t0, t1, .. } | Directive::MixDrift { t0, t1, .. } => {
                     *t0 = scale(*t0);
                     *t1 = scale(*t1);
@@ -264,7 +282,9 @@ impl Scenario {
                     *rise = scale(*rise);
                     *decay = scale(*decay);
                 }
-                Directive::Stall { t, dur, .. } | Directive::Noise { t, dur, .. } => {
+                Directive::Stall { t, dur, .. }
+                | Directive::Noise { t, dur, .. }
+                | Directive::Blackout { t, dur } => {
                     *t = scale(*t);
                     *dur = scale(*dur);
                 }

@@ -24,6 +24,8 @@
 //! fault at <t> noise <f> for <dur>
 //! fault at <t> outlier <f>
 //! fault at <t> drop
+//! fault at <t> blackout for <dur>
+//! fault at <t> timeout
 //! ```
 //!
 //! Durations are written `<n>s` (seconds, fractional allowed) or
@@ -442,7 +444,24 @@ fn parse_directive(tokens: &[&str]) -> Result<Directive, String> {
                     expect_len(tokens, 4, "fault at <t> drop")?;
                     Ok(Directive::Drop { t })
                 }
-                _ => Err("unknown fault (expected stall, noise, outlier or drop)".to_string()),
+                Some("blackout") => {
+                    let usage = "fault at <t> blackout for <dur>";
+                    expect_len(tokens, 6, usage)?;
+                    expect_kw(tokens[4], "for", usage)?;
+                    let dur = parse_duration(tokens[5])?;
+                    if dur.is_zero() {
+                        return Err("blackout duration must be positive".to_string());
+                    }
+                    Ok(Directive::Blackout { t, dur })
+                }
+                Some("timeout") => {
+                    expect_len(tokens, 4, "fault at <t> timeout")?;
+                    Ok(Directive::Timeout { t })
+                }
+                _ => Err(
+                    "unknown fault (expected stall, noise, outlier, drop, blackout or timeout)"
+                        .to_string(),
+                ),
             }
         }
         _ => unreachable!("caller dispatches only directive keywords"),
@@ -502,6 +521,10 @@ impl fmt::Display for Directive {
             }
             Directive::Outlier { t, factor } => write!(f, "fault at {} outlier {factor}", d(*t)),
             Directive::Drop { t } => write!(f, "fault at {} drop", d(*t)),
+            Directive::Blackout { t, dur } => {
+                write!(f, "fault at {} blackout for {}", d(*t), d(*dur))
+            }
+            Directive::Timeout { t } => write!(f, "fault at {} timeout", d(*t)),
         }
     }
 }
@@ -588,16 +611,33 @@ fault at 30s stall appdb 120s
 fault at 40s noise 1.5 for 300s
 fault at 50s outlier 6
 fault at 60s drop
+fault at 70s blackout for 600s
+fault at 80s timeout
 ";
         let scn = Scenario::parse(src).unwrap();
-        assert_eq!(scn.directives.len(), 11);
+        assert_eq!(scn.directives.len(), 13);
         let again = Scenario::parse(&scn.to_string()).unwrap();
         assert_eq!(again, scn);
     }
 
     #[test]
     fn errors_carry_line_numbers() {
-        let cases: [(&str, usize, &str); 8] = [
+        let cases: [(&str, usize, &str); 11] = [
+            (
+                "name t\nduration 600s\ninterval 300s\nfault at 0s blackout for 0s\n",
+                4,
+                "blackout duration",
+            ),
+            (
+                "name t\nduration 600s\ninterval 300s\nfault at 0s timeout twice\n",
+                4,
+                "fault at <t> timeout",
+            ),
+            (
+                "name t\nduration 600s\ninterval 300s\nfault at 0s brownout\n",
+                4,
+                "unknown fault",
+            ),
             (
                 "name t\nduration 600s\ninterval 300s\nat 0s intensity -1\n",
                 4,

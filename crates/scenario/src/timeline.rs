@@ -54,6 +54,12 @@ pub enum EventKind {
     Outlier(f64),
     /// Drop the next measurement entirely.
     Drop,
+    /// Start (`true`) or lift (`false`) a measurement blackout: while
+    /// active, every sample acquisition fails regardless of retries.
+    Blackout(bool),
+    /// Time the next sample acquisition out once; the measurement
+    /// channel may recover it by retrying.
+    Timeout,
 }
 
 impl EventKind {
@@ -68,6 +74,8 @@ impl EventKind {
             EventKind::Noise(_) => "noise",
             EventKind::Outlier(_) => "outlier",
             EventKind::Drop => "drop",
+            EventKind::Blackout(_) => "blackout",
+            EventKind::Timeout => "timeout",
         }
     }
 }
@@ -88,6 +96,9 @@ impl fmt::Display for EventKind {
             EventKind::Noise(factor) => write!(f, "x{factor:.3}"),
             EventKind::Outlier(factor) => write!(f, "x{factor:.3}"),
             EventKind::Drop => f.write_str("interval dropped"),
+            EventKind::Blackout(true) => f.write_str("outage begins"),
+            EventKind::Blackout(false) => f.write_str("outage lifted"),
+            EventKind::Timeout => f.write_str("acquisition timed out"),
         }
     }
 }
@@ -255,6 +266,17 @@ impl Scenario {
                 Directive::Drop { t } => {
                     push(&mut events, *t, EventKind::Drop);
                 }
+                Directive::Blackout { t, dur } => {
+                    push(&mut events, *t, EventKind::Blackout(true));
+                    push(
+                        &mut events,
+                        SimDuration::from_micros(t.as_micros() + dur.as_micros()),
+                        EventKind::Blackout(false),
+                    );
+                }
+                Directive::Timeout { t } => {
+                    push(&mut events, *t, EventKind::Timeout);
+                }
                 Directive::IntensityAt { .. }
                 | Directive::IntensityRamp { .. }
                 | Directive::IntensitySine { .. }
@@ -401,6 +423,25 @@ mod tests {
     }
 
     #[test]
+    fn blackout_emits_onset_and_lift_pair() {
+        let scn = scn("fault at 300s blackout for 300s\nfault at 900s timeout\n");
+        let tl = scn.compile();
+        let marks: Vec<(SimDuration, &str, String)> = tl
+            .events()
+            .iter()
+            .map(|e| (e.t, e.kind.label(), e.kind.to_string()))
+            .collect();
+        assert_eq!(
+            marks,
+            vec![
+                (secs(300), "blackout", "outage begins".to_string()),
+                (secs(600), "blackout", "outage lifted".to_string()),
+                (secs(900), "timeout", "acquisition timed out".to_string()),
+            ]
+        );
+    }
+
+    #[test]
     fn events_past_duration_are_dropped() {
         let scn = scn("fault at 1200s drop\nfault at 900s noise 2 for 600s\n");
         let tl = scn.compile();
@@ -434,6 +475,9 @@ mod tests {
             EventKind::Noise(1.5),
             EventKind::Outlier(6.0),
             EventKind::Drop,
+            EventKind::Blackout(true),
+            EventKind::Blackout(false),
+            EventKind::Timeout,
         ];
         let labels: Vec<&str> = kinds.iter().map(EventKind::label).collect();
         assert_eq!(
@@ -446,7 +490,10 @@ mod tests {
                 "stall",
                 "noise",
                 "outlier",
-                "drop"
+                "drop",
+                "blackout",
+                "blackout",
+                "timeout"
             ]
         );
         // Display payloads are non-empty and deterministic.

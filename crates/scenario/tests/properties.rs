@@ -29,7 +29,7 @@ fn directive(which: u64, t_s: u64, span_s: u64, a: f64, b: f64) -> Directive {
     let t = SimDuration::from_secs(t_s);
     let t1 = SimDuration::from_secs(t_s + span_s);
     let dur = SimDuration::from_secs(span_s);
-    match which % 11 {
+    match which % 13 {
         0 => Directive::IntensityAt { t, value: a },
         1 => Directive::IntensityRamp {
             t0: t,
@@ -72,6 +72,8 @@ fn directive(which: u64, t_s: u64, span_s: u64, a: f64, b: f64) -> Directive {
         },
         8 => Directive::Noise { t, factor: a, dur },
         9 => Directive::Outlier { t, factor: a },
+        10 => Directive::Blackout { t, dur },
+        11 => Directive::Timeout { t },
         _ => Directive::Drop { t },
     }
 }
@@ -116,11 +118,13 @@ proptest! {
 
     #[test]
     fn malformed_lines_are_rejected_with_their_line_number(
-        bad_sel in 0usize..10,
+        bad_sel in 0usize..12,
         insert_at in 0usize..5,
         noise in 0u64..u64::MAX,
     ) {
-        const BAD: [&str; 10] = [
+        const BAD: [&str; 12] = [
+            "fault at 0s blackout for 0s",
+            "fault at 0s timeout now",
             "at 0s intensity nope",
             "at 0s intensity -2",
             "at 0s mix festive",
@@ -206,6 +210,56 @@ proptest! {
         for e in timeline.events() {
             if matches!(e.kind, EventKind::Intensity(_) | EventKind::MixBlend { .. }) {
                 prop_assert_eq!(e.t.as_micros() % scn.interval.as_micros(), 0);
+            }
+        }
+    }
+
+    /// Satellite contract: no token soup — truncated lines, bad
+    /// numbers, interleaved garbage — may ever panic the parser; every
+    /// rejection is a `ParseError` whose line number points inside the
+    /// source (or 0 for file-level problems).
+    #[test]
+    fn arbitrary_token_soup_never_panics(
+        picks in proptest::collection::vec(
+            proptest::collection::vec(0usize..44, 0..8),
+            0..24,
+        ),
+        cut in 0usize..400,
+    ) {
+        const POOL: [&str; 44] = [
+            "name", "duration", "interval", "warmup", "clients", "mix", "level",
+            "seed", "at", "ramp", "sine", "spike", "drift", "fault", "stall",
+            "noise", "outlier", "drop", "blackout", "timeout", "for", "->",
+            "..", "intensity", "amp", "period", "peak", "rise", "decay", "web",
+            "appdb", "300s", "0s", "-3s", "1.5", "NaN", "inf", "1e309", "0",
+            "18446744073709551616", "us", "#", "0s..0s", "π≠",
+        ];
+        let mut src = picks
+            .iter()
+            .map(|line| {
+                line.iter()
+                    .map(|&i| POOL[i])
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        // Truncate mid-line at a char boundary to model a torn read.
+        if let Some((pos, _)) = src.char_indices().nth(cut) {
+            src.truncate(pos);
+        }
+        let line_count = src.lines().count();
+        match Scenario::parse(&src) {
+            Ok(scn) => {
+                // Anything accepted must round-trip canonically.
+                prop_assert_eq!(Scenario::parse(&scn.to_string()).as_ref(), Ok(&scn));
+            }
+            Err(e) => {
+                prop_assert!(e.line <= line_count, "line {} of {line_count}:\n{src}", e.line);
+                prop_assert!(!e.message.is_empty());
+                if e.line > 0 {
+                    prop_assert!(e.to_string().starts_with(&format!("line {}: ", e.line)));
+                }
             }
         }
     }

@@ -1,0 +1,159 @@
+//! Chaos-harness integration tests.
+//!
+//! Every chaos run is a pure function of its seed: the fault schedule
+//! comes from a `simkernel` RNG stream and the run itself from the
+//! scenario's seed, so the invariants pinned here are exact, not
+//! statistical:
+//!
+//! 1. **No panics, bounded damage** — for each pinned seed the run
+//!    completes, violation streaks stay within the harness bound, and
+//!    the agent is back inside the SLA within the grace window after
+//!    the last fault clears.
+//! 2. **Bit-identical replay** — series *and* decision/guardrail trace
+//!    are byte-equal across repeated in-process runs. (The CI chaos job
+//!    additionally compares whole-process runs at `RAC_THREADS=1` vs
+//!    `8`.)
+//! 3. **Kill-and-resume through an outage** — a run stopped at a
+//!    boundary inside the guaranteed blackout window (breaker open,
+//!    agent degraded) and resumed from the snapshot finishes exactly
+//!    like one that was never interrupted.
+
+use std::sync::Arc;
+
+use ckpt::wire::{Reader, Writer};
+use ckpt::{Snapshot, SnapshotWriter};
+use obs::trace::{self, TraceWriter};
+use rac::{
+    BoundaryAction, Experiment, IterationRecord, RacAgent, ScenarioProgress, ScenarioRunOutcome,
+};
+use rac_bench::chaos::{
+    chaos_scenario, chaos_table, check_invariants, last_fault_clear_iteration, run_chaos,
+    DEFAULT_ITERATIONS, PINNED_SEEDS, RECOVERY_GRACE,
+};
+use rac_bench::{paper_system_spec, standard_settings};
+use scenario::Directive;
+
+fn traced_run(seed: u64) -> (Vec<IterationRecord>, String) {
+    let scn = chaos_scenario(seed, DEFAULT_ITERATIONS);
+    let writer = Arc::new(TraceWriter::new());
+    let mut series = Vec::new();
+    trace::with_writer(&writer, || series = run_chaos(&scn));
+    (series, writer.serialize())
+}
+
+#[test]
+fn pinned_seeds_hold_the_chaos_invariants() {
+    for seed in PINNED_SEEDS {
+        let scn = chaos_scenario(seed, DEFAULT_ITERATIONS);
+        let (series, trace) = traced_run(seed);
+        let violations = check_invariants(&scn, &series);
+        assert!(
+            violations.is_empty(),
+            "seed {seed} violated chaos invariants: {violations:?}"
+        );
+        assert_eq!(chaos_table(&series).len(), scn.iterations());
+        // The guaranteed blackout must actually walk the breaker
+        // through its lifecycle, visibly in the trace.
+        for action in ["\"trip\"", "\"probe\"", "\"recover\""] {
+            assert!(
+                trace.contains(action),
+                "seed {seed}: trace records no {action} guardrail event"
+            );
+        }
+    }
+}
+
+#[test]
+fn chaos_runs_replay_bit_identically() {
+    for seed in PINNED_SEEDS {
+        let (series_a, trace_a) = traced_run(seed);
+        let (series_b, trace_b) = traced_run(seed);
+        assert_eq!(series_a, series_b, "seed {seed}: series diverged on replay");
+        assert_eq!(trace_a, trace_b, "seed {seed}: trace diverged on replay");
+    }
+}
+
+#[test]
+fn kill_and_resume_inside_the_outage_matches_uninterrupted() {
+    let seed = PINNED_SEEDS[0];
+    let scn = chaos_scenario(seed, DEFAULT_ITERATIONS);
+    let exp = Experiment::for_scenario(paper_system_spec(), &scn);
+    let full = run_chaos(&scn);
+
+    // Stop at the first boundary after the blackout onset: the breaker
+    // is tripping or already open, the agent degraded.
+    let blackout_iter = scn
+        .directives
+        .iter()
+        .find_map(|d| match d {
+            Directive::Blackout { t, .. } => {
+                Some((t.as_micros() / scn.interval.as_micros()) as usize)
+            }
+            _ => None,
+        })
+        .expect("chaos schedules always include a blackout");
+    let stop_after = (blackout_iter + 2).min(scn.iterations() - 1);
+
+    let mut snapshot_bytes = Vec::new();
+    let outcome = exp
+        .run_scenario_resumable(
+            &scn,
+            &mut RacAgent::new(standard_settings()),
+            None,
+            |p, tuner| {
+                if p.iterations_done == stop_after {
+                    let mut snap = SnapshotWriter::new();
+                    tuner.save_state(&mut snap);
+                    snapshot_bytes = snap.to_bytes();
+                    Ok(BoundaryAction::Stop)
+                } else {
+                    Ok(BoundaryAction::Continue)
+                }
+            },
+        )
+        .expect("interrupted run");
+    let ScenarioRunOutcome::Interrupted(progress) = outcome else {
+        panic!("run should stop after {stop_after} iterations");
+    };
+    assert!(
+        progress.channel.is_open(),
+        "stop at iteration {stop_after} should land inside the outage window"
+    );
+
+    // Model the kill: progress goes through its wire form, the agent
+    // through snapshot bytes, as if reloaded in a fresh process.
+    let mut w = Writer::new();
+    progress.encode(&mut w);
+    let bytes = w.into_bytes();
+    let mut r = Reader::new(&bytes, "chaos");
+    let restored_progress = ScenarioProgress::decode(&mut r).expect("progress decodes");
+    r.finish().expect("progress fully consumed");
+    let snap = Snapshot::from_bytes(&snapshot_bytes).expect("snapshot parses");
+    let mut agent = RacAgent::restore(&snap).expect("agent restores");
+    assert!(agent.is_degraded(), "restored agent must still be degraded");
+
+    let resumed = exp
+        .run_scenario_resumable(&scn, &mut agent, Some(restored_progress), |_, _| {
+            Ok(BoundaryAction::Continue)
+        })
+        .expect("resumed run");
+    assert_eq!(
+        resumed,
+        ScenarioRunOutcome::Complete(full),
+        "resume through the open-breaker window diverged"
+    );
+}
+
+#[test]
+fn recovery_window_lies_inside_the_run() {
+    for seed in PINNED_SEEDS {
+        let scn = chaos_scenario(seed, DEFAULT_ITERATIONS);
+        let clear = last_fault_clear_iteration(&scn);
+        assert!(
+            clear + RECOVERY_GRACE <= scn.iterations(),
+            "seed {seed}: recovery window [{clear}, {}) overruns the {}-iteration run",
+            clear + RECOVERY_GRACE,
+            scn.iterations()
+        );
+    }
+}
