@@ -9,6 +9,8 @@
 //! cargo run --release -p rac-bench --bin figures -- scenario --list
 //! cargo run --release -p rac-bench --bin figures -- chaos            # pinned CI seeds
 //! cargo run --release -p rac-bench --bin figures -- chaos 7 --iterations 36
+//! cargo run --release -p rac-bench --bin figures -- bench            # writes BENCH_6.json
+//! cargo run --release -p rac-bench --bin figures -- bench --quick --check BENCH_6.json
 //! RAC_THREADS=8 cargo run --release -p rac-bench --bin figures -- all
 //! RAC_OBS=trace cargo run --release -p rac-bench --bin figures -- fig5
 //!
@@ -63,6 +65,7 @@ use rac::{
 };
 use rac_bench::checkpoint::{CheckpointOptions, LineupOutcome};
 use rac_bench::output::{ascii_chart, TextTable};
+use rac_bench::perfsuite;
 use rac_bench::{
     paper_system_spec, standard_policy_library, standard_settings, ONLINE_LEVELS, SLA_MS,
 };
@@ -150,6 +153,18 @@ fn main() {
         return;
     }
 
+    // `bench` likewise: runs the perf-trajectory suite and writes (or,
+    // with --check, regression-tests against) a BENCH_<n>.json; its
+    // --out/--check flags take values.
+    if cmds.first() == Some(&"bench") {
+        let pos = args
+            .iter()
+            .position(|a| a == "bench")
+            .expect("cmds came from args");
+        run_bench_suite(&args[pos + 1..], &console);
+        return;
+    }
+
     let selected: Vec<&str> = if cmds.is_empty() || cmds.contains(&"all") {
         ALL_CMDS.to_vec()
     } else {
@@ -160,7 +175,8 @@ fn main() {
             eprintln!("unknown experiment: {cmd}");
             eprintln!(
                 "available: table1 table2 fig1..fig10 all | scenario <name|file.scn> [--list] \
-                 [--quick] [--quiet] | chaos [<seed>...] [--iterations <n>]"
+                 [--quick] [--quiet] | chaos [<seed>...] [--iterations <n>] | bench [--quick] \
+                 [--out <path>] [--check <committed.json>]"
             );
             std::process::exit(2);
         }
@@ -226,6 +242,105 @@ fn main() {
         stats.hits
     ));
     write_metrics_snapshot(&opts, &console);
+}
+
+/// `figures bench [--quick] [--out <path>] [--check <committed.json>]`.
+///
+/// Default mode runs the perf-trajectory suite and writes the
+/// `BENCH_<n>.json` report (full repeats unless `--quick`). `--check`
+/// mode instead compares the fresh medians against a previously
+/// committed report and exits 1 if any benchmark's median fell below
+/// the regression floor — nothing is written, so the committed file
+/// stays the authoritative trajectory point. Quick and full mode use
+/// identical problem sizes (quick only repeats less), which is what
+/// makes a quick-mode check against a full-mode file meaningful.
+fn run_bench_suite(rest: &[String], console: &Console) {
+    let mut quick = false;
+    let mut check: Option<PathBuf> = None;
+    let mut out = PathBuf::from(perfsuite::DEFAULT_OUTPUT);
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--quiet" => {}
+            "--check" => match it.next() {
+                Some(p) => check = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--check needs a path to a committed BENCH_<n>.json");
+                    std::process::exit(2);
+                }
+            },
+            "--out" => match it.next() {
+                Some(p) => out = PathBuf::from(p),
+                None => {
+                    eprintln!("--out needs a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown bench argument: {other}");
+                eprintln!(
+                    "usage: figures bench [--quick] [--out <path>] [--check <committed.json>]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    console.note(format!(
+        "bench: perf-trajectory suite, {} mode, {} worker thread(s) [RAC_THREADS]",
+        if quick { "quick" } else { "full" },
+        Runner::global().threads()
+    ));
+    let started = Instant::now();
+    let report = perfsuite::run_suite(&perfsuite::SuiteOptions { quick });
+    console.note(format!(
+        "bench: suite finished in {:.1}s",
+        started.elapsed().as_secs_f64()
+    ));
+    if let Some(s) = report.event_queue_speedup() {
+        console.note(format!("bench: calendar queue {s:.2}x over heap baseline"));
+    }
+    if let Some(s) = report.qsweep_speedup() {
+        console.note(format!("bench: optimized sweep {s:.2}x over naive loop"));
+    }
+    match check {
+        Some(path) => {
+            let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                eprintln!("cannot read {}: {e}", path.display());
+                std::process::exit(2);
+            });
+            let medians = perfsuite::parse_medians(&committed).unwrap_or_else(|e| {
+                eprintln!("cannot parse {}: {e}", path.display());
+                std::process::exit(2);
+            });
+            let failures =
+                perfsuite::check_regressions(&medians, &report, perfsuite::REGRESSION_FLOOR);
+            if !failures.is_empty() {
+                eprintln!("bench regression vs {}:", path.display());
+                for f in &failures {
+                    eprintln!("  {f}");
+                }
+                std::process::exit(1);
+            }
+            println!(
+                "bench check OK: all medians within {}x of {}",
+                perfsuite::REGRESSION_FLOOR,
+                path.display()
+            );
+        }
+        None => {
+            if let Some(dir) = out.parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir).ok();
+                }
+            }
+            std::fs::write(&out, report.to_json()).unwrap_or_else(|e| {
+                eprintln!("cannot write {}: {e}", out.display());
+                std::process::exit(2);
+            });
+            println!("wrote {}", out.display());
+        }
+    }
 }
 
 /// Drops the process-wide metrics next to the figure CSVs (Prometheus

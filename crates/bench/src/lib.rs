@@ -9,6 +9,7 @@ pub mod cache;
 pub mod chaos;
 pub mod checkpoint;
 pub mod output;
+pub mod perfsuite;
 pub mod scenario;
 
 use rac::{

@@ -1,0 +1,594 @@
+//! The perf-trajectory suite behind `figures bench`.
+//!
+//! Measures the three numbers every future PR is judged against —
+//! events/sec through [`simkernel::EventQueue`], iterations/sec through
+//! [`rac::Experiment::run_scenario`] on the bundled scenarios, and
+//! Q-sweep updates/sec through [`rl::batch_value_sweep_report`] — plus
+//! in-file baselines (the retained [`simkernel::HeapQueue`] and a
+//! replica of the pre-optimization sweep loop), so each `BENCH_<n>.json`
+//! carries its own before/after comparison.
+//!
+//! Problem sizes are identical in quick and full mode; quick only
+//! reduces the repeat count. Throughputs are therefore comparable
+//! across modes, which is what lets CI run the quick suite and check it
+//! against the committed full-mode `BENCH_6.json` with a generous
+//! regression floor.
+
+use std::time::Instant;
+
+use rac::{
+    train_initial_policy, Action, ConfigLattice, ConfigMdp, Experiment, OfflineSettings,
+    PolicyLibrary, RacAgent, Runner, SimMeasurer, SlaReward,
+};
+use rl::{batch_value_sweep_report, Backup, Environment, QLearning, QTable};
+use scenario::Scenario;
+use simkernel::rng::Exponential;
+use simkernel::{EventQueue, HeapQueue, Pcg64, SimDuration, SimTime};
+
+use crate::{paper_system_spec, standard_settings, ONLINE_LEVELS, SLA_MS};
+
+/// The perf-trajectory file this PR emits; the `<n>` tracks the PR
+/// sequence (see DESIGN.md).
+pub const BENCH_VERSION: u32 = 6;
+
+/// Default output path, relative to the repository root.
+pub const DEFAULT_OUTPUT: &str = "BENCH_6.json";
+
+/// CI regression floor: a quick-mode median below `floor × committed
+/// median` fails the build.
+pub const REGRESSION_FLOOR: f64 = 0.5;
+
+/// Pending events held in the event-queue benchmark (identical in quick
+/// and full mode, so throughputs are comparable).
+const QUEUE_HOLD_SIZE: usize = 1 << 22;
+/// Hold-model operations (one pop + one schedule each) per sample.
+const QUEUE_OPS: usize = 400_000;
+/// Full-table passes per Q-sweep sample at `ONLINE_LEVELS`.
+const SWEEP_PASSES: usize = 4;
+
+/// One benchmark's samples plus its summary statistics.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Stable identifier, e.g. `event_queue.events_per_sec`.
+    pub name: String,
+    /// Unit of every sample (throughputs: higher is better).
+    pub unit: &'static str,
+    /// Raw per-repeat measurements.
+    pub samples: Vec<f64>,
+}
+
+impl BenchResult {
+    fn sorted(&self) -> Vec<f64> {
+        let mut s = self.samples.clone();
+        s.sort_by(f64::total_cmp);
+        s
+    }
+
+    /// Median of the samples (mean of the middle two for even counts).
+    pub fn median(&self) -> f64 {
+        let s = self.sorted();
+        let mid = s.len() / 2;
+        if s.len() % 2 == 1 {
+            s[mid]
+        } else {
+            (s[mid - 1] + s[mid]) / 2.0
+        }
+    }
+
+    /// `(p25, p75)` by nearest-rank on the sorted samples — the IQR
+    /// endpoints reported in `BENCH_<n>.json`.
+    pub fn iqr(&self) -> (f64, f64) {
+        let s = self.sorted();
+        let rank = |q: f64| s[(((s.len() - 1) as f64) * q).round() as usize];
+        (rank(0.25), rank(0.75))
+    }
+}
+
+/// Suite configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SuiteOptions {
+    /// Reduce repeat counts (problem sizes stay identical).
+    pub quick: bool,
+}
+
+impl SuiteOptions {
+    fn queue_repeats(&self) -> usize {
+        if self.quick {
+            3
+        } else {
+            9
+        }
+    }
+    fn sweep_repeats(&self) -> usize {
+        if self.quick {
+            3
+        } else {
+            7
+        }
+    }
+    fn scenario_repeats(&self) -> usize {
+        if self.quick {
+            1
+        } else {
+            3
+        }
+    }
+}
+
+/// Everything `figures bench` writes into `BENCH_<n>.json`.
+#[derive(Debug, Clone)]
+pub struct SuiteReport {
+    /// All benchmark results, in run order.
+    pub results: Vec<BenchResult>,
+    /// Whether the suite ran in quick mode.
+    pub quick: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Event-queue benchmark (hold model)
+
+/// The future-event-list API surface the hold model exercises, so the
+/// calendar queue and the heap baseline run the identical workload.
+trait Fel {
+    fn schedule(&mut self, at: SimTime, ev: u64);
+    fn pop(&mut self) -> Option<(SimTime, u64)>;
+}
+
+impl Fel for EventQueue<u64> {
+    fn schedule(&mut self, at: SimTime, ev: u64) {
+        EventQueue::schedule(self, at, ev);
+    }
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        EventQueue::pop(self)
+    }
+}
+
+impl Fel for HeapQueue<u64> {
+    fn schedule(&mut self, at: SimTime, ev: u64) {
+        HeapQueue::schedule(self, at, ev);
+    }
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        HeapQueue::pop(self)
+    }
+}
+
+/// Classic hold model: prefill `QUEUE_HOLD_SIZE` events with
+/// exponentially distributed gaps (mean 500 µs — the simulator's
+/// sub-millisecond service-time regime), then repeatedly pop the
+/// earliest event and schedule a replacement one gap into the future.
+/// Steady-state size stays constant, so the measurement isolates queue
+/// operations at a fleet-representative backlog. Returns events/sec
+/// (one pop + one schedule counted as one event).
+fn hold_events_per_sec<Q: Fel>(q: &mut Q) -> f64 {
+    let mut rng = Pcg64::seed_from_u64(0x5EED_BE7C);
+    let gap = Exponential::with_mean(500.0); // mean gap in µs (sample_micros unit)
+    let mut t = SimTime::ZERO;
+    for i in 0..QUEUE_HOLD_SIZE as u64 {
+        t += SimDuration::from_micros(gap.sample_micros(&mut rng));
+        q.schedule(t, i);
+    }
+    let started = Instant::now();
+    let mut checksum = 0u64;
+    for i in 0..QUEUE_OPS as u64 {
+        let (at, ev) = q.pop().expect("hold model never empties");
+        checksum = checksum.wrapping_add(ev);
+        let next = at + SimDuration::from_micros(gap.sample_micros(&mut rng));
+        q.schedule(next, i);
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    std::hint::black_box(checksum);
+    QUEUE_OPS as f64 / elapsed
+}
+
+// ---------------------------------------------------------------------------
+// Q-sweep benchmark
+
+/// The paper-scale planning problem: the full `ONLINE_LEVELS` lattice
+/// with a non-trivial performance map.
+fn sweep_mdp() -> ConfigMdp {
+    let lattice = ConfigLattice::new(ONLINE_LEVELS);
+    let mut mdp = ConfigMdp::new(&lattice, SlaReward::new(SLA_MS));
+    for s in 0..lattice.num_states() {
+        mdp.set_perf(s, 100.0 + (s % 1_000) as f64);
+    }
+    mdp
+}
+
+fn qsweep_updates_per_sec(mdp: &ConfigMdp) -> f64 {
+    let mut q = QTable::new(mdp.num_states(), Action::COUNT);
+    let learner = QLearning::new(0.1, 0.9);
+    let started = Instant::now();
+    let report = batch_value_sweep_report(mdp, &mut q, &learner, Backup::Greedy, 0.0, SWEEP_PASSES);
+    let elapsed = started.elapsed().as_secs_f64();
+    std::hint::black_box(q.raw());
+    report.updates as f64 / elapsed
+}
+
+/// Replica of the pre-optimization sweep loop (per-update model queries,
+/// `max_q` rescans): the in-file baseline the optimized sweep's
+/// trajectory is anchored to.
+fn qsweep_baseline_updates_per_sec(mdp: &ConfigMdp) -> f64 {
+    let mut q = QTable::new(mdp.num_states(), Action::COUNT);
+    let learner = QLearning::new(0.1, 0.9);
+    let started = Instant::now();
+    let mut updates = 0u64;
+    for _ in 0..SWEEP_PASSES {
+        for s in 0..mdp.num_states() {
+            for a in 0..mdp.num_actions() {
+                let s2 = mdp.transition(s, a);
+                let r = mdp.reward(s, a, s2);
+                let next_value = q.max_q(s2);
+                learner.update_toward(&mut q, s, a, r, next_value);
+                updates += 1;
+            }
+        }
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    std::hint::black_box(q.raw());
+    updates as f64 / elapsed
+}
+
+// ---------------------------------------------------------------------------
+// Scenario benchmark
+
+/// Trains the small deterministic policy library the scenario benchmark
+/// seeds the RAC agent from (shopping @ Level-1, where every bundled
+/// scenario starts) — offline training happens once, outside any timed
+/// region.
+fn bench_library() -> PolicyLibrary {
+    let ctx = rac::paper_contexts()[0];
+    let lattice = ConfigLattice::new(ONLINE_LEVELS);
+    let spec = paper_system_spec().with_mix(ctx.mix).with_level(ctx.level);
+    let measurer = SimMeasurer::on_runner(
+        Runner::global(),
+        spec,
+        SimDuration::from_secs(60),
+        SimDuration::from_secs(60),
+    );
+    let settings = OfflineSettings {
+        group_levels: 2,
+        ..OfflineSettings::default()
+    };
+    let policy = train_initial_policy(&lattice, SlaReward::new(SLA_MS), settings, measurer)
+        .expect("offline landscape fits");
+    let mut lib = PolicyLibrary::new();
+    lib.insert(ctx, policy);
+    lib
+}
+
+/// Times one full `Experiment::run_scenario` of the RAC agent through a
+/// quick-scaled scenario (the same 1/3 reduction `figures scenario
+/// --quick` applies — identical in quick and full bench mode), returning
+/// tuning iterations/sec.
+fn scenario_iterations_per_sec(scn: &Scenario, library: &PolicyLibrary) -> f64 {
+    let exp = Experiment::for_scenario(paper_system_spec(), scn);
+    let mut agent = RacAgent::with_policy_library(standard_settings(), library.clone());
+    let started = Instant::now();
+    let series = exp.run_scenario(scn, &mut agent);
+    let elapsed = started.elapsed().as_secs_f64();
+    series.len() as f64 / elapsed
+}
+
+// ---------------------------------------------------------------------------
+// Suite driver
+
+fn run_samples(repeats: usize, mut f: impl FnMut() -> f64) -> Vec<f64> {
+    (0..repeats).map(|_| f()).collect()
+}
+
+/// Runs the whole suite, logging one line per benchmark to stderr.
+pub fn run_suite(opts: &SuiteOptions) -> SuiteReport {
+    let mut results = Vec::new();
+    let mut push = |name: &str, unit: &'static str, samples: Vec<f64>| {
+        let r = BenchResult {
+            name: name.to_string(),
+            unit,
+            samples,
+        };
+        let (lo, hi) = r.iqr();
+        eprintln!(
+            "  [bench] {:<40} median {:>12.0} {} (IQR {:.0}..{:.0}, {} samples)",
+            r.name,
+            r.median(),
+            r.unit,
+            lo,
+            hi,
+            r.samples.len()
+        );
+        results.push(r);
+    };
+
+    push(
+        "event_queue.events_per_sec",
+        "events/sec",
+        run_samples(opts.queue_repeats(), || {
+            hold_events_per_sec(&mut EventQueue::new())
+        }),
+    );
+    push(
+        "event_queue_baseline.events_per_sec",
+        "events/sec",
+        run_samples(opts.queue_repeats(), || {
+            hold_events_per_sec(&mut HeapQueue::new())
+        }),
+    );
+
+    let mdp = sweep_mdp();
+    push(
+        "qsweep.updates_per_sec",
+        "updates/sec",
+        run_samples(opts.sweep_repeats(), || qsweep_updates_per_sec(&mdp)),
+    );
+    push(
+        "qsweep_baseline.updates_per_sec",
+        "updates/sec",
+        run_samples(opts.sweep_repeats(), || {
+            qsweep_baseline_updates_per_sec(&mdp)
+        }),
+    );
+
+    eprintln!("  [bench] training policy library for scenario runs (untimed)");
+    let library = bench_library();
+    for name in crate::scenario::bundled_names() {
+        let scn = crate::scenario::resolve(name)
+            .expect("bundled scenario resolves")
+            .scaled(1, 3);
+        push(
+            &format!("scenario_{}.iterations_per_sec", name.replace('-', "_")),
+            "iterations/sec",
+            run_samples(opts.scenario_repeats(), || {
+                scenario_iterations_per_sec(&scn, &library)
+            }),
+        );
+    }
+
+    SuiteReport {
+        results,
+        quick: opts.quick,
+    }
+}
+
+impl SuiteReport {
+    /// Median of a benchmark by name.
+    pub fn median_of(&self, name: &str) -> Option<f64> {
+        self.results
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| r.median())
+    }
+
+    /// Calendar-queue speedup over the retained heap baseline — the
+    /// acceptance number for this PR's trajectory (≥ 3×).
+    pub fn event_queue_speedup(&self) -> Option<f64> {
+        let new = self.median_of("event_queue.events_per_sec")?;
+        let old = self.median_of("event_queue_baseline.events_per_sec")?;
+        (old > 0.0).then(|| new / old)
+    }
+
+    /// Optimized-sweep speedup over the pre-optimization loop replica.
+    pub fn qsweep_speedup(&self) -> Option<f64> {
+        let new = self.median_of("qsweep.updates_per_sec")?;
+        let old = self.median_of("qsweep_baseline.updates_per_sec")?;
+        (old > 0.0).then(|| new / old)
+    }
+
+    /// Serializes the report as the `BENCH_<n>.json` document. Emitted
+    /// by hand (the build is dependency-free); floats use Rust's
+    /// shortest round-trip `Display`, so `parse_medians` reads back the
+    /// exact values.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"version\": {BENCH_VERSION},\n"));
+        out.push_str("  \"generated_by\": \"figures bench\",\n");
+        out.push_str(&format!("  \"quick\": {},\n", self.quick));
+        out.push_str("  \"env\": {\n");
+        out.push_str(&format!("    \"os\": \"{}\",\n", std::env::consts::OS));
+        out.push_str(&format!("    \"arch\": \"{}\",\n", std::env::consts::ARCH));
+        out.push_str(&format!(
+            "    \"rac_threads\": \"{}\",\n",
+            std::env::var("RAC_THREADS").unwrap_or_else(|_| "default".into())
+        ));
+        out.push_str(&format!(
+            "    \"debug_assertions\": {},\n",
+            cfg!(debug_assertions)
+        ));
+        out.push_str(&format!(
+            "    \"pkg_version\": \"{}\",\n",
+            env!("CARGO_PKG_VERSION")
+        ));
+        out.push_str(&format!("    \"queue_hold_size\": {QUEUE_HOLD_SIZE},\n"));
+        out.push_str(&format!("    \"queue_ops\": {QUEUE_OPS},\n"));
+        out.push_str(&format!("    \"sweep_passes\": {SWEEP_PASSES}\n"));
+        out.push_str("  },\n");
+        out.push_str("  \"benchmarks\": [\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let (lo, hi) = r.iqr();
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"name\": \"{}\",\n", r.name));
+            out.push_str(&format!("      \"unit\": \"{}\",\n", r.unit));
+            out.push_str(&format!("      \"median\": {},\n", r.median()));
+            out.push_str(&format!("      \"iqr_low\": {lo},\n"));
+            out.push_str(&format!("      \"iqr_high\": {hi},\n"));
+            let samples: Vec<String> = r.samples.iter().map(|s| s.to_string()).collect();
+            out.push_str(&format!("      \"samples\": [{}]\n", samples.join(", ")));
+            out.push_str(if i + 1 == self.results.len() {
+                "    }\n"
+            } else {
+                "    },\n"
+            });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"derived\": {\n");
+        out.push_str(&format!(
+            "    \"event_queue_speedup_vs_baseline\": {},\n",
+            self.event_queue_speedup().unwrap_or(f64::NAN)
+        ));
+        out.push_str(&format!(
+            "    \"qsweep_speedup_vs_baseline\": {}\n",
+            self.qsweep_speedup().unwrap_or(f64::NAN)
+        ));
+        out.push_str("  }\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Extracts `(name, median)` pairs from a `BENCH_<n>.json` document.
+///
+/// A deliberately minimal scanner for the format [`SuiteReport::to_json`]
+/// emits (the build has no JSON dependency): for each `"name"` key it
+/// takes the following string, then the number after the next
+/// `"median"` key.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed entry.
+pub fn parse_medians(json: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(pos) = rest.find("\"name\"") {
+        rest = &rest[pos + "\"name\"".len()..];
+        let open = rest
+            .find('"')
+            .ok_or_else(|| "unterminated name".to_string())?;
+        rest = &rest[open + 1..];
+        let close = rest
+            .find('"')
+            .ok_or_else(|| "unterminated name".to_string())?;
+        let name = rest[..close].to_string();
+        rest = &rest[close + 1..];
+        let mpos = rest
+            .find("\"median\"")
+            .ok_or_else(|| format!("{name}: no median"))?;
+        rest = &rest[mpos + "\"median\"".len()..];
+        let colon = rest.find(':').ok_or_else(|| format!("{name}: no ':'"))?;
+        rest = &rest[colon + 1..];
+        let end = rest
+            .find([',', '\n', '}'])
+            .ok_or_else(|| format!("{name}: unterminated median"))?;
+        let value: f64 = rest[..end]
+            .trim()
+            .parse()
+            .map_err(|e| format!("{name}: bad median ({e})"))?;
+        out.push((name, value));
+        rest = &rest[end..];
+    }
+    if out.is_empty() {
+        return Err("no benchmarks found".to_string());
+    }
+    Ok(out)
+}
+
+/// Compares a fresh (quick) run against a committed `BENCH_<n>.json`.
+/// Returns one message per benchmark whose current median fell below
+/// `floor ×` the committed median; an empty vector means no regression.
+/// Benchmarks present on only one side are skipped (the committed file
+/// is the contract; new benchmarks land with the PR that adds them).
+pub fn check_regressions(
+    committed: &[(String, f64)],
+    current: &SuiteReport,
+    floor: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (name, committed_median) in committed {
+        let Some(current_median) = current.median_of(name) else {
+            continue;
+        };
+        let threshold = committed_median * floor;
+        if current_median < threshold {
+            failures.push(format!(
+                "{name}: current median {current_median:.0} < {floor}x committed {committed_median:.0} \
+                 (threshold {threshold:.0})"
+            ));
+        }
+    }
+    failures
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_of(entries: &[(&str, &[f64])]) -> SuiteReport {
+        SuiteReport {
+            results: entries
+                .iter()
+                .map(|(name, samples)| BenchResult {
+                    name: name.to_string(),
+                    unit: "events/sec",
+                    samples: samples.to_vec(),
+                })
+                .collect(),
+            quick: true,
+        }
+    }
+
+    #[test]
+    fn median_and_iqr() {
+        let r = BenchResult {
+            name: "x".into(),
+            unit: "events/sec",
+            samples: vec![3.0, 1.0, 2.0],
+        };
+        assert_eq!(r.median(), 2.0);
+        // Nearest-rank on 3 samples: ranks 0.5 and 1.5 both round away
+        // from the median's own index only on the high side.
+        assert_eq!(r.iqr(), (2.0, 3.0));
+        let even = BenchResult {
+            name: "y".into(),
+            unit: "events/sec",
+            samples: vec![4.0, 1.0, 3.0, 2.0],
+        };
+        assert_eq!(even.median(), 2.5);
+    }
+
+    #[test]
+    fn json_round_trips_through_parse_medians() {
+        let report = report_of(&[
+            ("event_queue.events_per_sec", &[1.5e7, 1.6e7, 1.4e7]),
+            ("qsweep.updates_per_sec", &[2e8]),
+        ]);
+        let json = report.to_json();
+        let medians = parse_medians(&json).expect("self-emitted JSON parses");
+        assert_eq!(medians.len(), 2);
+        assert_eq!(medians[0].0, "event_queue.events_per_sec");
+        assert_eq!(medians[0].1, report.results[0].median());
+        assert_eq!(medians[1].1, 2e8);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse_medians("{}").is_err());
+        assert!(parse_medians("\"name\": \"x\", \"median\": oops,").is_err());
+    }
+
+    #[test]
+    fn regression_check_flags_only_real_regressions() {
+        let committed = vec![
+            ("event_queue.events_per_sec".to_string(), 1000.0),
+            ("qsweep.updates_per_sec".to_string(), 500.0),
+            ("retired_benchmark".to_string(), 9.0),
+        ];
+        // Queue halved-minus-epsilon (fails at 0.5x floor), sweep fine,
+        // retired benchmark skipped.
+        let current = report_of(&[
+            ("event_queue.events_per_sec", &[499.0]),
+            ("qsweep.updates_per_sec", &[495.0]),
+            ("brand_new_benchmark", &[1.0]),
+        ]);
+        let failures = check_regressions(&committed, &current, REGRESSION_FLOOR);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("event_queue.events_per_sec"));
+    }
+
+    #[test]
+    fn speedup_reads_the_right_pair() {
+        let report = report_of(&[
+            ("event_queue.events_per_sec", &[3000.0]),
+            ("event_queue_baseline.events_per_sec", &[1000.0]),
+        ]);
+        assert_eq!(report.event_queue_speedup(), Some(3.0));
+        assert_eq!(report.qsweep_speedup(), None);
+    }
+}

@@ -39,6 +39,13 @@ pub struct ConfigMdp {
     states: usize,
     transitions: Vec<u32>,
     perf_ms: Vec<f64>,
+    /// `reward.of_response_ms(perf_ms[s])` per state, refreshed whenever
+    /// the performance map changes: the reward of a transition depends
+    /// only on the destination state, and sweeps query it `states ×
+    /// actions × passes` times per retrain, so the division/clamp is
+    /// paid once per map write instead of once per query. Computed by
+    /// the same call, so cached and recomputed values are bit-identical.
+    reward_of: Vec<f64>,
     reward: SlaReward,
 }
 
@@ -64,6 +71,7 @@ impl ConfigMdp {
             states,
             transitions,
             perf_ms: vec![reward.sla_ms(); states],
+            reward_of: vec![reward.of_response_ms(reward.sla_ms()); states],
             reward,
         }
     }
@@ -81,6 +89,7 @@ impl ConfigMdp {
     /// Panics if `state` is out of range.
     pub fn set_perf(&mut self, state: usize, response_ms: f64) {
         self.perf_ms[state] = response_ms;
+        self.reward_of[state] = self.reward.of_response_ms(response_ms);
     }
 
     /// The stored response time of a state (ms).
@@ -95,6 +104,9 @@ impl ConfigMdp {
     /// Panics if `perf_ms.len()` differs from the state count.
     pub fn set_perf_map(&mut self, perf_ms: Vec<f64>) {
         assert_eq!(perf_ms.len(), self.states, "performance map size mismatch");
+        self.reward_of.clear();
+        self.reward_of
+            .extend(perf_ms.iter().map(|&p| self.reward.of_response_ms(p)));
         self.perf_ms = perf_ms;
     }
 
@@ -130,7 +142,7 @@ impl Environment for ConfigMdp {
     }
 
     fn reward(&self, _s: usize, _a: usize, s2: usize) -> f64 {
-        self.reward.of_response_ms(self.perf_ms[s2])
+        self.reward_of[s2]
     }
 }
 

@@ -103,6 +103,13 @@ impl QTable {
         &self.values
     }
 
+    /// Mutable raw storage for the sweep hot loop, which indexes rows by
+    /// precomputed stride instead of going through [`get`](Self::get) /
+    /// [`set`](Self::set) per update.
+    pub(crate) fn raw_mut(&mut self) -> &mut [f32] {
+        &mut self.values
+    }
+
     /// Rebuilds a table from storage previously captured with
     /// [`QTable::raw`].
     ///

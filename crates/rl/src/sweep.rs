@@ -16,8 +16,14 @@ pub trait Environment {
     /// Number of actions available in every state.
     fn num_actions(&self) -> usize;
     /// The state reached by taking `a` in `s`.
+    ///
+    /// Must be pure: the sweep reads the whole model into dense tables
+    /// once per call, so a transition that changed between invocations
+    /// would silently be ignored.
     fn transition(&self, s: usize, a: usize) -> usize;
     /// Immediate reward for the transition `s --a--> s2`.
+    ///
+    /// Must be pure, like [`transition`](Self::transition).
     fn reward(&self, s: usize, a: usize, s2: usize) -> f64;
 }
 
@@ -127,23 +133,96 @@ pub fn batch_value_sweep_report(
         assert!((0.0..=1.0).contains(&e), "epsilon must be in [0, 1]");
     }
 
+    let states = env.num_states();
+    let actions = env.num_actions();
+
+    // Read the (pure) model out into dense row-stride tables once per
+    // sweep: every pass then runs over flat arrays — no dynamic dispatch
+    // per update, no recomputed reward arithmetic (`ConfigMdp` divides
+    // by the SLA on every `reward` call). Purity makes this
+    // bit-identical to querying the model inside the loop.
+    let mut transitions: Vec<u32> = Vec::with_capacity(states * actions);
+    let mut rewards: Vec<f64> = Vec::with_capacity(states * actions);
+    for s in 0..states {
+        for a in 0..actions {
+            let s2 = env.transition(s, a);
+            assert!(s2 < states, "transition ({s},{a}) -> {s2} out of range");
+            transitions.push(s2 as u32);
+            rewards.push(env.reward(s, a, s2));
+        }
+    }
+
     let mut report = SweepReport::default();
-    for pass in 1..=max_passes {
-        let mut error: f64 = 0.0;
-        for s in 0..env.num_states() {
-            for a in 0..env.num_actions() {
-                let s2 = env.transition(s, a);
-                let r = env.reward(s, a, s2);
-                let next_value = backup.state_value(q, s2);
-                let delta = learner.update_toward(q, s, a, r, next_value);
-                error = error.max(delta);
+    match backup {
+        Backup::Greedy => {
+            // The greedy backup only ever needs `max_a Q(s', a)`, so the
+            // per-state row maximum is tracked incrementally: an update
+            // raises it directly, and only demoting the current maximum
+            // forces an O(actions) rescan. f32 `max` over a row is
+            // order-independent, so the cached value is always exactly
+            // `QTable::max_q` — the sweep stays a Gauss-Seidel pass
+            // (successor values are read mid-pass, as written).
+            let alpha = learner.alpha();
+            let gamma = learner.gamma();
+            let row_max_of = |row: &[f32]| row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let values = q.raw_mut();
+            let mut row_max: Vec<f32> = (0..states)
+                .map(|s| row_max_of(&values[s * actions..(s + 1) * actions]))
+                .collect();
+            for pass in 1..=max_passes {
+                let mut error: f64 = 0.0;
+                for s in 0..states {
+                    let base = s * actions;
+                    for a in 0..actions {
+                        let s2 = transitions[base + a] as usize;
+                        // Same arithmetic as `QLearning::update_toward`:
+                        // f64 target, f32 store, f64 delta.
+                        let old32 = values[base + a];
+                        let old = old32 as f64;
+                        let target = rewards[base + a] + gamma * row_max[s2] as f64;
+                        let new = old + alpha * (target - old);
+                        let new32 = new as f32;
+                        values[base + a] = new32;
+                        if new32 >= row_max[s] {
+                            row_max[s] = new32;
+                        } else if old32 == row_max[s] {
+                            row_max[s] = row_max_of(&values[base..base + actions]);
+                        }
+                        error = error.max((new - old).abs());
+                    }
+                }
+                report.passes = pass;
+                report.max_delta = error;
+                report.updates += (states * actions) as u64;
+                if error < theta {
+                    break;
+                }
             }
         }
-        report.passes = pass;
-        report.max_delta = error;
-        report.updates += (env.num_states() * env.num_actions()) as u64;
-        if error < theta {
-            break;
+        Backup::EpsilonGreedy(_) => {
+            // The ε-greedy backup folds an order-dependent f64 mean over
+            // the successor row, which every write invalidates — no
+            // cache can reproduce it bit-exactly, so this ablation
+            // variant keeps the straightforward loop (still fed from
+            // the precomputed tables).
+            for pass in 1..=max_passes {
+                let mut error: f64 = 0.0;
+                for s in 0..states {
+                    let base = s * actions;
+                    for a in 0..actions {
+                        let s2 = transitions[base + a] as usize;
+                        let next_value = backup.state_value(q, s2);
+                        let delta = learner.update_toward(q, s, a, rewards[base + a], next_value);
+                        error = error.max(delta);
+                    }
+                }
+                report.passes = pass;
+                report.max_delta = error;
+                report.updates += (states * actions) as u64;
+                if error < theta {
+                    break;
+                }
+            }
         }
     }
     report
@@ -303,6 +382,107 @@ mod tests {
                 assert_eq!(q1.get(s, a), q2.get(s, a));
             }
         }
+    }
+
+    /// The pre-optimization sweep loop, verbatim: queries the model per
+    /// update and recomputes `state_value` from the live table. The
+    /// optimized sweep must reproduce it bit-for-bit.
+    fn naive_sweep_report(
+        env: &impl Environment,
+        q: &mut QTable,
+        learner: &QLearning,
+        backup: Backup,
+        theta: f64,
+        max_passes: usize,
+    ) -> SweepReport {
+        let mut report = SweepReport::default();
+        for pass in 1..=max_passes {
+            let mut error: f64 = 0.0;
+            for s in 0..env.num_states() {
+                for a in 0..env.num_actions() {
+                    let s2 = env.transition(s, a);
+                    let r = env.reward(s, a, s2);
+                    let next_value = backup.state_value(q, s2);
+                    let delta = learner.update_toward(q, s, a, r, next_value);
+                    error = error.max(delta);
+                }
+            }
+            report.passes = pass;
+            report.max_delta = error;
+            report.updates += (env.num_states() * env.num_actions()) as u64;
+            if error < theta {
+                break;
+            }
+        }
+        report
+    }
+
+    /// A model with irrational rewards and tangled transitions, so any
+    /// reordering of float operations in the optimized loop shows up as
+    /// a bit difference somewhere in thousands of updates.
+    struct Scramble {
+        n: usize,
+    }
+
+    impl Environment for Scramble {
+        fn num_states(&self) -> usize {
+            self.n
+        }
+        fn num_actions(&self) -> usize {
+            5
+        }
+        fn transition(&self, s: usize, a: usize) -> usize {
+            (s * 7 + a * 13 + 3) % self.n
+        }
+        fn reward(&self, s: usize, a: usize, s2: usize) -> f64 {
+            ((s * 31 + a * 17 + s2) as f64).sin() / 3.0
+        }
+    }
+
+    #[test]
+    fn optimized_sweep_is_bit_identical_to_naive_loop() {
+        for (backup, theta, passes) in [
+            (Backup::Greedy, 1e-6, 400),
+            (Backup::Greedy, 0.0, 50),
+            (Backup::EpsilonGreedy(0.2), 1e-6, 400),
+        ] {
+            for learner in [QLearning::new(0.1, 0.9), QLearning::new(1.0, 0.5)] {
+                for env_n in [7usize, 64] {
+                    let env = Scramble { n: env_n };
+                    let mut fast = QTable::new(env_n, 5);
+                    let report_fast =
+                        batch_value_sweep_report(&env, &mut fast, &learner, backup, theta, passes);
+                    let mut slow = QTable::new(env_n, 5);
+                    let report_slow =
+                        naive_sweep_report(&env, &mut slow, &learner, backup, theta, passes);
+                    assert_eq!(report_fast, report_slow, "{backup:?} n={env_n}");
+                    let fast_bits: Vec<u32> = fast.raw().iter().map(|v| v.to_bits()).collect();
+                    let slow_bits: Vec<u32> = slow.raw().iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(fast_bits, slow_bits, "{backup:?} n={env_n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn optimized_sweep_matches_naive_from_warm_nonzero_table() {
+        // Warm tables exercise the incremental row-max bookkeeping from
+        // a state where maxima sit at arbitrary positions (including
+        // demotions of the current maximum).
+        let env = Scramble { n: 33 };
+        let learner = QLearning::new(0.3, 0.8);
+        let mut seed = QTable::new(33, 5);
+        for s in 0..33 {
+            for a in 0..5 {
+                seed.set(s, a, ((s * 5 + a) as f64).cos() * 2.0);
+            }
+        }
+        let mut fast = seed.clone();
+        let mut slow = seed;
+        let rf = batch_value_sweep_report(&env, &mut fast, &learner, Backup::Greedy, 1e-7, 300);
+        let rs = naive_sweep_report(&env, &mut slow, &learner, Backup::Greedy, 1e-7, 300);
+        assert_eq!(rf, rs);
+        assert_eq!(fast.raw(), slow.raw());
     }
 
     #[test]

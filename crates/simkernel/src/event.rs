@@ -1,17 +1,41 @@
-//! Timestamped event queue with deterministic tie-breaking.
+//! Timestamped event queues with deterministic tie-breaking.
+//!
+//! Two implementations share one contract ("pop in non-decreasing
+//! `(timestamp, schedule-order)` order"):
+//!
+//! * [`EventQueue`] — a calendar queue (Brown 1988): events hash into
+//!   time-sliced buckets, each held in sorted order, so both insert and
+//!   pop are O(1) amortized once the bucket width has adapted to the
+//!   event spacing. This is the production future-event list.
+//! * [`HeapQueue`] — the original `BinaryHeap` future-event list, kept
+//!   as the differential-testing oracle and the `figures bench`
+//!   baseline the calendar queue's speedup is measured against.
+//!
+//! Both break same-instant ties FIFO via a monotonic sequence number, so
+//! a simulation's event interleaving is a pure function of what was
+//! scheduled — never of queue internals.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
-/// A future-event list: the central data structure of a discrete-event
-/// simulation.
+/// Calendar-queue future-event list: the central data structure of a
+/// discrete-event simulation.
 ///
 /// Events are popped in non-decreasing timestamp order. Events scheduled
 /// for the *same* instant are popped in the order they were scheduled
 /// (FIFO), which keeps simulations deterministic without requiring the
 /// event payload itself to be ordered.
+///
+/// Internally, events hash by `timestamp / width` into a power-of-two
+/// ring of buckets ("days" on a calendar), each kept sorted. Pops scan
+/// forward from the current day; inserts binary-search within one
+/// bucket. The bucket count doubles/halves with the queue length and the
+/// width re-adapts to the observed event spacing on each resize, so both
+/// operations stay O(1) amortized — unlike a binary heap's O(log n) —
+/// while popping the exact same `(time, schedule-order)` sequence as
+/// [`HeapQueue`].
 ///
 /// # Example
 ///
@@ -30,6 +54,251 @@ use crate::time::SimTime;
 /// ```
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
+    /// Bucket ring; `buckets.len()` is a power of two. Each bucket is
+    /// sorted *descending* by `(at, seq)` so the earliest entry is the
+    /// tail and popping it is `Vec::pop`.
+    buckets: Vec<Vec<Slot<E>>>,
+    /// log₂ of the bucket width in microseconds: one calendar "day" is
+    /// `1 << width_shift` µs. Keeping the width a power of two turns the
+    /// timestamp→day mapping (run once per insert and once per scanned
+    /// day on pop) into a shift instead of a 64-bit division.
+    width_shift: u32,
+    len: usize,
+    seq: u64,
+    now: SimTime,
+}
+
+#[derive(Debug, Clone)]
+struct Slot<E> {
+    at: u64,
+    seq: u64,
+    event: E,
+}
+
+/// Buckets never shrink below this; adaptation only matters at scale.
+const MIN_BUCKETS: usize = 16;
+/// Starting bucket width (log₂ µs ⇒ 1024 µs) before the first resize
+/// re-estimates it.
+const INITIAL_WIDTH_SHIFT: u32 = 10;
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            width_shift: INITIAL_WIDTH_SHIFT,
+            len: 0,
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The timestamp of the most recently popped event — the current
+    /// simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn bucket_of(&self, at: u64) -> usize {
+        ((at >> self.width_shift) & (self.buckets.len() as u64 - 1)) as usize
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past is a simulation bug; in debug builds this
+    /// panics, in release builds the event fires at the current time.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `at` is earlier than [`EventQueue::now`].
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        debug_assert!(
+            at >= self.now,
+            "scheduled event in the past: {at} < {}",
+            self.now
+        );
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        let us = at.as_micros();
+        let b = self.bucket_of(us);
+        let bucket = &mut self.buckets[b];
+        // Descending by (at, seq): find the first entry that is NOT
+        // greater than the new key and insert before it.
+        let pos = bucket.partition_point(|s| (s.at, s.seq) > (us, seq));
+        bucket.insert(pos, Slot { at: us, seq, event });
+        self.len += 1;
+        if self.len > self.buckets.len() * 2 {
+            let n = self.buckets.len() * 2;
+            self.rebuild(n);
+        }
+    }
+
+    /// Finds the bucket holding the globally earliest `(at, seq)` entry
+    /// (always a bucket *tail*). O(1) amortized: scans days forward from
+    /// `now`, falling back to a direct tail scan after one full ring
+    /// cycle (a gap longer than the whole calendar year).
+    fn locate_min(&self) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        let shift = self.width_shift;
+        let nmask = self.buckets.len() as u128 - 1;
+        // Day arithmetic in u128: with a 0-µs-wide shift near
+        // `SimTime::MAX`, `day0 + i` could overflow u64.
+        let day0 = (self.now.as_micros() >> shift) as u128;
+        for i in 0..self.buckets.len() as u128 {
+            let day = day0 + i;
+            let b = (day & nmask) as usize;
+            if let Some(s) = self.buckets[b].last() {
+                if (s.at >> shift) as u128 == day {
+                    return Some(b);
+                }
+            }
+        }
+        // No event within one ring cycle of `now`: direct search over
+        // bucket tails (each tail is its bucket's minimum).
+        let mut best: Option<(u64, u64, usize)> = None;
+        for (b, bucket) in self.buckets.iter().enumerate() {
+            if let Some(s) = bucket.last() {
+                if best.is_none_or(|(at, seq, _)| (s.at, s.seq) < (at, seq)) {
+                    best = Some((s.at, s.seq, b));
+                }
+            }
+        }
+        best.map(|(_, _, b)| b)
+    }
+
+    fn pop_from(&mut self, b: usize) -> (SimTime, E) {
+        let slot = self.buckets[b].pop().expect("locate_min found a tail");
+        self.len -= 1;
+        self.now = SimTime::from_micros(slot.at);
+        if self.len < self.buckets.len() / 2 && self.buckets.len() > MIN_BUCKETS {
+            let n = (self.buckets.len() / 2).max(MIN_BUCKETS);
+            self.rebuild(n);
+        }
+        (self.now, slot.event)
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.locate_min()
+            .map(|b| SimTime::from_micros(self.buckets[b].last().expect("tail").at))
+    }
+
+    /// Pops the earliest event and advances the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let b = self.locate_min()?;
+        Some(self.pop_from(b))
+    }
+
+    /// Pops the earliest event only if it is strictly before `horizon`.
+    ///
+    /// Events at or after the horizon stay queued, so a simulation can be
+    /// resumed past the horizon later. The clock does not advance when
+    /// `None` is returned.
+    pub fn pop_before(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        let b = self.locate_min()?;
+        if self.buckets[b].last().expect("tail").at < horizon.as_micros() {
+            Some(self.pop_from(b))
+        } else {
+            None
+        }
+    }
+
+    /// Pops *every* event sharing the earliest pending timestamp, in
+    /// FIFO order, appending them to `out`; returns that timestamp.
+    ///
+    /// Simultaneous events sit adjacent in one bucket, so draining the
+    /// batch costs one bucket lookup plus one `Vec::pop` per event —
+    /// dispatch loops that treat an instant as a unit (the common DES
+    /// "simultaneous event" pattern) skip per-event queue searches.
+    pub fn pop_batch(&mut self, out: &mut Vec<E>) -> Option<SimTime> {
+        let b = self.locate_min()?;
+        let at = self.buckets[b].last().expect("tail").at;
+        // Ties hash to the same bucket and sit at its tail in reverse
+        // FIFO order, so pop until the tail's timestamp changes.
+        while self.buckets[b].last().map(|s| s.at) == Some(at) {
+            let slot = self.buckets[b].pop().expect("tail checked");
+            self.len -= 1;
+            out.push(slot.event);
+        }
+        self.now = SimTime::from_micros(at);
+        if self.len < self.buckets.len() / 2 && self.buckets.len() > MIN_BUCKETS {
+            let n = (self.buckets.len() / 2).max(MIN_BUCKETS);
+            self.rebuild(n);
+        }
+        Some(self.now)
+    }
+
+    /// Removes every pending event.
+    pub fn clear(&mut self) {
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.len = 0;
+    }
+
+    /// Rehashes every event into `nbuckets` buckets, re-estimating the
+    /// bucket width from the spacing of the head cluster (the `2 *
+    /// nbuckets` earliest events), which keeps a single far-future
+    /// outlier from stretching the width until every near-term event
+    /// lands in one bucket.
+    fn rebuild(&mut self, nbuckets: usize) {
+        let mut all: Vec<Slot<E>> = Vec::with_capacity(self.len);
+        for bucket in &mut self.buckets {
+            all.append(bucket);
+        }
+        if all.len() >= 2 {
+            let mut ats: Vec<u64> = all.iter().map(|s| s.at).collect();
+            let k = (ats.len() - 1).min(nbuckets * 2);
+            let (head, kth, _) = ats.select_nth_unstable(k);
+            let lo = head.iter().min().copied().unwrap_or(*kth).min(*kth);
+            let width = ((*kth - lo) / k as u64).max(1);
+            // Round down to a power of two (at most 2× narrower than the
+            // estimate) so the day mapping stays division-free.
+            self.width_shift = width.ilog2();
+        }
+        self.buckets = (0..nbuckets).map(|_| Vec::new()).collect();
+        // Re-sorting per bucket preserves (at, seq) order exactly; the
+        // sort key is unique, so stability is irrelevant.
+        for slot in all {
+            let b = self.bucket_of(slot.at);
+            self.buckets[b].push(slot);
+        }
+        for bucket in &mut self.buckets {
+            bucket.sort_unstable_by_key(|s| std::cmp::Reverse((s.at, s.seq)));
+        }
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The original `BinaryHeap` future-event list, retained verbatim as the
+/// reference implementation: the differential property suite checks the
+/// calendar queue pops the identical `(time, event)` sequence, and
+/// `figures bench` reports the calendar queue's speedup over it (the
+/// `event_queue_baseline` entry in `BENCH_<n>.json`).
+///
+/// Same contract as [`EventQueue`]: non-decreasing timestamps, FIFO at
+/// equal instants, debug-panic on scheduling into the past.
+#[derive(Debug, Clone)]
+pub struct HeapQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     seq: u64,
     now: SimTime,
@@ -66,18 +335,17 @@ impl<E> Ord for Entry<E> {
     }
 }
 
-impl<E> EventQueue<E> {
+impl<E> HeapQueue<E> {
     /// Creates an empty queue with the clock at [`SimTime::ZERO`].
     pub fn new() -> Self {
-        EventQueue {
+        HeapQueue {
             heap: BinaryHeap::new(),
             seq: 0,
             now: SimTime::ZERO,
         }
     }
 
-    /// The timestamp of the most recently popped event — the current
-    /// simulated time.
+    /// The timestamp of the most recently popped event.
     pub fn now(&self) -> SimTime {
         self.now
     }
@@ -94,12 +362,10 @@ impl<E> EventQueue<E> {
 
     /// Schedules `event` at absolute time `at`.
     ///
-    /// Scheduling in the past is a simulation bug; in debug builds this
-    /// panics, in release builds the event fires at the current time.
-    ///
     /// # Panics
     ///
-    /// Panics in debug builds if `at` is earlier than [`EventQueue::now`].
+    /// Panics in debug builds if `at` is earlier than [`HeapQueue::now`];
+    /// in release builds the event fires at the current time instead.
     pub fn schedule(&mut self, at: SimTime, event: E) {
         debug_assert!(
             at >= self.now,
@@ -125,10 +391,6 @@ impl<E> EventQueue<E> {
     }
 
     /// Pops the earliest event only if it is strictly before `horizon`.
-    ///
-    /// Events at or after the horizon stay queued, so a simulation can be
-    /// resumed past the horizon later. The clock does not advance when
-    /// `None` is returned.
     pub fn pop_before(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
         if self.peek_time()? < horizon {
             self.pop()
@@ -143,7 +405,7 @@ impl<E> EventQueue<E> {
     }
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for HeapQueue<E> {
     fn default() -> Self {
         Self::new()
     }
@@ -217,7 +479,190 @@ mod tests {
         assert_eq!(q.pop(), None);
     }
 
+    #[test]
+    fn resize_preserves_order_across_growth_and_shrink() {
+        // Push enough to force several doublings, interleaved with pops
+        // to trigger shrink rebuilds on the way back down.
+        let mut q = EventQueue::new();
+        let mut expect = Vec::new();
+        for i in 0u64..500 {
+            let at = (i * 7919) % 10_000; // pseudo-random but repeatable
+            q.schedule(SimTime::from_micros(at), i);
+            expect.push((at, i));
+        }
+        expect.sort_by_key(|&(at, i)| (at, i));
+        let got: Vec<(u64, u64)> =
+            std::iter::from_fn(|| q.pop().map(|(t, e)| (t.as_micros(), e))).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn handles_simtime_extremes() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::MAX, "end of time");
+        q.schedule(SimTime::ZERO, "zero");
+        q.schedule(SimTime::MAX, "after end of time"); // FIFO at the same extreme
+        assert_eq!(q.pop(), Some((SimTime::ZERO, "zero")));
+        assert_eq!(q.pop(), Some((SimTime::MAX, "end of time")));
+        assert_eq!(q.pop(), Some((SimTime::MAX, "after end of time")));
+        assert_eq!(q.now(), SimTime::MAX);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_batch_drains_exactly_the_earliest_instant() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(2), "later");
+        q.schedule(SimTime::from_secs(1), "a");
+        q.schedule(SimTime::from_secs(1), "b");
+        q.schedule(SimTime::from_secs(1), "c");
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_batch(&mut batch), Some(SimTime::from_secs(1)));
+        assert_eq!(batch, vec!["a", "b", "c"], "FIFO within the instant");
+        assert_eq!(q.now(), SimTime::from_secs(1));
+        assert_eq!(q.len(), 1);
+        batch.clear();
+        assert_eq!(q.pop_batch(&mut batch), Some(SimTime::from_secs(2)));
+        assert_eq!(batch, vec!["later"]);
+        assert_eq!(q.pop_batch(&mut batch), None);
+    }
+
+    /// Satellite fix: the past-scheduling contract. Debug builds must
+    /// reject time travel loudly (the queue cannot pop it "before" events
+    /// already emitted), release builds clamp to `now`.
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "scheduled event in the past")]
+    fn scheduling_in_the_past_panics_in_debug() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), ());
+        q.pop();
+        q.schedule(SimTime::from_secs(5), ());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "scheduled event in the past")]
+    fn heap_queue_scheduling_in_the_past_panics_in_debug() {
+        let mut q = HeapQueue::new();
+        q.schedule(SimTime::from_secs(10), ());
+        q.pop();
+        q.schedule(SimTime::from_secs(5), ());
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn scheduling_in_the_past_clamps_to_now_in_release() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), "first");
+        q.pop();
+        q.schedule(SimTime::from_secs(5), "late");
+        assert_eq!(q.pop(), Some((SimTime::from_secs(10), "late")));
+    }
+
+    /// Reference model: a plain `Vec` of `(at, seq)` keys re-sorted after
+    /// every mutation — obviously correct, O(n log n) per op.
+    #[derive(Debug, Default)]
+    struct ModelQueue {
+        pending: Vec<(SimTime, u64)>,
+        seq: u64,
+        now: SimTime,
+    }
+
+    impl ModelQueue {
+        fn schedule(&mut self, at: SimTime) {
+            self.pending.push((at.max(self.now), self.seq));
+            self.seq += 1;
+            self.pending.sort_unstable();
+        }
+        fn pop(&mut self) -> Option<(SimTime, u64)> {
+            if self.pending.is_empty() {
+                return None;
+            }
+            let (at, seq) = self.pending.remove(0);
+            self.now = at;
+            Some((at, seq))
+        }
+        fn pop_before(&mut self, horizon: SimTime) -> Option<(SimTime, u64)> {
+            if self.pending.first()?.0 < horizon {
+                self.pop()
+            } else {
+                None
+            }
+        }
+    }
+
     proptest! {
+        /// Satellite property: under arbitrary interleavings of
+        /// schedule / pop / pop_before / clear — including manufactured
+        /// FIFO ties and `SimTime` extremes — the calendar queue agrees
+        /// step-for-step with the sorted-`Vec` model AND with the
+        /// retained `HeapQueue` oracle.
+        ///
+        /// Ops are encoded as `(kind, value)` pairs: kinds 0-2 schedule
+        /// at `now + value`, 3-4 schedule at `now` (FIFO ties), 5
+        /// schedules at `SimTime::MAX` (extreme), 6-7 pop, 8 pops
+        /// before `now + value`, 9 clears.
+        #[test]
+        fn prop_calendar_queue_matches_model_and_heap(
+            ops in proptest::collection::vec((0u8..10, 0u64..10_000), 1..300),
+        ) {
+            let mut q = EventQueue::new();
+            let mut heap = HeapQueue::new();
+            let mut model = ModelQueue::default();
+            for &(kind, val) in &ops {
+                match kind {
+                    0..=4 => {
+                        // The model tracks `now` identically, so the same
+                        // absolute time is valid for all three.
+                        let at = match kind {
+                            0..=2 => model.now + crate::SimDuration::from_micros(val),
+                            3 | 4 => model.now,
+                            _ => unreachable!(),
+                        };
+                        let seq = model.seq;
+                        q.schedule(at, seq);
+                        heap.schedule(at, seq);
+                        model.schedule(at);
+                    }
+                    5 => {
+                        let seq = model.seq;
+                        q.schedule(SimTime::MAX, seq);
+                        heap.schedule(SimTime::MAX, seq);
+                        model.schedule(SimTime::MAX);
+                    }
+                    6 | 7 => {
+                        let want = model.pop();
+                        prop_assert_eq!(q.pop(), want);
+                        prop_assert_eq!(heap.pop(), want);
+                    }
+                    8 => {
+                        let horizon = model.now + crate::SimDuration::from_micros(val);
+                        let want = model.pop_before(horizon);
+                        prop_assert_eq!(q.pop_before(horizon), want);
+                        prop_assert_eq!(heap.pop_before(horizon), want);
+                    }
+                    _ => {
+                        q.clear();
+                        heap.clear();
+                        model.pending.clear();
+                    }
+                }
+                prop_assert_eq!(q.len(), model.pending.len());
+                prop_assert_eq!(q.is_empty(), model.pending.is_empty());
+                prop_assert_eq!(q.peek_time(), model.pending.first().map(|&(at, _)| at));
+            }
+            // Drain whatever is left: full agreement to the end.
+            loop {
+                let want = model.pop();
+                let got = q.pop();
+                prop_assert_eq!(got, want);
+                if got.is_none() {
+                    break;
+                }
+            }
+        }
+
         /// Popped timestamps are always non-decreasing regardless of the
         /// scheduling order.
         #[test]
@@ -243,6 +688,25 @@ mod tests {
             let mut seen: Vec<usize> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
             seen.sort_unstable();
             prop_assert_eq!(seen, (0..times.len()).collect::<Vec<_>>());
+        }
+
+        /// `pop_batch` is equivalent to repeated `pop` at one instant.
+        #[test]
+        fn prop_pop_batch_equals_pop_loop(times in proptest::collection::vec(0u64..50, 1..120)) {
+            let mut a = EventQueue::new();
+            let mut b = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                a.schedule(SimTime::from_micros(*t), i);
+                b.schedule(SimTime::from_micros(*t), i);
+            }
+            let mut batch = Vec::new();
+            while let Some(at) = a.pop_batch(&mut batch) {
+                for e in batch.drain(..) {
+                    prop_assert_eq!(b.pop(), Some((at, e)));
+                }
+                prop_assert_eq!(a.now(), b.now());
+            }
+            prop_assert!(b.is_empty());
         }
     }
 }

@@ -8,9 +8,12 @@
 //!
 //! * [`SimTime`] / [`SimDuration`] — a microsecond-resolution simulated
 //!   clock with total ordering and saturating arithmetic.
-//! * [`EventQueue`] — a priority queue of timestamped events with
+//! * [`EventQueue`] — a calendar-queue future-event list with
 //!   deterministic FIFO tie-breaking for events scheduled at the same
-//!   instant, which makes whole-simulation runs reproducible.
+//!   instant, which makes whole-simulation runs reproducible. The
+//!   original binary-heap implementation survives as
+//!   [`event::HeapQueue`], the differential-testing oracle and
+//!   `figures bench` baseline.
 //! * [`Pcg64`] — a small, fast, seedable PRNG (PCG XSH-RR variant) plus the
 //!   distributions simulation code needs ([`rng::Exponential`],
 //!   [`rng::Zipf`], …). Using an in-tree generator keeps results
@@ -65,6 +68,6 @@ pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use event::EventQueue;
+pub use event::{EventQueue, HeapQueue};
 pub use rng::Pcg64;
 pub use time::{SimDuration, SimTime};

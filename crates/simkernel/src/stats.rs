@@ -187,6 +187,44 @@ impl DurationHistogram {
         self.sum_micros += us as u128;
     }
 
+    /// Records every duration in `ds` at once.
+    ///
+    /// Exactly equivalent to calling [`record`](Self::record) per
+    /// element — the accumulators are integers, so batching the
+    /// total/sum write-back cannot change any count, percentile, or
+    /// bucket edge — but the struct fields are touched once per batch
+    /// instead of once per observation, which is what lets per-event
+    /// histogram updates amortize over an interval's worth of samples.
+    pub fn record_batch<I>(&mut self, ds: I)
+    where
+        I: IntoIterator<Item = SimDuration>,
+    {
+        let mut total = 0u64;
+        let mut sum = 0u128;
+        for d in ds {
+            let us = d.as_micros();
+            self.counts[Self::index_of(us)] += 1;
+            total += 1;
+            sum += us as u128;
+        }
+        self.total += total;
+        self.sum_micros += sum;
+    }
+
+    /// Records `n` copies of the same duration in O(1).
+    ///
+    /// Exactly equivalent to calling [`record`](Self::record) `n`
+    /// times: one bucket increment by `n`, integer total/sum bumps.
+    pub fn record_n(&mut self, d: SimDuration, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let us = d.as_micros();
+        self.counts[Self::index_of(us)] += n;
+        self.total += n;
+        self.sum_micros += us as u128 * n as u128;
+    }
+
     /// Number of recorded durations.
     pub fn count(&self) -> u64 {
         self.total
@@ -580,6 +618,48 @@ mod tests {
             }
             let naive_mean = xs.iter().sum::<f64>() / xs.len() as f64;
             prop_assert!((w.mean() - naive_mean).abs() < 1e-6 * (1.0 + naive_mean.abs()));
+        }
+
+        /// Satellite property: the batched recording path is *exactly*
+        /// the one-at-a-time path — identical bucket counts (so every
+        /// bucket edge), identical totals, identical exact sum, and
+        /// therefore identical percentile answers at any rank. The
+        /// struct derives `Eq`, so one comparison covers all of it.
+        #[test]
+        fn prop_histogram_batch_equals_one_at_a_time(
+            us in proptest::collection::vec(0u64..u64::MAX, 1..200),
+            split in 0usize..200,
+        ) {
+            let ds: Vec<SimDuration> = us.iter().map(|&u| SimDuration::from_micros(u)).collect();
+            let mut one = DurationHistogram::new();
+            for &d in &ds {
+                one.record(d);
+            }
+            // Two batches (possibly empty), exercising the carry-over of
+            // partially accumulated state between batch calls.
+            let split = split.min(ds.len());
+            let mut batched = DurationHistogram::new();
+            batched.record_batch(ds[..split].iter().copied());
+            batched.record_batch(ds[split..].iter().copied());
+            prop_assert_eq!(&one, &batched);
+            for p in [0.0, 1.0, 25.0, 50.0, 75.0, 95.0, 99.0, 100.0] {
+                prop_assert_eq!(one.percentile(p), batched.percentile(p));
+            }
+            prop_assert_eq!(one.mean(), batched.mean());
+            prop_assert_eq!(one.count(), batched.count());
+        }
+
+        /// `record_n` is exactly n repeated `record`s.
+        #[test]
+        fn prop_histogram_record_n_equals_repeats(u in 0u64..u64::MAX, n in 0u64..500) {
+            let d = SimDuration::from_micros(u);
+            let mut repeats = DurationHistogram::new();
+            for _ in 0..n {
+                repeats.record(d);
+            }
+            let mut bulk = DurationHistogram::new();
+            bulk.record_n(d, n);
+            prop_assert_eq!(repeats, bulk);
         }
 
         #[test]

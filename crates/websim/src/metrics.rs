@@ -59,10 +59,15 @@ impl PerfSample {
             s.refused = refused;
             return s;
         }
+        // Batched: identical counts to per-sample `record` calls (the
+        // accumulators are integers), one accumulator write-back per
+        // interval instead of per completion.
         let mut hist = DurationHistogram::new();
-        for &ms in &response_ms {
-            hist.record(SimDuration::from_millis_f64(ms));
-        }
+        hist.record_batch(
+            response_ms
+                .iter()
+                .map(|&ms| SimDuration::from_millis_f64(ms)),
+        );
         let completed = response_ms.len() as u64;
         PerfSample {
             mean_response_ms: response_ms.iter().sum::<f64>() / completed as f64,
