@@ -1,0 +1,42 @@
+//! `check_prom` — validates Prometheus text-exposition files.
+//!
+//! CI scrapes the live `/metrics` endpoint into a file and runs this
+//! checker over it; any line that is not a well-formed comment, blank,
+//! or sample fails the build with its line number and reason.
+//!
+//! Usage: `check_prom <file>...` (exit 0 iff every file validates).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: check_prom <file>...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &args {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("{path}: cannot read: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match obs::export::validate_prometheus(&text) {
+            Ok(()) => {
+                let samples = text
+                    .lines()
+                    .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                    .count();
+                println!("{path}: ok ({samples} samples)");
+            }
+            Err(why) => {
+                eprintln!("{path}: {why}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

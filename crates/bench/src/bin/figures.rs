@@ -115,7 +115,12 @@ fn needs_library(cmd: &str) -> bool {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    // `--serve <addr>` is global: extract it (and its value) before any
+    // sub-grammar sees the tail, then start the embedded observability
+    // server so it is already answering while the policy library builds.
+    let serve_addr = extract_serve_flag(&mut args);
+    let live = serve_addr.is_some();
     let quick = args.iter().any(|a| a == "--quick");
     let quiet = args.iter().any(|a| a == "--quiet");
     let cmds: Vec<&str> = args
@@ -128,6 +133,7 @@ fn main() {
         results_dir: PathBuf::from("results"),
     };
     let console = Console::from_env(quiet);
+    let _server = serve_addr.map(|addr| start_obs_server(&addr));
 
     // `scenario` is its own sub-grammar (operands are scenario names or
     // .scn paths, plus `--list` and the checkpoint flags, some of which
@@ -138,7 +144,7 @@ fn main() {
             .iter()
             .position(|a| a == "scenario")
             .expect("cmds came from args");
-        run_scenarios(&args[pos + 1..], &opts, &console);
+        run_scenarios(&args[pos + 1..], &opts, &console, live);
         return;
     }
 
@@ -165,6 +171,17 @@ fn main() {
         return;
     }
 
+    // `profile` runs one scenario line-up under the hierarchical
+    // self-profiler and reports where the wall-clock went.
+    if cmds.first() == Some(&"profile") {
+        let pos = args
+            .iter()
+            .position(|a| a == "profile")
+            .expect("cmds came from args");
+        run_profile(&args[pos + 1..], &opts, &console);
+        return;
+    }
+
     let selected: Vec<&str> = if cmds.is_empty() || cmds.contains(&"all") {
         ALL_CMDS.to_vec()
     } else {
@@ -176,7 +193,9 @@ fn main() {
             eprintln!(
                 "available: table1 table2 fig1..fig10 all | scenario <name|file.scn> [--list] \
                  [--quick] [--quiet] | chaos [<seed>...] [--iterations <n>] | bench [--quick] \
-                 [--out <path>] [--check <committed.json>]"
+                 [--out <path>] [--check <committed.json>] | profile <name|file.scn> [--quick]\n\
+                 global: --serve <addr> exposes /metrics, /healthz and /profile over HTTP \
+                 while the run executes"
             );
             std::process::exit(2);
         }
@@ -192,6 +211,9 @@ fn main() {
     };
 
     let runner = Runner::global();
+    if obs::enabled() {
+        obs::health::global().begin_job(&format!("figures {}", selected.join(" ")));
+    }
     console.note(format!(
         "figures: {} job(s) across {} worker thread(s) [RAC_THREADS]",
         selected.len(),
@@ -242,6 +264,40 @@ fn main() {
         stats.hits
     ));
     write_metrics_snapshot(&opts, &console);
+    if obs::enabled() {
+        obs::health::global().finish_job(true);
+    }
+}
+
+/// Pulls a global `--serve <addr>` (and its value) out of the argument
+/// list so subcommand parsers never see it.
+fn extract_serve_flag(args: &mut Vec<String>) -> Option<String> {
+    let pos = args.iter().position(|a| a == "--serve")?;
+    if pos + 1 >= args.len() || args[pos + 1].starts_with("--") {
+        eprintln!("--serve needs a bind address, e.g. --serve 127.0.0.1:9898 (port 0 = auto)");
+        std::process::exit(2);
+    }
+    let addr = args.remove(pos + 1);
+    args.remove(pos);
+    Some(addr)
+}
+
+/// Starts the embedded observability server (and switches the profiler
+/// on so `/profile` has data), or exits with a clear message.
+fn start_obs_server(addr: &str) -> obs::ObsServer {
+    obs::profile::set_enabled(true);
+    match obs::ObsServer::start(addr) {
+        Ok(server) => {
+            // To stdout, not the console: scripts (and the CI
+            // live-endpoint job) grep this line for the bound port.
+            println!("obs: serving on http://{}", server.local_addr());
+            server
+        }
+        Err(e) => {
+            eprintln!("cannot serve on {addr}: {e}");
+            std::process::exit(2);
+        }
+    }
 }
 
 /// `figures bench [--quick] [--out <path>] [--check <committed.json>]`.
@@ -291,6 +347,9 @@ fn run_bench_suite(rest: &[String], console: &Console) {
         if quick { "quick" } else { "full" },
         Runner::global().threads()
     ));
+    if obs::enabled() {
+        obs::health::global().begin_job("bench");
+    }
     let started = Instant::now();
     let report = perfsuite::run_suite(&perfsuite::SuiteOptions { quick });
     console.note(format!(
@@ -320,6 +379,9 @@ fn run_bench_suite(rest: &[String], console: &Console) {
                 for f in &failures {
                     eprintln!("  {f}");
                 }
+                if obs::enabled() {
+                    obs::health::global().finish_job(false);
+                }
                 std::process::exit(1);
             }
             println!(
@@ -340,6 +402,9 @@ fn run_bench_suite(rest: &[String], console: &Console) {
             });
             println!("wrote {}", out.display());
         }
+    }
+    if obs::enabled() {
+        obs::health::global().finish_job(true);
     }
 }
 
@@ -1106,7 +1171,12 @@ fn load_snapshot_or_exit(path: &Path, what: &str) -> ckpt::Snapshot {
 /// Scenario runs are sequential end to end — the series must be a pure
 /// function of (spec, scenario, seed), bit-identical at any
 /// `RAC_THREADS` — so unlike the figure jobs there is no fan-out here.
-fn run_scenarios(raw: &[String], opts: &Options, console: &Console) {
+///
+/// With `live` (a `--serve` run), the growing trace is additionally
+/// flushed to its final path as each tuner session completes, so
+/// `inspect_trace --follow` can tail the run; the flushes are prefixes
+/// of the final byte-identical file.
+fn run_scenarios(raw: &[String], opts: &Options, console: &Console, live: bool) {
     let cli = parse_scenario_cli(raw);
     if cli.list {
         println!("bundled scenarios:");
@@ -1142,6 +1212,11 @@ fn run_scenarios(raw: &[String], opts: &Options, console: &Console) {
         })
         .collect();
 
+    // Mark the job running before the (potentially long) library build
+    // so live /healthz readers see it immediately.
+    if obs::enabled() {
+        obs::health::global().begin_job(&format!("scenario {}", cli.operands.join(" ")));
+    }
     let library = match &cli.warm_start {
         Some(path) => {
             let snap = load_snapshot_or_exit(path, "warm-start");
@@ -1184,45 +1259,75 @@ fn run_scenarios(raw: &[String], opts: &Options, console: &Console) {
             }),
             (None, None) => None,
         };
+        let trace_path = opts
+            .results_dir
+            .join(format!("scenario-{}.trace.jsonl", scn.name));
+        // Live runs flush the growing trace between tuner sessions so
+        // followers see events mid-run (never for checkpointed runs,
+        // whose stop-after contract is "no trace file").
+        let live_trace = if live && tracing && ckpt_plan.is_none() {
+            Some(trace_path.clone())
+        } else {
+            None
+        };
         let mut out = String::new();
         let t0 = Instant::now();
-        let (completed, trace) = if tracing {
-            let writer = Arc::new(TraceWriter::new());
-            let completed = obs::trace::with_writer(&writer, || {
+        // Failures must still flush telemetry — the failed run is
+        // exactly the one you want data from — so panics are caught,
+        // metrics/trace written, and only then does the process die.
+        let mut writer = None;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if tracing {
+                let w = Arc::new(TraceWriter::new());
+                writer = Some(Arc::clone(&w));
+                obs::trace::with_writer(&w, || {
+                    scenario_figure(
+                        scn,
+                        &library,
+                        opts,
+                        ckpt_plan.as_ref(),
+                        resume.as_ref(),
+                        live_trace.as_deref(),
+                        &mut out,
+                    )
+                })
+            } else {
                 scenario_figure(
                     scn,
                     &library,
                     opts,
                     ckpt_plan.as_ref(),
                     resume.as_ref(),
+                    None,
                     &mut out,
                 )
-            });
-            (completed, Some(writer))
-        } else {
-            let completed = scenario_figure(
-                scn,
-                &library,
-                opts,
-                ckpt_plan.as_ref(),
-                resume.as_ref(),
-                &mut out,
-            );
-            (completed, None)
-        };
+            }
+        }));
         print!("{out}");
+        let completed = match outcome {
+            Ok(Ok(completed)) => completed,
+            Ok(Err(e)) => {
+                eprintln!("scenario {}: checkpoint error: {e}", scn.name);
+                flush_failure_telemetry(scn, writer.as_deref(), opts, console);
+                std::process::exit(2);
+            }
+            Err(payload) => {
+                eprintln!("scenario {}: run panicked; flushing telemetry", scn.name);
+                flush_failure_telemetry(scn, writer.as_deref(), opts, console);
+                std::panic::resume_unwind(payload);
+            }
+        };
         // An interrupted (`--stop-after`) run writes neither CSV nor
         // trace: its outputs exist only to be byte-compared against an
         // uninterrupted run once resumed to completion.
-        if let (true, Some(writer)) = (completed, &trace) {
-            let path = opts
-                .results_dir
-                .join(format!("scenario-{}.trace.jsonl", scn.name));
-            match writer.write_to(&path) {
-                Ok(()) => {
-                    console.note(format!("  -> {} ({} events)", path.display(), writer.len()))
-                }
-                Err(e) => eprintln!("  could not write {}: {e}", path.display()),
+        if let (true, Some(writer)) = (completed, &writer) {
+            match writer.write_to(&trace_path) {
+                Ok(()) => console.note(format!(
+                    "  -> {} ({} events)",
+                    trace_path.display(),
+                    writer.len()
+                )),
+                Err(e) => eprintln!("  could not write {}: {e}", trace_path.display()),
             }
         }
         console.note(format!(
@@ -1237,20 +1342,54 @@ fn run_scenarios(raw: &[String], opts: &Options, console: &Console) {
         scenarios.len()
     ));
     write_metrics_snapshot(opts, console);
+    if obs::enabled() {
+        obs::health::global().finish_job(true);
+    }
+}
+
+/// Flush-on-failure: a failing scenario run still writes the metrics
+/// snapshot and the buffered trace (under a `.failed.` name so partial
+/// output can never masquerade as a completed run's artifact).
+fn flush_failure_telemetry(
+    scn: &Scenario,
+    writer: Option<&TraceWriter>,
+    opts: &Options,
+    console: &Console,
+) {
+    if let Some(writer) = writer {
+        let path = opts
+            .results_dir
+            .join(format!("scenario-{}.failed.trace.jsonl", scn.name));
+        match writer.write_to(&path) {
+            Ok(()) => console.note(format!(
+                "  -> {} ({} events, partial)",
+                path.display(),
+                writer.len()
+            )),
+            Err(e) => eprintln!("  could not write {}: {e}", path.display()),
+        }
+    }
+    write_metrics_snapshot(opts, console);
+    if obs::enabled() {
+        obs::health::global().finish_job(false);
+    }
 }
 
 /// Runs one scenario through RAC, trial-and-error, and the static
 /// default, then reports the series table, chart, and summary stats.
-/// Returns `false` when a checkpointed run stopped early (`--stop-after`)
-/// — the caller then skips the CSV and trace artifacts.
+/// Returns `Ok(false)` when a checkpointed run stopped early
+/// (`--stop-after`) — the caller then skips the CSV and trace artifacts
+/// — and `Err` on checkpoint I/O or validation failures, so the caller
+/// can flush telemetry before exiting.
 fn scenario_figure(
     scn: &Scenario,
     library: &PolicyLibrary,
     opts: &Options,
     ckpt_plan: Option<&CheckpointOptions>,
     resume: Option<&ckpt::Snapshot>,
+    live_trace: Option<&Path>,
     out: &mut String,
-) -> bool {
+) -> Result<bool, ckpt::CkptError> {
     banner(
         out,
         &format!(
@@ -1262,11 +1401,20 @@ fn scenario_figure(
         ),
     );
     let series = match ckpt_plan {
-        None => rac_bench::scenario::run_tuners(scn, library),
+        None => match live_trace {
+            // Live run: flush the (prefix-stable) trace after each
+            // tuner session so followers see it grow mid-run.
+            Some(path) => rac_bench::scenario::run_tuners_with(scn, library, |_| {
+                if let Some(text) = obs::trace::snapshot_serialized() {
+                    let _ = std::fs::write(path, text);
+                }
+            }),
+            None => rac_bench::scenario::run_tuners(scn, library),
+        },
         Some(plan) => {
-            match rac_bench::checkpoint::run_tuners_checkpointed(scn, library, plan, resume) {
-                Ok(LineupOutcome::Complete(series)) => series,
-                Ok(LineupOutcome::Interrupted { global_iterations }) => {
+            match rac_bench::checkpoint::run_tuners_checkpointed(scn, library, plan, resume)? {
+                LineupOutcome::Complete(series) => series,
+                LineupOutcome::Interrupted { global_iterations } => {
                     let _ = writeln!(
                         out,
                         "  stopped after {global_iterations} line-up iterations \
@@ -1279,11 +1427,7 @@ fn scenario_figure(
                         scn.name,
                         plan.path.display()
                     );
-                    return false;
-                }
-                Err(e) => {
-                    eprintln!("scenario {}: checkpoint error: {e}", scn.name);
-                    std::process::exit(2);
+                    return Ok(false);
                 }
             }
         }
@@ -1311,7 +1455,108 @@ fn scenario_figure(
         );
     }
     save(&t, opts, &format!("scenario-{}.csv", scn.name), out);
-    true
+    Ok(true)
+}
+
+fn profile_usage() -> ! {
+    eprintln!("usage: figures profile <name|file.scn> [--quick] [--quiet]");
+    eprintln!("  runs the tuner line-up once under the hierarchical self-profiler,");
+    eprintln!("  prints a self-time table, and writes results/profile-<name>.folded");
+    std::process::exit(2);
+}
+
+/// `figures profile <scenario>` — one checkpointed line-up run with the
+/// self-profiler on, reported as a self-time table plus a
+/// flamegraph-compatible folded-stack file. The run is checkpointed
+/// (to a throwaway snapshot, deleted afterwards) so the `checkpoint`
+/// phase shows up in the attribution alongside measure/tuner/sweep.
+fn run_profile(raw: &[String], opts: &Options, console: &Console) {
+    let mut operand: Option<&str> = None;
+    for a in raw {
+        match a.as_str() {
+            "--quick" | "--quiet" => {}
+            s if s.starts_with("--") => profile_usage(),
+            s => {
+                if operand.replace(s).is_some() {
+                    eprintln!("profile: exactly one scenario, got several");
+                    profile_usage();
+                }
+            }
+        }
+    }
+    let Some(arg) = operand else { profile_usage() };
+    let scn = match rac_bench::scenario::resolve(arg) {
+        Ok(scn) => {
+            if opts.quick {
+                scn.scaled(1, 3)
+            } else {
+                scn
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+
+    obs::profile::set_enabled(true);
+    obs::profile::reset();
+    if obs::enabled() {
+        obs::health::global().begin_job(&format!("profile {}", scn.name));
+    }
+    let library = standard_policy_library(&opts.cache_dir());
+    let ckpt_path = opts.results_dir.join(format!("profile-{}.ckpt", scn.name));
+    let plan = CheckpointOptions {
+        path: ckpt_path.clone(),
+        every: 5,
+        stop_after: None,
+    };
+    console.note(format!(
+        "profiling scenario {}: {} iterations of {:.0}s per tuner",
+        scn.name,
+        scn.iterations(),
+        scn.interval.as_secs_f64()
+    ));
+    let t0 = Instant::now();
+    let outcome = rac_bench::checkpoint::run_tuners_checkpointed(&scn, &library, &plan, None);
+    let _ = std::fs::remove_file(&ckpt_path);
+    match outcome {
+        Ok(LineupOutcome::Complete(_)) => {}
+        Ok(LineupOutcome::Interrupted { .. }) => unreachable!("stop_after is None"),
+        Err(e) => {
+            eprintln!("profile {}: checkpoint error: {e}", scn.name);
+            if obs::enabled() {
+                obs::health::global().finish_job(false);
+            }
+            std::process::exit(2);
+        }
+    }
+    console.note(format!(
+        "  [profile {}: {:.1}s wall-clock]",
+        scn.name,
+        t0.elapsed().as_secs_f64()
+    ));
+
+    let snapshot = obs::profile::snapshot();
+    print!("{}", rac_bench::profile::self_time_table(&snapshot));
+    let folded_path = opts
+        .results_dir
+        .join(format!("profile-{}.folded", scn.name));
+    match rac_bench::profile::write_folded(&folded_path) {
+        Ok(()) => println!(
+            "wrote {} ({} call paths)",
+            folded_path.display(),
+            snapshot.len()
+        ),
+        Err(e) => {
+            eprintln!("cannot write {}: {e}", folded_path.display());
+            std::process::exit(2);
+        }
+    }
+    write_metrics_snapshot(opts, console);
+    if obs::enabled() {
+        obs::health::global().finish_job(true);
+    }
 }
 
 fn chaos_usage() -> ! {
@@ -1355,6 +1600,10 @@ fn run_chaos_harness(raw: &[String], opts: &Options, console: &Console) {
     }
 
     let tracing = obs::tracing_enabled();
+    if obs::enabled() {
+        let names: Vec<String> = seeds.iter().map(|s| s.to_string()).collect();
+        obs::health::global().begin_job(&format!("chaos {}", names.join(" ")));
+    }
     let started = Instant::now();
     let mut violation_count = 0usize;
     for &seed in &seeds {
@@ -1424,6 +1673,9 @@ fn run_chaos_harness(raw: &[String], opts: &Options, console: &Console) {
         seeds.len()
     ));
     write_metrics_snapshot(opts, console);
+    if obs::enabled() {
+        obs::health::global().finish_job(violation_count == 0);
+    }
     if violation_count > 0 {
         eprintln!("chaos: {violation_count} invariant violation(s)");
         std::process::exit(1);

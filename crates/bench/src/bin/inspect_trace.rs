@@ -11,11 +11,19 @@
 //! The bin doubles as a schema check: any malformed line, unknown event
 //! kind, or decision event missing a required field fails the process
 //! with a non-zero exit status (CI runs it after a traced figure).
+//!
+//! With `--follow` the bin tails one growing trace instead: a live
+//! `figures scenario <name> --serve <addr>` run flushes its
+//! (prefix-stable) trace between tuner sessions, and the follower polls
+//! the file, schema-checks each appended line, and prints a one-line
+//! summary per event until the file stays idle for `--max-idle-ms`
+//! (default 15000).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::Path;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use obs::event::parse_line;
 use obs::{Event, Value};
@@ -43,14 +51,48 @@ const DECISION_FIELDS: [&str; 17] = [
     "calibration",
 ];
 
+fn usage() -> ExitCode {
+    eprintln!("usage: inspect_trace <trace.jsonl>...");
+    eprintln!("       inspect_trace --follow <trace.jsonl> [--max-idle-ms <n>]");
+    ExitCode::from(2)
+}
+
 fn main() -> ExitCode {
-    let paths: Vec<String> = std::env::args()
-        .skip(1)
-        .filter(|a| !a.starts_with("--"))
-        .collect();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut follow_mode = false;
+    let mut max_idle_ms: u64 = 15_000;
+    let mut paths: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--follow" => follow_mode = true,
+            "--max-idle-ms" => {
+                i += 1;
+                max_idle_ms = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) => n,
+                    None => return usage(),
+                };
+            }
+            a if a.starts_with("--") => return usage(),
+            a => paths.push(a.to_string()),
+        }
+        i += 1;
+    }
+    if follow_mode {
+        let [path] = paths.as_slice() else {
+            eprintln!("inspect_trace: --follow takes exactly one trace file");
+            return usage();
+        };
+        return match follow(Path::new(path), max_idle_ms) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("{path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if paths.is_empty() {
-        eprintln!("usage: inspect_trace <trace.jsonl>...");
-        return ExitCode::from(2);
+        return usage();
     }
     let mut failed = false;
     for path in &paths {
@@ -67,6 +109,130 @@ fn main() -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Tails a growing trace: polls the file, parses + schema-checks lines
+/// beyond the last seen one, prints a one-line summary per new event,
+/// and returns once the file has been idle for `max_idle_ms`.
+///
+/// The writer flushes whole-prefix snapshots (`fs::write`), so a poll
+/// can catch a torn mid-write file; parse errors are therefore treated
+/// as transient and only reported if they persist through the idle
+/// window. A file that *shrinks* (a fresh run truncated it) resets the
+/// follower to the top.
+fn follow(path: &Path, max_idle_ms: u64) -> Result<(), String> {
+    let poll = Duration::from_millis(200);
+    let max_idle = Duration::from_millis(max_idle_ms);
+    let mut seen = 0usize;
+    let mut idle = Duration::ZERO;
+    let mut last_err: Option<String> = None;
+    loop {
+        let text = std::fs::read_to_string(path).unwrap_or_default();
+        let complete = complete_lines(&text);
+        if complete < seen {
+            println!("-- follow: {} truncated; restarting", path.display());
+            seen = 0;
+        }
+        match scan_new(&text, seen) {
+            Ok(events) if !events.is_empty() => {
+                idle = Duration::ZERO;
+                last_err = None;
+                for event in &events {
+                    println!("{}", brief(event));
+                }
+                seen = complete;
+            }
+            Ok(_) => idle += poll,
+            Err(e) => {
+                // Possibly a torn write: hold the error, retry.
+                idle += poll;
+                last_err = Some(e);
+            }
+        }
+        if idle >= max_idle {
+            return match last_err {
+                Some(e) => Err(e),
+                None => {
+                    println!(
+                        "-- follow: {seen} events, idle {}ms; stopping",
+                        max_idle.as_millis()
+                    );
+                    Ok(())
+                }
+            };
+        }
+        std::thread::sleep(poll);
+    }
+}
+
+/// Number of newline-terminated lines in `text`. The final line of a
+/// snapshot mid-write may be torn, so the follower only ever consumes
+/// terminated lines.
+fn complete_lines(text: &str) -> usize {
+    text.bytes().filter(|&b| b == b'\n').count()
+}
+
+/// Parses + schema-checks the newline-terminated lines after the first
+/// `seen`, returning the new events. Line numbers in errors are 1-based
+/// over the whole file.
+fn scan_new(text: &str, seen: usize) -> Result<Vec<Event>, String> {
+    let mut events = Vec::new();
+    for (lineno, line) in text
+        .split_inclusive('\n')
+        .filter(|l| l.ends_with('\n'))
+        .enumerate()
+        .skip(seen)
+    {
+        let line = line.trim_end_matches('\n');
+        let event = parse_line(line).map_err(|e| {
+            format!(
+                "line {}: parse error at byte {}: {}",
+                lineno + 1,
+                e.at,
+                e.message
+            )
+        })?;
+        check_schema(&event).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        events.push(event);
+    }
+    Ok(events)
+}
+
+/// One-line summary of an event for `--follow` output.
+fn brief(event: &Event) -> String {
+    let s = |name: &str| {
+        event
+            .get(name)
+            .and_then(Value::as_str)
+            .unwrap_or("?")
+            .to_string()
+    };
+    let f = |name: &str| event.get(name).and_then(Value::as_f64).unwrap_or(f64::NAN);
+    let u = |name: &str| event.get(name).and_then(Value::as_u64).unwrap_or(0);
+    let detail = match event.kind.as_str() {
+        "decision" => format!(
+            "iter {} action {} reward {:.2} rt {:.0} ms",
+            u("iter"),
+            s("action"),
+            f("reward"),
+            f("rt_ms")
+        ),
+        "experiment" => format!("tuner {}", s("tuner")),
+        "phase" => format!("phase {} context {}", u("phase"), s("context")),
+        "reconfigure" => format!("iter {}: {} -> {}", u("iter"), s("from"), s("to")),
+        "guardrail" => format!("{}: {}", s("action"), s("detail")),
+        "scenario_event" => format!("{} ({})", s("event"), s("detail")),
+        "checkpoint" => format!("iter {} tuner_iter {}", u("iter"), u("tuner_iter")),
+        "runner_batch" => format!("{} jobs, {} distinct", u("jobs"), u("distinct")),
+        _ => String::new(),
+    };
+    format!(
+        "[run {}] t={:.0}s {} {}",
+        event.run,
+        event.t_us as f64 / 1e6,
+        event.kind,
+        detail
+    )
 }
 
 fn inspect(path: &Path) -> Result<String, String> {
@@ -585,5 +751,54 @@ mod tests {
         let err =
             parse_and_check("{\"run\":0,\"t_us\":0,\"seq\":0,\"kind\":\"decision\"\n").unwrap_err();
         assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn scan_new_consumes_only_new_terminated_lines() {
+        let text = sample_trace();
+        let all = scan_new(&text, 0).unwrap();
+        assert_eq!(all.len(), 6);
+        assert_eq!(complete_lines(&text), 6);
+
+        // A follower that has seen 4 lines picks up exactly the last 2.
+        let tail = scan_new(&text, 4).unwrap();
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].kind, all[4].kind);
+
+        // Nothing new: empty.
+        assert!(scan_new(&text, 6).unwrap().is_empty());
+
+        // A torn (unterminated) final line is left for the next poll.
+        let torn = format!("{}{}", text, "{\"run\":9,\"t_us\":0,\"se");
+        assert_eq!(complete_lines(&torn), 6);
+        assert!(scan_new(&torn, 6).unwrap().is_empty());
+    }
+
+    #[test]
+    fn scan_new_reports_schema_errors_with_line_numbers() {
+        let mut text = sample_trace();
+        text.push_str("{\"run\":1,\"t_us\":0,\"seq\":99,\"kind\":\"mystery\"}\n");
+        let err = scan_new(&text, 6).unwrap_err();
+        assert!(err.contains("line 7"), "{err}");
+        assert!(err.contains("mystery"), "{err}");
+    }
+
+    #[test]
+    fn brief_lines_name_the_event() {
+        let text = sample_trace();
+        let events = scan_new(&text, 0).unwrap();
+        let lines: Vec<String> = events.iter().map(brief).collect();
+        assert!(lines[0].contains("experiment tuner RAC"), "{:?}", lines[0]);
+        assert!(
+            lines[2].contains("decision iter 1 action Keep"),
+            "{:?}",
+            lines[2]
+        );
+        assert!(lines[2].starts_with("[run 1] t=300s"), "{:?}", lines[2]);
+        assert!(
+            lines[5].contains("runner_batch 10 jobs, 7 distinct"),
+            "{:?}",
+            lines[5]
+        );
     }
 }

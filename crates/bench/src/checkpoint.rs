@@ -190,6 +190,9 @@ impl CkptSink<'_> {
         progress: &ScenarioProgress,
         tuner: &dyn PersistTuner,
     ) -> Result<BoundaryAction, CkptError> {
+        // Wall-clock attribution of encode+write time (metrics/profile
+        // only; the trace event below is simulated-time as ever).
+        let _span = obs::Span::start("checkpoint");
         let flush = self.options.every > 0 && global.is_multiple_of(self.options.every);
         if flush {
             // Emitted before encoding so the snapshot's trace prefix

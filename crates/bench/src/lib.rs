@@ -10,6 +10,7 @@ pub mod chaos;
 pub mod checkpoint;
 pub mod output;
 pub mod perfsuite;
+pub mod profile;
 pub mod scenario;
 
 use rac::{

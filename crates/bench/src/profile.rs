@@ -1,0 +1,86 @@
+//! Rendering helpers for the hierarchical self-profiler: the self-time
+//! table `figures profile` prints and the folded-stack file it writes.
+//!
+//! The folded format is the flamegraph interchange format — one line
+//! per unique call path, `frame;frame;frame <self-µs>` — consumable
+//! directly by `flamegraph.pl` or `inferno-flamegraph`.
+
+use std::io;
+use std::path::Path;
+
+use obs::profile::NodeStats;
+
+use crate::output::TextTable;
+
+/// The profiler call tree as a self-time table, heaviest self time
+/// first: path, entry count, total/self milliseconds, and each node's
+/// share of the run's total self time.
+pub fn self_time_table(snapshot: &[(String, NodeStats)]) -> TextTable {
+    let grand_self: u64 = snapshot.iter().map(|(_, s)| s.self_us).sum();
+    let mut rows: Vec<&(String, NodeStats)> = snapshot.iter().collect();
+    rows.sort_by(|a, b| b.1.self_us.cmp(&a.1.self_us).then_with(|| a.0.cmp(&b.0)));
+    let mut t = TextTable::new(&["path", "count", "total_ms", "self_ms", "self_%"]);
+    for (path, stats) in rows {
+        let share = if grand_self == 0 {
+            0.0
+        } else {
+            stats.self_us as f64 * 100.0 / grand_self as f64
+        };
+        t.row(&[
+            path.clone(),
+            stats.count.to_string(),
+            format!("{:.1}", stats.total_us as f64 / 1_000.0),
+            format!("{:.1}", stats.self_us as f64 / 1_000.0),
+            format!("{share:.1}"),
+        ]);
+    }
+    t
+}
+
+/// Writes the current folded-stack dump to `path`.
+pub fn write_folded(path: &Path) -> io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, obs::profile::folded())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(count: u64, total_us: u64, self_us: u64) -> NodeStats {
+        NodeStats {
+            count,
+            total_us,
+            self_us,
+        }
+    }
+
+    #[test]
+    fn table_sorts_by_self_time_and_shares_sum() {
+        let snapshot = vec![
+            ("tuner".to_string(), node(10, 6_000, 1_000)),
+            ("tuner;sweep".to_string(), node(10, 5_000, 5_000)),
+            ("measure".to_string(), node(10, 4_000, 4_000)),
+        ];
+        let t = self_time_table(&snapshot);
+        let csv = t.render_csv();
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "path,count,total_ms,self_ms,self_%");
+        let first = lines.next().unwrap();
+        assert!(first.starts_with("tuner;sweep,10,5.0,5.0,50.0"), "{first}");
+        let shares: f64 = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.rsplit(',').next().unwrap().parse::<f64>().unwrap())
+            .sum();
+        assert!((shares - 100.0).abs() < 0.2, "shares sum to ~100: {shares}");
+    }
+
+    #[test]
+    fn empty_snapshot_renders_without_dividing_by_zero() {
+        let t = self_time_table(&[]);
+        assert_eq!(t.len(), 0);
+    }
+}

@@ -102,6 +102,19 @@ pub fn run_tuners(
     scn: &Scenario,
     library: &PolicyLibrary,
 ) -> Vec<(&'static str, Vec<IterationRecord>)> {
+    run_tuners_with(scn, library, |_| {})
+}
+
+/// [`run_tuners`] with an `after_each(name)` callback invoked as each
+/// tuner's session completes. Live `--serve` runs use it to flush the
+/// growing trace to disk between sessions (the serialized trace is
+/// prefix-stable, so mid-run flushes are prefixes of the final file);
+/// the callback cannot see or influence the runs themselves.
+pub fn run_tuners_with<F: FnMut(&'static str)>(
+    scn: &Scenario,
+    library: &PolicyLibrary,
+    mut after_each: F,
+) -> Vec<(&'static str, Vec<IterationRecord>)> {
     let exp = Experiment::for_scenario(paper_system_spec(), scn);
     let mut rac_agent = RacAgent::with_policy_library(standard_settings(), library.clone());
     let mut tae = TrialAndError::new(ONLINE_LEVELS);
@@ -113,7 +126,11 @@ pub fn run_tuners(
     ];
     tuners
         .into_iter()
-        .map(|(name, tuner)| (name, exp.run_scenario(scn, tuner)))
+        .map(|(name, tuner)| {
+            let series = exp.run_scenario(scn, tuner);
+            after_each(name);
+            (name, series)
+        })
         .collect()
 }
 

@@ -813,18 +813,22 @@ impl Tuner for RacAgent {
             // Context-change detection and adaptive policy switching.
             // The replacement policy is chosen against the violation
             // streak's mean, not one (possibly transient) sample.
-            if self.detector.observe(measured) {
-                let estimate = self.detector.last_streak_mean();
-                let estimate = if estimate.is_finite() {
-                    estimate
-                } else {
-                    measured
-                };
-                self.maybe_switch_policy(estimate);
+            {
+                let _detector = obs::Span::start("detector");
+                if self.detector.observe(measured) {
+                    let estimate = self.detector.last_streak_mean();
+                    let estimate = if estimate.is_finite() {
+                        estimate
+                    } else {
+                        measured
+                    };
+                    self.maybe_switch_policy(estimate);
+                }
             }
 
             // Batch retraining over measured + calibrated-predicted
             // performance.
+            let _sweep_span = obs::Span::start("sweep");
             self.refresh_perf_map();
             sweep = batch_value_sweep_report(
                 &self.mdp,
@@ -840,6 +844,7 @@ impl Tuner for RacAgent {
         let mut action = self.choose_action(self.current_state);
         let mut next_state = self.mdp.transition(self.current_state, action);
         let reward = self.mdp.sla_reward().of_response_ms(measured);
+        let guard_span = obs::Span::start("guardrail");
         let decision = self
             .guard
             .observe(self.current_state, measured, self.settings.sla_ms);
@@ -882,6 +887,7 @@ impl Tuner for RacAgent {
                     )
             });
         }
+        drop(guard_span);
 
         if obs::enabled() {
             let m = AgentMetrics::get();

@@ -322,7 +322,10 @@ impl Experiment {
                 );
                 next_event += 1;
             }
-            let acq = channel.acquire(system.run_interval(self.interval()));
+            let acq = {
+                let _measure = obs::Span::start("measure");
+                channel.acquire(system.run_interval(self.interval()))
+            };
             let sample = if drop_next {
                 drop_next = false;
                 outlier = None;
@@ -357,9 +360,15 @@ impl Experiment {
                 throughput_rps: sample.throughput_rps,
                 config,
             });
+            if obs::enabled() {
+                obs::health::global().set_progress(iteration as u64 + 1, iterations as u64);
+            }
             tuner.set_degraded(channel.is_open());
             if !channel.is_open() {
-                let next = tuner.next_config(&sample);
+                let next = {
+                    let _tuner = obs::Span::start("tuner");
+                    tuner.next_config(&sample)
+                };
                 if next != config {
                     trace::emit(|| {
                         obs::Event::new("reconfigure")

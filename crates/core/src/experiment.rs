@@ -9,7 +9,7 @@
 //! they fan out across the global parallel [`Runner`](crate::Runner)
 //! and return deterministic, submission-ordered results.
 
-use obs::{trace, Event};
+use obs::{trace, Event, Span};
 use scenario::{EventKind, Scenario};
 use simkernel::SimDuration;
 use tpcw::Mix;
@@ -202,7 +202,12 @@ impl Experiment {
             system.set_workload(system.clients(), phase.context.mix);
             system.set_resource_level(phase.context.level);
             for _ in 0..phase.iterations {
-                let sample: PerfSample = system.run_interval(self.interval);
+                // Wall-clock spans attribute time to phases of the
+                // iteration (metrics/profile only — never the trace).
+                let sample: PerfSample = {
+                    let _measure = Span::start("measure");
+                    system.run_interval(self.interval)
+                };
                 // Decisions are stamped with the *end* of the interval
                 // they observed, so the trace orders by simulated time.
                 sim_us = sim_us.saturating_add(self.interval.as_micros());
@@ -215,7 +220,14 @@ impl Experiment {
                     throughput_rps: sample.throughput_rps,
                     config,
                 });
-                let next = tuner.next_config(&sample);
+                if obs::enabled() {
+                    obs::health::global()
+                        .set_progress(iteration as u64 + 1, self.total_iterations() as u64);
+                }
+                let next = {
+                    let _tuner = Span::start("tuner");
+                    tuner.next_config(&sample)
+                };
                 if next != config {
                     trace::emit(|| {
                         Event::new("reconfigure")
@@ -324,7 +336,10 @@ impl Experiment {
                 }
                 next_event += 1;
             }
-            let acq = channel.acquire(system.run_interval(self.interval));
+            let acq = {
+                let _measure = Span::start("measure");
+                channel.acquire(system.run_interval(self.interval))
+            };
             let sample = if drop_next {
                 // A dropped interval loses the outlier corruption too —
                 // there is nothing left to corrupt.
@@ -363,9 +378,15 @@ impl Experiment {
                 throughput_rps: sample.throughput_rps,
                 config,
             });
+            if obs::enabled() {
+                obs::health::global().set_progress(iteration as u64 + 1, iterations as u64);
+            }
             tuner.set_degraded(channel.is_open());
             if !channel.is_open() {
-                let next = tuner.next_config(&sample);
+                let next = {
+                    let _tuner = Span::start("tuner");
+                    tuner.next_config(&sample)
+                };
                 if next != config {
                     trace::emit(|| {
                         Event::new("reconfigure")

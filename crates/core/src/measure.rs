@@ -376,6 +376,11 @@ pub(crate) fn note_acquisition(acq: &Acquisition, iteration: usize, degraded_now
             _ => {}
         }
         m.breaker_open.set(degraded_now as i64);
+        // Mirror the breaker into the live /healthz cell (atomics only;
+        // health state never feeds the trace).
+        let health = obs::health::global();
+        health.set_breaker_open(degraded_now);
+        health.set_degraded(degraded_now);
     }
     let iter = (iteration + 1) as u64;
     if acq.retried {

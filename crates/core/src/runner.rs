@@ -370,6 +370,9 @@ impl Runner {
         let m = RunnerMetrics::get();
         m.queue_depth.add(pending.len() as i64);
         self.run_tasks(pending.len(), |i| {
+            // One profiler frame per queue job; worker threads root
+            // their own stacks, so the path stays "runner_job".
+            let _span = obs::Span::start("runner_job");
             let started = std::time::Instant::now();
             let sample = pending[i].1.execute();
             m.job_ms

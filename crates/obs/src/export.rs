@@ -86,6 +86,148 @@ pub fn render_csv(snapshot: &[MetricSnapshot]) -> String {
     out
 }
 
+/// Validates Prometheus text-exposition syntax line by line, returning
+/// the first malformed line as `Err("line N: why")`.
+///
+/// The checker accepts the subset of the 0.0.4 format a scraper has to
+/// parse: `# TYPE`/`# HELP` comments, and sample lines
+/// `name[{label="value",...}] value [timestamp]` where the value is a
+/// float or `+Inf`/`-Inf`/`NaN`. It backs the CI live-endpoint job and
+/// the serve-route tests, so a formatting regression in
+/// [`render_prometheus`] fails loudly instead of silently breaking
+/// scrapes.
+pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        validate_line(line).map_err(|why| format!("line {lineno}: {why} ({line:?})"))?;
+    }
+    Ok(())
+}
+
+fn validate_line(line: &str) -> Result<(), &'static str> {
+    if line.is_empty() {
+        return Err("empty line");
+    }
+    if let Some(comment) = line.strip_prefix('#') {
+        let mut parts = comment.split_whitespace();
+        match parts.next() {
+            Some("TYPE") => {
+                let name = parts.next().ok_or("# TYPE missing metric name")?;
+                validate_metric_name(name)?;
+                match parts.next() {
+                    Some("counter" | "gauge" | "histogram" | "summary" | "untyped") => {}
+                    _ => return Err("# TYPE with unknown metric type"),
+                }
+                if parts.next().is_some() {
+                    return Err("trailing tokens after # TYPE");
+                }
+            }
+            Some("HELP") => {
+                let name = parts.next().ok_or("# HELP missing metric name")?;
+                validate_metric_name(name)?;
+            }
+            _ => return Err("comment is neither # TYPE nor # HELP"),
+        }
+        return Ok(());
+    }
+    // Sample line: name[{labels}] value [timestamp]
+    let (name_and_labels, rest) = match line.find([' ', '{']) {
+        Some(i) if line.as_bytes()[i] == b'{' => {
+            let close = line.rfind('}').ok_or("unterminated label set")?;
+            if close < i {
+                return Err("unterminated label set");
+            }
+            validate_labels(&line[i + 1..close])?;
+            (&line[..i], line[close + 1..].trim_start())
+        }
+        Some(i) => (&line[..i], line[i + 1..].trim_start()),
+        None => return Err("sample line without a value"),
+    };
+    validate_metric_name(name_and_labels)?;
+    let mut fields = rest.split_whitespace();
+    let value = fields.next().ok_or("sample line without a value")?;
+    validate_sample_value(value)?;
+    if let Some(ts) = fields.next() {
+        ts.parse::<i64>().map_err(|_| "malformed timestamp")?;
+    }
+    if fields.next().is_some() {
+        return Err("trailing tokens after sample value");
+    }
+    Ok(())
+}
+
+fn validate_metric_name(name: &str) -> Result<(), &'static str> {
+    let mut chars = name.chars();
+    let first = chars.next().ok_or("empty metric name")?;
+    if !(first.is_ascii_alphabetic() || first == '_' || first == ':') {
+        return Err("metric name must start with [a-zA-Z_:]");
+    }
+    if chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':') {
+        Ok(())
+    } else {
+        Err("metric name contains invalid characters")
+    }
+}
+
+fn validate_labels(labels: &str) -> Result<(), &'static str> {
+    if labels.is_empty() {
+        return Ok(());
+    }
+    // Split on commas outside quoted values.
+    let mut rest = labels;
+    loop {
+        let eq = rest.find('=').ok_or("label without '='")?;
+        let key = &rest[..eq];
+        let mut chars = key.chars();
+        let first = chars.next().ok_or("empty label name")?;
+        if !(first.is_ascii_alphabetic() || first == '_')
+            || !chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            return Err("invalid label name");
+        }
+        let after_eq = &rest[eq + 1..];
+        let mut bytes = after_eq.bytes().enumerate();
+        match bytes.next() {
+            Some((_, b'"')) => {}
+            _ => return Err("label value must be double-quoted"),
+        }
+        let mut close = None;
+        let mut escaped = false;
+        for (i, b) in bytes {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                close = Some(i);
+                break;
+            }
+        }
+        let close = close.ok_or("unterminated label value")?;
+        rest = &after_eq[close + 1..];
+        match rest.strip_prefix(',') {
+            Some(tail) => rest = tail,
+            None => {
+                return if rest.is_empty() {
+                    Ok(())
+                } else {
+                    Err("junk between labels")
+                }
+            }
+        }
+    }
+}
+
+fn validate_sample_value(value: &str) -> Result<(), &'static str> {
+    match value {
+        "+Inf" | "-Inf" | "Inf" | "NaN" => Ok(()),
+        v => v
+            .parse::<f64>()
+            .map(|_| ())
+            .map_err(|_| "malformed sample value"),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -130,5 +272,130 @@ mod tests {
         assert!(text.contains("jobs_total,counter,7,,,,"), "{text}");
         assert!(text.contains("queue_depth,gauge,-1,,,,"), "{text}");
         assert!(text.contains("job_ms,histogram,,3,"), "{text}");
+    }
+
+    #[test]
+    fn rendered_output_passes_the_validator() {
+        let text = render_prometheus(&sample_registry().snapshot());
+        validate_prometheus(&text).expect("our own exposition must validate");
+    }
+
+    #[test]
+    fn validator_accepts_known_good_lines() {
+        for line in [
+            "# TYPE rac_jobs_total counter",
+            "# HELP rac_jobs_total How many jobs ran.",
+            "rac_jobs_total 7",
+            "rac_latency_ms_bucket{le=\"+Inf\"} 3",
+            "rac_latency_ms_bucket{le=\"0.5\",tier=\"db\"} 1",
+            "rac_quoted{msg=\"a \\\"b\\\" c\"} 1",
+            "rac_value -12.75",
+            "rac_value 1e-3",
+            "rac_value NaN",
+            "rac_value 4 1712000000",
+        ] {
+            validate_prometheus(line).unwrap_or_else(|e| panic!("{line:?} rejected: {e}"));
+        }
+    }
+
+    #[test]
+    fn validator_rejects_malformed_lines() {
+        for (line, why) in [
+            ("rac_ok 1\n\nrac_ok 2", "interior blank line"),
+            ("# NOTE something", "unknown comment"),
+            ("# TYPE rac_x rocket", "unknown type"),
+            ("1bad_name 3", "bad name start"),
+            ("rac_x", "missing value"),
+            ("rac_x notanumber", "bad value"),
+            ("rac_x{le=\"1\" 3", "unterminated labels"),
+            ("rac_x{le=1} 3", "unquoted label value"),
+            ("rac_x{=\"1\"} 3", "empty label name"),
+            ("rac_x 3 extra junk", "trailing tokens"),
+            ("rac_x 3 12.5", "non-integer timestamp"),
+        ] {
+            assert!(
+                validate_prometheus(line).is_err(),
+                "{line:?} should be rejected ({why})"
+            );
+        }
+        // The error pinpoints the offending line.
+        let err = validate_prometheus("rac_ok 1\nrac_bad oops\n").unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+    }
+
+    /// Satellite regression test: export ordering is a determinism
+    /// surface. `Registry::snapshot()` must order metrics by name no
+    /// matter the insertion order or which threads did the inserting,
+    /// so `render_prometheus`/`render_csv` output is stable and
+    /// byte-diffable across `RAC_THREADS` settings.
+    #[test]
+    fn export_ordering_is_name_sorted_and_insertion_independent() {
+        let forward = Registry::new();
+        for name in ["alpha_total", "beta_depth", "gamma_ms"] {
+            touch(&forward, name);
+        }
+        let backward = Registry::new();
+        for name in ["gamma_ms", "beta_depth", "alpha_total"] {
+            touch(&backward, name);
+        }
+        let text_fwd = render_prometheus(&forward.snapshot());
+        let text_bwd = render_prometheus(&backward.snapshot());
+        assert_eq!(text_fwd, text_bwd, "insertion order leaked into export");
+        assert_eq!(
+            render_csv(&forward.snapshot()),
+            render_csv(&backward.snapshot())
+        );
+        let names: Vec<String> = forward
+            .snapshot()
+            .iter()
+            .map(|m| match m {
+                MetricSnapshot::Counter { name, .. }
+                | MetricSnapshot::Gauge { name, .. }
+                | MetricSnapshot::Histogram { name, .. } => name.clone(),
+            })
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "snapshot must be name-sorted");
+    }
+
+    #[test]
+    fn export_ordering_is_stable_under_concurrent_registration() {
+        let registry = std::sync::Arc::new(Registry::new());
+        let names: Vec<String> = (0..32).map(|i| format!("rac_conc_{i:02}_total")).collect();
+        let mut handles = Vec::new();
+        for chunk in names.chunks(8) {
+            let registry = std::sync::Arc::clone(&registry);
+            let chunk: Vec<String> = chunk.to_vec();
+            handles.push(std::thread::spawn(move || {
+                for name in &chunk {
+                    registry.counter(name).inc();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let text = render_prometheus(&registry.snapshot());
+        validate_prometheus(&text).unwrap();
+        let seen: Vec<&str> = text
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .map(|l| l.split(' ').next().unwrap())
+            .collect();
+        let mut sorted = seen.clone();
+        sorted.sort();
+        assert_eq!(seen, sorted, "concurrent registration broke ordering");
+        assert_eq!(seen.len(), names.len());
+    }
+
+    fn touch(r: &Registry, name: &str) {
+        if name.ends_with("_total") {
+            r.counter(name).inc();
+        } else if name.ends_with("_depth") {
+            r.gauge(name).set(1);
+        } else {
+            r.histogram(name).record_ms(1.0);
+        }
     }
 }

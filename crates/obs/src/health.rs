@@ -1,0 +1,178 @@
+//! Live run-state cell backing the `/healthz` endpoint.
+//!
+//! A single process-global [`Health`] value holds the coarse state of
+//! the current run: which job is executing, how far along it is, and
+//! whether the measurement channel's breaker is open / the agent is
+//! degraded. Harnesses update it with plain atomic stores — no locks on
+//! the hot path beyond the rarely-written job name — and the embedded
+//! server ([`crate::serve`]) renders it as a small JSON document.
+//!
+//! Like spans and metrics, health state is observational only: nothing
+//! here feeds the decision trace, so updating it cannot perturb
+//! determinism guarantees.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Coarse lifecycle state of the process's current job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunState {
+    /// No job has started yet.
+    Idle,
+    /// A job is executing.
+    Running,
+    /// The last job completed successfully.
+    Done,
+    /// The last job exited on an error.
+    Failed,
+}
+
+impl RunState {
+    fn as_str(self) -> &'static str {
+        match self {
+            RunState::Idle => "idle",
+            RunState::Running => "running",
+            RunState::Done => "done",
+            RunState::Failed => "failed",
+        }
+    }
+
+    fn from_u8(v: u8) -> RunState {
+        match v {
+            1 => RunState::Running,
+            2 => RunState::Done,
+            3 => RunState::Failed,
+            _ => RunState::Idle,
+        }
+    }
+}
+
+/// The live status cell (see the [module docs](self)).
+#[derive(Debug, Default)]
+pub struct Health {
+    state: AtomicU8,
+    iteration: AtomicU64,
+    total_iterations: AtomicU64,
+    breaker_open: AtomicBool,
+    degraded: AtomicBool,
+    job: Mutex<String>,
+}
+
+/// The process-wide health cell.
+pub fn global() -> &'static Health {
+    static CELL: OnceLock<Health> = OnceLock::new();
+    CELL.get_or_init(Health::default)
+}
+
+impl Health {
+    /// Names the job now executing and marks the state `running`,
+    /// resetting progress and fault flags from any previous job.
+    pub fn begin_job(&self, name: &str) {
+        *self.job.lock().unwrap() = name.to_string();
+        self.iteration.store(0, Ordering::Relaxed);
+        self.total_iterations.store(0, Ordering::Relaxed);
+        self.breaker_open.store(false, Ordering::Relaxed);
+        self.degraded.store(false, Ordering::Relaxed);
+        self.state.store(RunState::Running as u8, Ordering::Relaxed);
+    }
+
+    /// Records the job's outcome.
+    pub fn finish_job(&self, ok: bool) {
+        let s = if ok { RunState::Done } else { RunState::Failed };
+        self.state.store(s as u8, Ordering::Relaxed);
+    }
+
+    /// Updates loop progress (current iteration out of `total`; pass 0
+    /// for `total` when the horizon is unknown).
+    pub fn set_progress(&self, iteration: u64, total: u64) {
+        self.iteration.store(iteration, Ordering::Relaxed);
+        self.total_iterations.store(total, Ordering::Relaxed);
+    }
+
+    /// Mirrors the measurement-channel breaker state.
+    pub fn set_breaker_open(&self, open: bool) {
+        self.breaker_open.store(open, Ordering::Relaxed);
+    }
+
+    /// Mirrors the agent's degraded-mode flag.
+    pub fn set_degraded(&self, degraded: bool) {
+        self.degraded.store(degraded, Ordering::Relaxed);
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> RunState {
+        RunState::from_u8(self.state.load(Ordering::Relaxed))
+    }
+
+    /// Renders the cell as a single-object JSON document.
+    pub fn render_json(&self) -> String {
+        let job = self.job.lock().unwrap().clone();
+        format!(
+            "{{\"state\":\"{}\",\"job\":\"{}\",\"iteration\":{},\"total_iterations\":{},\
+             \"breaker_open\":{},\"degraded\":{}}}\n",
+            self.state().as_str(),
+            escape(&job),
+            self.iteration.load(Ordering::Relaxed),
+            self.total_iterations.load(Ordering::Relaxed),
+            self.breaker_open.load(Ordering::Relaxed),
+            self.degraded.load(Ordering::Relaxed),
+        )
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_and_json_shape() {
+        let h = Health::default();
+        assert_eq!(h.state(), RunState::Idle);
+        h.begin_job("scenario diurnal");
+        h.set_progress(3, 40);
+        h.set_breaker_open(true);
+        h.set_degraded(true);
+        assert_eq!(h.state(), RunState::Running);
+        let json = h.render_json();
+        assert!(json.contains("\"state\":\"running\""));
+        assert!(json.contains("\"job\":\"scenario diurnal\""));
+        assert!(json.contains("\"iteration\":3"));
+        assert!(json.contains("\"total_iterations\":40"));
+        assert!(json.contains("\"breaker_open\":true"));
+        assert!(json.contains("\"degraded\":true"));
+
+        h.finish_job(true);
+        assert!(h.render_json().contains("\"state\":\"done\""));
+        h.finish_job(false);
+        assert!(h.render_json().contains("\"state\":\"failed\""));
+
+        // A new job clears the previous fault flags.
+        h.begin_job("next");
+        let json = h.render_json();
+        assert!(json.contains("\"breaker_open\":false"));
+        assert!(json.contains("\"degraded\":false"));
+    }
+
+    #[test]
+    fn job_names_are_json_escaped() {
+        let h = Health::default();
+        h.begin_job("quo\"te\\back\nline");
+        let json = h.render_json();
+        assert!(json.contains("quo\\\"te\\\\back\\u000aline"));
+        // The result must stay a structurally valid single line.
+        assert_eq!(json.lines().count(), 1);
+    }
+}

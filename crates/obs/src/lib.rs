@@ -15,8 +15,14 @@
 //!   (stable field order, `(run, sim-time, seq)` ordering) so traces
 //!   are byte-diffable across `RAC_THREADS` settings;
 //! * [`Span`](span::Span)s for wall-clock timing of coarse stages
-//!   (figure jobs, offline training), feeding duration histograms;
-//! * exporters ([`export`]): Prometheus text exposition and CSV;
+//!   (figure jobs, offline training), feeding duration histograms —
+//!   and, when the hierarchical [`profile`]r is enabled, a per-thread
+//!   call tree exported as flamegraph folded stacks;
+//! * exporters ([`export`]): Prometheus text exposition (plus a
+//!   [`export::validate_prometheus`] syntax checker) and CSV;
+//! * a live plane: the embedded [`ObsServer`](serve::ObsServer)
+//!   answering `GET /metrics`, `/healthz` (backed by the [`health`]
+//!   run-state cell) and `/profile` over plain HTTP/1.0;
 //! * a [`Console`](console::Console) for `--quiet`-able human-readable
 //!   progress output.
 //!
@@ -63,13 +69,17 @@
 pub mod console;
 pub mod event;
 pub mod export;
+pub mod health;
+pub mod profile;
 pub mod registry;
+pub mod serve;
 pub mod span;
 pub mod trace;
 
 pub use console::Console;
 pub use event::{Event, ParseError, Value};
 pub use registry::{Counter, Gauge, Histogram, Registry};
+pub use serve::ObsServer;
 pub use span::Span;
 pub use trace::TraceWriter;
 

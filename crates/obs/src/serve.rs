@@ -1,0 +1,251 @@
+//! Zero-dependency embedded observability server.
+//!
+//! [`ObsServer::start`] binds a std [`TcpListener`] and answers
+//! minimal HTTP/1.0 `GET` requests on a background thread:
+//!
+//! | path       | body                                                    |
+//! |------------|---------------------------------------------------------|
+//! | `/metrics` | Prometheus text exposition of the global registry       |
+//! | `/healthz` | JSON run state from [`crate::health`]                   |
+//! | `/profile` | current folded-stack dump from [`crate::profile`]       |
+//!
+//! Every response closes the connection (`Connection: close`), so any
+//! HTTP client — `curl`, Prometheus itself, a browser — works without
+//! keep-alive handling. The server reads live snapshots on each
+//! request; it never buffers or caches, so a scrape mid-run sees the
+//! registry as of that instant.
+//!
+//! Serving is read-only over metrics/health/profile state. None of
+//! those feed the decision trace, so running with or without a server
+//! cannot change CSV/trace/checkpoint bytes.
+
+use std::io::{self, ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::registry::Registry;
+use crate::{export, health, profile};
+
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+/// Per-connection read/write deadline; a stalled client cannot wedge
+/// the accept loop for longer than this.
+const IO_TIMEOUT: Duration = Duration::from_millis(500);
+/// Upper bound on the request head we are willing to buffer.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+
+/// Handle to a running observability server; dropping it stops the
+/// background thread.
+#[derive(Debug)]
+pub struct ObsServer {
+    local: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ObsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9898`, or port `0` to let the OS
+    /// pick) and starts serving on a background thread.
+    pub fn start(addr: &str) -> io::Result<ObsServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("obs-serve".into())
+            .spawn(move || accept_loop(listener, &stop_flag))?;
+        Ok(ObsServer {
+            local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The actually-bound address (resolves port `0` requests).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local
+    }
+}
+
+impl Drop for ObsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, stop: &AtomicBool) {
+    while !stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // Served inline: responses are tiny and the snapshot
+                // renders are cheap, so one connection at a time keeps
+                // the server single-threaded and unkillable by load.
+                let _ = handle_connection(stream);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    stream.set_nonblocking(false)?;
+    let head = read_request_head(&mut stream)?;
+    let (status, reason, content_type, body) = match parse_get_path(&head) {
+        Some(path) => respond(&path),
+        None => (
+            405,
+            "Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is supported\n".to_string(),
+        ),
+    };
+    let response = format!(
+        "HTTP/1.0 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Reads until the end of the request head (`\r\n\r\n`) or the size cap.
+fn read_request_head(stream: &mut TcpStream) -> io::Result<String> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => break,
+            Err(e) => return Err(e),
+        };
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.len() >= MAX_REQUEST_BYTES || buf.windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    Ok(String::from_utf8_lossy(&buf).into_owned())
+}
+
+/// Extracts the path of a `GET <path> ...` request line, if that is
+/// what arrived.
+fn parse_get_path(head: &str) -> Option<String> {
+    let line = head.lines().next()?;
+    let mut parts = line.split_whitespace();
+    if parts.next()? != "GET" {
+        return None;
+    }
+    Some(parts.next()?.to_string())
+}
+
+/// Routes a request path to `(status, reason, content-type, body)`.
+/// Split out from the socket plumbing so tests can exercise routing
+/// without a live listener.
+fn respond(path: &str) -> (u16, &'static str, &'static str, String) {
+    // Ignore any query string: `/metrics?x=1` still scrapes.
+    let path = path.split('?').next().unwrap_or(path);
+    match path {
+        "/metrics" => (
+            200,
+            "OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            export::render_prometheus(&Registry::global().snapshot()),
+        ),
+        "/healthz" => (
+            200,
+            "OK",
+            "application/json; charset=utf-8",
+            health::global().render_json(),
+        ),
+        "/profile" => (200, "OK", "text/plain; charset=utf-8", profile::folded()),
+        _ => (
+            404,
+            "Not Found",
+            "text/plain; charset=utf-8",
+            "not found; try /metrics, /healthz or /profile\n".to_string(),
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read response");
+        let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_all_routes_over_real_sockets() {
+        let server = ObsServer::start("127.0.0.1:0").expect("bind loopback");
+        let addr = server.local_addr();
+        Registry::global().counter("rac_serve_test_total").inc();
+        health::global().begin_job("serve-test");
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.0 200"), "head: {head}");
+        assert!(head.contains("Content-Length:"));
+        assert!(body.contains("rac_serve_test_total"));
+        export::validate_prometheus(&body).expect("served metrics must be valid exposition");
+
+        let (head, body) = get(addr, "/healthz");
+        assert!(head.starts_with("HTTP/1.0 200"));
+        assert!(head.contains("application/json"));
+        assert!(body.contains("\"state\":"));
+
+        let (head, _body) = get(addr, "/profile");
+        assert!(head.starts_with("HTTP/1.0 200"));
+
+        let (head, body) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.0 404"));
+        assert!(body.contains("not found"));
+
+        // Query strings are tolerated.
+        let (head, _) = get(addr, "/metrics?scrape=1");
+        assert!(head.starts_with("HTTP/1.0 200"));
+    }
+
+    #[test]
+    fn rejects_non_get_methods() {
+        let server = ObsServer::start("127.0.0.1:0").expect("bind loopback");
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        write!(stream, "POST /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.0 405"));
+    }
+
+    #[test]
+    fn drop_stops_the_listener() {
+        let server = ObsServer::start("127.0.0.1:0").expect("bind loopback");
+        let addr = server.local_addr();
+        drop(server);
+        // The port must be re-bindable once the thread has joined.
+        let rebind = TcpListener::bind(addr);
+        assert!(rebind.is_ok(), "listener still holding {addr} after drop");
+    }
+
+    #[test]
+    fn routing_without_sockets() {
+        let (status, _, _, _) = respond("/healthz");
+        assert_eq!(status, 200);
+        let (status, _, _, body) = respond("/other");
+        assert_eq!(status, 404);
+        assert!(body.contains("/metrics"));
+    }
+}

@@ -6,6 +6,10 @@
 //! `rac_span_total_<name>`. Wall-clock readings are inherently
 //! non-deterministic, so spans feed the **metrics** side only — never
 //! the decision trace (see [`crate::trace`] for why).
+//!
+//! When the hierarchical profiler is enabled ([`crate::profile`]),
+//! global-registry spans additionally stack into a per-thread call
+//! tree, attributing wall time to `parent;child` name paths.
 
 use std::time::Instant;
 
@@ -33,29 +37,36 @@ pub struct Span<'a> {
     /// Disabled spans still measure (callers may read `elapsed_ms`) but
     /// record nothing on drop.
     record: bool,
+    /// Depth token of this span's frame in the thread-local profiler
+    /// stack, when profiling captured it at start.
+    frame: Option<usize>,
 }
 
 impl Span<'static> {
     /// Starts a span against the global registry, recording only when
-    /// observability is [enabled](crate::enabled).
+    /// observability is [enabled](crate::enabled). Joins the profiler
+    /// call tree when [`crate::profile`] capture is on.
     pub fn start(name: &'static str) -> Span<'static> {
         Span {
             name,
             started: Instant::now(),
             registry: Registry::global(),
             record: crate::enabled(),
+            frame: crate::profile::enter_frame(name),
         }
     }
 }
 
 impl<'a> Span<'a> {
-    /// Starts a span against an explicit registry (always records).
+    /// Starts a span against an explicit registry (always records, and
+    /// stays out of the global profiler tree).
     pub fn start_in(registry: &'a Registry, name: &'static str) -> Span<'a> {
         Span {
             name,
             started: Instant::now(),
             registry,
             record: true,
+            frame: None,
         }
     }
 
@@ -67,6 +78,9 @@ impl<'a> Span<'a> {
 
 impl Drop for Span<'_> {
     fn drop(&mut self) {
+        if let Some(depth) = self.frame {
+            crate::profile::exit_frame(depth, self.started.elapsed().as_micros() as u64);
+        }
         if self.record {
             let elapsed = self.elapsed_ms();
             self.registry
