@@ -7,10 +7,13 @@
 //! cargo run --release -p rac-bench --bin figures -- fig2 --quick
 //! cargo run --release -p rac-bench --bin figures -- scenario diurnal
 //! cargo run --release -p rac-bench --bin figures -- scenario --list
+//! cargo run --release -p rac-bench --bin figures -- fleet            # 200 tenants
+//! cargo run --release -p rac-bench --bin figures -- fleet 64 --seed 7 --quick
+//! cargo run --release -p rac-bench --bin figures -- fleet --list
 //! cargo run --release -p rac-bench --bin figures -- chaos            # pinned CI seeds
 //! cargo run --release -p rac-bench --bin figures -- chaos 7 --iterations 36
-//! cargo run --release -p rac-bench --bin figures -- bench            # writes BENCH_6.json
-//! cargo run --release -p rac-bench --bin figures -- bench --quick --check BENCH_6.json
+//! cargo run --release -p rac-bench --bin figures -- bench            # writes BENCH_7.json
+//! cargo run --release -p rac-bench --bin figures -- bench --quick --check BENCH_7.json
 //! RAC_THREADS=8 cargo run --release -p rac-bench --bin figures -- all
 //! RAC_OBS=trace cargo run --release -p rac-bench --bin figures -- fig5
 //!
@@ -171,6 +174,17 @@ fn main() {
         return;
     }
 
+    // `fleet` likewise: the operand is a tenant count, and the flags
+    // (seed, cold wave, chunking, checkpointing) form a sub-grammar.
+    if cmds.first() == Some(&"fleet") {
+        let pos = args
+            .iter()
+            .position(|a| a == "fleet")
+            .expect("cmds came from args");
+        run_fleet(&args[pos + 1..], &opts, &console);
+        return;
+    }
+
     // `profile` runs one scenario line-up under the hierarchical
     // self-profiler and reports where the wall-clock went.
     if cmds.first() == Some(&"profile") {
@@ -192,7 +206,8 @@ fn main() {
             eprintln!("unknown experiment: {cmd}");
             eprintln!(
                 "available: table1 table2 fig1..fig10 all | scenario <name|file.scn> [--list] \
-                 [--quick] [--quiet] | chaos [<seed>...] [--iterations <n>] | bench [--quick] \
+                 [--quick] [--quiet] | fleet [<tenants>] [--list] [--seed N] | chaos [<seed>...] \
+                 [--iterations <n>] | bench [--quick] \
                  [--out <path>] [--check <committed.json>] | profile <name|file.scn> [--quick]\n\
                  global: --serve <addr> exposes /metrics, /healthz and /profile over HTTP \
                  while the run executes"
@@ -1220,7 +1235,14 @@ fn run_scenarios(raw: &[String], opts: &Options, console: &Console, live: bool) 
     let library = match &cli.warm_start {
         Some(path) => {
             let snap = load_snapshot_or_exit(path, "warm-start");
-            match rac::library_from_snapshot(&snap) {
+            // The checked variant turns a snapshot trained on a
+            // different lattice into a typed mismatch here, at the
+            // seeding boundary, instead of a panic mid-run.
+            match rac::library_from_snapshot_checked(
+                &snap,
+                rac_bench::standard_lattice().num_states(),
+                rac::Action::COUNT,
+            ) {
                 Ok(lib) => {
                     console.note(format!(
                         "  warm start: {} policies from {}",
@@ -1691,5 +1713,337 @@ fn save(t: &TextTable, opts: &Options, file: &str, out: &mut String) {
             let _ = writeln!(out, "  -> {}", path.display());
         }
         Err(e) => eprintln!("  could not write {}: {e}", path.display()),
+    }
+}
+
+// --------------------------------------------------------------------
+// `figures fleet`: multi-tenant runs with cross-tenant policy transfer.
+
+struct FleetCli {
+    tenants: Option<usize>,
+    seed: u64,
+    cold: Option<usize>,
+    chunk: usize,
+    list: bool,
+    no_control: bool,
+    radius: f64,
+    checkpoint_dir: Option<PathBuf>,
+    stop_after: Option<usize>,
+    resume: Option<PathBuf>,
+    warm_start: Option<PathBuf>,
+}
+
+fn fleet_usage() -> ! {
+    eprintln!(
+        "usage: figures fleet [<tenants>] [--seed N] [--cold N] [--chunk N] [--radius D] \
+         [--quick] [--no-control] [--checkpoint <dir>] [--stop-after N] \
+         [--warm-start <file>]\n       \
+         figures fleet [<tenants>] [--seed N] --resume <file>\n       \
+         figures fleet [<tenants>] [--seed N] --list"
+    );
+    eprintln!(
+        "defaults: 200 tenants, seed 42, cold wave = tenants/4, chunk 25, transfer radius \
+         0.005; --list prints the generated roster without running anything; --radius sets \
+         the max squared feature distance a donor may sit at (>= 2.0 accepts any donor); \
+         --no-control skips the matched cold-control run each warm tenant gets by default \
+         (halves warm-tenant cost, drops the paired comparison)"
+    );
+    std::process::exit(2);
+}
+
+/// Parses the raw argument tail after the `fleet` token (the global
+/// `--quick`/`--quiet` flags were consumed in `main` and are skipped).
+fn parse_fleet_cli(raw: &[String]) -> FleetCli {
+    let mut cli = FleetCli {
+        tenants: None,
+        seed: 42,
+        cold: None,
+        chunk: 25,
+        list: false,
+        no_control: false,
+        radius: 0.005,
+        checkpoint_dir: None,
+        stop_after: None,
+        resume: None,
+        warm_start: None,
+    };
+    let mut i = 0;
+    let value = |raw: &[String], i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        match raw.get(*i) {
+            Some(v) if !v.starts_with("--") => v.clone(),
+            _ => {
+                eprintln!("{flag} needs a value");
+                fleet_usage();
+            }
+        }
+    };
+    let number = |raw: &[String], i: &mut usize, flag: &str| -> usize {
+        let v = value(raw, i, flag);
+        match v.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("{flag} needs a positive integer, got `{v}`");
+                fleet_usage();
+            }
+        }
+    };
+    while i < raw.len() {
+        match raw[i].as_str() {
+            "--list" => cli.list = true,
+            "--quick" | "--quiet" => {}
+            "--no-control" => cli.no_control = true,
+            "--radius" => {
+                let v = value(raw, &mut i, "--radius");
+                cli.radius = match v.parse::<f64>() {
+                    Ok(d) if d > 0.0 => d,
+                    _ => {
+                        eprintln!("--radius needs a positive number, got `{v}`");
+                        fleet_usage();
+                    }
+                };
+            }
+            "--seed" => {
+                let v = value(raw, &mut i, "--seed");
+                cli.seed = match v.parse::<u64>() {
+                    Ok(n) => n,
+                    Err(_) => {
+                        eprintln!("--seed needs an unsigned integer, got `{v}`");
+                        fleet_usage();
+                    }
+                };
+            }
+            "--cold" => cli.cold = Some(number(raw, &mut i, "--cold")),
+            "--chunk" => cli.chunk = number(raw, &mut i, "--chunk"),
+            "--checkpoint" => {
+                cli.checkpoint_dir = Some(PathBuf::from(value(raw, &mut i, "--checkpoint")))
+            }
+            "--stop-after" => cli.stop_after = Some(number(raw, &mut i, "--stop-after")),
+            "--resume" => cli.resume = Some(PathBuf::from(value(raw, &mut i, "--resume"))),
+            "--warm-start" => {
+                cli.warm_start = Some(PathBuf::from(value(raw, &mut i, "--warm-start")))
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown fleet flag: {flag}");
+                fleet_usage();
+            }
+            operand => {
+                if cli.tenants.is_some() {
+                    eprintln!(
+                        "fleet takes at most one tenant-count operand, got a second: {operand}"
+                    );
+                    fleet_usage();
+                }
+                cli.tenants = Some(match operand.parse::<usize>() {
+                    Ok(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("tenant count must be a positive integer, got `{operand}`");
+                        fleet_usage();
+                    }
+                });
+            }
+        }
+        i += 1;
+    }
+    if cli.stop_after.is_some() && cli.checkpoint_dir.is_none() && cli.resume.is_none() {
+        eprintln!("--stop-after only makes sense with --checkpoint or --resume");
+        fleet_usage();
+    }
+    if cli.resume.is_some() && cli.warm_start.is_some() {
+        eprintln!(
+            "--resume restores the transfer store from the checkpoint; --warm-start \
+                   only applies to a fresh fleet"
+        );
+        fleet_usage();
+    }
+    cli
+}
+
+/// Entry point for `figures fleet ...`: generates the tenant roster,
+/// runs every tenant's RAC experiment sharded over the global runner
+/// with nearest-neighbor policy transfer, and writes the per-tenant,
+/// aggregate, and scaling CSVs under `results/`.
+fn run_fleet(raw: &[String], opts: &Options, console: &Console) {
+    let cli = parse_fleet_cli(raw);
+    let tenants = cli.tenants.unwrap_or(200);
+    let cold = cli.cold.unwrap_or_else(|| (tenants / 4).max(1));
+    let config = fleet::FleetConfig {
+        tenants,
+        seed: cli.seed,
+        cold,
+        chunk: cli.chunk,
+        // Bundled scenarios span 7200 s; compress the timeline (same
+        // iteration count, shorter intervals) so a 200-tenant fleet
+        // finishes in minutes. `--quick` compresses 3x harder.
+        scale_den: if opts.quick { 15 } else { 5 },
+        online_levels: ONLINE_LEVELS,
+        control: !cli.no_control,
+        radius: cli.radius,
+    };
+
+    if cli.list {
+        let roster = fleet::generate(config.tenants, config.seed);
+        println!(
+            "fleet roster: {} tenants from seed {}",
+            config.tenants, config.seed
+        );
+        print!("{}", rac_bench::fleet::roster_table(&roster));
+        return;
+    }
+
+    if obs::enabled() {
+        obs::health::global().begin_job(&format!("fleet {tenants}"));
+    }
+    let fail = |msg: String| -> ! {
+        eprintln!("{msg}");
+        if obs::enabled() {
+            obs::health::global().finish_job(false);
+        }
+        std::process::exit(2);
+    };
+
+    let mut run = if let Some(path) = &cli.resume {
+        let snap = load_snapshot_or_exit(path, "resume");
+        match fleet::FleetRun::resume(config.clone(), &snap) {
+            Ok(run) => {
+                console.note(format!(
+                    "  resume: {}/{} tenants already finished ({} donors)",
+                    run.done(),
+                    tenants,
+                    run.store().len()
+                ));
+                run
+            }
+            Err(e) => fail(format!("cannot resume from {}: {e}", path.display())),
+        }
+    } else if let Some(path) = &cli.warm_start {
+        let snap = load_snapshot_or_exit(path, "warm-start");
+        match fleet::FleetRun::with_library(config.clone(), &snap) {
+            Ok(run) => {
+                console.note(format!(
+                    "  warm start: {} library donor(s) from {}",
+                    run.store().len(),
+                    path.display()
+                ));
+                run
+            }
+            Err(e) => fail(format!("cannot warm-start from {}: {e}", path.display())),
+        }
+    } else {
+        match fleet::FleetRun::new(config.clone()) {
+            Ok(run) => run,
+            Err(e) => fail(format!("{e}")),
+        }
+    };
+
+    let ckpt_path = match (&cli.resume, &cli.checkpoint_dir) {
+        (Some(path), _) => Some(path.clone()),
+        (None, Some(dir)) => Some(dir.join("fleet.ckpt")),
+        (None, None) => None,
+    };
+
+    let runner = Runner::global();
+    console.note(format!(
+        "fleet: {} tenants (cold wave {}, chunks of {}), seed {}, {} worker thread(s) [RAC_THREADS]",
+        tenants,
+        config.cold,
+        config.chunk,
+        config.seed,
+        runner.threads()
+    ));
+    let started = Instant::now();
+    let mut milestones: Vec<(usize, f64)> = Vec::new();
+    while !run.is_complete() {
+        match run.step(runner) {
+            Ok(_) => {}
+            Err(e) => fail(format!("fleet step failed: {e}")),
+        }
+        milestones.push((run.done(), started.elapsed().as_secs_f64()));
+        console.note(format!(
+            "  fleet: {}/{} tenants, {} donor(s), {:.1}s",
+            run.done(),
+            tenants,
+            run.store().len(),
+            started.elapsed().as_secs_f64()
+        ));
+        if let Some(path) = &ckpt_path {
+            if let Some(dir) = path.parent() {
+                if !dir.as_os_str().is_empty() {
+                    std::fs::create_dir_all(dir).ok();
+                }
+            }
+            let mut snap = ckpt::SnapshotWriter::new();
+            run.save(&mut snap);
+            if let Err(e) = snap.write_atomic(path) {
+                fail(format!("cannot checkpoint to {}: {e}", path.display()));
+            }
+        }
+        if let Some(stop) = cli.stop_after {
+            if run.done() >= stop && !run.is_complete() {
+                // Interrupted runs write no CSVs: their outputs exist to
+                // be byte-compared once resumed to completion.
+                console.note(format!(
+                    "  fleet: stopping after {} tenants (checkpointed; resume with --resume)",
+                    run.done()
+                ));
+                if obs::enabled() {
+                    obs::health::global().finish_job(true);
+                }
+                return;
+            }
+        }
+    }
+
+    let stats = rac_bench::fleet::aggregate(&run);
+    let table = rac_bench::fleet::aggregate_table(&stats);
+    println!(
+        "fleet: {} tenants, seed {} — SLA attainment by cohort",
+        tenants, config.seed
+    );
+    print!("{table}");
+    let [cold_stats, warm_stats, control_stats, _] = &stats;
+    if control_stats.tenants > 0 {
+        // The matched-pair comparison: the same tenants, warm vs cold.
+        // (warm vs the cold *wave* compares different tenants and mostly
+        // measures roster composition.)
+        println!(
+            "policy transfer: warm-started tenants reached SLA in {:.1} iterations (mean) vs \
+             {:.1} for their matched cold controls — {:.1}% fewer",
+            warm_stats.mean_iters_to_sla,
+            control_stats.mean_iters_to_sla,
+            100.0 * (1.0 - warm_stats.mean_iters_to_sla / control_stats.mean_iters_to_sla)
+        );
+    } else if warm_stats.tenants > 0 && cold_stats.tenants > 0 {
+        println!(
+            "policy transfer: warm cohort mean {:.1} iterations to SLA vs cold wave {:.1} \
+             (unmatched cohorts — rerun without --no-control for the paired comparison)",
+            warm_stats.mean_iters_to_sla, cold_stats.mean_iters_to_sla
+        );
+    }
+
+    std::fs::create_dir_all(&opts.results_dir).ok();
+    for (file, text) in [
+        ("fleet-tenants.csv", rac_bench::fleet::tenants_csv(&run)),
+        ("fleet-aggregate.csv", table.render_csv()),
+        (
+            "fleet-scaling.csv",
+            rac_bench::fleet::scaling_csv(runner.threads(), &milestones),
+        ),
+    ] {
+        let path = opts.results_dir.join(file);
+        match std::fs::write(&path, text) {
+            Ok(()) => println!("  -> {}", path.display()),
+            Err(e) => eprintln!("  could not write {}: {e}", path.display()),
+        }
+    }
+    console.note(format!(
+        "\ntotal: {:.1}s wall-clock over {} tenants ({:.2} tenants/s)",
+        started.elapsed().as_secs_f64(),
+        tenants,
+        tenants as f64 / started.elapsed().as_secs_f64().max(1e-9)
+    ));
+    write_metrics_snapshot(opts, console);
+    if obs::enabled() {
+        obs::health::global().finish_job(true);
     }
 }

@@ -1,0 +1,329 @@
+//! Fleet-run reporting: per-tenant and aggregate CSVs, the cold-vs-warm
+//! comparison behind the transfer headline, and the tenants-vs-wall-clock
+//! scaling curve.
+//!
+//! The per-tenant and aggregate artifacts are pure functions of a
+//! finished [`FleetRun`], so CI byte-compares them across `RAC_THREADS`
+//! settings. The scaling curve records wall-clock — inherently
+//! machine- and thread-dependent — and is **excluded** from any byte
+//! comparison.
+
+use fleet::{FleetRun, TenantOutcome, TenantSpec};
+
+use crate::output::TextTable;
+
+/// Per-tenant CSV (`results/fleet-tenants.csv`): one row per tenant in
+/// roster order — spec columns, then the (possibly warm-started) run's
+/// outcome, then the matched cold control's (`ctl_*`, empty for
+/// cold-wave tenants and `--no-control` runs).
+pub fn tenants_csv(run: &FleetRun) -> String {
+    let mut t = TextTable::new(&[
+        "tenant",
+        "clients",
+        "mix",
+        "level",
+        "sla_ms",
+        "scenario",
+        "start",
+        "donor",
+        "distance",
+        "iterations",
+        "iters_to_sla",
+        "attained",
+        "mean_ms",
+        "ctl_iters_to_sla",
+        "ctl_attained",
+        "ctl_mean_ms",
+    ]);
+    for (spec, o) in run.roster().iter().zip(run.outcomes()) {
+        let (start, donor, distance) = match &o.donor {
+            Some(d) => ("warm", d.name.clone(), format!("{:.6}", d.distance)),
+            None => ("cold", String::new(), String::new()),
+        };
+        let (ctl_iters, ctl_attained, ctl_mean) = match &o.control {
+            Some(c) => (
+                c.iters_to_sla.to_string(),
+                c.attained.to_string(),
+                format!("{:.3}", c.mean_ms),
+            ),
+            None => (String::new(), String::new(), String::new()),
+        };
+        t.row(&[
+            spec.name(),
+            spec.clients.to_string(),
+            spec.mix.label().to_string(),
+            spec.level.label().to_string(),
+            format!("{:.0}", spec.sla_ms),
+            spec.scenario.to_string(),
+            start.to_string(),
+            donor,
+            distance,
+            o.iterations.to_string(),
+            o.iters_to_sla.to_string(),
+            o.attained.to_string(),
+            format!("{:.3}", o.mean_ms),
+            ctl_iters,
+            ctl_attained,
+            ctl_mean,
+        ]);
+    }
+    t.render_csv()
+}
+
+/// One cohort's aggregate row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CohortStats {
+    /// Cohort label (`cold`, `warm`, `warm-control`, `all`).
+    pub cohort: &'static str,
+    /// Tenants in the cohort.
+    pub tenants: usize,
+    /// Mean iterations-to-SLA (horizon counts as the full series).
+    pub mean_iters_to_sla: f64,
+    /// Median iterations-to-SLA.
+    pub median_iters_to_sla: f64,
+    /// Tenants that settled (reached their SLA streak before the
+    /// horizon).
+    pub settled: usize,
+    /// SLA attainment: compliant iterations over all iterations, as a
+    /// percentage.
+    pub attainment_pct: f64,
+    /// Mean response time across all cohort iterations (ms).
+    pub mean_ms: f64,
+}
+
+/// One tenant session's results, flattened so primary runs and their
+/// matched controls aggregate through the same path.
+struct Row {
+    iters_to_sla: usize,
+    iterations: usize,
+    attained: usize,
+    mean_ms: f64,
+}
+
+impl Row {
+    fn primary(o: &TenantOutcome) -> Row {
+        Row {
+            iters_to_sla: o.iters_to_sla,
+            iterations: o.iterations,
+            attained: o.attained,
+            mean_ms: o.mean_ms,
+        }
+    }
+
+    fn control(o: &TenantOutcome) -> Option<Row> {
+        o.control.as_ref().map(|c| Row {
+            iters_to_sla: c.iters_to_sla,
+            iterations: o.iterations,
+            attained: c.attained,
+            mean_ms: c.mean_ms,
+        })
+    }
+}
+
+fn cohort_stats(cohort: &'static str, rows: &[Row]) -> CohortStats {
+    let tenants = rows.len();
+    if tenants == 0 {
+        return CohortStats {
+            cohort,
+            tenants: 0,
+            mean_iters_to_sla: f64::NAN,
+            median_iters_to_sla: f64::NAN,
+            settled: 0,
+            attainment_pct: f64::NAN,
+            mean_ms: f64::NAN,
+        };
+    }
+    let mut iters: Vec<usize> = rows.iter().map(|r| r.iters_to_sla).collect();
+    iters.sort_unstable();
+    let median = if tenants % 2 == 1 {
+        iters[tenants / 2] as f64
+    } else {
+        (iters[tenants / 2 - 1] + iters[tenants / 2]) as f64 / 2.0
+    };
+    let total_iters: usize = rows.iter().map(|r| r.iterations).sum();
+    let attained: usize = rows.iter().map(|r| r.attained).sum();
+    CohortStats {
+        cohort,
+        tenants,
+        mean_iters_to_sla: iters.iter().sum::<usize>() as f64 / tenants as f64,
+        median_iters_to_sla: median,
+        settled: rows
+            .iter()
+            .filter(|r| r.iters_to_sla < r.iterations)
+            .count(),
+        attainment_pct: 100.0 * attained as f64 / total_iters.max(1) as f64,
+        mean_ms: rows.iter().map(|r| r.mean_ms).sum::<f64>() / tenants as f64,
+    }
+}
+
+/// Cold-wave, warm, warm-control, and whole-fleet aggregates, in that
+/// order. The `warm`-vs-`warm-control` pair is the transfer headline:
+/// identical tenant rosters, the only difference being the warm start —
+/// unlike `warm` vs `cold`, which compares *different* tenants and so
+/// also measures roster composition.
+pub fn aggregate(run: &FleetRun) -> [CohortStats; 4] {
+    let outcomes = run.outcomes();
+    let cold: Vec<Row> = outcomes
+        .iter()
+        .filter(|o| o.donor.is_none())
+        .map(Row::primary)
+        .collect();
+    let warm: Vec<Row> = outcomes
+        .iter()
+        .filter(|o| o.donor.is_some())
+        .map(Row::primary)
+        .collect();
+    let control: Vec<Row> = outcomes.iter().filter_map(Row::control).collect();
+    let all: Vec<Row> = outcomes.iter().map(Row::primary).collect();
+    [
+        cohort_stats("cold", &cold),
+        cohort_stats("warm", &warm),
+        cohort_stats("warm-control", &control),
+        cohort_stats("all", &all),
+    ]
+}
+
+/// The aggregate table (also rendered to
+/// `results/fleet-aggregate.csv`).
+pub fn aggregate_table(stats: &[CohortStats]) -> TextTable {
+    let mut t = TextTable::new(&[
+        "cohort",
+        "tenants",
+        "mean_iters_to_sla",
+        "median_iters_to_sla",
+        "settled",
+        "sla_attainment_pct",
+        "mean_ms",
+    ]);
+    for s in stats {
+        t.row(&[
+            s.cohort.to_string(),
+            s.tenants.to_string(),
+            format!("{:.3}", s.mean_iters_to_sla),
+            format!("{:.1}", s.median_iters_to_sla),
+            s.settled.to_string(),
+            format!("{:.2}", s.attainment_pct),
+            format!("{:.3}", s.mean_ms),
+        ]);
+    }
+    t
+}
+
+/// The tenants-vs-wall-clock scaling curve
+/// (`results/fleet-scaling.csv`): one row per step boundary. Wall-clock
+/// data — never byte-compared.
+pub fn scaling_csv(threads: usize, milestones: &[(usize, f64)]) -> String {
+    let mut t = TextTable::new(&["tenants_done", "wall_clock_s", "tenants_per_s", "threads"]);
+    for &(done, secs) in milestones {
+        let rate = if secs > 0.0 { done as f64 / secs } else { 0.0 };
+        t.row(&[
+            done.to_string(),
+            format!("{secs:.3}"),
+            format!("{rate:.3}"),
+            threads.to_string(),
+        ]);
+    }
+    t.render_csv()
+}
+
+/// Roster listing for `figures fleet --list`: the generated tenants,
+/// no simulation.
+pub fn roster_table(roster: &[TenantSpec]) -> TextTable {
+    let mut t = TextTable::new(&[
+        "tenant", "clients", "mix", "level", "sla_ms", "scenario", "seed",
+    ]);
+    for spec in roster {
+        t.row(&[
+            spec.name(),
+            spec.clients.to_string(),
+            spec.mix.label().to_string(),
+            spec.level.label().to_string(),
+            format!("{:.0}", spec.sla_ms),
+            spec.scenario.to_string(),
+            format!("{:#018x}", spec.seed),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fleet::{FleetConfig, FleetRun};
+    use rac::runner::Runner;
+
+    fn finished_run() -> FleetRun {
+        let mut run = FleetRun::new(FleetConfig {
+            tenants: 5,
+            seed: 11,
+            cold: 2,
+            chunk: 2,
+            scale_den: 60,
+            online_levels: 3,
+            control: true,
+            radius: 2.0,
+        })
+        .unwrap();
+        let runner = Runner::new(2);
+        while !run.is_complete() {
+            run.step(&runner).unwrap();
+        }
+        run
+    }
+
+    #[test]
+    fn tenant_csv_has_spec_and_outcome_columns() {
+        let run = finished_run();
+        let csv = tenants_csv(&run);
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "tenant,clients,mix,level,sla_ms,scenario,start,donor,distance,iterations,\
+             iters_to_sla,attained,mean_ms,ctl_iters_to_sla,ctl_attained,ctl_mean_ms"
+        );
+        assert_eq!(csv.lines().count(), 6);
+        // Cold rows carry no donor and no control; warm rows carry both.
+        let rows: Vec<&str> = csv.lines().skip(1).collect();
+        assert!(rows[0].contains(",cold,,"));
+        assert!(rows[0].ends_with(",,,"));
+        assert!(rows[4].contains(",warm,t"));
+        assert!(!rows[4].ends_with(",,,"));
+    }
+
+    #[test]
+    fn aggregate_partitions_and_totals_are_consistent() {
+        let run = finished_run();
+        let [cold, warm, control, all] = aggregate(&run);
+        assert_eq!(cold.tenants, 2);
+        assert_eq!(warm.tenants, 3);
+        assert_eq!(control.tenants, 3, "every warm tenant runs a control");
+        assert_eq!(all.tenants, 5);
+        assert_eq!(cold.settled + warm.settled, all.settled);
+        for s in [&cold, &warm, &control, &all] {
+            assert!(s.mean_iters_to_sla.is_finite());
+            assert!((0.0..=100.0).contains(&s.attainment_pct), "{s:?}");
+        }
+        let csv = aggregate_table(&aggregate(&run)).render_csv();
+        assert!(csv.starts_with("cohort,tenants,mean_iters_to_sla,"));
+        assert_eq!(csv.lines().count(), 5);
+    }
+
+    #[test]
+    fn scaling_csv_reports_rates() {
+        let csv = scaling_csv(8, &[(50, 10.0), (100, 18.0)]);
+        let rows: Vec<&str> = csv.lines().collect();
+        assert_eq!(rows[0], "tenants_done,wall_clock_s,tenants_per_s,threads");
+        assert_eq!(rows[1], "50,10.000,5.000,8");
+        assert!(rows[2].starts_with("100,18.000,5.556,"));
+    }
+
+    #[test]
+    fn roster_table_lists_without_running() {
+        let roster = fleet::generate(4, 42);
+        let t = roster_table(&roster);
+        assert_eq!(t.len(), 4);
+        assert!(t
+            .render_csv()
+            .starts_with("tenant,clients,mix,level,sla_ms,scenario,seed"));
+    }
+}

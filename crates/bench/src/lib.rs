@@ -8,6 +8,7 @@
 pub mod cache;
 pub mod chaos;
 pub mod checkpoint;
+pub mod fleet;
 pub mod output;
 pub mod perfsuite;
 pub mod profile;

@@ -1,17 +1,19 @@
 //! The perf-trajectory suite behind `figures bench`.
 //!
-//! Measures the three numbers every future PR is judged against —
+//! Measures the numbers every future PR is judged against —
 //! events/sec through [`simkernel::EventQueue`], iterations/sec through
-//! [`rac::Experiment::run_scenario`] on the bundled scenarios, and
-//! Q-sweep updates/sec through [`rl::batch_value_sweep_report`] — plus
-//! in-file baselines (the retained [`simkernel::HeapQueue`] and a
-//! replica of the pre-optimization sweep loop), so each `BENCH_<n>.json`
-//! carries its own before/after comparison.
+//! [`rac::Experiment::run_scenario`] on the bundled scenarios, Q-sweep
+//! updates/sec through [`rl::batch_value_sweep_report`], and fleet
+//! throughput (tenants/sec through [`fleet::FleetRun`] at a fixed
+//! roster size) — plus in-file baselines (the retained
+//! [`simkernel::HeapQueue`] and a replica of the pre-optimization sweep
+//! loop), so each `BENCH_<n>.json` carries its own before/after
+//! comparison.
 //!
 //! Problem sizes are identical in quick and full mode; quick only
 //! reduces the repeat count. Throughputs are therefore comparable
 //! across modes, which is what lets CI run the quick suite and check it
-//! against the committed full-mode `BENCH_6.json` with a generous
+//! against the committed full-mode `BENCH_7.json` with a generous
 //! regression floor.
 
 use std::time::Instant;
@@ -29,10 +31,10 @@ use crate::{paper_system_spec, standard_settings, ONLINE_LEVELS, SLA_MS};
 
 /// The perf-trajectory file this PR emits; the `<n>` tracks the PR
 /// sequence (see DESIGN.md).
-pub const BENCH_VERSION: u32 = 6;
+pub const BENCH_VERSION: u32 = 7;
 
 /// Default output path, relative to the repository root.
-pub const DEFAULT_OUTPUT: &str = "BENCH_6.json";
+pub const DEFAULT_OUTPUT: &str = "BENCH_7.json";
 
 /// CI regression floor: a quick-mode median below `floor × committed
 /// median` fails the build.
@@ -45,6 +47,11 @@ const QUEUE_HOLD_SIZE: usize = 1 << 22;
 const QUEUE_OPS: usize = 400_000;
 /// Full-table passes per Q-sweep sample at `ONLINE_LEVELS`.
 const SWEEP_PASSES: usize = 4;
+/// Roster size of the fleet-throughput benchmark (identical in quick
+/// and full mode).
+const FLEET_TENANTS: usize = 8;
+/// Timeline compression of the fleet benchmark's scenarios.
+const FLEET_SCALE_DEN: u64 = 60;
 
 /// One benchmark's samples plus its summary statistics.
 #[derive(Debug, Clone)]
@@ -107,6 +114,13 @@ impl SuiteOptions {
         }
     }
     fn scenario_repeats(&self) -> usize {
+        if self.quick {
+            1
+        } else {
+            3
+        }
+    }
+    fn fleet_repeats(&self) -> usize {
         if self.quick {
             1
         } else {
@@ -270,6 +284,37 @@ fn scenario_iterations_per_sec(scn: &Scenario, library: &PolicyLibrary) -> f64 {
 }
 
 // ---------------------------------------------------------------------------
+// Fleet benchmark
+
+/// Times a full fixed-size fleet — roster generation, every tenant's
+/// experiment, and nearest-neighbor policy transfer — over the global
+/// runner, returning tenants/sec. Matched controls are disabled: they
+/// double warm-tenant cost without exercising any additional machinery,
+/// and this benchmark tracks fleet *throughput*, not the transfer
+/// headline.
+fn fleet_tenants_per_sec() -> f64 {
+    let config = fleet::FleetConfig {
+        tenants: FLEET_TENANTS,
+        seed: 42,
+        cold: 2,
+        chunk: 3,
+        scale_den: FLEET_SCALE_DEN,
+        online_levels: ONLINE_LEVELS,
+        control: false,
+        // Ungated so the warm-start path runs for every post-wave
+        // tenant regardless of roster geometry.
+        radius: 2.0,
+    };
+    let mut run = fleet::FleetRun::new(config).expect("bench fleet config is valid");
+    let runner = Runner::global();
+    let started = Instant::now();
+    while !run.is_complete() {
+        run.step(runner).expect("bench fleet step succeeds");
+    }
+    FLEET_TENANTS as f64 / started.elapsed().as_secs_f64()
+}
+
+// ---------------------------------------------------------------------------
 // Suite driver
 
 fn run_samples(repeats: usize, mut f: impl FnMut() -> f64) -> Vec<f64> {
@@ -342,6 +387,12 @@ pub fn run_suite(opts: &SuiteOptions) -> SuiteReport {
         );
     }
 
+    push(
+        "fleet.tenants_per_sec",
+        "tenants/sec",
+        run_samples(opts.fleet_repeats(), fleet_tenants_per_sec),
+    );
+
     SuiteReport {
         results,
         quick: opts.quick,
@@ -399,7 +450,8 @@ impl SuiteReport {
         ));
         out.push_str(&format!("    \"queue_hold_size\": {QUEUE_HOLD_SIZE},\n"));
         out.push_str(&format!("    \"queue_ops\": {QUEUE_OPS},\n"));
-        out.push_str(&format!("    \"sweep_passes\": {SWEEP_PASSES}\n"));
+        out.push_str(&format!("    \"sweep_passes\": {SWEEP_PASSES},\n"));
+        out.push_str(&format!("    \"fleet_tenants\": {FLEET_TENANTS}\n"));
         out.push_str("  },\n");
         out.push_str("  \"benchmarks\": [\n");
         for (i, r) in self.results.iter().enumerate() {

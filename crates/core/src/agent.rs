@@ -369,6 +369,41 @@ impl RacAgent {
         &self.experience
     }
 
+    /// Packages the agent's current learned state as an
+    /// [`InitialPolicy`]: the online Q-table plus the performance map
+    /// the agent is acting on (measured response times where available,
+    /// calibrated predictions elsewhere).
+    ///
+    /// This is the donor side of cross-run policy transfer — a finished
+    /// agent's `learned_policy()` can seed a fresh agent on the same
+    /// lattice via [`try_with_initial_policy`](Self::try_with_initial_policy),
+    /// generalizing the snapshot warm-start path to transfers that never
+    /// touch disk. `fit.samples`/`samples` report how many lattice
+    /// states were actually measured online; `passes` is 0 because no
+    /// offline sweep produced this table.
+    pub fn learned_policy(&self) -> InitialPolicy {
+        let states = self.lattice.num_states();
+        let mut perf_ms = Vec::with_capacity(states);
+        for s in 0..states {
+            let v = match self.measured.get(&s) {
+                Some(&rt) => rt,
+                None => self.predicted[s] * self.calibration,
+            };
+            perf_ms.push(v as f32);
+        }
+        InitialPolicy {
+            qtable: self.qtable.clone(),
+            perf_ms,
+            fit: numerics::FitQuality {
+                r_squared: 0.0,
+                rmse: 0.0,
+                samples: self.measured.len(),
+            },
+            samples: self.measured.len(),
+            passes: 0,
+        }
+    }
+
     fn maybe_switch_policy(&mut self, measured_ms: f64) {
         let Some(library) = &self.library else {
             return;

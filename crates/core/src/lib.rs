@@ -95,7 +95,10 @@ pub use measure::{
     Acquisition, BreakerState, BreakerTransition, ChannelSettings, MeasurementChannel,
 };
 pub use param::ConfigLattice;
-pub use persist::{library_from_snapshot, library_to_snapshot};
+pub use persist::{
+    decode_policy, encode_policy, library_from_snapshot, library_from_snapshot_checked,
+    library_to_snapshot,
+};
 pub use reward::SlaReward;
 pub use runner::{Measure, MeasureJob, Runner, SimMeasurer};
 pub use sensitivity::{analyze_sensitivity, select_parameters, ParamSensitivity};

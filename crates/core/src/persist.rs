@@ -101,7 +101,11 @@ pub(crate) fn decode_qtable(
 }
 
 /// Encodes one offline-trained initial policy.
-pub(crate) fn encode_policy(w: &mut Writer, p: &InitialPolicy) {
+///
+/// Public because the fleet transfer store persists donor policies
+/// outside any [`PolicyLibrary`]; the field order is part of the
+/// checkpoint wire format.
+pub fn encode_policy(w: &mut Writer, p: &InitialPolicy) {
     encode_qtable(w, &p.qtable);
     w.put_usize(p.perf_ms.len());
     for &v in &p.perf_ms {
@@ -115,7 +119,11 @@ pub(crate) fn encode_policy(w: &mut Writer, p: &InitialPolicy) {
 }
 
 /// Decodes one initial policy trained on a `states`-state lattice.
-pub(crate) fn decode_policy(
+///
+/// Returns [`CkptError::Mismatch`] when the encoded policy's shape
+/// disagrees with `states`/`actions` — the caller's lattice, not the
+/// snapshot, is authoritative.
+pub fn decode_policy(
     r: &mut Reader<'_>,
     states: usize,
     actions: usize,
@@ -214,6 +222,40 @@ pub fn library_from_snapshot(snap: &Snapshot) -> Result<PolicyLibrary, CkptError
     }
     let states = r.get_usize()?;
     let actions = r.get_usize()?;
+    let lib = decode_library(&mut r, states, actions)?;
+    r.finish()?;
+    Ok(lib)
+}
+
+/// Like [`library_from_snapshot`], but additionally requires the stored
+/// library's lattice shape to match the lattice the caller is about to
+/// seed — the warm-start seeding boundary.
+///
+/// A snapshot from a run with different `online_levels` decodes cleanly
+/// (its shape header is self-consistent) but would blow up later inside
+/// agent construction; checking here turns that into a typed
+/// [`CkptError::Mismatch`] before any policy is handed out.
+pub fn library_from_snapshot_checked(
+    snap: &Snapshot,
+    states: usize,
+    actions: usize,
+) -> Result<PolicyLibrary, CkptError> {
+    let mut r = snap.section(crate::agent::SECTION_LIBRARY)?;
+    if !r.get_bool()? {
+        return Err(CkptError::Mismatch {
+            detail: "checkpointed agent had no policy library to warm-start from".to_string(),
+        });
+    }
+    let got_states = r.get_usize()?;
+    let got_actions = r.get_usize()?;
+    if (got_states, got_actions) != (states, actions) {
+        return Err(CkptError::Mismatch {
+            detail: format!(
+                "warm-start library trained on a {got_states}x{got_actions} lattice, \
+                 this run's lattice is {states}x{actions}"
+            ),
+        });
+    }
     let lib = decode_library(&mut r, states, actions)?;
     r.finish()?;
     Ok(lib)

@@ -1,0 +1,57 @@
+//! **fleet** — multi-tenant simulation with cross-tenant policy
+//! transfer.
+//!
+//! The paper tunes *one* web system. This crate asks the operator's
+//! question: what changes when you run *hundreds*? A seeded
+//! [tenant registry](tenant::generate) stamps out N heterogeneous
+//! tenants — each its own hardware allocation, TPC-W mix, client
+//! population, SLA target, and bundled scenario — and the
+//! [fleet driver](FleetRun) shards their full RAC experiments over the
+//! existing deterministic work-queue ([`rac::Runner`]).
+//!
+//! The payoff is the [`TransferStore`]: every finished tenant donates
+//! its learned policy, and each new tenant warm-starts from the most
+//! similar donor (nearest neighbor over spec/workload features) instead
+//! of tuning from scratch. This generalizes the repo's one-to-one
+//! `--warm-start` snapshot machinery into fleet-wide transfer, and it
+//! is where the headline claim lives: warm-started tenants reach SLA
+//! compliance in measurably fewer iterations than cold-started ones.
+//!
+//! Everything stays inside the repo's determinism contract — rosters,
+//! donor selection, and tenant results are bit-identical at any
+//! `RAC_THREADS` — and fleet state checkpoints/resumes through
+//! dedicated [`ckpt`] sections at step boundaries.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use fleet::{FleetConfig, FleetRun};
+//! use rac::runner::Runner;
+//!
+//! let mut run = FleetRun::new(FleetConfig {
+//!     tenants: 4,
+//!     cold: 2,
+//!     chunk: 2,
+//!     scale_den: 60, // heavily compressed timeline: doctest speed
+//!     radius: 2.0,   // accept any donor, however distant
+//!     ..FleetConfig::default()
+//! })
+//! .unwrap();
+//! let runner = Runner::new(2);
+//! while !run.is_complete() {
+//!     run.step(&runner).unwrap();
+//! }
+//! // The cold wave tuned from scratch; later tenants borrowed policies.
+//! assert!(run.outcomes()[0].donor.is_none());
+//! assert!(run.outcomes()[3].donor.is_some());
+//! ```
+
+mod run;
+pub mod tenant;
+pub mod transfer;
+
+pub use run::{
+    ControlOutcome, DonorRef, FleetConfig, FleetError, FleetRun, TenantOutcome, SLA_STREAK,
+};
+pub use tenant::{generate, roster_fingerprint, TenantSpec};
+pub use transfer::{Donor, TransferError, TransferStore};

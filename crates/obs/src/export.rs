@@ -5,6 +5,57 @@ use std::fmt::Write as _;
 
 use crate::registry::MetricSnapshot;
 
+/// Builds a labeled metric name, `name{key="value",...}`, suitable for
+/// [`Registry`](crate::Registry) lookup: the registry stores series by
+/// full name, so two label values are two independent series, and the
+/// exporters group them back under one `# TYPE` family line.
+///
+/// Label values are escaped per the Prometheus text format (`\\`, `\"`,
+/// `\n`), so arbitrary strings are safe.
+///
+/// # Example
+///
+/// ```
+/// use obs::Registry;
+///
+/// let name = obs::export::labeled("rac_fleet_tenant_iterations", &[("tenant", "t007")]);
+/// assert_eq!(name, "rac_fleet_tenant_iterations{tenant=\"t007\"}");
+/// let r = Registry::new();
+/// r.gauge(&name).set(24);
+/// ```
+pub fn labeled(name: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let mut out = String::with_capacity(name.len() + 16 * labels.len());
+    out.push_str(name);
+    out.push('{');
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// The metric family of a (possibly labeled) series name — the part
+/// before the label set, which is what `# TYPE` lines must carry.
+fn family(name: &str) -> &str {
+    name.split('{').next().unwrap_or(name)
+}
+
 /// Renders a snapshot in the Prometheus text exposition format
 /// (version 0.0.4): counters and gauges as single samples, histograms
 /// as cumulative `_bucket{le="..."}` series (edges in milliseconds)
@@ -23,14 +74,24 @@ use crate::registry::MetricSnapshot;
 /// ```
 pub fn render_prometheus(snapshot: &[MetricSnapshot]) -> String {
     let mut out = String::new();
+    // Labeled series of one family are adjacent in the name-sorted
+    // snapshot; emit the family's # TYPE line once, not per series.
+    let mut last_family = String::new();
+    let mut type_line = |out: &mut String, name: &str, kind: &str| {
+        let fam = family(name);
+        if fam != last_family {
+            let _ = writeln!(out, "# TYPE {fam} {kind}");
+            last_family = fam.to_string();
+        }
+    };
     for metric in snapshot {
         match metric {
             MetricSnapshot::Counter { name, value } => {
-                let _ = writeln!(out, "# TYPE {name} counter");
+                type_line(&mut out, name, "counter");
                 let _ = writeln!(out, "{name} {value}");
             }
             MetricSnapshot::Gauge { name, value } => {
-                let _ = writeln!(out, "# TYPE {name} gauge");
+                type_line(&mut out, name, "gauge");
                 let _ = writeln!(out, "{name} {value}");
             }
             MetricSnapshot::Histogram {
@@ -40,7 +101,7 @@ pub fn render_prometheus(snapshot: &[MetricSnapshot]) -> String {
                 buckets,
                 ..
             } => {
-                let _ = writeln!(out, "# TYPE {name} histogram");
+                type_line(&mut out, name, "histogram");
                 let mut cumulative = 0u64;
                 for &(upper_us, n) in buckets {
                     cumulative += n;
@@ -63,9 +124,11 @@ pub fn render_csv(snapshot: &[MetricSnapshot]) -> String {
     for metric in snapshot {
         match metric {
             MetricSnapshot::Counter { name, value } => {
+                let name = csv_field(name);
                 let _ = writeln!(out, "{name},counter,{value},,,,");
             }
             MetricSnapshot::Gauge { name, value } => {
+                let name = csv_field(name);
                 let _ = writeln!(out, "{name},gauge,{value},,,,");
             }
             MetricSnapshot::Histogram {
@@ -76,6 +139,7 @@ pub fn render_csv(snapshot: &[MetricSnapshot]) -> String {
                 p95_ms,
                 ..
             } => {
+                let name = csv_field(name);
                 let _ = writeln!(
                     out,
                     "{name},histogram,,{count},{sum_ms:.3},{p50_ms:.3},{p95_ms:.3}"
@@ -84,6 +148,17 @@ pub fn render_csv(snapshot: &[MetricSnapshot]) -> String {
         }
     }
     out
+}
+
+/// RFC-4180 quoting for the name column: labeled series names carry
+/// quotes (and, with several labels, commas), which would otherwise
+/// shift the columns.
+fn csv_field(name: &str) -> String {
+    if name.contains(',') || name.contains('"') {
+        format!("\"{}\"", name.replace('"', "\"\""))
+    } else {
+        name.to_string()
+    }
 }
 
 /// Validates Prometheus text-exposition syntax line by line, returning
@@ -387,6 +462,55 @@ mod tests {
         sorted.sort();
         assert_eq!(seen, sorted, "concurrent registration broke ordering");
         assert_eq!(seen.len(), names.len());
+    }
+
+    #[test]
+    fn labeled_builds_and_escapes() {
+        assert_eq!(labeled("rac_x", &[]), "rac_x");
+        assert_eq!(
+            labeled("rac_x", &[("tenant", "t007")]),
+            "rac_x{tenant=\"t007\"}"
+        );
+        assert_eq!(
+            labeled("rac_x", &[("a", "1"), ("b", "q\"uo\\te\nnl")]),
+            "rac_x{a=\"1\",b=\"q\\\"uo\\\\te\\nnl\"}"
+        );
+    }
+
+    #[test]
+    fn labeled_series_share_one_type_line_and_validate() {
+        let r = Registry::new();
+        for tenant in ["t000", "t001", "t002"] {
+            r.gauge(&labeled("rac_fleet_tenant_iters", &[("tenant", tenant)]))
+                .set(7);
+        }
+        r.counter("rac_fleet_tenants_total").add(3);
+        let text = render_prometheus(&r.snapshot());
+        let type_lines: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("# TYPE rac_fleet_tenant_iters "))
+            .collect();
+        assert_eq!(
+            type_lines,
+            ["# TYPE rac_fleet_tenant_iters gauge"],
+            "{text}"
+        );
+        assert!(
+            text.contains("rac_fleet_tenant_iters{tenant=\"t001\"} 7"),
+            "{text}"
+        );
+        validate_prometheus(&text).expect("labeled exposition must validate");
+    }
+
+    #[test]
+    fn csv_quotes_labeled_names() {
+        let r = Registry::new();
+        r.gauge(&labeled("rac_x", &[("a", "1"), ("b", "2")])).set(5);
+        let text = render_csv(&r.snapshot());
+        assert!(
+            text.contains("\"rac_x{a=\"\"1\"\",b=\"\"2\"\"}\",gauge,5,,,,"),
+            "{text}"
+        );
     }
 
     fn touch(r: &Registry, name: &str) {

@@ -55,6 +55,8 @@ pub struct Health {
     total_iterations: AtomicU64,
     breaker_open: AtomicBool,
     degraded: AtomicBool,
+    fleet_done: AtomicU64,
+    fleet_total: AtomicU64,
     job: Mutex<String>,
 }
 
@@ -73,6 +75,8 @@ impl Health {
         self.total_iterations.store(0, Ordering::Relaxed);
         self.breaker_open.store(false, Ordering::Relaxed);
         self.degraded.store(false, Ordering::Relaxed);
+        self.fleet_done.store(0, Ordering::Relaxed);
+        self.fleet_total.store(0, Ordering::Relaxed);
         self.state.store(RunState::Running as u8, Ordering::Relaxed);
     }
 
@@ -87,6 +91,15 @@ impl Health {
     pub fn set_progress(&self, iteration: u64, total: u64) {
         self.iteration.store(iteration, Ordering::Relaxed);
         self.total_iterations.store(total, Ordering::Relaxed);
+    }
+
+    /// Updates fleet progress (tenant experiments finished out of
+    /// `total`; both 0 outside fleet runs, in which case the fields
+    /// still render — a fleet in progress is recognizable by
+    /// `fleet_total > 0`).
+    pub fn set_fleet_progress(&self, done: u64, total: u64) {
+        self.fleet_done.store(done, Ordering::Relaxed);
+        self.fleet_total.store(total, Ordering::Relaxed);
     }
 
     /// Mirrors the measurement-channel breaker state.
@@ -109,13 +122,15 @@ impl Health {
         let job = self.job.lock().unwrap().clone();
         format!(
             "{{\"state\":\"{}\",\"job\":\"{}\",\"iteration\":{},\"total_iterations\":{},\
-             \"breaker_open\":{},\"degraded\":{}}}\n",
+             \"breaker_open\":{},\"degraded\":{},\"fleet_done\":{},\"fleet_total\":{}}}\n",
             self.state().as_str(),
             escape(&job),
             self.iteration.load(Ordering::Relaxed),
             self.total_iterations.load(Ordering::Relaxed),
             self.breaker_open.load(Ordering::Relaxed),
             self.degraded.load(Ordering::Relaxed),
+            self.fleet_done.load(Ordering::Relaxed),
+            self.fleet_total.load(Ordering::Relaxed),
         )
     }
 }
@@ -164,6 +179,24 @@ mod tests {
         let json = h.render_json();
         assert!(json.contains("\"breaker_open\":false"));
         assert!(json.contains("\"degraded\":false"));
+    }
+
+    #[test]
+    fn fleet_progress_renders_and_resets() {
+        let h = Health::default();
+        h.begin_job("fleet 200");
+        assert!(h
+            .render_json()
+            .contains("\"fleet_done\":0,\"fleet_total\":0"));
+        h.set_fleet_progress(50, 200);
+        assert!(h
+            .render_json()
+            .contains("\"fleet_done\":50,\"fleet_total\":200"));
+        // The next (non-fleet) job must not inherit stale fleet counts.
+        h.begin_job("scenario diurnal");
+        assert!(h
+            .render_json()
+            .contains("\"fleet_done\":0,\"fleet_total\":0"));
     }
 
     #[test]
