@@ -12,8 +12,10 @@
 //! cargo run --release -p rac-bench --bin figures -- fleet --list
 //! cargo run --release -p rac-bench --bin figures -- chaos            # pinned CI seeds
 //! cargo run --release -p rac-bench --bin figures -- chaos 7 --iterations 36
-//! cargo run --release -p rac-bench --bin figures -- bench            # writes BENCH_7.json
-//! cargo run --release -p rac-bench --bin figures -- bench --quick --check BENCH_7.json
+//! cargo run --release -p rac-bench --bin figures -- bench            # writes BENCH_8.json
+//! cargo run --release -p rac-bench --bin figures -- bench --quick --check BENCH_8.json
+//! cargo run --release -p rac-bench --bin figures -- tournament       # 200 generated scenarios
+//! cargo run --release -p rac-bench --bin figures -- tournament 24 --quick --seed 7
 //! RAC_THREADS=8 cargo run --release -p rac-bench --bin figures -- all
 //! RAC_OBS=trace cargo run --release -p rac-bench --bin figures -- fig5
 //!
@@ -143,22 +145,14 @@ fn main() {
     // take values), so it gets the *raw* argument tail and branches off
     // before the figure validation below.
     if cmds.first() == Some(&"scenario") {
-        let pos = args
-            .iter()
-            .position(|a| a == "scenario")
-            .expect("cmds came from args");
-        run_scenarios(&args[pos + 1..], &opts, &console, live);
+        run_scenarios(subcommand_tail(&args, "scenario"), &opts, &console, live);
         return;
     }
 
     // `chaos` likewise: operands are RNG seeds (default: the pinned CI
     // seeds), and the exit code reports invariant violations.
     if cmds.first() == Some(&"chaos") {
-        let pos = args
-            .iter()
-            .position(|a| a == "chaos")
-            .expect("cmds came from args");
-        run_chaos_harness(&args[pos + 1..], &opts, &console);
+        run_chaos_harness(subcommand_tail(&args, "chaos"), &opts, &console);
         return;
     }
 
@@ -166,33 +160,28 @@ fn main() {
     // with --check, regression-tests against) a BENCH_<n>.json; its
     // --out/--check flags take values.
     if cmds.first() == Some(&"bench") {
-        let pos = args
-            .iter()
-            .position(|a| a == "bench")
-            .expect("cmds came from args");
-        run_bench_suite(&args[pos + 1..], &console);
+        run_bench_suite(subcommand_tail(&args, "bench"), &console);
         return;
     }
 
     // `fleet` likewise: the operand is a tenant count, and the flags
     // (seed, cold wave, chunking, checkpointing) form a sub-grammar.
     if cmds.first() == Some(&"fleet") {
-        let pos = args
-            .iter()
-            .position(|a| a == "fleet")
-            .expect("cmds came from args");
-        run_fleet(&args[pos + 1..], &opts, &console);
+        run_fleet(subcommand_tail(&args, "fleet"), &opts, &console);
+        return;
+    }
+
+    // `tournament` likewise: the operand is a scenario count, with
+    // seed/profile/out flags.
+    if cmds.first() == Some(&"tournament") {
+        run_tournament(subcommand_tail(&args, "tournament"), &opts, &console);
         return;
     }
 
     // `profile` runs one scenario line-up under the hierarchical
     // self-profiler and reports where the wall-clock went.
     if cmds.first() == Some(&"profile") {
-        let pos = args
-            .iter()
-            .position(|a| a == "profile")
-            .expect("cmds came from args");
-        run_profile(&args[pos + 1..], &opts, &console);
+        run_profile(subcommand_tail(&args, "profile"), &opts, &console);
         return;
     }
 
@@ -204,15 +193,7 @@ fn main() {
     for cmd in &selected {
         if !ALL_CMDS.contains(cmd) {
             eprintln!("unknown experiment: {cmd}");
-            eprintln!(
-                "available: table1 table2 fig1..fig10 all | scenario <name|file.scn> [--list] \
-                 [--quick] [--quiet] | fleet [<tenants>] [--list] [--seed N] | chaos [<seed>...] \
-                 [--iterations <n>] | bench [--quick] \
-                 [--out <path>] [--check <committed.json>] | profile <name|file.scn> [--quick]\n\
-                 global: --serve <addr> exposes /metrics, /healthz and /profile over HTTP \
-                 while the run executes"
-            );
-            std::process::exit(2);
+            top_usage();
         }
     }
 
@@ -281,6 +262,36 @@ fn main() {
     write_metrics_snapshot(&opts, &console);
     if obs::enabled() {
         obs::health::global().finish_job(true);
+    }
+}
+
+/// Prints the top-level usage synopsis and exits 2 — the shared exit
+/// for every malformed top-level invocation.
+fn top_usage() -> ! {
+    eprintln!(
+        "available: table1 table2 fig1..fig10 all | scenario <name|file.scn> [--list] \
+         [--quick] [--quiet] | fleet [<tenants>] [--list] [--seed N] | chaos [<seed>...] \
+         [--iterations <n>] | bench [--quick] \
+         [--out <path>] [--check <committed.json>] | \
+         tournament [<scenarios>] [--seed N] [--profile <calm|brisk|stormy>] [--out <dir>] \
+         [--quick] | profile <name|file.scn> [--quick]\n\
+         global: --serve <addr> exposes /metrics, /healthz and /profile over HTTP \
+         while the run executes"
+    );
+    std::process::exit(2);
+}
+
+/// The argument tail after the subcommand token the dispatch matched.
+/// The token always exists (it came from scanning `args`), but if the
+/// scan ever drifts the user gets the usage message and exit 2, never a
+/// panic.
+fn subcommand_tail<'a>(args: &'a [String], cmd: &str) -> &'a [String] {
+    match args.iter().position(|a| a == cmd) {
+        Some(pos) => &args[pos + 1..],
+        None => {
+            eprintln!("figures: cannot locate `{cmd}` among the arguments");
+            top_usage();
+        }
     }
 }
 
@@ -418,6 +429,128 @@ fn run_bench_suite(rest: &[String], console: &Console) {
             println!("wrote {}", out.display());
         }
     }
+    if obs::enabled() {
+        obs::health::global().finish_job(true);
+    }
+}
+
+fn tournament_usage() -> ! {
+    eprintln!(
+        "usage: figures tournament [<scenarios>] [--seed N] [--profile <calm|brisk|stormy>] \
+         [--out <dir>] [--quick] [--quiet]"
+    );
+    eprintln!(
+        "defaults: 200 generated scenarios, seed 42, difficulty cycling calm/brisk/stormy; \
+         --quick compresses every scenario's timeline 3x; writes \
+         <dir>/tournament-matchups.csv and <dir>/tournament-scoreboard.csv (default dir: \
+         results)"
+    );
+    std::process::exit(2);
+}
+
+/// `figures tournament [N] [--seed S] [--quick] [--profile P] [--out D]`
+/// — RAC vs trial-and-error vs static default across N generated
+/// scenarios, sharded over the global runner. The scoreboard is a pure
+/// function of (seed, N): byte-identical CSVs at any `RAC_THREADS`.
+fn run_tournament(raw: &[String], opts: &Options, console: &Console) {
+    let mut topts = rac_bench::tournament::TournamentOptions {
+        quick: opts.quick,
+        ..rac_bench::tournament::TournamentOptions::default()
+    };
+    let mut out_dir = opts.results_dir.clone();
+    let mut count: Option<usize> = None;
+    let mut it = raw.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" | "--quiet" => {}
+            "--seed" => match it.next().and_then(|v| v.parse::<u64>().ok()) {
+                Some(seed) => topts.seed = seed,
+                None => {
+                    eprintln!("--seed needs an unsigned integer");
+                    tournament_usage();
+                }
+            },
+            "--profile" => match it.next().and_then(|v| scenario::Difficulty::by_name(v)) {
+                Some(d) => topts.profile = Some(d),
+                None => {
+                    eprintln!("--profile needs one of: calm, brisk, stormy");
+                    tournament_usage();
+                }
+            },
+            "--out" => match it.next() {
+                Some(dir) => out_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("--out needs a directory");
+                    tournament_usage();
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown tournament flag: {flag}");
+                tournament_usage();
+            }
+            operand => {
+                if count.is_some() {
+                    eprintln!("tournament takes at most one scenario-count operand");
+                    tournament_usage();
+                }
+                count = Some(match operand.parse::<usize>() {
+                    Ok(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("scenario count must be a positive integer, got `{operand}`");
+                        tournament_usage();
+                    }
+                });
+            }
+        }
+    }
+    if let Some(n) = count {
+        topts.scenarios = n;
+    }
+
+    if obs::enabled() {
+        obs::health::global().begin_job(&format!("tournament {}", topts.scenarios));
+    }
+    let runner = Runner::global();
+    console.note(format!(
+        "tournament: {} scenarios from seed {}, {} difficulty, {} worker thread(s) [RAC_THREADS]",
+        topts.scenarios,
+        topts.seed,
+        topts
+            .profile
+            .map(|d| d.label())
+            .unwrap_or("cycling calm/brisk/stormy"),
+        runner.threads()
+    ));
+    let started = Instant::now();
+    let matchups = rac_bench::tournament::run(&topts);
+    let elapsed = started.elapsed().as_secs_f64();
+    let rows = rac_bench::tournament::scoreboard(&matchups);
+    let table = rac_bench::tournament::scoreboard_table(&rows);
+    println!(
+        "tournament: {} scenarios, seed {} — per-arm scoreboard",
+        topts.scenarios, topts.seed
+    );
+    print!("{table}");
+    std::fs::create_dir_all(&out_dir).ok();
+    for (file, t) in [
+        (
+            "tournament-matchups.csv",
+            rac_bench::tournament::matchups_table(&matchups),
+        ),
+        ("tournament-scoreboard.csv", table),
+    ] {
+        let path = out_dir.join(file);
+        match t.write_csv(&path) {
+            Ok(()) => println!("  -> {}", path.display()),
+            Err(e) => eprintln!("  could not write {}: {e}", path.display()),
+        }
+    }
+    console.note(format!(
+        "\ntotal: {elapsed:.1}s wall-clock over {} scenario(s) ({:.2} scenarios/s)",
+        topts.scenarios,
+        topts.scenarios as f64 / elapsed.max(1e-9)
+    ));
+    write_metrics_snapshot(opts, console);
     if obs::enabled() {
         obs::health::global().finish_job(true);
     }

@@ -13,6 +13,7 @@ pub mod output;
 pub mod perfsuite;
 pub mod profile;
 pub mod scenario;
+pub mod tournament;
 
 use rac::{
     build_policy_library, paper_contexts, ConfigLattice, PolicyLibrary, RacSettings, SlaReward,

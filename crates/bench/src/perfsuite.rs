@@ -5,15 +5,16 @@
 //! [`rac::Experiment::run_scenario`] on the bundled scenarios, Q-sweep
 //! updates/sec through [`rl::batch_value_sweep_report`], and fleet
 //! throughput (tenants/sec through [`fleet::FleetRun`] at a fixed
-//! roster size) — plus in-file baselines (the retained
-//! [`simkernel::HeapQueue`] and a replica of the pre-optimization sweep
-//! loop), so each `BENCH_<n>.json` carries its own before/after
-//! comparison.
+//! roster size), and tournament throughput (generated scenarios/sec
+//! through the three-arm line-up of [`crate::tournament`]) — plus
+//! in-file baselines (the retained [`simkernel::HeapQueue`] and a
+//! replica of the pre-optimization sweep loop), so each
+//! `BENCH_<n>.json` carries its own before/after comparison.
 //!
 //! Problem sizes are identical in quick and full mode; quick only
 //! reduces the repeat count. Throughputs are therefore comparable
 //! across modes, which is what lets CI run the quick suite and check it
-//! against the committed full-mode `BENCH_7.json` with a generous
+//! against the committed full-mode `BENCH_8.json` with a generous
 //! regression floor.
 
 use std::time::Instant;
@@ -31,10 +32,10 @@ use crate::{paper_system_spec, standard_settings, ONLINE_LEVELS, SLA_MS};
 
 /// The perf-trajectory file this PR emits; the `<n>` tracks the PR
 /// sequence (see DESIGN.md).
-pub const BENCH_VERSION: u32 = 7;
+pub const BENCH_VERSION: u32 = 8;
 
 /// Default output path, relative to the repository root.
-pub const DEFAULT_OUTPUT: &str = "BENCH_7.json";
+pub const DEFAULT_OUTPUT: &str = "BENCH_8.json";
 
 /// CI regression floor: a quick-mode median below `floor × committed
 /// median` fails the build.
@@ -52,6 +53,9 @@ const SWEEP_PASSES: usize = 4;
 const FLEET_TENANTS: usize = 8;
 /// Timeline compression of the fleet benchmark's scenarios.
 const FLEET_SCALE_DEN: u64 = 60;
+/// Generated scenarios per tournament-throughput sample (one per
+/// difficulty, quick-scaled — identical in quick and full mode).
+const TOURNAMENT_SCENARIOS: usize = 3;
 
 /// One benchmark's samples plus its summary statistics.
 #[derive(Debug, Clone)]
@@ -121,6 +125,13 @@ impl SuiteOptions {
         }
     }
     fn fleet_repeats(&self) -> usize {
+        if self.quick {
+            1
+        } else {
+            3
+        }
+    }
+    fn tournament_repeats(&self) -> usize {
         if self.quick {
             1
         } else {
@@ -315,6 +326,27 @@ fn fleet_tenants_per_sec() -> f64 {
 }
 
 // ---------------------------------------------------------------------------
+// Tournament benchmark
+
+/// Times a small tournament — scenario generation plus the full
+/// three-arm line-up per scenario, sharded over the global runner —
+/// returning scenarios/sec. Quick-scaled timelines keep one sample in
+/// the seconds range; the problem size never varies with suite mode.
+fn tournament_scenarios_per_sec() -> f64 {
+    let opts = crate::tournament::TournamentOptions {
+        scenarios: TOURNAMENT_SCENARIOS,
+        seed: 42,
+        quick: true,
+        profile: None,
+    };
+    let started = Instant::now();
+    let matchups = crate::tournament::run(&opts);
+    let elapsed = started.elapsed().as_secs_f64();
+    std::hint::black_box(matchups);
+    TOURNAMENT_SCENARIOS as f64 / elapsed
+}
+
+// ---------------------------------------------------------------------------
 // Suite driver
 
 fn run_samples(repeats: usize, mut f: impl FnMut() -> f64) -> Vec<f64> {
@@ -393,6 +425,12 @@ pub fn run_suite(opts: &SuiteOptions) -> SuiteReport {
         run_samples(opts.fleet_repeats(), fleet_tenants_per_sec),
     );
 
+    push(
+        "tournament.scenarios_per_sec",
+        "scenarios/sec",
+        run_samples(opts.tournament_repeats(), tournament_scenarios_per_sec),
+    );
+
     SuiteReport {
         results,
         quick: opts.quick,
@@ -451,7 +489,10 @@ impl SuiteReport {
         out.push_str(&format!("    \"queue_hold_size\": {QUEUE_HOLD_SIZE},\n"));
         out.push_str(&format!("    \"queue_ops\": {QUEUE_OPS},\n"));
         out.push_str(&format!("    \"sweep_passes\": {SWEEP_PASSES},\n"));
-        out.push_str(&format!("    \"fleet_tenants\": {FLEET_TENANTS}\n"));
+        out.push_str(&format!("    \"fleet_tenants\": {FLEET_TENANTS},\n"));
+        out.push_str(&format!(
+            "    \"tournament_scenarios\": {TOURNAMENT_SCENARIOS}\n"
+        ));
         out.push_str("  },\n");
         out.push_str("  \"benchmarks\": [\n");
         for (i, r) in self.results.iter().enumerate() {

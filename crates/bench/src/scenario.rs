@@ -72,27 +72,35 @@ impl std::error::Error for ResolveError {
 }
 
 /// Resolves a scenario operand: a bundled name first, then a path to a
-/// `.scn` file on disk.
+/// `.scn` file on disk. Parser warnings (directives in the dead zone at
+/// or past `duration`) go to stderr — the scenario still runs, but
+/// silently inert directives deserve a note.
 ///
 /// # Errors
 ///
 /// Returns [`ResolveError`] when the operand is neither.
 pub fn resolve(arg: &str) -> Result<Scenario, ResolveError> {
-    if let Some(src) = scenario::bundled::by_name(arg) {
-        return Scenario::parse(src).map_err(|source| ResolveError::Parse {
-            origin: format!("bundled scenario {arg}"),
+    let (origin, src) = match scenario::bundled::by_name(arg) {
+        Some(src) => (format!("bundled scenario {arg}"), src.to_string()),
+        None => {
+            let src =
+                std::fs::read_to_string(Path::new(arg)).map_err(|source| ResolveError::NotFound {
+                    arg: arg.to_string(),
+                    bundled: bundled_names(),
+                    source,
+                })?;
+            (arg.to_string(), src)
+        }
+    };
+    let (scn, warnings) =
+        Scenario::parse_with_warnings(&src).map_err(|source| ResolveError::Parse {
+            origin: origin.clone(),
             source,
-        });
+        })?;
+    for w in &warnings {
+        eprintln!("warning: {origin}: {w}");
     }
-    let src = std::fs::read_to_string(Path::new(arg)).map_err(|source| ResolveError::NotFound {
-        arg: arg.to_string(),
-        bundled: bundled_names(),
-        source,
-    })?;
-    Scenario::parse(&src).map_err(|source| ResolveError::Parse {
-        origin: arg.to_string(),
-        source,
-    })
+    Ok(scn)
 }
 
 /// Runs the standard tuner line-up — RAC seeded from the offline policy

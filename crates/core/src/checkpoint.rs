@@ -413,6 +413,8 @@ fn apply_event(
         EventKind::Drop => *drop_next = true,
         EventKind::Blackout(on) => channel.set_blackout(*on),
         EventKind::Timeout => channel.arm_timeout(),
+        EventKind::ThinkTail(sigma) => system.set_think_tail(*sigma),
+        EventKind::ServiceTail(sigma) => system.set_service_tail(*sigma),
     }
 }
 

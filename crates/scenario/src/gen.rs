@@ -1,0 +1,399 @@
+//! Seeded random scenario generation.
+//!
+//! [`generate`] composes the existing directive vocabulary — diurnal
+//! sines, ramps, flash-crowd spikes, mix switches and drift, VM
+//! reallocation, tier stalls, latency noise, measurement faults,
+//! blackouts, and the heavy-tail `tail` directives — into a
+//! [`Scenario`] drawn entirely from one `Pcg64` stream, so the result
+//! is a pure function of `(seed, difficulty)`.
+//!
+//! Every generated scenario respects the parser's invariants (positive
+//! intensities, `amp < base`, `t0 < t1`, positive periods and
+//! durations, distinct drift endpoints) and starts every directive
+//! strictly before `duration`, so it parses, `Display`-round-trips,
+//! compiles to a totally ordered timeline, and produces no
+//! [`crate::ParseWarning`]s — properties the test suite pins across
+//! seeds.
+//!
+//! # Example
+//!
+//! ```
+//! use scenario::{gen, Difficulty, Scenario};
+//!
+//! let scn = gen::generate(7, Difficulty::Stormy);
+//! let again = Scenario::parse(&scn.to_string()).unwrap();
+//! assert_eq!(again, scn); // round-trips through the parser
+//! ```
+
+use simkernel::{Pcg64, SimDuration};
+use tpcw::Mix;
+use vmstack::ResourceLevel;
+
+use crate::{Directive, Scenario, Tier};
+
+/// Measurement-interval length of every generated scenario.
+pub const INTERVAL_S: u64 = 300;
+/// Warm-up of every generated scenario (shorter than the 600 s default:
+/// tournaments run hundreds of these).
+pub const WARMUP_S: u64 = 300;
+
+/// How rough a generated scenario is: scales the iteration count, the
+/// number of faults, and the odds of spikes, drift, reallocation, and
+/// heavy-tailed workloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Difficulty {
+    /// Gentle curves, at most one fault, rare tails.
+    Calm,
+    /// Moderate load dynamics plus a few faults.
+    Brisk,
+    /// Aggressive spikes, reallocation, fault barrages, frequent
+    /// heavy-tailed regimes.
+    Stormy,
+}
+
+impl Difficulty {
+    /// All difficulties, mildest first.
+    pub fn all() -> [Difficulty; 3] {
+        [Difficulty::Calm, Difficulty::Brisk, Difficulty::Stormy]
+    }
+
+    /// Stable lowercase label (used in generated names and CLI flags).
+    pub fn label(self) -> &'static str {
+        match self {
+            Difficulty::Calm => "calm",
+            Difficulty::Brisk => "brisk",
+            Difficulty::Stormy => "stormy",
+        }
+    }
+
+    /// Looks a difficulty up by its label.
+    pub fn by_name(name: &str) -> Option<Difficulty> {
+        Self::all().into_iter().find(|d| d.label() == name)
+    }
+
+    /// Inclusive range of measurement iterations.
+    fn iterations(self) -> (u64, u64) {
+        match self {
+            Difficulty::Calm => (8, 12),
+            Difficulty::Brisk => (10, 15),
+            Difficulty::Stormy => (12, 18),
+        }
+    }
+
+    /// Inclusive range of offered clients. Even calm scenarios sit
+    /// where configuration genuinely matters (cf. the MaxClients
+    /// sweep: below ~80 clients every configuration coasts).
+    fn clients(self) -> (u64, u64) {
+        match self {
+            Difficulty::Calm => (80, 200),
+            Difficulty::Brisk => (150, 350),
+            Difficulty::Stormy => (250, 450),
+        }
+    }
+
+    /// Inclusive range of injected faults.
+    fn faults(self) -> (u64, u64) {
+        match self {
+            Difficulty::Calm => (0, 1),
+            Difficulty::Brisk => (1, 3),
+            Difficulty::Stormy => (2, 5),
+        }
+    }
+
+    /// Inclusive range of flash-crowd spikes.
+    fn spikes(self) -> (u64, u64) {
+        match self {
+            Difficulty::Calm => (0, 1),
+            Difficulty::Brisk => (0, 2),
+            Difficulty::Stormy => (1, 3),
+        }
+    }
+
+    /// Probability of a heavy-tail regime (per tail kind).
+    fn tail_p(self) -> f64 {
+        match self {
+            Difficulty::Calm => 0.25,
+            Difficulty::Brisk => 0.5,
+            Difficulty::Stormy => 0.75,
+        }
+    }
+
+    /// Probability of a mid-run VM reallocation.
+    fn realloc_p(self) -> f64 {
+        match self {
+            Difficulty::Calm => 0.15,
+            Difficulty::Brisk => 0.4,
+            Difficulty::Stormy => 0.6,
+        }
+    }
+}
+
+const MIXES: [Mix; 3] = [Mix::Browsing, Mix::Shopping, Mix::Ordering];
+const LEVELS: [ResourceLevel; 3] = [
+    ResourceLevel::Level1,
+    ResourceLevel::Level2,
+    ResourceLevel::Level3,
+];
+
+fn secs(s: u64) -> SimDuration {
+    SimDuration::from_secs(s)
+}
+
+/// Uniform f64 in `[lo, hi)`, rounded to 3 decimals so the canonical
+/// `Display` form stays short and round-trips exactly.
+fn uniform3(rng: &mut Pcg64, lo: f64, hi: f64) -> f64 {
+    let x = lo + (hi - lo) * rng.f64();
+    (x * 1000.0).round() / 1000.0
+}
+
+/// A random interval boundary in `[lo_iter, hi_iter] × INTERVAL_S`.
+fn boundary(rng: &mut Pcg64, lo_iter: u64, hi_iter: u64) -> u64 {
+    rng.range_inclusive(lo_iter, hi_iter) * INTERVAL_S
+}
+
+/// Generates a scenario from a seed and difficulty profile.
+///
+/// The result is deterministic, parser-clean (it `Display`-round-trips
+/// and produces no warnings), and its timeline compiles with every
+/// directive strictly inside `[0, duration)`.
+pub fn generate(seed: u64, difficulty: Difficulty) -> Scenario {
+    // Decorrelate the generator stream from direct uses of the seed
+    // (the scenario's own `seed` header reuses the raw value).
+    let mut rng = Pcg64::seed_from_u64(seed ^ 0x5CE7_A210_0E11_D00D);
+    let (it_lo, it_hi) = difficulty.iterations();
+    let iterations = rng.range_inclusive(it_lo, it_hi);
+    let duration_s = iterations * INTERVAL_S;
+    let mut directives: Vec<Directive> = Vec::new();
+
+    // --- Base intensity curve: hold, ramp, diurnal sine, or steps. ---
+    match rng.weighted_index(&[1.0, 2.0, 2.0, 2.0]) {
+        0 => {} // hold at the implicit 1.0
+        1 => {
+            // One long ramp from t=0 to a mid-or-late boundary.
+            let t1 = boundary(&mut rng, iterations / 2, iterations);
+            let from = uniform3(&mut rng, 0.6, 1.2);
+            let to = uniform3(&mut rng, 1.0, 2.2);
+            directives.push(Directive::IntensityRamp {
+                t0: secs(0),
+                t1: secs(t1),
+                from,
+                to,
+            });
+        }
+        2 => {
+            // Diurnal sine across the whole run; amp strictly below
+            // base by construction.
+            let base = uniform3(&mut rng, 1.0, 1.6);
+            let amp = uniform3(&mut rng, 0.2, (base - 0.15).min(0.9));
+            let period = boundary(&mut rng, 2, iterations.max(3));
+            directives.push(Directive::IntensitySine {
+                t0: secs(0),
+                t1: secs(duration_s),
+                base,
+                amp,
+                period: secs(period),
+            });
+        }
+        _ => {
+            // 2–3 step changes at distinct interior boundaries.
+            let steps = rng.range_inclusive(2, 3).min(iterations - 1);
+            let mut ks: Vec<u64> = Vec::new();
+            while (ks.len() as u64) < steps {
+                let k = rng.range_inclusive(1, iterations - 1);
+                if !ks.contains(&k) {
+                    ks.push(k);
+                }
+            }
+            ks.sort_unstable();
+            for k in ks {
+                directives.push(Directive::IntensityAt {
+                    t: secs(k * INTERVAL_S),
+                    value: uniform3(&mut rng, 0.5, 2.2),
+                });
+            }
+        }
+    }
+
+    // --- Flash-crowd spikes riding on the base curve. ---
+    let (sp_lo, sp_hi) = difficulty.spikes();
+    for _ in 0..rng.range_inclusive(sp_lo, sp_hi) {
+        let t = rng.range_inclusive(INTERVAL_S, duration_s - INTERVAL_S);
+        directives.push(Directive::IntensitySpike {
+            t: secs(t),
+            peak: uniform3(&mut rng, 2.0, 3.5),
+            rise: secs(rng.range_inclusive(30, 120)),
+            decay: secs(rng.range_inclusive(120, 480)),
+        });
+    }
+
+    // --- Mix dynamics: nothing, a hard switch, or gradual drift. ---
+    let start_mix = MIXES[rng.below(3) as usize];
+    match rng.weighted_index(&[2.0, 1.0, 1.0]) {
+        0 => {}
+        1 => {
+            let mut to = MIXES[rng.below(3) as usize];
+            if to == start_mix {
+                to = MIXES[(MIXES.iter().position(|m| *m == to).unwrap() + 1) % 3];
+            }
+            directives.push(Directive::MixAt {
+                t: secs(boundary(&mut rng, 1, iterations - 1)),
+                mix: to,
+            });
+        }
+        _ => {
+            let mut to = MIXES[rng.below(3) as usize];
+            if to == start_mix {
+                to = MIXES[(MIXES.iter().position(|m| *m == to).unwrap() + 1) % 3];
+            }
+            let k0 = rng.range_inclusive(1, iterations - 1);
+            let k1 = rng.range_inclusive(k0 + 1, iterations);
+            directives.push(Directive::MixDrift {
+                t0: secs(k0 * INTERVAL_S),
+                t1: secs(k1 * INTERVAL_S),
+                from: start_mix,
+                to,
+            });
+        }
+    }
+
+    // --- VM reallocation. ---
+    let start_level = LEVELS[rng.below(3) as usize];
+    if rng.chance(difficulty.realloc_p()) {
+        let mut level = LEVELS[rng.below(3) as usize];
+        if level == start_level {
+            level = LEVELS[(LEVELS.iter().position(|l| *l == level).unwrap() + 1) % 3];
+        }
+        directives.push(Directive::LevelAt {
+            t: secs(boundary(&mut rng, 1, iterations - 1)),
+            level,
+        });
+    }
+
+    // --- Faults. ---
+    let (f_lo, f_hi) = difficulty.faults();
+    for _ in 0..rng.range_inclusive(f_lo, f_hi) {
+        let t = secs(rng.range_inclusive(0, duration_s - 60));
+        let kind = match difficulty {
+            // Stormy leans on the hard faults (stall/blackout).
+            Difficulty::Stormy => rng.weighted_index(&[3.0, 2.0, 2.0, 2.0, 3.0, 2.0]),
+            _ => rng.weighted_index(&[2.0, 2.0, 2.0, 2.0, 1.0, 2.0]),
+        };
+        directives.push(match kind {
+            0 => Directive::Stall {
+                t,
+                tier: if rng.chance(0.5) { Tier::Web } else { Tier::AppDb },
+                dur: secs(rng.range_inclusive(60, 240)),
+            },
+            1 => Directive::Noise {
+                t,
+                factor: uniform3(&mut rng, 1.2, 2.5),
+                dur: secs(rng.range_inclusive(120, 600)),
+            },
+            2 => Directive::Outlier {
+                t,
+                factor: uniform3(&mut rng, 3.0, 8.0),
+            },
+            3 => Directive::Drop { t },
+            4 => Directive::Blackout {
+                t,
+                dur: secs(rng.range_inclusive(120, 600)),
+            },
+            _ => Directive::Timeout { t },
+        });
+    }
+
+    // --- Heavy-tailed workload regimes. ---
+    if rng.chance(difficulty.tail_p()) {
+        let k = rng.range_inclusive(0, iterations - 1);
+        directives.push(Directive::ThinkTail {
+            t: secs(k * INTERVAL_S),
+            sigma: Some(uniform3(&mut rng, 0.5, 1.5)),
+        });
+        // Sometimes switch back to the exponential default later.
+        if k + 1 < iterations && rng.chance(0.5) {
+            directives.push(Directive::ThinkTail {
+                t: secs(boundary(&mut rng, k + 1, iterations - 1)),
+                sigma: None,
+            });
+        }
+    }
+    if rng.chance(difficulty.tail_p()) {
+        let k = rng.range_inclusive(0, iterations - 1);
+        directives.push(Directive::ServiceTail {
+            t: secs(k * INTERVAL_S),
+            sigma: Some(uniform3(&mut rng, 0.5, 1.5)),
+        });
+        if k + 1 < iterations && rng.chance(0.5) {
+            directives.push(Directive::ServiceTail {
+                t: secs(boundary(&mut rng, k + 1, iterations - 1)),
+                sigma: None,
+            });
+        }
+    }
+
+    Scenario {
+        name: format!("gen-{}-{seed}", difficulty.label()),
+        duration: secs(duration_s),
+        interval: secs(INTERVAL_S),
+        warmup: secs(WARMUP_S),
+        clients: {
+            let (c_lo, c_hi) = difficulty.clients();
+            Some(rng.range_inclusive(c_lo, c_hi) as usize)
+        },
+        mix: start_mix,
+        level: start_level,
+        seed: Some(seed),
+        directives,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for d in Difficulty::all() {
+            assert_eq!(generate(42, d), generate(42, d));
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_differ() {
+        let a = generate(1, Difficulty::Brisk);
+        let b = generate(2, Difficulty::Brisk);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn difficulty_lookup() {
+        assert_eq!(Difficulty::by_name("calm"), Some(Difficulty::Calm));
+        assert_eq!(Difficulty::by_name("stormy"), Some(Difficulty::Stormy));
+        assert_eq!(Difficulty::by_name("impossible"), None);
+    }
+
+    #[test]
+    fn generated_scenarios_are_parser_clean() {
+        for seed in 0..50u64 {
+            for d in Difficulty::all() {
+                let scn = generate(seed, d);
+                let rendered = scn.to_string();
+                let (again, warnings) = Scenario::parse_with_warnings(&rendered)
+                    .unwrap_or_else(|e| panic!("seed {seed} {d:?}: {e}\n{rendered}"));
+                assert_eq!(again, scn, "seed {seed} {d:?} does not round-trip");
+                assert!(
+                    warnings.is_empty(),
+                    "seed {seed} {d:?} warns: {warnings:?}\n{rendered}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stormy_is_rougher_than_calm_on_average() {
+        let count = |d: Difficulty| -> usize {
+            (0..100u64).map(|s| generate(s, d).directives.len()).sum()
+        };
+        assert!(count(Difficulty::Stormy) > count(Difficulty::Calm));
+    }
+}

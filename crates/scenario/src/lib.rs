@@ -36,6 +36,7 @@
 //! assert_eq!(Scenario::parse(&scn.to_string()).unwrap(), scn);
 //! ```
 
+pub mod gen;
 pub mod parse;
 pub mod timeline;
 
@@ -43,7 +44,8 @@ use simkernel::SimDuration;
 use tpcw::Mix;
 use vmstack::ResourceLevel;
 
-pub use parse::ParseError;
+pub use gen::Difficulty;
+pub use parse::{ParseError, ParseWarning};
 pub use timeline::{EventKind, TimedEvent, Timeline};
 
 /// A tier of the three-tier system, as targeted by fault injection.
@@ -207,6 +209,52 @@ pub enum Directive {
         /// Which interval's acquisition times out.
         t: SimDuration,
     },
+    /// `tail at <t> think lognormal <sigma>` / `tail at <t> think off` —
+    /// switch browser think times to a heavy-tailed log-normal of the
+    /// same mean (σ controls tail weight) or back to the bit-exact
+    /// exponential default.
+    ThinkTail {
+        /// When the switch applies.
+        t: SimDuration,
+        /// Log-normal σ, or `None` for the exponential default.
+        sigma: Option<f64>,
+    },
+    /// `tail at <t> service lognormal <sigma>` / `tail at <t> service
+    /// off` — multiply every request's service demands by a mean-1
+    /// log-normal jitter (σ controls tail weight) or restore the
+    /// bit-exact deterministic default.
+    ServiceTail {
+        /// When the switch applies.
+        t: SimDuration,
+        /// Log-normal σ, or `None` for no jitter.
+        sigma: Option<f64>,
+    },
+}
+
+impl Directive {
+    /// The directive's start time — `t` for point directives, `t0` for
+    /// windowed ones. Used by the parser to warn about directives that
+    /// start at or past the scenario `duration` (which
+    /// [`Scenario::compile`] drops).
+    pub fn start(&self) -> SimDuration {
+        match self {
+            Directive::IntensityAt { t, .. }
+            | Directive::IntensitySpike { t, .. }
+            | Directive::MixAt { t, .. }
+            | Directive::LevelAt { t, .. }
+            | Directive::Stall { t, .. }
+            | Directive::Noise { t, .. }
+            | Directive::Outlier { t, .. }
+            | Directive::Drop { t }
+            | Directive::Blackout { t, .. }
+            | Directive::Timeout { t }
+            | Directive::ThinkTail { t, .. }
+            | Directive::ServiceTail { t, .. } => *t,
+            Directive::IntensityRamp { t0, .. }
+            | Directive::IntensitySine { t0, .. }
+            | Directive::MixDrift { t0, .. } => *t0,
+        }
+    }
 }
 
 /// A parsed scenario: header (name, clock, base workload) plus timeline
@@ -267,15 +315,20 @@ impl Scenario {
                 | Directive::LevelAt { t, .. }
                 | Directive::Outlier { t, .. }
                 | Directive::Drop { t }
-                | Directive::Timeout { t } => *t = scale(*t),
+                | Directive::Timeout { t }
+                | Directive::ThinkTail { t, .. }
+                | Directive::ServiceTail { t, .. } => *t = scale(*t),
                 Directive::IntensityRamp { t0, t1, .. } | Directive::MixDrift { t0, t1, .. } => {
                     *t0 = scale(*t0);
                     *t1 = scale(*t1);
+                    assert!(*t0 < *t1, "scaled range must keep t0 < t1");
                 }
                 Directive::IntensitySine { t0, t1, period, .. } => {
                     *t0 = scale(*t0);
                     *t1 = scale(*t1);
                     *period = scale(*period);
+                    assert!(*t0 < *t1, "scaled range must keep t0 < t1");
+                    assert!(!period.is_zero(), "scaled sine period must be positive");
                 }
                 Directive::IntensitySpike { t, rise, decay, .. } => {
                     *t = scale(*t);

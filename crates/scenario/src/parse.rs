@@ -26,6 +26,10 @@
 //! fault at <t> drop
 //! fault at <t> blackout for <dur>
 //! fault at <t> timeout
+//! tail at <t> think lognormal <sigma>
+//! tail at <t> think off
+//! tail at <t> service lognormal <sigma>
+//! tail at <t> service off
 //! ```
 //!
 //! Durations are written `<n>s` (seconds, fractional allowed) or
@@ -33,6 +37,11 @@
 //! seconds as `Ns` and anything finer as `Nus`, so `Display` output
 //! re-parses to an identical [`Scenario`] — a property the test suite
 //! pins.
+//!
+//! Directives whose start time lands at or past `duration` parse fine
+//! but compile to nothing ([`Scenario::compile`] drops events at or
+//! past the end); [`Scenario::parse_with_warnings`] flags them with the
+//! offending line number.
 
 use std::fmt;
 
@@ -63,6 +72,24 @@ impl fmt::Display for ParseError {
 }
 
 impl std::error::Error for ParseError {}
+
+/// A non-fatal parser diagnostic with the 1-based line it refers to —
+/// currently emitted for directives whose start time lands at or past
+/// the scenario `duration` (their events are silently dropped by
+/// [`Scenario::compile`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseWarning {
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
 
 fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
     Err(ParseError {
@@ -204,7 +231,16 @@ impl Header {
 
 impl Scenario {
     /// Parses a `.scn` source. Errors carry the 1-based line number.
+    /// Warnings (see [`Scenario::parse_with_warnings`]) are discarded.
     pub fn parse(src: &str) -> Result<Scenario, ParseError> {
+        Self::parse_with_warnings(src).map(|(scn, _)| scn)
+    }
+
+    /// Parses a `.scn` source, also returning non-fatal warnings: one
+    /// per directive whose start time lands at or past `duration`
+    /// (compilation drops its events, so the directive has no effect —
+    /// almost always an authoring mistake).
+    pub fn parse_with_warnings(src: &str) -> Result<(Scenario, Vec<ParseWarning>), ParseError> {
         let mut header = Header {
             name: None,
             duration: None,
@@ -215,7 +251,10 @@ impl Scenario {
             level: None,
             seed: None,
         };
-        let mut directives = Vec::new();
+        // Directives keep their source line so start-past-duration
+        // warnings can point at the offending line after the header is
+        // resolved.
+        let mut directives: Vec<(usize, Directive)> = Vec::new();
 
         for (idx, raw) in src.lines().enumerate() {
             let lineno = idx + 1;
@@ -266,8 +305,8 @@ impl Scenario {
                             .map_err(|_| format!("invalid seed {:?}", tokens[1]))
                     })
                     .and_then(|s| Header::set(&mut header.seed, s, "seed")),
-                "at" | "ramp" | "sine" | "spike" | "drift" | "fault" => {
-                    parse_directive(&tokens).map(|d| directives.push(d))
+                "at" | "ramp" | "sine" | "spike" | "drift" | "fault" | "tail" => {
+                    parse_directive(&tokens).map(|d| directives.push((lineno, d)))
                 }
                 other => Err(format!("unknown keyword {other:?}")),
             };
@@ -294,17 +333,34 @@ impl Scenario {
             return err(0, "`interval` must not exceed `duration`");
         }
 
-        Ok(Scenario {
-            name,
-            duration,
-            interval,
-            warmup: header.warmup.unwrap_or(SimDuration::from_secs(600)),
-            clients: header.clients,
-            mix: header.mix.unwrap_or(Mix::Shopping),
-            level: header.level.unwrap_or(ResourceLevel::Level1),
-            seed: header.seed,
-            directives,
-        })
+        let warnings = directives
+            .iter()
+            .filter(|(_, d)| d.start() >= duration)
+            .map(|(line, d)| ParseWarning {
+                line: *line,
+                message: format!(
+                    "directive starts at {} but `duration` is {}; \
+                     events at or past the end are dropped, so it has no effect",
+                    format_duration(d.start()),
+                    format_duration(duration)
+                ),
+            })
+            .collect();
+
+        Ok((
+            Scenario {
+                name,
+                duration,
+                interval,
+                warmup: header.warmup.unwrap_or(SimDuration::from_secs(600)),
+                clients: header.clients,
+                mix: header.mix.unwrap_or(Mix::Shopping),
+                level: header.level.unwrap_or(ResourceLevel::Level1),
+                seed: header.seed,
+                directives: directives.into_iter().map(|(_, d)| d).collect(),
+            },
+            warnings,
+        ))
     }
 }
 
@@ -464,6 +520,31 @@ fn parse_directive(tokens: &[&str]) -> Result<Directive, String> {
                 ),
             }
         }
+        "tail" => {
+            let usage = "tail at <t> think|service lognormal <sigma> | off";
+            if tokens.len() < 5 || tokens[1] != "at" {
+                return Err(format!("expected `{usage}`"));
+            }
+            let t = parse_duration(tokens[2])?;
+            let sigma = match tokens.get(4).copied() {
+                Some("off") => {
+                    expect_len(tokens, 5, usage)?;
+                    None
+                }
+                Some("lognormal") => {
+                    expect_len(tokens, 6, usage)?;
+                    Some(parse_positive(tokens[5], "sigma")?)
+                }
+                _ => return Err(format!("expected `{usage}`")),
+            };
+            match tokens[3] {
+                "think" => Ok(Directive::ThinkTail { t, sigma }),
+                "service" => Ok(Directive::ServiceTail { t, sigma }),
+                other => Err(format!(
+                    "unknown tail target {other:?} (expected think or service)"
+                )),
+            }
+        }
         _ => unreachable!("caller dispatches only directive keywords"),
     }
 }
@@ -525,6 +606,14 @@ impl fmt::Display for Directive {
                 write!(f, "fault at {} blackout for {}", d(*t), d(*dur))
             }
             Directive::Timeout { t } => write!(f, "fault at {} timeout", d(*t)),
+            Directive::ThinkTail { t, sigma } => match sigma {
+                Some(s) => write!(f, "tail at {} think lognormal {s}", d(*t)),
+                None => write!(f, "tail at {} think off", d(*t)),
+            },
+            Directive::ServiceTail { t, sigma } => match sigma {
+                Some(s) => write!(f, "tail at {} service lognormal {s}", d(*t)),
+                None => write!(f, "tail at {} service off", d(*t)),
+            },
         }
     }
 }
@@ -613,16 +702,42 @@ fault at 50s outlier 6
 fault at 60s drop
 fault at 70s blackout for 600s
 fault at 80s timeout
+tail at 90s think lognormal 1.2
+tail at 95s think off
+tail at 100s service lognormal 0.8
+tail at 105s service off
 ";
         let scn = Scenario::parse(src).unwrap();
-        assert_eq!(scn.directives.len(), 13);
+        assert_eq!(scn.directives.len(), 17);
         let again = Scenario::parse(&scn.to_string()).unwrap();
         assert_eq!(again, scn);
     }
 
     #[test]
     fn errors_carry_line_numbers() {
-        let cases: [(&str, usize, &str); 11] = [
+        let cases: [(&str, usize, &str); 15] = [
+            (
+                // Zero-length ramp: would divide by t1 - t0 == 0 at eval.
+                "name t\nduration 600s\ninterval 300s\nramp 300s..300s intensity 1 -> 2\n",
+                4,
+                "t0 < t1",
+            ),
+            (
+                // Zero-period sine: would divide by period == 0 at eval.
+                "name t\nduration 600s\ninterval 300s\nsine 0s..600s intensity 2 amp 1 period 0s\n",
+                4,
+                "period must be positive",
+            ),
+            (
+                "name t\nduration 600s\ninterval 300s\ntail at 0s think lognormal -1\n",
+                4,
+                "positive",
+            ),
+            (
+                "name t\nduration 600s\ninterval 300s\ntail at 0s cpu lognormal 1\n",
+                4,
+                "unknown tail target",
+            ),
             (
                 "name t\nduration 600s\ninterval 300s\nfault at 0s blackout for 0s\n",
                 4,
@@ -692,6 +807,34 @@ fault at 80s timeout
             assert_eq!(e.line, 0, "{src:?} -> {e}");
             assert!(e.message.contains(needle), "{src:?} -> {e}");
             assert!(!e.to_string().starts_with("line"));
+        }
+    }
+
+    #[test]
+    fn warns_on_directives_at_or_past_duration() {
+        let src = "\
+name t
+duration 1200s
+interval 300s
+fault at 1200s drop
+at 900s intensity 2
+ramp 1500s..1800s intensity 1 -> 2
+";
+        let (scn, warnings) = Scenario::parse_with_warnings(src).unwrap();
+        // All three directives parse; two are flagged.
+        assert_eq!(scn.directives.len(), 3);
+        assert_eq!(warnings.len(), 2, "{warnings:?}");
+        assert_eq!(warnings[0].line, 4);
+        assert!(warnings[0].message.contains("1200s"), "{}", warnings[0]);
+        assert_eq!(warnings[1].line, 6);
+        assert!(warnings[1].to_string().starts_with("line 6: "));
+    }
+
+    #[test]
+    fn no_warnings_for_in_range_directives() {
+        for (_, src) in crate::bundled::all() {
+            let (_, warnings) = Scenario::parse_with_warnings(src).unwrap();
+            assert!(warnings.is_empty(), "{warnings:?}");
         }
     }
 

@@ -60,6 +60,12 @@ pub enum EventKind {
     /// Time the next sample acquisition out once; the measurement
     /// channel may recover it by retrying.
     Timeout,
+    /// Switch browser think times to a mean-preserving log-normal with
+    /// this σ, or back to the exponential default (`None`).
+    ThinkTail(Option<f64>),
+    /// Apply mean-1 log-normal jitter with this σ to every request's
+    /// service demands, or restore the deterministic default (`None`).
+    ServiceTail(Option<f64>),
 }
 
 impl EventKind {
@@ -76,6 +82,8 @@ impl EventKind {
             EventKind::Drop => "drop",
             EventKind::Blackout(_) => "blackout",
             EventKind::Timeout => "timeout",
+            EventKind::ThinkTail(_) => "think_tail",
+            EventKind::ServiceTail(_) => "service_tail",
         }
     }
 }
@@ -99,6 +107,11 @@ impl fmt::Display for EventKind {
             EventKind::Blackout(true) => f.write_str("outage begins"),
             EventKind::Blackout(false) => f.write_str("outage lifted"),
             EventKind::Timeout => f.write_str("acquisition timed out"),
+            EventKind::ThinkTail(Some(s)) | EventKind::ServiceTail(Some(s)) => {
+                write!(f, "lognormal s={s:.3}")
+            }
+            EventKind::ThinkTail(None) => f.write_str("exponential"),
+            EventKind::ServiceTail(None) => f.write_str("deterministic"),
         }
     }
 }
@@ -165,7 +178,10 @@ fn intensity_at(dirs: &[Directive], t: SimDuration) -> f64 {
                 amp,
                 period,
             } if t >= *t0 => {
-                if t > *t1 {
+                // The parser rejects `period 0s`, but a directly
+                // constructed (or pathologically scaled) sine must not
+                // divide by zero — hold the base instead.
+                if t > *t1 || period.is_zero() {
                     return *base;
                 }
                 let phase = (t_us - t0.as_micros()) as f64 / period.as_micros() as f64;
@@ -199,8 +215,13 @@ fn intensity_at(dirs: &[Directive], t: SimDuration) -> f64 {
 }
 
 impl Scenario {
-    /// Compiles the scenario into a sorted event timeline. Events at or
-    /// past `duration` are dropped.
+    /// Compiles the scenario into a sorted event timeline.
+    ///
+    /// **Boundary contract:** events at or past `duration` are dropped —
+    /// `t == duration` is already outside the measured run (the last
+    /// interval ends there, so nothing could apply the event). The
+    /// parser flags directives that start in that dead zone via
+    /// [`Scenario::parse_with_warnings`].
     pub fn compile(&self) -> Timeline {
         let mut events: Vec<TimedEvent> = Vec::new();
         let mut seq: u64 = 0;
@@ -224,7 +245,14 @@ impl Scenario {
                 Directive::MixDrift { t0, t1, from, to } => {
                     let span_us = (t1.as_micros() - t0.as_micros()) as f64;
                     for &b in boundaries.iter().filter(|b| **b >= *t0) {
-                        let frac = ((b.as_micros() - t0.as_micros()) as f64 / span_us).min(1.0);
+                        // Guard a directly constructed zero-span drift
+                        // (the parser requires t0 < t1): jump straight
+                        // to the final mix instead of computing 0/0.
+                        let frac = if span_us > 0.0 {
+                            ((b.as_micros() - t0.as_micros()) as f64 / span_us).min(1.0)
+                        } else {
+                            1.0
+                        };
                         push(
                             &mut events,
                             b,
@@ -276,6 +304,12 @@ impl Scenario {
                 }
                 Directive::Timeout { t } => {
                     push(&mut events, *t, EventKind::Timeout);
+                }
+                Directive::ThinkTail { t, sigma } => {
+                    push(&mut events, *t, EventKind::ThinkTail(*sigma));
+                }
+                Directive::ServiceTail { t, sigma } => {
+                    push(&mut events, *t, EventKind::ServiceTail(*sigma));
                 }
                 Directive::IntensityAt { .. }
                 | Directive::IntensityRamp { .. }
@@ -452,6 +486,86 @@ mod tests {
     }
 
     #[test]
+    fn boundary_event_one_tick_inside_survives() {
+        // Pins the `t == duration` exclusion exactly: the same
+        // directive one microsecond earlier compiles.
+        let at_end = scn("fault at 1200s drop\n");
+        assert_eq!(at_end.compile().len(), 0);
+        let inside = scn("fault at 1199999999us drop\n");
+        assert_eq!(inside.compile().len(), 1);
+        // And the parser warns about the dead directive.
+        let (_, warnings) = Scenario::parse_with_warnings(
+            "name t\nduration 1200s\ninterval 300s\nfault at 1200s drop\n",
+        )
+        .unwrap();
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(warnings[0].line, 4);
+    }
+
+    #[test]
+    fn degenerate_directives_evaluate_finite() {
+        // The parser rejects these forms; directly constructed
+        // degenerate directives must still evaluate without NaN/inf.
+        let zero_sine = [Directive::IntensitySine {
+            t0: secs(0),
+            t1: secs(600),
+            base: 2.0,
+            amp: 1.0,
+            period: SimDuration::from_micros(0),
+        }];
+        for t in [0, 150, 600] {
+            assert_eq!(intensity_at(&zero_sine, secs(t)), 2.0);
+        }
+        let zero_ramp = [Directive::IntensityRamp {
+            t0: secs(300),
+            t1: secs(300),
+            from: 1.0,
+            to: 3.0,
+        }];
+        // The `t >= t1` early return shields the zero-length division.
+        assert_eq!(intensity_at(&zero_ramp, secs(300)), 3.0);
+        assert_eq!(intensity_at(&zero_ramp, secs(600)), 3.0);
+        // A zero-span drift jumps straight to frac 1.0 at every boundary.
+        let mut degenerate = scn("");
+        degenerate.directives.push(Directive::MixDrift {
+            t0: secs(300),
+            t1: secs(300),
+            from: Mix::Shopping,
+            to: Mix::Ordering,
+        });
+        let tl = degenerate.compile();
+        let fracs: Vec<f64> = tl
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::MixBlend { frac, .. } => Some(frac),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(fracs, vec![1.0]);
+    }
+
+    #[test]
+    fn tail_directives_compile_in_order() {
+        let scn = scn("tail at 300s think lognormal 1.2\ntail at 600s service lognormal 0.8\ntail at 900s think off\ntail at 900s service off\n");
+        let tl = scn.compile();
+        let marks: Vec<(SimDuration, &str, String)> = tl
+            .events()
+            .iter()
+            .map(|e| (e.t, e.kind.label(), e.kind.to_string()))
+            .collect();
+        assert_eq!(
+            marks,
+            vec![
+                (secs(300), "think_tail", "lognormal s=1.200".to_string()),
+                (secs(600), "service_tail", "lognormal s=0.800".to_string()),
+                (secs(900), "think_tail", "exponential".to_string()),
+                (secs(900), "service_tail", "deterministic".to_string()),
+            ]
+        );
+    }
+
+    #[test]
     fn compile_is_deterministic() {
         let scn = Scenario::parse(crate::bundled::DEGRADE).unwrap();
         assert_eq!(scn.compile(), scn.compile());
@@ -478,6 +592,8 @@ mod tests {
             EventKind::Blackout(true),
             EventKind::Blackout(false),
             EventKind::Timeout,
+            EventKind::ThinkTail(Some(1.0)),
+            EventKind::ServiceTail(None),
         ];
         let labels: Vec<&str> = kinds.iter().map(EventKind::label).collect();
         assert_eq!(
@@ -493,7 +609,9 @@ mod tests {
                 "drop",
                 "blackout",
                 "blackout",
-                "timeout"
+                "timeout",
+                "think_tail",
+                "service_tail"
             ]
         );
         // Display payloads are non-empty and deterministic.

@@ -259,6 +259,66 @@ impl Normal {
     }
 }
 
+/// Log-normal distribution parameterized by its **linear-space mean** and
+/// the shape σ of the underlying normal, for heavy-tailed think and
+/// service times: σ controls tail weight while the mean stays fixed, so
+/// swapping an [`Exponential`] for a `LogNormal` of the same mean changes
+/// variability without changing offered load.
+///
+/// # Example
+///
+/// ```
+/// use simkernel::Pcg64;
+/// use simkernel::rng::LogNormal;
+///
+/// let mut rng = Pcg64::seed_from_u64(1);
+/// let d = LogNormal::with_mean(7.0, 1.0); // mean 7, heavy tail
+/// assert!(d.sample(&mut rng) > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution whose samples have the given
+    /// linear-space mean: `μ = ln(mean) − σ²/2`, so
+    /// `E[X] = exp(μ + σ²/2) = mean` exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean` is not finite and positive or `sigma` is not
+    /// finite and non-negative.
+    pub fn with_mean(mean: f64, sigma: f64) -> Self {
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "mean must be positive, got {mean}"
+        );
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "sigma must be non-negative, got {sigma}"
+        );
+        LogNormal {
+            mu: mean.ln() - sigma * sigma / 2.0,
+            sigma,
+        }
+    }
+
+    /// The σ of the underlying normal.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Draws a sample (always positive) via one Box–Muller normal draw.
+    pub fn sample(&self, rng: &mut Pcg64) -> f64 {
+        let u1 = (1.0 - rng.f64()).max(f64::MIN_POSITIVE);
+        let u2 = rng.f64();
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
 /// Zipf distribution over `{1, …, n}` with exponent `s`, for skewed
 /// popularity (e.g. which catalogue item a browsing session touches).
 #[derive(Debug, Clone, PartialEq)]
@@ -453,6 +513,64 @@ mod tests {
     }
 
     #[test]
+    fn lognormal_mean_matches() {
+        let mut rng = Pcg64::seed_from_u64(37);
+        let d = LogNormal::with_mean(7.0, 1.0);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 7.0).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_variance_matches() {
+        // Var[X] = mean² · (exp(σ²) − 1).
+        let mut rng = Pcg64::seed_from_u64(41);
+        let d = LogNormal::with_mean(10.0, 0.5);
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean: f64 = samples.iter().sum::<f64>() / n as f64;
+        let var: f64 = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        let expected = 100.0 * ((0.5f64 * 0.5).exp() - 1.0);
+        assert!(
+            (var - expected).abs() / expected < 0.05,
+            "var {var} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn lognormal_heavier_sigma_heavier_tail() {
+        let mut a = Pcg64::seed_from_u64(55);
+        let mut b = Pcg64::seed_from_u64(55);
+        let light = LogNormal::with_mean(7.0, 0.25);
+        let heavy = LogNormal::with_mean(7.0, 1.5);
+        let n = 50_000;
+        let over = |d: &LogNormal, rng: &mut Pcg64| {
+            (0..n).filter(|_| d.sample(rng) > 28.0).count()
+        };
+        assert!(over(&heavy, &mut a) > 4 * over(&light, &mut b));
+    }
+
+    #[test]
+    fn lognormal_sigma_zero_is_constant() {
+        let mut rng = Pcg64::seed_from_u64(2);
+        let d = LogNormal::with_mean(3.0, 0.0);
+        for _ in 0..100 {
+            let x = d.sample(&mut rng);
+            assert!((x - 3.0).abs() < 1e-12, "{x}");
+        }
+    }
+
+    #[test]
+    fn lognormal_is_deterministic() {
+        let d = LogNormal::with_mean(7.0, 1.0);
+        let mut a = Pcg64::seed_from_u64(99);
+        let mut b = Pcg64::seed_from_u64(99);
+        for _ in 0..1000 {
+            assert_eq!(d.sample(&mut a).to_bits(), d.sample(&mut b).to_bits());
+        }
+    }
+
+    #[test]
     fn zipf_rank_one_most_popular() {
         let mut rng = Pcg64::seed_from_u64(13);
         let d = Zipf::new(50, 1.0);
@@ -499,6 +617,16 @@ mod tests {
             let d = Exponential::with_mean(mean);
             for _ in 0..16 {
                 prop_assert!(d.sample(&mut rng) >= 0.0);
+            }
+        }
+
+        #[test]
+        fn prop_lognormal_positive_and_finite(seed: u64, mean in 0.001f64..1e6, sigma in 0.0f64..3.0) {
+            let mut rng = Pcg64::seed_from_u64(seed);
+            let d = LogNormal::with_mean(mean, sigma);
+            for _ in 0..16 {
+                let x = d.sample(&mut rng);
+                prop_assert!(x > 0.0 && x.is_finite());
             }
         }
     }

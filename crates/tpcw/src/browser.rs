@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use simkernel::rng::Exponential;
+use simkernel::rng::{Exponential, LogNormal};
 use simkernel::{Pcg64, SimDuration};
 
 use crate::interaction::Interaction;
@@ -14,6 +14,43 @@ pub const MEAN_THINK_TIME_SECS: f64 = 7.0;
 pub const MAX_THINK_TIME_SECS: f64 = 70.0;
 /// Mean session length in interactions before the customer leaves.
 pub const MEAN_SESSION_LENGTH: f64 = 25.0;
+
+/// How think times are drawn: the TPC-W exponential default, or a
+/// mean-preserving heavy-tailed log-normal (scenario `tail` directives
+/// switch between them mid-run). Both have mean
+/// [`MEAN_THINK_TIME_SECS`], and the exponential variant performs the
+/// exact same single RNG draw as the pre-tail simulator, so runs that
+/// never switch are bit-identical to before.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ThinkDist {
+    /// The TPC-W default.
+    Exponential(Exponential),
+    /// Heavy-tailed variant; σ controls tail weight at fixed mean.
+    LogNormal(LogNormal),
+}
+
+impl ThinkDist {
+    /// The exponential TPC-W default (mean 7 s).
+    pub fn exponential() -> Self {
+        ThinkDist::Exponential(Exponential::with_mean(MEAN_THINK_TIME_SECS))
+    }
+
+    /// A log-normal with the same 7 s mean and the given σ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is not finite and non-negative.
+    pub fn lognormal(sigma: f64) -> Self {
+        ThinkDist::LogNormal(LogNormal::with_mean(MEAN_THINK_TIME_SECS, sigma))
+    }
+
+    fn sample(&self, rng: &mut Pcg64) -> f64 {
+        match self {
+            ThinkDist::Exponential(d) => d.sample(rng),
+            ThinkDist::LogNormal(d) => d.sample(rng),
+        }
+    }
+}
 
 /// Identifier of a browsing session (new sessions get fresh ids).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -60,7 +97,7 @@ pub struct Request {
 pub struct Browser {
     index: usize,
     matrix: MixMatrix,
-    think: Exponential,
+    think: ThinkDist,
     current: Option<Interaction>,
     session: SessionId,
     session_counter: u64,
@@ -75,7 +112,7 @@ impl Browser {
         Browser {
             index,
             matrix: mix.matrix(),
-            think: Exponential::with_mean(MEAN_THINK_TIME_SECS),
+            think: ThinkDist::exponential(),
             current: None,
             session: SessionId((index as u64) << 32),
             session_counter: 0,
@@ -102,8 +139,15 @@ impl Browser {
         self.index
     }
 
-    /// Draws the think time preceding the next request (exponential with
-    /// mean 7 s, capped at 70 s).
+    /// Replaces the think-time distribution (heavy-tail scenario
+    /// directives); sessions are unaffected.
+    pub fn set_think_dist(&mut self, dist: ThinkDist) {
+        self.think = dist;
+    }
+
+    /// Draws the think time preceding the next request (mean 7 s,
+    /// exponential by default, capped at 70 s regardless of
+    /// distribution).
     pub fn think_time(&self, rng: &mut Pcg64) -> SimDuration {
         let secs = self.think.sample(rng).min(MAX_THINK_TIME_SECS);
         SimDuration::from_secs_f64(secs)
@@ -158,6 +202,10 @@ pub struct Fleet {
     /// browsers created by [`Fleet::resize`] inherit it so the whole
     /// population behaves uniformly mid-drift.
     blend: Option<MixMatrix>,
+    /// Current think-time distribution; new browsers created by
+    /// [`Fleet::resize`] inherit it so the whole population samples
+    /// uniformly mid-regime.
+    think: ThinkDist,
 }
 
 impl Fleet {
@@ -172,6 +220,16 @@ impl Fleet {
             browsers: (0..n).map(|i| Browser::new(i, mix)).collect(),
             mix,
             blend: None,
+            think: ThinkDist::exponential(),
+        }
+    }
+
+    /// Installs a think-time distribution on every browser (and on
+    /// future browsers created by [`Fleet::resize`]).
+    pub fn set_think_dist(&mut self, dist: ThinkDist) {
+        self.think = dist;
+        for b in &mut self.browsers {
+            b.set_think_dist(dist);
         }
     }
 
@@ -239,6 +297,7 @@ impl Fleet {
                 if let Some(blend) = &self.blend {
                     b.set_matrix(blend.clone());
                 }
+                b.set_think_dist(self.think);
                 b
             }));
         }
@@ -292,6 +351,56 @@ mod tests {
         }
         let mean = total / n as f64;
         assert!((mean - 7.0).abs() < 0.3, "mean think {mean}");
+    }
+
+    #[test]
+    fn lognormal_think_keeps_mean_and_cap() {
+        let mut rng = Pcg64::seed_from_u64(3);
+        let mut eb = Browser::new(0, Mix::Shopping);
+        eb.set_think_dist(ThinkDist::lognormal(1.0));
+        let mut total = 0.0;
+        let n = 20_000;
+        for _ in 0..n {
+            let t = eb.think_time(&mut rng).as_secs_f64();
+            assert!(t <= MAX_THINK_TIME_SECS);
+            total += t;
+        }
+        // The 70 s cap trims more of a heavy tail, so the observed mean
+        // sits a little below 7; it must stay in the same regime.
+        let mean = total / n as f64;
+        assert!((5.5..=7.2).contains(&mean), "mean think {mean}");
+    }
+
+    #[test]
+    fn fleet_think_dist_survives_resize() {
+        let mut fleet = Fleet::new(2, Mix::Shopping);
+        fleet.set_think_dist(ThinkDist::lognormal(1.2));
+        fleet.resize(4);
+        // Browsers grown after the switch sample the same distribution
+        // as the originals: identical draws from identical RNG states.
+        let mut r1 = Pcg64::seed_from_u64(11);
+        let mut r2 = Pcg64::seed_from_u64(11);
+        let a = fleet.browser_mut(0).think_time(&mut r1);
+        let b = fleet.browser_mut(3).think_time(&mut r2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn exponential_thinkdist_matches_legacy_draws() {
+        // The ThinkDist wrapper must reproduce the pre-tail sampler
+        // exactly: same single draw, same values.
+        let mut r1 = Pcg64::seed_from_u64(77);
+        let mut r2 = Pcg64::seed_from_u64(77);
+        let legacy = Exponential::with_mean(MEAN_THINK_TIME_SECS);
+        let eb = Browser::new(0, Mix::Shopping);
+        for _ in 0..1000 {
+            let expected = legacy.sample(&mut r1).min(MAX_THINK_TIME_SECS);
+            assert_eq!(
+                eb.think_time(&mut r2),
+                SimDuration::from_secs_f64(expected)
+            );
+        }
+        assert_eq!(r1, r2, "stream positions must match");
     }
 
     #[test]

@@ -39,7 +39,7 @@ mod interaction;
 mod mix;
 
 pub use browser::{
-    Browser, Fleet, Request, SessionId, MAX_THINK_TIME_SECS, MEAN_SESSION_LENGTH,
+    Browser, Fleet, Request, SessionId, ThinkDist, MAX_THINK_TIME_SECS, MEAN_SESSION_LENGTH,
     MEAN_THINK_TIME_SECS,
 };
 pub use interaction::{DemandProfile, Interaction};

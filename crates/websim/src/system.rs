@@ -3,9 +3,9 @@
 use std::collections::{HashMap, VecDeque};
 use std::sync::OnceLock;
 
-use simkernel::rng::Exponential;
+use simkernel::rng::{Exponential, LogNormal};
 use simkernel::{EventQueue, Pcg64, SimDuration, SimTime};
-use tpcw::{DemandProfile, Fleet, Mix, SessionId};
+use tpcw::{DemandProfile, Fleet, Mix, SessionId, ThinkDist};
 use vmstack::{Host, ResourceLevel, VmId, VmSpec};
 
 use crate::config::ServerConfig;
@@ -231,6 +231,10 @@ struct ReqState {
     session: SessionId,
     new_session: bool,
     reused_connection: bool,
+    /// Per-request service-time jitter (heavy-tail scenario regimes);
+    /// exactly 1.0 — and costing zero RNG draws — when tails are off,
+    /// so default runs stay bit-identical.
+    jitter: f64,
 }
 
 /// The simulated three-tier web system.
@@ -294,6 +298,10 @@ pub struct ThreeTierSystem {
     /// Stall generations; a `FaultClear` only applies if its generation
     /// is current (overlapping stalls extend, not truncate).
     stall_gen: [u64; 2],
+    /// Heavy-tail service regime: when set, each new request draws one
+    /// mean-1 log-normal jitter multiplied into its CPU demands. `None`
+    /// (the default) draws nothing and is bit-exact.
+    service_tail: Option<LogNormal>,
 }
 
 impl ThreeTierSystem {
@@ -361,6 +369,7 @@ impl ThreeTierSystem {
             latency_factor: 1.0,
             stalled: [false, false],
             stall_gen: [0, 0],
+            service_tail: None,
         }
     }
 
@@ -481,6 +490,35 @@ impl ThreeTierSystem {
     /// Current latency-noise factor (diagnostics).
     pub fn latency_factor(&self) -> f64 {
         self.latency_factor
+    }
+
+    /// Switches browser think times to a mean-preserving log-normal
+    /// with the given σ, or back to the exponential TPC-W default
+    /// (`None`) — the scenario `tail ... think` directive. Initial
+    /// issue offsets (bootstrap and population growth) always stay
+    /// exponential: they only desynchronize browsers, and keeping them
+    /// fixed keeps tail-free runs bit-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is not finite and non-negative.
+    pub fn set_think_tail(&mut self, sigma: Option<f64>) {
+        self.fleet.set_think_dist(match sigma {
+            Some(s) => ThinkDist::lognormal(s),
+            None => ThinkDist::exponential(),
+        });
+    }
+
+    /// Applies mean-1 log-normal jitter with the given σ to every new
+    /// request's CPU demands, or restores the deterministic default
+    /// (`None`) — the scenario `tail ... service` directive. In-flight
+    /// requests keep the jitter they were issued with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is not finite and non-negative.
+    pub fn set_service_tail(&mut self, sigma: Option<f64>) {
+        self.service_tail = sigma.map(|s| LogNormal::with_mean(1.0, s));
     }
 
     /// Drifts the traffic mix: installs the transition matrix `frac` of
@@ -638,6 +676,10 @@ impl ThreeTierSystem {
             return; // browser removed by a workload change
         }
         let request = self.fleet.browser_mut(browser).next_request(&mut self.rng);
+        let jitter = match &self.service_tail {
+            Some(dist) => dist.sample(&mut self.rng),
+            None => 1.0,
+        };
         let id = self.alloc_request(ReqState {
             browser,
             issued_at: now,
@@ -645,6 +687,7 @@ impl ThreeTierSystem {
             session: request.session,
             new_session: request.new_session,
             reused_connection: false,
+            jitter,
         });
         self.admit(now, id);
     }
@@ -688,15 +731,15 @@ impl ThreeTierSystem {
     }
 
     fn push_web_work(&mut self, now: SimTime, id: ReqId) {
-        let (demand, reused) = {
+        let (demand, reused, jitter) = {
             let req = self.req(id);
-            (req.demand, req.reused_connection)
+            (req.demand, req.reused_connection, req.jitter)
         };
         let mut cpu_us = demand.web_cpu_us as f64 * self.model.demand_scale;
         if !reused {
             cpu_us += self.model.connection_setup_us as f64;
         }
-        self.cpus[WEB].push(now, cpu_us * self.latency_factor, (id, PHASE_WEB));
+        self.cpus[WEB].push(now, cpu_us * self.latency_factor * jitter, (id, PHASE_WEB));
     }
 
     fn on_web_done(&mut self, now: SimTime, id: ReqId) {
@@ -722,9 +765,9 @@ impl ThreeTierSystem {
     }
 
     fn push_app_first_work(&mut self, now: SimTime, id: ReqId) {
-        let (demand, session) = {
+        let (demand, session, jitter) = {
             let req = self.req(id);
-            (req.demand, req.session)
+            (req.demand, req.session, req.jitter)
         };
         let mut cpu_us = demand.app_cpu_us as f64 / 2.0 * self.model.demand_scale;
         if demand.uses_session {
@@ -735,7 +778,7 @@ impl ThreeTierSystem {
         }
         self.cpus[APPDB].push(
             now,
-            (cpu_us * self.latency_factor).max(1.0),
+            (cpu_us * self.latency_factor * jitter).max(1.0),
             (id, PHASE_APP_FIRST),
         );
     }
@@ -752,8 +795,16 @@ impl ThreeTierSystem {
     }
 
     fn start_db(&mut self, now: SimTime, id: ReqId) {
-        let cpu_us = self.req(id).demand.db_cpu_us as f64 * self.model.demand_scale;
-        self.cpus[APPDB].push(now, (cpu_us * self.latency_factor).max(1.0), (id, PHASE_DB));
+        let (demand, jitter) = {
+            let req = self.req(id);
+            (req.demand, req.jitter)
+        };
+        let cpu_us = demand.db_cpu_us as f64 * self.model.demand_scale;
+        self.cpus[APPDB].push(
+            now,
+            (cpu_us * self.latency_factor * jitter).max(1.0),
+            (id, PHASE_DB),
+        );
     }
 
     /// Database CPU finished: pay for buffer-pool misses with disk I/O.
@@ -791,11 +842,14 @@ impl ThreeTierSystem {
     }
 
     fn start_app_second(&mut self, now: SimTime, id: ReqId) {
-        let demand = self.req(id).demand;
+        let (demand, jitter) = {
+            let req = self.req(id);
+            (req.demand, req.jitter)
+        };
         let cpu_us = demand.app_cpu_us as f64 / 2.0 * self.model.demand_scale;
         self.cpus[APPDB].push(
             now,
-            (cpu_us * self.latency_factor).max(1.0),
+            (cpu_us * self.latency_factor * jitter).max(1.0),
             (id, PHASE_APP_SECOND),
         );
     }
@@ -1091,6 +1145,46 @@ mod tests {
         let mut touched = ThreeTierSystem::new(small_spec());
         touched.set_latency_factor(1.0);
         assert_eq!(run_secs(&mut plain, 120), run_secs(&mut touched, 120));
+    }
+
+    #[test]
+    fn tails_off_is_bit_identical_to_default() {
+        // Explicitly resetting both tails to their defaults must not
+        // perturb the RNG stream or the arithmetic: `None` means zero
+        // extra draws and a literal `* 1.0`.
+        let mut plain = ThreeTierSystem::new(small_spec());
+        let mut touched = ThreeTierSystem::new(small_spec());
+        touched.set_think_tail(None);
+        touched.set_service_tail(None);
+        assert_eq!(run_secs(&mut plain, 120), run_secs(&mut touched, 120));
+    }
+
+    #[test]
+    fn service_tail_changes_output_and_restores() {
+        let mut plain = ThreeTierSystem::new(small_spec());
+        let baseline = run_secs(&mut plain, 300);
+
+        let mut tailed = ThreeTierSystem::new(small_spec());
+        tailed.set_service_tail(Some(1.2));
+        let heavy = run_secs(&mut tailed, 300);
+        assert_ne!(baseline, heavy, "a heavy service tail must be visible");
+
+        // Switching the tail back off restores the unit-jitter regime;
+        // the RNG stream has diverged, so only sanity is checked.
+        tailed.set_service_tail(None);
+        let calmed = run_secs(&mut tailed, 300);
+        assert!(calmed.is_measurable());
+    }
+
+    #[test]
+    fn think_tail_changes_output() {
+        let mut plain = ThreeTierSystem::new(small_spec());
+        let baseline = run_secs(&mut plain, 300);
+
+        let mut tailed = ThreeTierSystem::new(small_spec());
+        tailed.set_think_tail(Some(1.0));
+        let heavy = run_secs(&mut tailed, 300);
+        assert_ne!(baseline, heavy, "a heavy think tail must be visible");
     }
 
     #[test]
