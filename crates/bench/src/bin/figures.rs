@@ -12,8 +12,10 @@
 //! cargo run --release -p rac-bench --bin figures -- fleet --list
 //! cargo run --release -p rac-bench --bin figures -- chaos            # pinned CI seeds
 //! cargo run --release -p rac-bench --bin figures -- chaos 7 --iterations 36
-//! cargo run --release -p rac-bench --bin figures -- bench            # writes BENCH_8.json
-//! cargo run --release -p rac-bench --bin figures -- bench --quick --check BENCH_8.json
+//! cargo run --release -p rac-bench --bin figures -- crashdrill       # default drill seeds
+//! cargo run --release -p rac-bench --bin figures -- crashdrill 7 --iterations 36
+//! cargo run --release -p rac-bench --bin figures -- bench            # writes BENCH_9.json
+//! cargo run --release -p rac-bench --bin figures -- bench --quick --check BENCH_9.json
 //! cargo run --release -p rac-bench --bin figures -- tournament       # 200 generated scenarios
 //! cargo run --release -p rac-bench --bin figures -- tournament 24 --quick --seed 7
 //! RAC_THREADS=8 cargo run --release -p rac-bench --bin figures -- all
@@ -156,6 +158,14 @@ fn main() {
         return;
     }
 
+    // `crashdrill` likewise: operands are drill seeds; each seed
+    // SIGKILLs a live racd daemon at seeded points and asserts the
+    // recovered output is byte-identical to an uninterrupted run.
+    if cmds.first() == Some(&"crashdrill") {
+        run_crashdrill(subcommand_tail(&args, "crashdrill"), &opts, &console);
+        return;
+    }
+
     // `bench` likewise: runs the perf-trajectory suite and writes (or,
     // with --check, regression-tests against) a BENCH_<n>.json; its
     // --out/--check flags take values.
@@ -274,7 +284,8 @@ fn top_usage() -> ! {
          [--iterations <n>] | bench [--quick] \
          [--out <path>] [--check <committed.json>] | \
          tournament [<scenarios>] [--seed N] [--profile <calm|brisk|stormy>] [--out <dir>] \
-         [--quick] | profile <name|file.scn> [--quick]\n\
+         [--quick] | profile <name|file.scn> [--quick] | crashdrill [<seed>...] \
+         [--iterations <n>]\n\
          global: --serve <addr> exposes /metrics, /healthz and /profile over HTTP \
          while the run executes"
     );
@@ -1310,6 +1321,26 @@ fn load_snapshot_or_exit(path: &Path, what: &str) -> ckpt::Snapshot {
     }
 }
 
+/// [`load_snapshot_or_exit`] for resume paths: first sweeps away any
+/// `.tmp` file a crash left beside the checkpoint. The committed
+/// snapshot is always the one to resume from — the temp is a torn
+/// write by construction — so it must never shadow the real file or
+/// clutter the checkpoint directory.
+fn load_resume_snapshot_or_exit(path: &Path) -> ckpt::Snapshot {
+    match ckpt::remove_stale_temp(path) {
+        Ok(true) => eprintln!(
+            "note: removed stale temp checkpoint beside {} (crash mid-write)",
+            path.display()
+        ),
+        Ok(false) => {}
+        Err(e) => {
+            eprintln!("cannot clean stale temp beside {}: {e}", path.display());
+            std::process::exit(2);
+        }
+    }
+    load_snapshot_or_exit(path, "resume")
+}
+
 /// Entry point for `figures scenario ...`: lists the bundled scenarios
 /// or runs each operand (bundled name or `.scn` path) through the
 /// standard tuner line-up, writing `results/scenario-<name>.csv` per
@@ -1395,7 +1426,7 @@ fn run_scenarios(raw: &[String], opts: &Options, console: &Console, live: bool) 
     let resume = cli
         .resume
         .as_ref()
-        .map(|path| load_snapshot_or_exit(path, "resume"));
+        .map(|path| load_resume_snapshot_or_exit(path));
     let tracing = obs::tracing_enabled();
     let started = Instant::now();
     for scn in &scenarios {
@@ -1838,6 +1869,98 @@ fn run_chaos_harness(raw: &[String], opts: &Options, console: &Console) {
 }
 
 // --------------------------------------------------------------------
+// `figures crashdrill`: SIGKILL a live racd daemon at seeded points and
+// assert byte-identical convergence after recovery.
+
+fn run_crashdrill(raw: &[String], opts: &Options, console: &Console) {
+    let usage = || -> ! {
+        eprintln!("usage: figures crashdrill [<seed>...] [--iterations <n>]");
+        std::process::exit(2);
+    };
+    let mut seeds: Vec<u64> = Vec::new();
+    let mut iterations = rac_bench::chaos::DEFAULT_ITERATIONS;
+    let mut i = 0;
+    while i < raw.len() {
+        match raw[i].as_str() {
+            "--iterations" => {
+                i += 1;
+                iterations = raw
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--quiet" | "--quick" => {}
+            a if a.starts_with("--") => usage(),
+            a => match a.parse::<u64>() {
+                Ok(seed) => seeds.push(seed),
+                Err(_) => {
+                    eprintln!("crashdrill: seeds are unsigned integers, got {a:?}");
+                    usage();
+                }
+            },
+        }
+        i += 1;
+    }
+    if seeds.is_empty() {
+        seeds = rac_bench::crashdrill::DEFAULT_SEEDS.to_vec();
+    }
+
+    let racd = match rac_bench::crashdrill::find_racd() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("crashdrill: {e}");
+            std::process::exit(2);
+        }
+    };
+    console.note(format!("crashdrill: daemon binary {}", racd.display()));
+    let drill_opts = rac_bench::crashdrill::DrillOptions {
+        out_dir: opts.results_dir.clone(),
+        iterations,
+    };
+    let started = Instant::now();
+    let mut failure_count = 0usize;
+    for &seed in &seeds {
+        let t0 = Instant::now();
+        match rac_bench::crashdrill::run_drill(&racd, seed, &drill_opts) {
+            Ok(report) => {
+                println!("crashdrill seed {seed}:");
+                for k in &report.kills {
+                    println!("  {k}");
+                }
+                if report.failures.is_empty() {
+                    println!(
+                        "  converged byte-identically after {} kill(s)",
+                        report.kills.len()
+                    );
+                } else {
+                    for f in &report.failures {
+                        println!("  FAILED: {f}");
+                    }
+                    failure_count += report.failures.len();
+                }
+                console.note(format!(
+                    "  [crashdrill {seed}: {:.1}s wall-clock]",
+                    t0.elapsed().as_secs_f64()
+                ));
+            }
+            Err(e) => {
+                eprintln!("crashdrill seed {seed}: {e}");
+                failure_count += 1;
+            }
+        }
+    }
+    console.note(format!(
+        "\ntotal: {:.1}s wall-clock over {} seed(s)",
+        started.elapsed().as_secs_f64(),
+        seeds.len()
+    ));
+    if failure_count > 0 {
+        eprintln!("crashdrill: {failure_count} failure(s)");
+        std::process::exit(1);
+    }
+}
+
+// --------------------------------------------------------------------
 
 fn save(t: &TextTable, opts: &Options, file: &str, out: &mut String) {
     let path: &Path = &opts.results_dir.join(file);
@@ -2036,7 +2159,7 @@ fn run_fleet(raw: &[String], opts: &Options, console: &Console) {
     };
 
     let mut run = if let Some(path) = &cli.resume {
-        let snap = load_snapshot_or_exit(path, "resume");
+        let snap = load_resume_snapshot_or_exit(path);
         match fleet::FleetRun::resume(config.clone(), &snap) {
             Ok(run) => {
                 console.note(format!(

@@ -64,11 +64,49 @@ pub enum LineupOutcome {
     /// All three tuners ran; same shape as
     /// [`run_tuners`](crate::scenario::run_tuners).
     Complete(Vec<(&'static str, Vec<IterationRecord>)>),
-    /// `stop_after` hit; the snapshot on disk resumes the run.
+    /// `stop_after` hit or the control callback asked to stop; the
+    /// snapshot on disk resumes the run (unless the stop was an
+    /// [`LineupCommand::Abort`], which leaves the last *flushed*
+    /// snapshot untouched instead).
     Interrupted {
         /// Lineup iterations completed across all tuners.
         global_iterations: usize,
     },
+}
+
+/// What the lineup looks like at one iteration boundary, as seen by the
+/// control callback of [`run_tuners_checkpointed_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct LineupStatus {
+    /// Completed lineup iterations across all tuners so far.
+    pub global_iteration: usize,
+    /// Index into [`LINEUP`] of the active tuner.
+    pub tuner_index: usize,
+    /// Completed iterations of the active tuner's own session.
+    pub tuner_iteration: usize,
+    /// Whether the measurement-channel breaker is currently open.
+    pub breaker_open: bool,
+}
+
+/// A control decision returned from the boundary callback of
+/// [`run_tuners_checkpointed_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineupCommand {
+    /// Keep running; flushes follow the periodic schedule.
+    Continue,
+    /// Flush the just-encoded snapshot now (checkpoint-on-demand), then
+    /// keep running. Like an off-schedule stop flush, this writes
+    /// *without* a `checkpoint` trace event, so on-demand flushes never
+    /// perturb trace bytes.
+    Checkpoint,
+    /// Flush the just-encoded snapshot, then stop cleanly — the daemon's
+    /// checkpoint-then-graceful-shutdown path.
+    Stop,
+    /// Stop immediately *without* writing anything, leaving the last
+    /// flushed snapshot as the resume point. Used by a supervisor
+    /// abandoning a superseded worker: a stale worker must never
+    /// overwrite state a newer attempt is building on.
+    Abort,
 }
 
 /// Runs the standard tuner lineup through one scenario with periodic
@@ -88,6 +126,33 @@ pub fn run_tuners_checkpointed(
     library: &PolicyLibrary,
     options: &CheckpointOptions,
     resume: Option<&Snapshot>,
+) -> Result<LineupOutcome, CkptError> {
+    run_tuners_checkpointed_with(scn, library, options, resume, |_| LineupCommand::Continue)
+}
+
+/// [`run_tuners_checkpointed`] with a control callback consulted at
+/// every iteration boundary. The callback sees the lineup position
+/// ([`LineupStatus`]) and steers the run with a [`LineupCommand`]:
+/// pause-free continuation, checkpoint-on-demand, a clean
+/// checkpoint-then-stop, or an abandon-without-write abort. This is the
+/// daemon's (`racd`) drive shaft — signals and admin commands turn into
+/// commands here, always at an iteration boundary, never mid-interval.
+///
+/// Determinism: `Continue` is byte-identical to the plain entry point;
+/// `Checkpoint` and `Stop` write without trace events (the periodic
+/// schedule alone emits them), so a run steered by any command sequence
+/// still converges to the uninterrupted run's CSV/trace bytes once
+/// resumed to completion.
+///
+/// # Errors
+///
+/// As [`run_tuners_checkpointed`].
+pub fn run_tuners_checkpointed_with(
+    scn: &Scenario,
+    library: &PolicyLibrary,
+    options: &CheckpointOptions,
+    resume: Option<&Snapshot>,
+    mut control: impl FnMut(&LineupStatus) -> LineupCommand,
 ) -> Result<LineupOutcome, CkptError> {
     let exp = Experiment::for_scenario(paper_system_spec(), scn);
     let spec_fp = exp.spec().fingerprint();
@@ -114,6 +179,7 @@ pub fn run_tuners_checkpointed(
         spec_fp,
         scn_fp,
         pending: None,
+        control_stop: false,
     };
     while tuner_index < LINEUP.len() {
         let (mut tuner, progress) = match active.take() {
@@ -122,7 +188,14 @@ pub fn run_tuners_checkpointed(
         };
         let base: usize = done.iter().map(|(_, s)| s.len()).sum();
         let outcome = exp.run_scenario_resumable(scn, tuner.as_mut(), progress, |p, t| {
-            sink.boundary(tuner_index, &done, base + p.iterations_done, p, t)
+            let status = LineupStatus {
+                global_iteration: base + p.iterations_done,
+                tuner_index,
+                tuner_iteration: p.iterations_done,
+                breaker_open: p.channel.is_open(),
+            };
+            let cmd = control(&status);
+            sink.boundary(tuner_index, &done, status.global_iteration, p, t, cmd)
         })?;
         match outcome {
             ScenarioRunOutcome::Complete(series) => {
@@ -132,9 +205,11 @@ pub fn run_tuners_checkpointed(
                 // swallowed by the scenario runner (the run is complete);
                 // honor it at the lineup level instead. The snapshot
                 // already on disk resumes by replaying the finished
-                // tuner, then starts the next one fresh.
+                // tuner, then starts the next one fresh. Control-driven
+                // stops (and aborts) are honored the same way.
                 let global: usize = done.iter().map(|(_, s)| s.len()).sum();
-                if sink.stop_requested(global) && tuner_index < LINEUP.len() {
+                if (sink.stop_requested(global) || sink.control_stop) && tuner_index < LINEUP.len()
+                {
                     return Ok(LineupOutcome::Interrupted {
                         global_iterations: global,
                     });
@@ -175,6 +250,10 @@ struct CkptSink<'a> {
     spec_fp: u64,
     scn_fp: u64,
     pending: Option<Vec<u8>>,
+    /// Whether the control callback asked to stop (or abort) — consulted
+    /// at the lineup level because the scenario runner swallows a stop
+    /// landing on a tuner's final iteration.
+    control_stop: bool,
 }
 
 impl CkptSink<'_> {
@@ -189,7 +268,16 @@ impl CkptSink<'_> {
         global: usize,
         progress: &ScenarioProgress,
         tuner: &dyn PersistTuner,
+        cmd: LineupCommand,
     ) -> Result<BoundaryAction, CkptError> {
+        if cmd == LineupCommand::Abort {
+            // Abandon without touching disk: clear anything pending so
+            // not even the drop rescue writes, and stop here. The last
+            // *flushed* snapshot stays the authoritative resume point.
+            self.pending = None;
+            self.control_stop = true;
+            return Ok(BoundaryAction::Stop);
+        }
         // Wall-clock attribution of encode+write time (metrics/profile
         // only; the trace event below is simulated-time as ever).
         let _span = obs::Span::start("checkpoint");
@@ -219,6 +307,18 @@ impl CkptSink<'_> {
             self.pending = None;
         } else {
             self.pending = Some(bytes);
+        }
+        if cmd == LineupCommand::Checkpoint {
+            // Checkpoint-on-demand: persist now, off the schedule and
+            // therefore without a trace event, then keep running.
+            self.flush_pending()?;
+        }
+        if cmd == LineupCommand::Stop {
+            // Checkpoint-then-stop (graceful shutdown): same flush
+            // semantics as an off-schedule `stop_after` stop.
+            self.flush_pending()?;
+            self.control_stop = true;
+            return Ok(BoundaryAction::Stop);
         }
         if self.stop_requested(global) {
             // Make the stop resumable even off-schedule: persist the
@@ -454,6 +554,73 @@ mod tests {
             };
             assert_eq!(resumed, full, "resume after {stop_after} diverged");
         }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn control_commands_checkpoint_stop_abort() {
+        let scn = tiny_scenario();
+        let library = tiny_library();
+        let dir = std::env::temp_dir().join(format!("rac-ckpt-ctl-{}", std::process::id()));
+        let plain = crate::scenario::run_tuners(&scn, &library);
+
+        // Checkpoint-on-demand at boundary 3, graceful stop at 7. The
+        // schedule (every=1000) never fires, so any file on disk came
+        // from a control command.
+        let path = dir.join("ctl.ckpt");
+        let opts = CheckpointOptions {
+            path: path.clone(),
+            every: 1000,
+            stop_after: None,
+        };
+        let mut on_demand_seen = false;
+        let outcome = run_tuners_checkpointed_with(&scn, &library, &opts, None, |s| {
+            if s.global_iteration == 4 {
+                on_demand_seen = path.exists();
+            }
+            match s.global_iteration {
+                3 => LineupCommand::Checkpoint,
+                7 => LineupCommand::Stop,
+                _ => LineupCommand::Continue,
+            }
+        })
+        .unwrap();
+        let LineupOutcome::Interrupted { global_iterations } = outcome else {
+            panic!("control stop must interrupt the lineup");
+        };
+        assert_eq!(global_iterations, 7);
+        assert!(on_demand_seen, "on-demand checkpoint must hit disk");
+
+        // Resuming the stopped run converges to the plain series.
+        let snap = Snapshot::load(&path).unwrap();
+        let resumed = match run_tuners_checkpointed(&scn, &library, &opts, Some(&snap)).unwrap() {
+            LineupOutcome::Complete(series) => series,
+            LineupOutcome::Interrupted { .. } => panic!("resume should finish"),
+        };
+        assert_eq!(resumed, plain, "control-steered run diverged");
+
+        // Abort stops without touching disk — not even the drop rescue.
+        let path2 = dir.join("abort.ckpt");
+        let opts = CheckpointOptions {
+            path: path2.clone(),
+            every: 1000,
+            stop_after: None,
+        };
+        let outcome = run_tuners_checkpointed_with(&scn, &library, &opts, None, |s| {
+            if s.global_iteration == 2 {
+                LineupCommand::Abort
+            } else {
+                LineupCommand::Continue
+            }
+        })
+        .unwrap();
+        assert!(matches!(
+            outcome,
+            LineupOutcome::Interrupted {
+                global_iterations: 2
+            }
+        ));
+        assert!(!path2.exists(), "abort must never write");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

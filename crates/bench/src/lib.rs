@@ -8,6 +8,7 @@
 pub mod cache;
 pub mod chaos;
 pub mod checkpoint;
+pub mod crashdrill;
 pub mod fleet;
 pub mod output;
 pub mod perfsuite;
@@ -118,6 +119,44 @@ pub fn quick_policy_library(contexts: &[SystemContext]) -> PolicyLibrary {
             ..TrainingOptions::default()
         },
     )
+}
+
+/// A single-context library at the *standard* lattice with cheap
+/// training, disk-cached like [`standard_policy_library`]. This is the
+/// `racd --library quick` flavor: fast enough for the crash drill and
+/// the CI daemon job (one short training pass, then cache hits), while
+/// matching the lineup's `ONLINE_LEVELS` lattice so checkpoint
+/// dimension checks pass. Deterministic: cached and freshly-trained
+/// libraries are identical, so a relaunched daemon seeds the same
+/// agent.
+pub fn daemon_quick_library(cache_dir: &std::path::Path) -> PolicyLibrary {
+    let lattice = standard_lattice();
+    let context = paper_contexts()[0];
+    let path = cache_dir.join(format!("policy-daemon-quick-L{ONLINE_LEVELS}.bin"));
+    let mut library = PolicyLibrary::new();
+    let policy = match cache::load_policy(&path, &lattice) {
+        Some(policy) => policy,
+        None => {
+            let lib = build_policy_library(
+                &paper_system_spec().with_clients(60),
+                &[context],
+                &lattice,
+                SlaReward::new(SLA_MS),
+                TrainingOptions {
+                    warmup: SimDuration::from_secs(60),
+                    measure: SimDuration::from_secs(60),
+                    ..TrainingOptions::default()
+                },
+            );
+            let policy = lib.for_context(context).expect("trained context").clone();
+            if let Err(e) = cache::store_policy(&path, &policy) {
+                eprintln!("  [offline] warning: could not cache policy: {e}");
+            }
+            policy
+        }
+    };
+    library.insert(context, policy);
+    library
 }
 
 #[cfg(test)]

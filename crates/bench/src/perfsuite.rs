@@ -5,8 +5,10 @@
 //! [`rac::Experiment::run_scenario`] on the bundled scenarios, Q-sweep
 //! updates/sec through [`rl::batch_value_sweep_report`], and fleet
 //! throughput (tenants/sec through [`fleet::FleetRun`] at a fixed
-//! roster size), and tournament throughput (generated scenarios/sec
-//! through the three-arm line-up of [`crate::tournament`]) — plus
+//! roster size), tournament throughput (generated scenarios/sec
+//! through the three-arm line-up of [`crate::tournament`]), and daemon
+//! crash-recovery throughput (recoveries/sec through the
+//! snapshot-restore-replay path `racd` takes after a kill) — plus
 //! in-file baselines (the retained [`simkernel::HeapQueue`] and a
 //! replica of the pre-optimization sweep loop), so each
 //! `BENCH_<n>.json` carries its own before/after comparison.
@@ -14,7 +16,7 @@
 //! Problem sizes are identical in quick and full mode; quick only
 //! reduces the repeat count. Throughputs are therefore comparable
 //! across modes, which is what lets CI run the quick suite and check it
-//! against the committed full-mode `BENCH_8.json` with a generous
+//! against the committed full-mode `BENCH_9.json` with a generous
 //! regression floor.
 
 use std::time::Instant;
@@ -32,10 +34,10 @@ use crate::{paper_system_spec, standard_settings, ONLINE_LEVELS, SLA_MS};
 
 /// The perf-trajectory file this PR emits; the `<n>` tracks the PR
 /// sequence (see DESIGN.md).
-pub const BENCH_VERSION: u32 = 8;
+pub const BENCH_VERSION: u32 = 9;
 
 /// Default output path, relative to the repository root.
-pub const DEFAULT_OUTPUT: &str = "BENCH_8.json";
+pub const DEFAULT_OUTPUT: &str = "BENCH_9.json";
 
 /// CI regression floor: a quick-mode median below `floor × committed
 /// median` fails the build.
@@ -56,6 +58,13 @@ const FLEET_SCALE_DEN: u64 = 60;
 /// Generated scenarios per tournament-throughput sample (one per
 /// difficulty, quick-scaled — identical in quick and full mode).
 const TOURNAMENT_SCENARIOS: usize = 3;
+/// Lineup iterations completed before the daemon-recovery benchmark's
+/// snapshot is taken — mid second tuner, so tuner restore, progress
+/// decode, and prefix replay are all on the timed recovery path.
+const RECOVERY_STOP_AFTER: usize = 8;
+/// Recovery cycles per daemon-recovery sample (identical in quick and
+/// full mode).
+const RECOVERY_CYCLES: usize = 4;
 
 /// One benchmark's samples plus its summary statistics.
 #[derive(Debug, Clone)]
@@ -132,6 +141,13 @@ impl SuiteOptions {
         }
     }
     fn tournament_repeats(&self) -> usize {
+        if self.quick {
+            1
+        } else {
+            3
+        }
+    }
+    fn daemon_repeats(&self) -> usize {
         if self.quick {
             1
         } else {
@@ -326,6 +342,77 @@ fn fleet_tenants_per_sec() -> f64 {
 }
 
 // ---------------------------------------------------------------------------
+// Daemon-recovery benchmark
+
+/// The small fixed scenario the recovery benchmark cycles through —
+/// the same shape the daemon lifecycle tests drain, small enough that
+/// one recovery is milliseconds, not seconds.
+fn recovery_scenario() -> Scenario {
+    Scenario::parse(
+        "name recovery\nduration 360s\ninterval 60s\nwarmup 60s\nclients 60\nseed 5\n\
+         at 60s intensity 1.4\nfault at 200s drop\n",
+    )
+    .expect("recovery benchmark scenario parses")
+}
+
+/// Runs the lineup to `RECOVERY_STOP_AFTER` iterations and returns the
+/// committed snapshot bytes — the untimed setup for
+/// [`daemon_recoveries_per_sec`], standing in for the checkpoint a
+/// killed daemon leaves behind.
+fn prepare_recovery_snapshot(scn: &Scenario, library: &PolicyLibrary) -> Vec<u8> {
+    let dir = std::env::temp_dir().join(format!("rac-bench-recovery-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("recovery scratch dir");
+    let path = dir.join("seed.ckpt");
+    let opts = crate::checkpoint::CheckpointOptions {
+        path: path.clone(),
+        every: 1,
+        stop_after: Some(RECOVERY_STOP_AFTER),
+    };
+    let outcome = crate::checkpoint::run_tuners_checkpointed(scn, library, &opts, None)
+        .expect("recovery snapshot run succeeds");
+    assert!(
+        matches!(
+            outcome,
+            crate::checkpoint::LineupOutcome::Interrupted { .. }
+        ),
+        "recovery snapshot run must stop mid-lineup"
+    );
+    let bytes = std::fs::read(&path).expect("recovery snapshot readable");
+    let _ = std::fs::remove_dir_all(&dir);
+    bytes
+}
+
+/// Times `racd`'s crash-recovery path: parse the committed snapshot,
+/// restore the active tuner and lineup cursor, replay the completed
+/// prefix deterministically, and run to the first live boundary (the
+/// point at which a restarted attempt is provably making progress
+/// again). The timed loop aborts at that boundary — aborts never write,
+/// so no disk I/O pollutes the measurement. Returns recoveries/sec.
+fn daemon_recoveries_per_sec(scn: &Scenario, library: &PolicyLibrary, snapshot: &[u8]) -> f64 {
+    let opts = crate::checkpoint::CheckpointOptions {
+        // Never written: the schedule is disabled and the control
+        // callback aborts before any flush.
+        path: std::env::temp_dir().join("rac-bench-recovery-unused.ckpt"),
+        every: 0,
+        stop_after: None,
+    };
+    let started = Instant::now();
+    for _ in 0..RECOVERY_CYCLES {
+        let snap = ckpt::Snapshot::from_bytes(snapshot).expect("recovery snapshot parses");
+        let outcome = crate::checkpoint::run_tuners_checkpointed_with(
+            scn,
+            library,
+            &opts,
+            Some(&snap),
+            |_| crate::checkpoint::LineupCommand::Abort,
+        )
+        .expect("recovery replay succeeds");
+        std::hint::black_box(&outcome);
+    }
+    RECOVERY_CYCLES as f64 / started.elapsed().as_secs_f64()
+}
+
+// ---------------------------------------------------------------------------
 // Tournament benchmark
 
 /// Times a small tournament — scenario generation plus the full
@@ -431,6 +518,17 @@ pub fn run_suite(opts: &SuiteOptions) -> SuiteReport {
         run_samples(opts.tournament_repeats(), tournament_scenarios_per_sec),
     );
 
+    eprintln!("  [bench] preparing daemon-recovery snapshot (untimed)");
+    let recovery_scn = recovery_scenario();
+    let recovery_snapshot = prepare_recovery_snapshot(&recovery_scn, &library);
+    push(
+        "daemon.recoveries_per_sec",
+        "recoveries/sec",
+        run_samples(opts.daemon_repeats(), || {
+            daemon_recoveries_per_sec(&recovery_scn, &library, &recovery_snapshot)
+        }),
+    );
+
     SuiteReport {
         results,
         quick: opts.quick,
@@ -491,8 +589,12 @@ impl SuiteReport {
         out.push_str(&format!("    \"sweep_passes\": {SWEEP_PASSES},\n"));
         out.push_str(&format!("    \"fleet_tenants\": {FLEET_TENANTS},\n"));
         out.push_str(&format!(
-            "    \"tournament_scenarios\": {TOURNAMENT_SCENARIOS}\n"
+            "    \"tournament_scenarios\": {TOURNAMENT_SCENARIOS},\n"
         ));
+        out.push_str(&format!(
+            "    \"recovery_stop_after\": {RECOVERY_STOP_AFTER},\n"
+        ));
+        out.push_str(&format!("    \"recovery_cycles\": {RECOVERY_CYCLES}\n"));
         out.push_str("  },\n");
         out.push_str("  \"benchmarks\": [\n");
         for (i, r) in self.results.iter().enumerate() {

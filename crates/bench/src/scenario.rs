@@ -83,12 +83,13 @@ pub fn resolve(arg: &str) -> Result<Scenario, ResolveError> {
     let (origin, src) = match scenario::bundled::by_name(arg) {
         Some(src) => (format!("bundled scenario {arg}"), src.to_string()),
         None => {
-            let src =
-                std::fs::read_to_string(Path::new(arg)).map_err(|source| ResolveError::NotFound {
+            let src = std::fs::read_to_string(Path::new(arg)).map_err(|source| {
+                ResolveError::NotFound {
                     arg: arg.to_string(),
                     bundled: bundled_names(),
                     source,
-                })?;
+                }
+            })?;
             (arg.to_string(), src)
         }
     };

@@ -51,9 +51,18 @@ fn bench_flags_need_values() {
 
 #[test]
 fn tournament_rejects_malformed_arguments() {
-    assert_usage_exit(&["tournament", "--seed"], "--seed needs an unsigned integer");
-    assert_usage_exit(&["tournament", "--seed", "abc"], "usage: figures tournament");
-    assert_usage_exit(&["tournament", "--profile", "impossible"], "calm, brisk, stormy");
+    assert_usage_exit(
+        &["tournament", "--seed"],
+        "--seed needs an unsigned integer",
+    );
+    assert_usage_exit(
+        &["tournament", "--seed", "abc"],
+        "usage: figures tournament",
+    );
+    assert_usage_exit(
+        &["tournament", "--profile", "impossible"],
+        "calm, brisk, stormy",
+    );
     assert_usage_exit(&["tournament", "0"], "positive integer");
     assert_usage_exit(&["tournament", "2", "3"], "at most one scenario-count");
     assert_usage_exit(&["tournament", "--bogus"], "unknown tournament flag");

@@ -46,4 +46,6 @@ pub mod wire;
 
 pub use crc::crc32;
 pub use error::CkptError;
-pub use snapshot::{write_bytes_atomic, Snapshot, SnapshotWriter, FORMAT_VERSION, MAGIC};
+pub use snapshot::{
+    remove_stale_temp, write_bytes_atomic, Snapshot, SnapshotWriter, FORMAT_VERSION, MAGIC,
+};

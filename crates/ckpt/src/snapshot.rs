@@ -149,6 +149,30 @@ pub fn write_bytes_atomic(bytes: &[u8], path: &Path) -> Result<u64, CkptError> {
     Ok(bytes.len() as u64)
 }
 
+/// Removes a stale `<path>.tmp` left beside a checkpoint by a crash
+/// that hit between temp-file creation and the final rename. The temp
+/// file is by construction incomplete or unrenamed — the committed
+/// snapshot at `path` (if any) is always the authoritative one — so
+/// resume paths call this before scanning or loading. Returns whether a
+/// temp file was actually removed.
+///
+/// # Errors
+///
+/// Returns [`CkptError::Io`] when the temp file exists but cannot be
+/// removed; a missing temp file is the normal case, not an error.
+pub fn remove_stale_temp(path: &Path) -> Result<bool, CkptError> {
+    let tmp = path.with_extension("tmp");
+    match fs::remove_file(&tmp) {
+        Ok(()) => Ok(true),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(false),
+        Err(source) => Err(CkptError::Io {
+            path: tmp,
+            context: "remove stale temp checkpoint file",
+            source,
+        }),
+    }
+}
+
 /// A decoded, checksum-verified snapshot.
 #[derive(Debug, Clone)]
 pub struct Snapshot {
@@ -371,6 +395,25 @@ mod tests {
         let snap = Snapshot::load(&path).unwrap();
         assert!(snap.has_section("alpha"));
         assert!(!path.with_extension("tmp").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_temp_never_shadows_the_committed_snapshot() {
+        let dir = std::env::temp_dir().join(format!("ckpt-tmp-test-{}", std::process::id()));
+        let path = dir.join("snap.ckpt");
+        sample().write_atomic(&path).unwrap();
+        // Emulate a crash mid-write: a torn temp file beside the real
+        // snapshot.
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, &sample().to_bytes()[..10]).unwrap();
+        assert!(remove_stale_temp(&path).unwrap());
+        assert!(!tmp.exists(), "stale temp must be cleaned");
+        // The committed snapshot is untouched and still loads.
+        let snap = Snapshot::load(&path).unwrap();
+        assert!(snap.has_section("alpha"));
+        // Idempotent when there is nothing to clean.
+        assert!(!remove_stale_temp(&path).unwrap());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -381,6 +381,10 @@ pub(crate) fn note_acquisition(acq: &Acquisition, iteration: usize, degraded_now
         let health = obs::health::global();
         health.set_breaker_open(degraded_now);
         health.set_degraded(degraded_now);
+        // Each measurement acquisition is forward motion even when the
+        // iteration counter stalls inside a long interval, so beat the
+        // supervisor heartbeat here too.
+        health.beat();
     }
     let iter = (iteration + 1) as u64;
     if acq.retried {

@@ -57,6 +57,7 @@ pub struct Health {
     degraded: AtomicBool,
     fleet_done: AtomicU64,
     fleet_total: AtomicU64,
+    heartbeat: AtomicU64,
     job: Mutex<String>,
 }
 
@@ -87,10 +88,26 @@ impl Health {
     }
 
     /// Updates loop progress (current iteration out of `total`; pass 0
-    /// for `total` when the horizon is unknown).
+    /// for `total` when the horizon is unknown). Also bumps the
+    /// heartbeat so supervisors watching [`Health::beats`] see forward
+    /// motion at every iteration boundary.
     pub fn set_progress(&self, iteration: u64, total: u64) {
         self.iteration.store(iteration, Ordering::Relaxed);
         self.total_iterations.store(total, Ordering::Relaxed);
+        self.beat();
+    }
+
+    /// Bumps the liveness heartbeat. Called from the experiment loop
+    /// (via [`Health::set_progress`]) and from measurement acquisition,
+    /// so a run blocked inside a single long interval still beats.
+    pub fn beat(&self) {
+        self.heartbeat.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Monotonic heartbeat counter. Never reset — supervisors compare
+    /// successive samples; a stalled counter means a hung run.
+    pub fn beats(&self) -> u64 {
+        self.heartbeat.load(Ordering::Relaxed)
     }
 
     /// Updates fleet progress (tenant experiments finished out of
@@ -122,7 +139,8 @@ impl Health {
         let job = self.job.lock().unwrap().clone();
         format!(
             "{{\"state\":\"{}\",\"job\":\"{}\",\"iteration\":{},\"total_iterations\":{},\
-             \"breaker_open\":{},\"degraded\":{},\"fleet_done\":{},\"fleet_total\":{}}}\n",
+             \"breaker_open\":{},\"degraded\":{},\"fleet_done\":{},\"fleet_total\":{},\
+             \"heartbeat\":{}}}\n",
             self.state().as_str(),
             escape(&job),
             self.iteration.load(Ordering::Relaxed),
@@ -131,6 +149,7 @@ impl Health {
             self.degraded.load(Ordering::Relaxed),
             self.fleet_done.load(Ordering::Relaxed),
             self.fleet_total.load(Ordering::Relaxed),
+            self.beats(),
         )
     }
 }
@@ -179,6 +198,23 @@ mod tests {
         let json = h.render_json();
         assert!(json.contains("\"breaker_open\":false"));
         assert!(json.contains("\"degraded\":false"));
+    }
+
+    #[test]
+    fn heartbeat_is_monotonic_across_jobs() {
+        let h = Health::default();
+        assert_eq!(h.beats(), 0);
+        h.begin_job("first");
+        h.set_progress(1, 10);
+        h.set_progress(2, 10);
+        h.beat();
+        assert_eq!(h.beats(), 3);
+        // begin_job resets progress but never the heartbeat: a
+        // supervisor diffing samples across a restart must not see the
+        // counter jump backwards.
+        h.begin_job("second");
+        assert_eq!(h.beats(), 3);
+        assert!(h.render_json().contains("\"heartbeat\":3"));
     }
 
     #[test]

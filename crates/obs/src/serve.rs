@@ -24,15 +24,18 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::registry::Registry;
 use crate::{export, health, profile};
 
 /// How long the accept loop sleeps when no connection is pending.
 const ACCEPT_POLL: Duration = Duration::from_millis(10);
-/// Per-connection read/write deadline; a stalled client cannot wedge
-/// the accept loop for longer than this.
+/// Per-connection *overall* IO deadline; a stalled or trickling client
+/// cannot wedge the accept loop for longer than this. This bounds the
+/// whole connection, not each read: a client feeding one byte per read
+/// timeout would otherwise keep the single-threaded server busy
+/// forever.
 const IO_TIMEOUT: Duration = Duration::from_millis(500);
 /// Upper bound on the request head we are willing to buffer.
 const MAX_REQUEST_BYTES: usize = 8 * 1024;
@@ -96,10 +99,14 @@ fn accept_loop(listener: TcpListener, stop: &AtomicBool) {
 }
 
 fn handle_connection(mut stream: TcpStream) -> io::Result<()> {
+    // Timeouts are armed before the request line is touched, and every
+    // read below re-arms against the remaining budget of one overall
+    // deadline started here.
+    stream.set_nonblocking(false)?;
     stream.set_read_timeout(Some(IO_TIMEOUT))?;
     stream.set_write_timeout(Some(IO_TIMEOUT))?;
-    stream.set_nonblocking(false)?;
-    let head = read_request_head(&mut stream)?;
+    let deadline = Instant::now() + IO_TIMEOUT;
+    let head = read_request_head(&mut stream, deadline)?;
     let (status, reason, content_type, body) = match parse_get_path(&head) {
         Some(path) => respond(&path),
         None => (
@@ -118,11 +125,19 @@ fn handle_connection(mut stream: TcpStream) -> io::Result<()> {
     stream.flush()
 }
 
-/// Reads until the end of the request head (`\r\n\r\n`) or the size cap.
-fn read_request_head(stream: &mut TcpStream) -> io::Result<String> {
+/// Reads until the end of the request head (`\r\n\r\n`), the size cap,
+/// or `deadline` — whichever comes first. The read timeout shrinks to
+/// the remaining budget before every read, so a client trickling bytes
+/// just under the per-read timeout still gets cut off at the deadline.
+fn read_request_head(stream: &mut TcpStream, deadline: Instant) -> io::Result<String> {
     let mut buf = Vec::new();
     let mut chunk = [0u8; 512];
     loop {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            break;
+        }
+        stream.set_read_timeout(Some(remaining))?;
         let n = match stream.read(&mut chunk) {
             Ok(0) => break,
             Ok(n) => n,
@@ -218,6 +233,51 @@ mod tests {
         // Query strings are tolerated.
         let (head, _) = get(addr, "/metrics?scrape=1");
         assert!(head.starts_with("HTTP/1.0 200"));
+    }
+
+    #[test]
+    fn malformed_request_gets_an_error_reply() {
+        let server = ObsServer::start("127.0.0.1:0").expect("bind loopback");
+        let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+        stream
+            .write_all(b"\x00\x01 utter garbage, not http\r\n\r\n")
+            .unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        assert!(raw.starts_with("HTTP/1.0 405"), "got: {raw}");
+        // The server must still be alive for the next client.
+        let (head, _) = get(server.local_addr(), "/healthz");
+        assert!(head.starts_with("HTTP/1.0 200"));
+    }
+
+    #[test]
+    fn slow_client_cannot_stall_a_scrape() {
+        let server = ObsServer::start("127.0.0.1:0").expect("bind loopback");
+        let addr = server.local_addr();
+        // A slow-loris client: dribbles one byte at a time, never
+        // finishing the request head. Each byte lands well inside the
+        // per-read timeout, so only the overall connection deadline can
+        // get rid of it.
+        let loris = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            for _ in 0..30 {
+                if stream.write_all(b"G").is_err() {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        });
+        // Give the loris time to be accepted first.
+        std::thread::sleep(Duration::from_millis(150));
+        let start = Instant::now();
+        let (head, _) = get(addr, "/healthz");
+        let waited = start.elapsed();
+        assert!(head.starts_with("HTTP/1.0 200"), "head: {head}");
+        assert!(
+            waited < Duration::from_secs(2),
+            "scrape stalled {waited:?} behind a slow client"
+        );
+        loris.join().unwrap();
     }
 
     #[test]

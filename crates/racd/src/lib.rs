@@ -1,0 +1,32 @@
+//! `racd` — the supervised control-plane daemon for the
+//! auto-configuration harness.
+//!
+//! The daemon wraps the checkpointed scenario line-up runner in a
+//! supervision loop: jobs are injected over a line-protocol admin
+//! socket (or as startup operands), persisted to a durable on-disk
+//! queue, and executed in a worker thread under a heartbeat watch.
+//! Crashes and hangs restart the attempt from the last committed
+//! checkpoint with capped exponential backoff; a restart storm trips a
+//! breaker and exits with a typed code. SIGTERM/SIGINT checkpoint then
+//! stop at the next iteration boundary, SIGHUP re-reads the config
+//! file, and a dirty marker distinguishes clean shutdown from crash.
+//!
+//! The determinism contract carries through: a daemon killed at any
+//! point (including mid-checkpoint-write) converges, after relaunch,
+//! to CSV/trace output byte-identical to an uninterrupted run — the
+//! crash-drill harness (`figures crashdrill`) asserts exactly that.
+
+pub mod admin;
+pub mod backoff;
+pub mod config;
+pub mod marker;
+pub mod queue;
+pub mod signal;
+pub mod supervisor;
+
+pub use admin::{parse_command, AdminCmd, AdminError, AdminServer};
+pub use backoff::{Backoff, RestartBreaker};
+pub use config::{parse_args, Cli, DaemonConfig, LibraryKind};
+pub use marker::DirtyMarker;
+pub use queue::{Job, JobQueue};
+pub use supervisor::{run, EXIT_CLEAN, EXIT_RESTART_STORM, EXIT_STATE, EXIT_USAGE};

@@ -1,0 +1,14 @@
+//! Binary entry point: parse arguments, then hand the process to the
+//! supervisor loop.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match racd::parse_args(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(racd::EXIT_USAGE);
+        }
+    };
+    std::process::exit(racd::run(cli.config, &cli.operands));
+}

@@ -1,0 +1,187 @@
+//! The persistent job queue: one `.scn` file per pending job under
+//! `<state>/queue/`, named `NNNNNN-<name>.scn` so directory order is
+//! arrival order. Jobs are enqueued with a temp-file-then-rename (the
+//! same crash safety as checkpoints) and removed only after the job's
+//! outputs are on disk — a SIGKILL at any point leaves either a
+//! pending job or a finished one, never a lost one.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A pending job: a parsed-validated scenario source on disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Job {
+    /// Queue file backing the job.
+    pub path: PathBuf,
+    /// Scenario name (from the file stem, after the sequence prefix).
+    pub name: String,
+    /// The scenario source text.
+    pub text: String,
+}
+
+/// See the [module docs](self).
+#[derive(Debug)]
+pub struct JobQueue {
+    dir: PathBuf,
+    next_seq: u64,
+}
+
+impl JobQueue {
+    /// Opens (creating if needed) the queue directory and positions the
+    /// sequence counter after the highest existing entry.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating or scanning the directory.
+    pub fn open(dir: &Path) -> io::Result<JobQueue> {
+        fs::create_dir_all(dir)?;
+        let mut next_seq = 0;
+        for entry in fs::read_dir(dir)? {
+            let name = entry?.file_name();
+            if let Some(seq) = parse_seq(&name.to_string_lossy()) {
+                next_seq = next_seq.max(seq + 1);
+            }
+        }
+        Ok(JobQueue {
+            dir: dir.to_path_buf(),
+            next_seq,
+        })
+    }
+
+    /// Enqueues a scenario durably. `name` is sanitized into the file
+    /// name; `text` is the scenario source (already validated by the
+    /// caller).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error writing the queue entry.
+    pub fn push(&mut self, name: &str, text: &str) -> io::Result<PathBuf> {
+        let path = self
+            .dir
+            .join(format!("{:06}-{}.scn", self.next_seq, sanitize(name)));
+        let tmp = path.with_extension("tmp");
+        fs::write(&tmp, text)?;
+        fs::rename(&tmp, &path)?;
+        self.next_seq += 1;
+        Ok(path)
+    }
+
+    /// The oldest pending job, if any. Unreadable or torn entries
+    /// (`.tmp` leftovers) are skipped, never fatal.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error scanning the directory.
+    pub fn head(&self) -> io::Result<Option<Job>> {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&self.dir)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                p.extension().is_some_and(|e| e == "scn")
+                    && p.file_name()
+                        .is_some_and(|n| parse_seq(&n.to_string_lossy()).is_some())
+            })
+            .collect();
+        entries.sort();
+        for path in entries {
+            let Ok(text) = fs::read_to_string(&path) else {
+                continue;
+            };
+            let stem = path.file_stem().unwrap_or_default().to_string_lossy();
+            let name = stem
+                .split_once('-')
+                .map(|(_, rest)| rest)
+                .unwrap_or(&stem)
+                .to_string();
+            return Ok(Some(Job { path, name, text }));
+        }
+        Ok(None)
+    }
+
+    /// Number of pending jobs.
+    pub fn len(&self) -> usize {
+        fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "scn"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Whether no jobs are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes a finished job's queue entry.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error removing the file; already-gone is fine.
+    pub fn remove(&mut self, job: &Job) -> io::Result<()> {
+        match fs::remove_file(&job.path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+fn parse_seq(file_name: &str) -> Option<u64> {
+    let (seq, rest) = file_name.split_once('-')?;
+    if std::path::Path::new(rest)
+        .extension()
+        .is_none_or(|e| e != "scn")
+    {
+        return None;
+    }
+    seq.parse().ok()
+}
+
+fn sanitize(name: &str) -> String {
+    let cleaned: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if cleaned.is_empty() {
+        "job".to_string()
+    } else {
+        cleaned
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("racd-queue-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let mut q = JobQueue::open(&dir).unwrap();
+        assert!(q.is_empty());
+        q.push("alpha", "name alpha\n").unwrap();
+        q.push("beta", "name beta\n").unwrap();
+        assert_eq!(q.len(), 2);
+        // Reopening (a restart) keeps order and continues the sequence.
+        let mut q = JobQueue::open(&dir).unwrap();
+        let head = q.head().unwrap().unwrap();
+        assert_eq!(head.name, "alpha");
+        q.remove(&head).unwrap();
+        q.push("gamma", "name gamma\n").unwrap();
+        let head = q.head().unwrap().unwrap();
+        assert_eq!(head.name, "beta", "beta enqueued before gamma");
+        // Weird names are sanitized, not rejected.
+        let p = q.push("oh no/../spaces here", "x\n").unwrap();
+        assert!(p.file_name().unwrap().to_string_lossy().contains("oh_no"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,113 @@
+//! Async-signal-safe lifecycle flags.
+//!
+//! The daemon's signal contract:
+//!
+//! * `SIGTERM` / `SIGINT` — request a graceful shutdown: the worker
+//!   checkpoints at its next iteration boundary, the queue entry stays
+//!   for the next start, and the dirty marker is cleared.
+//! * `SIGHUP` — request a configuration reload at the next supervisor
+//!   tick.
+//! * `SIGKILL` — untrappable by definition; the dirty marker stays
+//!   armed and the next start takes the crash-recovery path.
+//!
+//! Handlers do nothing but store to process-global atomics (the only
+//! thing that is async-signal-safe); the supervisor loop polls the
+//! flags. No libc crate: the two functions used (`signal`, `raise`)
+//! are declared directly against the platform C library, gated to Unix,
+//! with inert stubs elsewhere so the crate still builds.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// `SIGHUP` (reload).
+pub const SIGHUP: i32 = 1;
+/// `SIGINT` (graceful shutdown).
+pub const SIGINT: i32 = 2;
+/// `SIGTERM` (graceful shutdown).
+pub const SIGTERM: i32 = 15;
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+static RELOAD: AtomicBool = AtomicBool::new(false);
+
+/// Whether a shutdown signal has arrived. Sticky: once set it stays
+/// set for the life of the process.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::Relaxed)
+}
+
+/// Consumes a pending reload request, if any.
+pub fn take_reload() -> bool {
+    RELOAD.swap(false, Ordering::Relaxed)
+}
+
+/// Test/seam hook: request shutdown as if a signal had arrived.
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::Relaxed);
+}
+
+#[cfg(unix)]
+mod imp {
+    use super::{RELOAD, SHUTDOWN, SIGHUP, SIGINT, SIGTERM};
+    use std::sync::atomic::Ordering;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+        fn raise(signum: i32) -> i32;
+    }
+
+    extern "C" fn on_shutdown(_sig: i32) {
+        SHUTDOWN.store(true, Ordering::Relaxed);
+    }
+
+    extern "C" fn on_reload(_sig: i32) {
+        RELOAD.store(true, Ordering::Relaxed);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_shutdown as *const () as usize);
+            signal(SIGINT, on_shutdown as *const () as usize);
+            signal(SIGHUP, on_reload as *const () as usize);
+        }
+    }
+
+    pub fn raise_signal(sig: i32) {
+        unsafe {
+            raise(sig);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+    pub fn raise_signal(_sig: i32) {}
+}
+
+/// Installs the handlers above. Idempotent.
+pub fn install() {
+    imp::install();
+}
+
+/// Sends `sig` to the current process (used by the signal-contract
+/// tests; a no-op on non-Unix).
+pub fn raise_signal(sig: i32) {
+    imp::raise_signal(sig);
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    // SIGTERM/SIGINT are exercised out-of-process by the daemon
+    // integration test: the shutdown flag is sticky and process-global,
+    // so raising it here would bleed into every other unit test in this
+    // binary.
+    #[test]
+    fn sighup_sets_only_the_reload_flag() {
+        install();
+        raise_signal(SIGHUP);
+        assert!(take_reload(), "SIGHUP must request a reload");
+        assert!(!take_reload(), "reload requests are consumed");
+        assert!(!shutdown_requested(), "SIGHUP must not request a shutdown");
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for the admin line-protocol parser: it must be total
+//! over arbitrary input — any byte soup yields either a command or a
+//! typed error, never a panic — and known commands must round-trip
+//! regardless of case and surrounding whitespace.
+
+use proptest::prelude::*;
+use racd::admin::{parse_command, AdminCmd, AdminError};
+
+/// The vocabulary the fuzz mixes: valid command words, near-misses,
+/// separators, and junk.
+const TOKENS: &[&str] = &[
+    "status",
+    "checkpoint",
+    "pause",
+    "resume",
+    "shutdown",
+    "inject",
+    "upgrade",
+    "STATUS",
+    "Inject",
+    "statusx",
+    "in ject",
+    "/tmp/a b.scn",
+    "--flag",
+    "..",
+    "",
+    " ",
+    "\t",
+    "🦀",
+    "\u{0}",
+    "err",
+    "ok",
+];
+
+proptest! {
+    #[test]
+    fn parser_is_total_over_raw_bytes(
+        bytes in proptest::collection::vec(0u8..=255, 0..80),
+    ) {
+        let line = String::from_utf8_lossy(&bytes);
+        // Must not panic; errors must carry a stable non-empty code.
+        if let Err(e) = parse_command(&line) {
+            prop_assert!(!e.code().is_empty());
+            prop_assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn parser_is_total_over_token_soup(
+        picks in proptest::collection::vec(0usize..21, 0..8),
+    ) {
+        let line = picks
+            .iter()
+            .map(|&i| TOKENS[i])
+            .collect::<Vec<_>>()
+            .join(" ");
+        match parse_command(&line) {
+            // Any accepted argument-taking command must preserve its
+            // argument text exactly (paths may contain spaces).
+            Ok(AdminCmd::Inject(arg)) | Ok(AdminCmd::Upgrade(arg)) => {
+                prop_assert!(!arg.is_empty());
+                prop_assert!(line.contains(&arg));
+            }
+            Ok(_) => {}
+            Err(e) => prop_assert!(matches!(
+                e,
+                AdminError::Empty
+                    | AdminError::Unknown(_)
+                    | AdminError::MissingArg(_)
+                    | AdminError::ExtraArgs(_)
+            )),
+        }
+    }
+
+    #[test]
+    fn bare_commands_round_trip_any_case_and_padding(
+        which in 0usize..5,
+        upper: bool,
+        pad_left in 0usize..4,
+        pad_right in 0usize..4,
+    ) {
+        let words = ["status", "checkpoint", "pause", "resume", "shutdown"];
+        let expect = [
+            AdminCmd::Status,
+            AdminCmd::Checkpoint,
+            AdminCmd::Pause,
+            AdminCmd::Resume,
+            AdminCmd::Shutdown,
+        ];
+        let word = if upper {
+            words[which].to_ascii_uppercase()
+        } else {
+            words[which].to_string()
+        };
+        let line = format!("{}{}{}", " ".repeat(pad_left), word, "\t".repeat(pad_right));
+        prop_assert_eq!(parse_command(&line), Ok(expect[which].clone()));
+    }
+}

@@ -1,0 +1,116 @@
+//! Crash-recovery paths, in-process: a panicking attempt restarts from
+//! the last committed checkpoint and converges to byte-identical
+//! output; a hung attempt is detected by heartbeat staleness and
+//! superseded; an always-failing job trips the restart-storm breaker
+//! with its typed exit code and leaves the dirty marker armed.
+//!
+//! One test function: the fault hooks are environment variables, so
+//! phases must not run concurrently.
+
+use std::path::Path;
+use std::time::Duration;
+
+use racd::{DaemonConfig, DirtyMarker, EXIT_CLEAN, EXIT_RESTART_STORM};
+
+const SCN: &str = "name tiny\nduration 360s\ninterval 60s\nwarmup 60s\nclients 60\nseed 5\n\
+                   at 60s intensity 1.4\nfault at 200s drop\n";
+
+fn daemon_config(state: &Path, cache: &Path) -> DaemonConfig {
+    let mut cfg = DaemonConfig::new(state.to_path_buf());
+    cfg.cache_dir = cache.to_path_buf();
+    cfg.checkpoint_every = 2;
+    cfg.once = true;
+    // Keep restart pacing test-friendly.
+    cfg.backoff.base = Duration::from_millis(10);
+    cfg.backoff.cap = Duration::from_millis(40);
+    cfg.max_restarts = 3;
+    cfg
+}
+
+#[test]
+fn crashes_hangs_and_storms() {
+    let root = std::env::temp_dir().join(format!("racd-recover-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+    let cache = root.join("cache");
+    let scn_path = root.join("tiny.scn");
+    std::fs::write(&scn_path, SCN).unwrap();
+    let operands = [scn_path.display().to_string()];
+
+    // Reference: an uninterrupted run.
+    let clean = root.join("clean");
+    assert_eq!(
+        racd::run(daemon_config(&clean, &cache), &operands),
+        EXIT_CLEAN
+    );
+    let reference = std::fs::read(clean.join("results/scenario-tiny.csv")).unwrap();
+
+    // Phase 1 — a panic mid-lineup restarts from the checkpoint and
+    // converges to the same bytes. The hook fires only while no restart
+    // has happened yet, so exactly one crash is injected.
+    std::env::set_var("RACD_TEST_PANIC_AT", "3");
+    let crashed = root.join("crashed");
+    let code = racd::run(daemon_config(&crashed, &cache), &operands);
+    std::env::remove_var("RACD_TEST_PANIC_AT");
+    assert_eq!(code, EXIT_CLEAN, "one injected panic must be survivable");
+    let recovered = std::fs::read(crashed.join("results/scenario-tiny.csv")).unwrap();
+    assert_eq!(
+        recovered, reference,
+        "output after a crash + restart must be byte-identical to a clean run"
+    );
+    assert!(!DirtyMarker::in_dir(&crashed).present());
+
+    // Phase 2 — a hang (no heartbeats) is detected and superseded; the
+    // relaunched attempt converges to the same bytes.
+    std::env::set_var("RACD_TEST_HANG_AT", "2");
+    let hung = root.join("hung");
+    let mut cfg = daemon_config(&hung, &cache);
+    cfg.heartbeat_timeout = Duration::from_millis(400);
+    let code = racd::run(cfg, &operands);
+    std::env::remove_var("RACD_TEST_HANG_AT");
+    assert_eq!(
+        code, EXIT_CLEAN,
+        "a hung attempt must be superseded, not fatal"
+    );
+    let recovered = std::fs::read(hung.join("results/scenario-tiny.csv")).unwrap();
+    assert_eq!(
+        recovered, reference,
+        "output after a hang + supersede must be byte-identical to a clean run"
+    );
+
+    // Phase 3 — every attempt failing trips the breaker after
+    // `max_restarts` consecutive failures, with the typed exit code and
+    // the dirty marker still armed.
+    std::env::set_var("RACD_TEST_ALWAYS_PANIC", "1");
+    let storm = root.join("storm");
+    let code = racd::run(daemon_config(&storm, &cache), &operands);
+    std::env::remove_var("RACD_TEST_ALWAYS_PANIC");
+    assert_eq!(
+        code, EXIT_RESTART_STORM,
+        "storm must exit with the typed code"
+    );
+    assert!(
+        DirtyMarker::in_dir(&storm).present(),
+        "a storm exit must leave the dirty marker armed"
+    );
+    // The job is still queued for the next (fixed) daemon.
+    let queued = std::fs::read_dir(storm.join("queue"))
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "scn"))
+        .count();
+    assert_eq!(queued, 1, "a stormed job must stay queued");
+
+    // Phase 4 — with the fault gone, restarting the stormed daemon
+    // finishes the queued job and converges to the reference bytes.
+    let code = racd::run(daemon_config(&storm, &cache), &operands[..0]);
+    assert_eq!(code, EXIT_CLEAN);
+    let recovered = std::fs::read(storm.join("results/scenario-tiny.csv")).unwrap();
+    assert_eq!(
+        recovered, reference,
+        "post-storm recovery must converge to the clean bytes"
+    );
+    assert!(!DirtyMarker::in_dir(&storm).present());
+
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -1,0 +1,135 @@
+//! The signal contract, exercised against the real `racd` binary:
+//! SIGTERM lands mid-run, the daemon checkpoints at the next boundary
+//! and exits clean (marker disarmed, job still queued), and a relaunch
+//! finishes the job with CSV bytes identical to an uninterrupted run.
+//! SIGHUP reloads the config file without disturbing the run.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const SCN: &str = "name tiny\nduration 360s\ninterval 60s\nwarmup 60s\nclients 60\nseed 5\n\
+                   at 60s intensity 1.4\nfault at 200s drop\n";
+
+fn racd() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_racd"))
+}
+
+/// One admin round-trip against the daemon's resolved address.
+fn admin(state: &std::path::Path, line: &str) -> Option<String> {
+    let addr = std::fs::read_to_string(state.join("admin.addr")).ok()?;
+    let mut s = TcpStream::connect(addr.trim()).ok()?;
+    s.set_read_timeout(Some(Duration::from_secs(2))).ok()?;
+    s.write_all(line.as_bytes()).ok()?;
+    s.write_all(b"\n").ok()?;
+    let mut reply = String::new();
+    BufReader::new(s).read_line(&mut reply).ok()?;
+    Some(reply.trim_end().to_string())
+}
+
+fn wait_for<F: FnMut() -> bool>(what: &str, timeout: Duration, mut ready: F) {
+    let deadline = Instant::now() + timeout;
+    while Instant::now() < deadline {
+        if ready() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    panic!("timed out waiting for {what}");
+}
+
+fn signal_pid(child: &Child, sig: &str) {
+    let status = Command::new("kill")
+        .arg(format!("-{sig}"))
+        .arg(child.id().to_string())
+        .status()
+        .expect("spawn kill(1)");
+    assert!(status.success(), "kill -{sig} failed");
+}
+
+#[test]
+#[cfg(unix)]
+fn sigterm_checkpoints_then_resumes_byte_identically() {
+    let root = std::env::temp_dir().join(format!("racd-sig-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+    let cache = root.join("cache");
+    let scn_path = root.join("tiny.scn");
+    std::fs::write(&scn_path, SCN).unwrap();
+    let conf_path = root.join("racd.conf");
+    std::fs::write(&conf_path, "max_restarts = 5\n").unwrap();
+
+    // Reference: a clean uninterrupted run.
+    let clean = root.join("clean");
+    let status = racd()
+        .args(["--state", &clean.display().to_string()])
+        .args(["--cache", &cache.display().to_string()])
+        .args(["--every", "2", "--once"])
+        .arg(&scn_path)
+        .status()
+        .expect("spawn racd");
+    assert_eq!(status.code(), Some(0), "clean reference run must exit 0");
+    let reference = std::fs::read(clean.join("results/scenario-tiny.csv")).unwrap();
+
+    // Interrupted run: pause the worker at a boundary (so SIGTERM lands
+    // deterministically mid-job), reload config via SIGHUP, then TERM.
+    let state = root.join("term");
+    let mut child = racd()
+        .args(["--state", &state.display().to_string()])
+        .args(["--cache", &cache.display().to_string()])
+        .args(["--config", &conf_path.display().to_string()])
+        .args(["--every", "2"])
+        .arg(&scn_path)
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn racd");
+    wait_for("admin listener", Duration::from_secs(30), || {
+        admin(&state, "status").is_some()
+    });
+    assert_eq!(admin(&state, "pause").as_deref(), Some("ok paused"));
+    wait_for(
+        "worker parked at a boundary",
+        Duration::from_secs(30),
+        || admin(&state, "status").is_some_and(|s| s.contains("state=paused")),
+    );
+
+    // SIGHUP mid-pause: tunable changes are picked up, run undisturbed.
+    std::fs::write(&conf_path, "max_restarts = 7\n").unwrap();
+    signal_pid(&child, "HUP");
+
+    signal_pid(&child, "TERM");
+    let status = child.wait().expect("wait racd");
+    assert_eq!(status.code(), Some(0), "SIGTERM must be a clean shutdown");
+    assert!(
+        !state.join("racd.dirty").exists(),
+        "graceful shutdown must disarm the dirty marker"
+    );
+    assert!(
+        state.join("ckpt/tiny.ckpt").exists(),
+        "graceful shutdown must leave a committed checkpoint"
+    );
+    let queued = std::fs::read_dir(state.join("queue"))
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "scn"))
+        .count();
+    assert_eq!(queued, 1, "the interrupted job must stay queued");
+
+    // Relaunch: the job resumes from the checkpoint and finishes with
+    // bytes identical to the uninterrupted reference.
+    let status = racd()
+        .args(["--state", &state.display().to_string()])
+        .args(["--cache", &cache.display().to_string()])
+        .args(["--every", "2", "--once"])
+        .status()
+        .expect("spawn racd");
+    assert_eq!(status.code(), Some(0));
+    let resumed = std::fs::read(state.join("results/scenario-tiny.csv")).unwrap();
+    assert_eq!(
+        resumed, reference,
+        "SIGTERM + resume must converge to the uninterrupted bytes"
+    );
+
+    let _ = std::fs::remove_dir_all(&root);
+}

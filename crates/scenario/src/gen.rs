@@ -281,7 +281,11 @@ pub fn generate(seed: u64, difficulty: Difficulty) -> Scenario {
         directives.push(match kind {
             0 => Directive::Stall {
                 t,
-                tier: if rng.chance(0.5) { Tier::Web } else { Tier::AppDb },
+                tier: if rng.chance(0.5) {
+                    Tier::Web
+                } else {
+                    Tier::AppDb
+                },
                 dur: secs(rng.range_inclusive(60, 240)),
             },
             1 => Directive::Noise {
@@ -391,9 +395,8 @@ mod tests {
 
     #[test]
     fn stormy_is_rougher_than_calm_on_average() {
-        let count = |d: Difficulty| -> usize {
-            (0..100u64).map(|s| generate(s, d).directives.len()).sum()
-        };
+        let count =
+            |d: Difficulty| -> usize { (0..100u64).map(|s| generate(s, d).directives.len()).sum() };
         assert!(count(Difficulty::Stormy) > count(Difficulty::Calm));
     }
 }

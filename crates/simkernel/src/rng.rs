@@ -544,9 +544,7 @@ mod tests {
         let light = LogNormal::with_mean(7.0, 0.25);
         let heavy = LogNormal::with_mean(7.0, 1.5);
         let n = 50_000;
-        let over = |d: &LogNormal, rng: &mut Pcg64| {
-            (0..n).filter(|_| d.sample(rng) > 28.0).count()
-        };
+        let over = |d: &LogNormal, rng: &mut Pcg64| (0..n).filter(|_| d.sample(rng) > 28.0).count();
         assert!(over(&heavy, &mut a) > 4 * over(&light, &mut b));
     }
 

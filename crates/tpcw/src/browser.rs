@@ -395,10 +395,7 @@ mod tests {
         let eb = Browser::new(0, Mix::Shopping);
         for _ in 0..1000 {
             let expected = legacy.sample(&mut r1).min(MAX_THINK_TIME_SECS);
-            assert_eq!(
-                eb.think_time(&mut r2),
-                SimDuration::from_secs_f64(expected)
-            );
+            assert_eq!(eb.think_time(&mut r2), SimDuration::from_secs_f64(expected));
         }
         assert_eq!(r1, r2, "stream positions must match");
     }

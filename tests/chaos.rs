@@ -27,8 +27,8 @@ use rac::{
     BoundaryAction, Experiment, IterationRecord, RacAgent, ScenarioProgress, ScenarioRunOutcome,
 };
 use rac_bench::chaos::{
-    chaos_scenario, chaos_table, check_invariants, last_fault_clear_iteration, run_chaos,
-    DEFAULT_ITERATIONS, PINNED_SEEDS, RECOVERY_GRACE,
+    chaos_scenario, chaos_table, check_invariants, kill_points, last_fault_clear_iteration,
+    run_chaos, run_chaos_killed, DEFAULT_ITERATIONS, PINNED_SEEDS, RECOVERY_GRACE,
 };
 use rac_bench::{paper_system_spec, standard_settings};
 use scenario::Directive;
@@ -142,6 +142,38 @@ fn kill_and_resume_inside_the_outage_matches_uninterrupted() {
         ScenarioRunOutcome::Complete(full),
         "resume through the open-breaker window diverged"
     );
+}
+
+#[test]
+fn seeded_kill_arm_composes_with_measurement_faults() {
+    // The `kill` fault arm: several seeded process deaths in one run —
+    // agent state and progress cross their wire forms at each kill —
+    // composed with the schedule's blackout/timeout faults. The series
+    // must match an uninterrupted run exactly, and at least one kill
+    // must land while the breaker is open (death *inside* the outage).
+    for seed in PINNED_SEEDS {
+        let scn = chaos_scenario(seed, DEFAULT_ITERATIONS);
+        let points = kill_points(seed, &scn);
+        assert!(
+            points.len() >= 2,
+            "seed {seed}: kill schedule too thin: {points:?}"
+        );
+        assert_eq!(
+            points,
+            kill_points(seed, &scn),
+            "seed {seed}: kill schedule not deterministic"
+        );
+        let full = run_chaos(&scn);
+        let (killed, in_outage) = run_chaos_killed(&scn, &points);
+        assert!(
+            in_outage >= 1,
+            "seed {seed}: no kill landed inside the open-breaker window ({points:?})"
+        );
+        assert_eq!(
+            killed, full,
+            "seed {seed}: kill arm diverged from the uninterrupted run"
+        );
+    }
 }
 
 #[test]
